@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation: stepsize-search policies head to head.
+ *
+ * The paper's slope-adaptive search (Sec. VII.A) uses accept/reject
+ * *outcomes* — one counter and a sigmoid, cheap enough for the eNODE
+ * controller. This bench compares it against the spectrum of software
+ * controllers on the same solves: the two conventional variants of
+ * Fig. 2(d) (carry-over and constant-C restart), the classic
+ * error-proportional law (Press-Teukolsky, the paper's Ref. [23]), and
+ * a PI controller (error-magnitude history). Columns: total search
+ * trials, evaluation points, rejection rate, and final-state relative
+ * error on a smooth-burst ODE with a known solution.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "core/slope_adaptive.h"
+#include "ode/ivp.h"
+
+using namespace enode;
+
+namespace {
+
+/** Smooth slow/fast/slow decay with a closed-form solution. */
+class BumpDecay : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double t, const Tensor &h) override
+    {
+        countEval();
+        const double bump = (t - 0.5) / 0.08;
+        const float rate =
+            static_cast<float>(0.5 + 19.5 * std::exp(-bump * bump));
+        return h * -rate;
+    }
+
+    static double
+    exactAt(double t_end)
+    {
+        // integral of the rate: 0.5 t + 19.5 * 0.08 * sqrt(pi)/2 *
+        // (erf((t-0.5)/0.08) - erf(-0.5/0.08))
+        const double s = 0.08;
+        const double gauss =
+            19.5 * s * std::sqrt(3.14159265358979) / 2.0 *
+            (std::erf((t_end - 0.5) / s) - std::erf(-0.5 / s));
+        return std::exp(-(0.5 * t_end + gauss));
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: stepsize-search controllers on a smooth-burst "
+                "ODE (RK23, epsilon = 1e-7, T = 4, C = 0.02).\n");
+
+    IvpOptions opts;
+    opts.tolerance = 1e-7;
+    opts.initialDt = 0.02;
+    const double t_end = 4.0;
+    const double exact = BumpDecay::exactAt(t_end);
+
+    struct Entry
+    {
+        const char *label;
+        std::unique_ptr<StepController> controller;
+    };
+    std::vector<Entry> entries;
+    entries.push_back(
+        {"conventional (carry-over)",
+         std::make_unique<FixedFactorController>()});
+    entries.push_back(
+        {"conventional (constant C)",
+         std::make_unique<ConstantInitController>()});
+    entries.push_back(
+        {"press-teukolsky", std::make_unique<PressTeukolskyController>(3)});
+    entries.push_back({"pi", std::make_unique<PiController>(3)});
+    entries.push_back(
+        {"slope-adaptive s=3 (paper)",
+         std::make_unique<SlopeAdaptiveController>()});
+
+    Table table("Controllers at identical tolerance");
+    table.setHeader({"Controller", "Trials", "Eval points", "Reject rate",
+                     "Rel. error", "Trials vs carry-over"});
+    double baseline_trials = 0.0;
+    for (auto &entry : entries) {
+        BumpDecay f;
+        auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, t_end,
+                            ButcherTableau::rk23(), *entry.controller,
+                            opts);
+        if (baseline_trials == 0.0)
+            baseline_trials = static_cast<double>(res.stats.trials);
+        const double rel_err =
+            std::abs(res.yFinal.at(0) - exact) / exact;
+        table.addRow(
+            {entry.label,
+             Table::integer(static_cast<long long>(res.stats.trials)),
+             Table::integer(static_cast<long long>(res.stats.evalPoints)),
+             Table::percent(static_cast<double>(res.stats.rejected) /
+                            res.stats.trials),
+             Table::num(rel_err, 6),
+             Table::ratio(baseline_trials / res.stats.trials)});
+    }
+    table.print();
+
+    std::printf("\n  Takeaway: slope-adaptive reaches error-proportional-"
+                "class trial counts while\n  consuming only accept/reject "
+                "bits — no error magnitudes cross the controller\n  "
+                "boundary, which is what makes it cheap in hardware "
+                "(Sec. VII.A).\n");
+    return 0;
+}

@@ -1,0 +1,322 @@
+#ifndef ENODE_BENCH_BENCH_COMMON_H
+#define ENODE_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared workload runners for the figure-reproduction benches.
+ *
+ * Each bench reproduces one table or figure of the paper. The runners
+ * here train/evaluate small NODEs on the four benchmark workloads
+ * (synthetic CIFAR-10-like, synthetic MNIST-like, Three-Body,
+ * Lotka-Volterra) under a chosen stepsize-search policy, and report the
+ * solver statistics (trials per integration layer, accuracy) plus the
+ * WorkloadTraces the hardware models consume.
+ *
+ * Model sizes are scaled down from the paper's (64x64x64 states, 50k
+ * training images) to laptop-runnable sizes; EXPERIMENTS.md records the
+ * mapping. All randomness is seeded: every bench is reproducible.
+ */
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+#include "core/priority.h"
+#include "core/slope_adaptive.h"
+#include "nn/optimizer.h"
+#include "sim/trace.h"
+#include "workloads/dynamic_systems.h"
+#include "workloads/synthetic_images.h"
+
+namespace enode {
+namespace bench {
+
+/** Which stepsize-search policy a run uses. */
+enum class Policy
+{
+    Conventional,   ///< fixed-factor search (the paper's baseline)
+    SlopeAdaptive,  ///< Sec. VII.A
+    Expedited,      ///< slope-adaptive + priority/early-stop (full EA)
+};
+
+/** Per-run knobs. */
+struct RunConfig
+{
+    Policy policy = Policy::Conventional;
+    /**
+     * Conventional-search variant: restart every evaluation point from
+     * the constant C (the high-n_try regime of Fig. 4(a)) instead of
+     * carrying the previous point's stepsize.
+     */
+    bool constantInit = false;
+    double constantC = 0.3;
+    int sAcc = 3;              ///< slope-adaptive thresholds
+    int sRej = 3;
+    std::size_t windowHeight = 10; ///< H_hat for priority processing
+    double tolerance = 1e-4;   ///< epsilon (scaled to our state sizes)
+    double initialDt = 0.02;   ///< C (conservative, as in the paper:
+                               ///< the search must find larger steps)
+    int trainIters = 30;
+    int testSamples = 16;
+    std::uint64_t seed = 1234;
+};
+
+/** What a workload run reports. */
+struct RunResult
+{
+    std::string workload;
+    double trialsPerLayer = 0.0;      ///< raw search trials per layer
+    double equivTrialsPerLayer = 0.0; ///< work-weighted (early stop)
+    double evalPointsPerLayer = 0.0;
+    double accuracyPct = 0.0;         ///< classification % or regression
+                                      ///< accuracy % (100 - rel. error %)
+    WorkloadTrace inferenceTrace;     ///< one representative inference
+    WorkloadTrace trainingTrace;      ///< one representative iteration
+};
+
+/** Build the controller for a policy (caller owns). */
+std::unique_ptr<StepController>
+makeController(const RunConfig &cfg)
+{
+    if (cfg.policy == Policy::Conventional) {
+        if (cfg.constantInit)
+            return std::make_unique<ConstantInitController>();
+        return std::make_unique<FixedFactorController>();
+    }
+    SlopeAdaptiveOptions opts;
+    opts.sAcc = cfg.sAcc;
+    opts.sRej = cfg.sRej;
+    return std::make_unique<SlopeAdaptiveController>(opts);
+}
+
+/** Expedited runs pair priority/early-stop with constant-C restarts
+ * when requested (the regime of Figs. 12-13). */
+inline std::unique_ptr<StepController>
+makeExpeditedBase(const RunConfig &cfg)
+{
+    if (cfg.constantInit)
+        return std::make_unique<ConstantInitController>();
+    SlopeAdaptiveOptions opts;
+    opts.sAcc = cfg.sAcc;
+    opts.sRej = cfg.sRej;
+    return std::make_unique<SlopeAdaptiveController>(opts);
+}
+
+/** Build the trial evaluator (null for policies without early stop). */
+std::unique_ptr<PriorityTrialEvaluator>
+makeEvaluator(const RunConfig &cfg)
+{
+    if (cfg.policy != Policy::Expedited)
+        return nullptr;
+    PriorityOptions opts;
+    opts.windowHeight = cfg.windowHeight;
+    return std::make_unique<PriorityTrialEvaluator>(opts);
+}
+
+/**
+ * Train a NODE on a dynamic system and evaluate it.
+ *
+ * @param system "threebody" or "lotka".
+ */
+inline RunResult
+runDynamicSystem(const std::string &system, const RunConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::unique_ptr<OdeFunction> truth;
+    std::size_t dim = 0;
+    double horizon = 1.0;
+    if (system == "threebody") {
+        auto tb = std::make_unique<ThreeBodyOde>();
+        dim = ThreeBodyOde::stateDim;
+        horizon = 0.3; // short horizon: the system is chaotic
+        truth = std::move(tb);
+    } else {
+        auto lv = std::make_unique<LotkaVolterraOde>();
+        dim = LotkaVolterraOde::stateDim;
+        horizon = 1.0;
+        truth = std::move(lv);
+    }
+
+    auto make_initial = [&](Rng &r) {
+        if (system == "threebody")
+            return static_cast<ThreeBodyOde *>(truth.get())
+                ->randomInitialState(r);
+        return static_cast<LotkaVolterraOde *>(truth.get())
+            ->randomInitialState(r);
+    };
+    auto data = generateTrajectories(*truth, make_initial,
+                                     16, cfg.testSamples, horizon, rng);
+
+    // Two integration layers, MLP f (the NODE shape the paper's dynamic
+    // benchmarks use, scaled down).
+    auto model = NodeModel::makeMlp(2, dim, 48, 1, rng);
+    Adam opt(model->paramSlots(), 5e-3);
+    auto controller = cfg.policy == Policy::Expedited
+                          ? makeExpeditedBase(cfg)
+                          : makeController(cfg);
+    auto evaluator = makeEvaluator(cfg);
+
+    IvpOptions opts;
+    opts.tolerance = cfg.tolerance;
+    opts.initialDt = cfg.constantInit ? cfg.constantC : cfg.initialDt;
+
+    for (int iter = 0; iter < 2 * cfg.trainIters; iter++) {
+        const auto &pair = data.train[iter % data.train.size()];
+        opt.zeroGrad();
+        regressionTrainStep(*model, pair.x0, pair.target,
+                            ButcherTableau::rk23(), *controller, opts,
+                            evaluator.get());
+        opt.clipGradNorm(10.0);
+        opt.step();
+    }
+
+    // Evaluate: solver statistics + regression accuracy on held-out
+    // pairs. Accuracy = 100 * (1 - relative L2 error), floored at 0.
+    RunResult result;
+    result.workload = system;
+    IvpStats total;
+    AcaStats bwd_total;
+    double err_sum = 0.0, ref_sum = 0.0;
+    NodeForwardResult last_fwd;
+    for (const auto &pair : data.test) {
+        auto fwd = model->forward(pair.x0, ButcherTableau::rk23(),
+                                  *controller, opts, evaluator.get());
+        total.accumulate(fwd.totalStats);
+        err_sum += (fwd.output - pair.target).l2Norm();
+        ref_sum += pair.target.l2Norm();
+        last_fwd = std::move(fwd);
+    }
+    // One representative training iteration for the hardware traces.
+    {
+        const auto &pair = data.train.front();
+        model->zeroGrad();
+        auto step = regressionTrainStep(*model, pair.x0, pair.target,
+                                        ButcherTableau::rk23(), *controller,
+                                        opts, evaluator.get());
+        result.trainingTrace = WorkloadTrace::synthetic(
+            system + "-train", 2,
+            static_cast<double>(step.forwardStats.evalPoints) / 2.0,
+            step.forwardStats.evalPoints
+                ? static_cast<double>(step.forwardStats.trials) /
+                      step.forwardStats.evalPoints
+                : 1.0,
+            true,
+            step.forwardStats.trials > step.forwardStats.evalPoints
+                ? (step.forwardStats.equivalentTrials -
+                   step.forwardStats.evalPoints) /
+                      (static_cast<double>(step.forwardStats.trials) -
+                       step.forwardStats.evalPoints)
+                : 1.0);
+    }
+
+    const double layers = 2.0 * data.test.size();
+    result.trialsPerLayer = static_cast<double>(total.trials) / layers;
+    result.equivTrialsPerLayer = total.equivalentTrials / layers;
+    result.evalPointsPerLayer =
+        static_cast<double>(total.evalPoints) / layers;
+    const double rel_err = ref_sum > 0.0 ? err_sum / ref_sum : 1.0;
+    result.accuracyPct = 100.0 * std::max(0.0, 1.0 - rel_err);
+    result.inferenceTrace =
+        WorkloadTrace::fromForward(system, last_fwd);
+    (void)bwd_total;
+    return result;
+}
+
+/**
+ * Train a NodeClassifier on a synthetic image workload.
+ *
+ * @param workload "cifar10" or "mnist" (synthetic stand-ins).
+ */
+inline RunResult
+runImageWorkload(const std::string &workload, const RunConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    SyntheticImageConfig img_cfg =
+        workload == "cifar10" ? cifarLikeConfig() : mnistLikeConfig();
+    // Scale down for bench runtime: 12x12 maps, 3 classes.
+    img_cfg.height = 12;
+    img_cfg.width = 12;
+    img_cfg.numClasses = 3;
+    SyntheticImageDataset data(img_cfg, cfg.seed + 1);
+
+    NodeClassifier model(img_cfg.channels, /*state_channels=*/6,
+                         /*num_layers=*/2, /*f_depth=*/2,
+                         img_cfg.numClasses, rng);
+    Adam opt(model.paramSlots(), 3e-3);
+    auto controller = cfg.policy == Policy::Expedited
+                          ? makeExpeditedBase(cfg)
+                          : makeController(cfg);
+    auto evaluator = makeEvaluator(cfg);
+
+    IvpOptions opts;
+    opts.tolerance = cfg.tolerance * 30.0; // image states are larger maps
+    opts.initialDt = cfg.constantInit
+                         ? cfg.constantC
+                         : 2.5 * cfg.initialDt; // coarser image grid
+
+    TrainStepResult last_step{};
+    // The synthetic classes separate within ~40 iterations at the
+    // default budget; scale proportionally for smaller budgets.
+    const int iters = std::max(1, (4 * cfg.trainIters) / 3);
+    for (int iter = 0; iter < iters; iter++) {
+        auto sample = data.sample(
+            static_cast<std::size_t>(iter) % img_cfg.numClasses);
+        opt.zeroGrad();
+        last_step = classifierTrainStep(model, sample.image, sample.label,
+                                        ButcherTableau::rk23(), *controller,
+                                        opts, evaluator.get());
+        opt.clipGradNorm(10.0);
+        opt.step();
+    }
+
+    RunResult result;
+    result.workload = workload;
+    IvpStats total;
+    int correct = 0;
+    NodeForwardResult last_fwd;
+    const int test_samples = std::min(cfg.testSamples, 6);
+    for (int i = 0; i < test_samples; i++) {
+        auto sample = data.sample(
+            static_cast<std::size_t>(i) % img_cfg.numClasses);
+        (void)sample;
+        auto out = model.forward(sample.image, ButcherTableau::rk23(),
+                                 *controller, opts, evaluator.get());
+        total.accumulate(out.node.totalStats);
+        correct += argmax(out.logits) == sample.label;
+        last_fwd = std::move(out.node);
+    }
+
+    const double layers = 2.0 * test_samples;
+    result.trialsPerLayer = static_cast<double>(total.trials) / layers;
+    result.equivTrialsPerLayer = total.equivalentTrials / layers;
+    result.evalPointsPerLayer =
+        static_cast<double>(total.evalPoints) / layers;
+    result.accuracyPct = 100.0 * correct / test_samples;
+    result.inferenceTrace =
+        WorkloadTrace::fromForward(workload, last_fwd);
+    result.trainingTrace = WorkloadTrace::synthetic(
+        workload + "-train", 2,
+        static_cast<double>(last_step.forwardStats.evalPoints) / 2.0,
+        last_step.forwardStats.evalPoints
+            ? static_cast<double>(last_step.forwardStats.trials) /
+                  last_step.forwardStats.evalPoints
+            : 1.0,
+        true);
+    return result;
+}
+
+/** Run any of the four paper workloads by name. */
+inline RunResult
+runWorkload(const std::string &name, const RunConfig &cfg)
+{
+    if (name == "threebody" || name == "lotka")
+        return runDynamicSystem(name, cfg);
+    return runImageWorkload(name, cfg);
+}
+
+} // namespace bench
+} // namespace enode
+
+#endif // ENODE_BENCH_BENCH_COMMON_H

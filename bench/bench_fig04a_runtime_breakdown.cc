@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 4(a): runtime breakdown of one NODE training iteration.
+ *
+ * The paper profiles a 4-integration-layer NODE on an A100 and finds
+ * the forward pass — dominated by the iterative stepsize search —
+ * accounts for up to 87% of the iteration at tight tolerances. The
+ * breakdown is algorithmic: it reproduces on any platform running the
+ * same algorithm. We measure wall-clock time of the forward (stepsize
+ * search) and backward (ACA) phases of real training iterations on the
+ * synthetic CIFAR-10 workload across tolerances.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace enode;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Reproduction of Fig. 4(a) (training runtime "
+                "breakdown).\n");
+
+    Rng rng(7);
+    SyntheticImageConfig img_cfg = cifarLikeConfig();
+    img_cfg.height = 16;
+    img_cfg.width = 16;
+    img_cfg.numClasses = 4;
+    SyntheticImageDataset data(img_cfg, 11);
+
+    NodeClassifier model(img_cfg.channels, 8, 4, 2, img_cfg.numClasses,
+                         rng);
+    // Conventional search in its constant-C form (Fig. 2d): every
+    // evaluation point replays the search from C — the regime the
+    // paper profiles, where the search dominates the iteration.
+    ConstantInitController controller;
+
+    Table table("Training-iteration time split vs tolerance (4-layer "
+                "NODE, RK23, conventional search)");
+    table.setHeader({"epsilon", "fwd trials", "fwd s", "bwd s",
+                     "forward share", "trials/point"});
+
+    for (double tol : {3e-1, 3e-2, 3e-3}) {
+        IvpOptions opts;
+        opts.tolerance = tol;
+        opts.initialDt = 0.4; // the constant C
+
+
+        double fwd_seconds = 0.0, bwd_seconds = 0.0;
+        IvpStats fwd_stats;
+        const int iters = 3;
+        for (int i = 0; i < iters; i++) {
+            auto sample = data.sample(static_cast<std::size_t>(i) %
+                                      img_cfg.numClasses);
+            model.zeroGrad();
+
+            auto t0 = Clock::now();
+            auto fwd = model.forward(sample.image, ButcherTableau::rk23(),
+                                     controller, opts);
+            fwd_seconds += secondsSince(t0);
+            fwd_stats.accumulate(fwd.node.totalStats);
+
+            auto loss = softmaxCrossEntropy(fwd.logits, sample.label);
+            t0 = Clock::now();
+            const Tensor grad_node = model.head().backward(loss.grad);
+            auto aca = acaBackward(model.node(), ButcherTableau::rk23(),
+                                   fwd.node, grad_node);
+            model.encoder().backward(aca.gradInput);
+            bwd_seconds += secondsSince(t0);
+        }
+
+        char eps[32];
+        std::snprintf(eps, sizeof(eps), "%.0e", tol);
+        table.addRow(
+            {eps, Table::integer(static_cast<long long>(fwd_stats.trials)),
+             Table::num(fwd_seconds, 2), Table::num(bwd_seconds, 2),
+             Table::percent(fwd_seconds / (fwd_seconds + bwd_seconds)),
+             Table::num(fwd_stats.evalPoints
+                            ? static_cast<double>(fwd_stats.trials) /
+                                  fwd_stats.evalPoints
+                            : 0.0,
+                        2)});
+    }
+    table.print();
+
+    std::printf("\n  Tighter tolerances push the forward (stepsize "
+                "search) share up — the paper\n  reports up to 87%% on "
+                "an A100 at epsilon = 1e-6. The backward pass reuses "
+                "the\n  accepted stepsizes and needs no search. (Our "
+                "reference backward re-forwards\n  stages instead of "
+                "caching them, so the software backward is ~2x its\n  "
+                "hardware cost and the forward share here is a lower "
+                "bound.)\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 13: trials per integration layer and accuracy with priority
+ * processing + early stop across window heights H_hat.
+ *
+ * Paper anchors: trial (work) reduction grows as the window shrinks;
+ * keeping accuracy loss within 3% needs H_hat >= 16 on the image
+ * workloads and H_hat >= 8 on the dynamic systems.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/table.h"
+
+using namespace enode;
+using namespace enode::bench;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    std::printf("Reproduction of Fig. 13 (priority processing + early "
+                "stop).\n");
+
+    struct Sweep
+    {
+        const char *workload;
+        std::vector<std::size_t> windows;
+    };
+    // Our scaled-down maps have 16 rows (images) and 18/2 state entries
+    // (dynamic systems), so the window sweep is scaled accordingly.
+    const Sweep sweeps[] = {
+        {"cifar10", {2, 4, 8, 12}},
+        {"mnist", {2, 4, 8, 12}},
+        {"threebody", {2, 4, 8, 18}},
+        {"lotka", {1, 2}},
+    };
+
+    for (const auto &sweep : sweeps) {
+        // Fig. 13 evaluates priority processing on top of the
+        // conventional search in its constant-C-restart form (Fig. 2d):
+        // every evaluation point replays the search from C, the
+        // high-n_try regime where Fig. 4(a)'s latency goes. The
+        // reference is the same search without the priority window.
+        RunConfig base;
+        base.policy = Policy::Conventional;
+        base.constantInit = true;
+        auto reference = runWorkload(sweep.workload, base);
+
+        Table table(std::string("Fig. 13: ") + sweep.workload);
+        table.setHeader({"H_hat", "Equiv. trials/layer", "Reduction",
+                         "Accuracy %", "Acc. drop"});
+        table.addRow({"off", Table::num(reference.equivTrialsPerLayer, 1),
+                      "1.00x", Table::num(reference.accuracyPct, 1), "-"});
+
+        for (std::size_t window : sweep.windows) {
+            RunConfig cfg;
+            cfg.policy = Policy::Expedited;
+            cfg.constantInit = true;
+            cfg.windowHeight = window;
+            auto run = runWorkload(sweep.workload, cfg);
+            table.addRow(
+                {std::to_string(window),
+                 Table::num(run.equivTrialsPerLayer, 1),
+                 Table::ratio(reference.equivTrialsPerLayer /
+                              std::max(run.equivTrialsPerLayer, 1e-9)),
+                 Table::num(run.accuracyPct, 1),
+                 Table::num(reference.accuracyPct - run.accuracyPct, 1)});
+        }
+        table.print();
+    }
+
+    std::printf("\n  Paper anchors: smaller windows cut more work but "
+                "cost accuracy; <3%% drop\n  needs H_hat >= 16 (images) "
+                "/ >= 8 (dynamic systems) at full scale.\n");
+    return 0;
+}

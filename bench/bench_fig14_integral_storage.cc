@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 14: normalized integral-state storage size for different
+ * integrators, layer sizes, and numbers of conv layers in f.
+ *
+ * The paper reports eNODE storage normalized to the layer-by-layer
+ * baseline (which buffers every integral state as a full feature map):
+ * ~60% smaller at 64x64x64 and ~90% smaller at 256x256x64 for RK23 with
+ * a 4-conv f.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/depth_first.h"
+
+using namespace enode;
+
+int
+main()
+{
+    std::printf("Reproduction of Fig. 14 (normalized integral-state "
+                "storage, eNODE / baseline).\n");
+
+    const std::size_t sizes[] = {32, 64, 128, 256};
+    const char *integrators[] = {"euler", "midpoint", "rk23", "rk4",
+                                 "dopri5"};
+
+    // Sweep 1: integrator x layer size, f depth fixed at 4.
+    {
+        Table table("Fig. 14(a): integrator x layer size (f depth = 4)");
+        std::vector<std::string> header{"Integrator"};
+        for (auto hw : sizes)
+            header.push_back(std::to_string(hw) + "x" +
+                             std::to_string(hw) + "x64");
+        table.setHeader(header);
+        for (const char *name : integrators) {
+            std::vector<std::string> row{name};
+            for (auto hw : sizes) {
+                DepthFirstConfig cfg;
+                cfg.tableau = &ButcherTableau::byName(name);
+                cfg.fDepth = 4;
+                cfg.H = cfg.W = hw;
+                cfg.C = 64;
+                auto analysis = analyzeForwardBuffers(cfg);
+                row.push_back(Table::percent(
+                    static_cast<double>(analysis.enodeBytes) /
+                    analysis.baselineBytes));
+            }
+            table.addRow(row);
+        }
+        table.print();
+    }
+
+    // Sweep 2: f depth x layer size, RK23.
+    {
+        Table table("Fig. 14(b): conv layers in f x layer size (RK23)");
+        std::vector<std::string> header{"f depth"};
+        for (auto hw : sizes)
+            header.push_back(std::to_string(hw) + "x" +
+                             std::to_string(hw) + "x64");
+        table.setHeader(header);
+        for (std::size_t depth : {1u, 2u, 4u, 8u}) {
+            std::vector<std::string> row{std::to_string(depth)};
+            for (auto hw : sizes) {
+                DepthFirstConfig cfg;
+                cfg.tableau = &ButcherTableau::rk23();
+                cfg.fDepth = depth;
+                cfg.H = cfg.W = hw;
+                cfg.C = 64;
+                auto analysis = analyzeForwardBuffers(cfg);
+                row.push_back(Table::percent(
+                    static_cast<double>(analysis.enodeBytes) /
+                    analysis.baselineBytes));
+            }
+            table.addRow(row);
+        }
+        table.print();
+    }
+
+    // Headline anchors.
+    {
+        DepthFirstConfig cfg;
+        cfg.tableau = &ButcherTableau::rk23();
+        cfg.fDepth = 4;
+        cfg.C = 64;
+        cfg.H = cfg.W = 64;
+        auto a = analyzeForwardBuffers(cfg);
+        cfg.H = cfg.W = 256;
+        auto b = analyzeForwardBuffers(cfg);
+        std::printf("\n  64x64x64:   eNODE %.1f%% smaller than baseline "
+                    "(paper: ~60%%)\n",
+                    100.0 * (1.0 - static_cast<double>(a.enodeBytes) /
+                                       a.baselineBytes));
+        std::printf("  256x256x64: eNODE %.1f%% smaller than baseline "
+                    "(paper: ~90%%)\n",
+                    100.0 * (1.0 - static_cast<double>(b.enodeBytes) /
+                                       b.baselineBytes));
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 16: inference and training power of the baseline and eNODE on
+ * the four benchmark workloads (Configuration A).
+ *
+ * Paper anchors (averages): inference DRAM 5.65 -> 0.48 W and total
+ * 9.32 -> 4.43 W (2.1x); training DRAM 11.03 -> 0.85 W and total
+ * 14.72 -> 4.82 W (3.05x).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "sim/baseline_system.h"
+#include "sim/enode_system.h"
+
+using namespace enode;
+using namespace enode::bench;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    std::printf("Reproduction of Fig. 16 (power, Configuration A).\n");
+
+    const char *workloads[] = {"cifar10", "mnist", "threebody", "lotka"};
+    SystemConfig cfg = SystemConfig::configA();
+    BaselineSystem baseline(cfg);
+    EnodeSystem enode_sys(cfg);
+
+    Table inf("Fig. 16(a): inference power (W)");
+    inf.setHeader({"Workload", "Baseline total", "Baseline DRAM",
+                   "eNODE total", "eNODE DRAM", "Reduction"});
+    Table train("Fig. 16(b): training power (W)");
+    train.setHeader({"Workload", "Baseline total", "Baseline DRAM",
+                     "eNODE total", "eNODE DRAM", "Reduction"});
+
+    double base_inf_sum = 0, enode_inf_sum = 0;
+    double base_train_sum = 0, enode_train_sum = 0;
+    double base_inf_dram = 0, enode_inf_dram = 0;
+    double base_train_dram = 0, enode_train_dram = 0;
+
+    for (const char *workload : workloads) {
+        RunConfig rc;
+        rc.policy = Policy::Conventional;
+        rc.trainIters = 8;
+        rc.testSamples = 4;
+        auto run = runWorkload(workload, rc);
+
+        auto bi = baseline.runInference(run.inferenceTrace);
+        auto ei = enode_sys.runInference(run.inferenceTrace);
+        inf.addRow({workload, Table::num(bi.powerW, 2),
+                    Table::num(bi.dramPowerW, 2), Table::num(ei.powerW, 2),
+                    Table::num(ei.dramPowerW, 2),
+                    Table::ratio(bi.powerW / ei.powerW)});
+        base_inf_sum += bi.powerW;
+        enode_inf_sum += ei.powerW;
+        base_inf_dram += bi.dramPowerW;
+        enode_inf_dram += ei.dramPowerW;
+
+        auto bt = baseline.runTraining(run.trainingTrace);
+        auto et = enode_sys.runTraining(run.trainingTrace);
+        train.addRow({workload, Table::num(bt.powerW, 2),
+                      Table::num(bt.dramPowerW, 2),
+                      Table::num(et.powerW, 2),
+                      Table::num(et.dramPowerW, 2),
+                      Table::ratio(bt.powerW / et.powerW)});
+        base_train_sum += bt.powerW;
+        enode_train_sum += et.powerW;
+        base_train_dram += bt.dramPowerW;
+        enode_train_dram += et.dramPowerW;
+    }
+
+    const double n = 4.0;
+    inf.addSeparator();
+    inf.addRow({"average", Table::num(base_inf_sum / n, 2),
+                Table::num(base_inf_dram / n, 2),
+                Table::num(enode_inf_sum / n, 2),
+                Table::num(enode_inf_dram / n, 2),
+                Table::ratio(base_inf_sum / enode_inf_sum)});
+    train.addSeparator();
+    train.addRow({"average", Table::num(base_train_sum / n, 2),
+                  Table::num(base_train_dram / n, 2),
+                  Table::num(enode_train_sum / n, 2),
+                  Table::num(enode_train_dram / n, 2),
+                  Table::ratio(base_train_sum / enode_train_sum)});
+    inf.print();
+    train.print();
+
+    std::printf("\n  Paper anchors: inference 9.32 -> 4.43 W (DRAM 5.65 "
+                "-> 0.48 W, 2.1x total);\n  training 14.72 -> 4.82 W "
+                "(DRAM 11.03 -> 0.85 W, 3.05x total).\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Microbenchmarks of the convolution kernels (reference and PE-array
+ * routed) in all three unified-core modes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "sim/pe_array.h"
+
+using namespace enode;
+
+namespace {
+
+struct ConvFixture
+{
+    ConvFixture()
+    {
+        Rng rng(1);
+        x = Tensor::randn(Shape{8, 32, 32}, rng, 1.0f);
+        grad = Tensor::randn(Shape{8, 32, 32}, rng, 1.0f);
+        weight = Tensor::randn(Shape{8, 8, 3, 3}, rng, 0.5f);
+        bias = Tensor::randn(Shape{8}, rng, 0.5f);
+        array.loadWeights(weight);
+    }
+    Tensor x, grad, weight, bias;
+    PeArray array;
+};
+
+ConvFixture &
+fixture()
+{
+    static ConvFixture f;
+    return f;
+}
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(convForward(f.x, f.weight, f.bias));
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvForward);
+
+void
+BM_ConvBackwardData(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(convBackwardData(f.grad, f.weight));
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvBackwardData);
+
+void
+BM_ConvBackwardWeights(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(convBackwardWeights(f.x, f.grad, 3));
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvBackwardWeights);
+
+void
+BM_PeArrayForward(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.array.forwardConv(f.x, f.bias));
+}
+BENCHMARK(BM_PeArrayForward);
+
+void
+BM_PeArrayBackwardData(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.array.backwardDataConv(f.grad));
+}
+BENCHMARK(BM_PeArrayBackwardData);
+
+} // namespace
+
+BENCHMARK_MAIN();

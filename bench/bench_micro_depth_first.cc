@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microbenchmarks and ablations of depth-first integration: streaming
+ * executor vs layer-by-layer stepper, and peak-occupancy scaling in H
+ * (the property that makes the line-buffer design possible).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/depth_first.h"
+#include "core/node_model.h"
+
+using namespace enode;
+
+namespace {
+
+struct StreamFixture
+{
+    StreamFixture() : rng(5)
+    {
+        net = EmbeddedNet::makeStreamableConvNet(4, 2, rng);
+    }
+    Rng rng;
+    std::unique_ptr<EmbeddedNet> net;
+};
+
+StreamFixture &
+fixture()
+{
+    static StreamFixture f;
+    return f;
+}
+
+void
+BM_LayerByLayerStep(benchmark::State &state)
+{
+    auto &f = fixture();
+    Tensor h = Tensor::randn(Shape{4, 16, 16}, f.rng, 0.5f);
+    EmbeddedNetOde ode(*f.net);
+    RkStepper stepper(ButcherTableau::rk23());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stepper.step(ode, 0.0, h, 0.1));
+}
+BENCHMARK(BM_LayerByLayerStep);
+
+void
+BM_StreamingStep(benchmark::State &state)
+{
+    auto &f = fixture();
+    Tensor h = Tensor::randn(Shape{4, 16, 16}, f.rng, 0.5f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            streamingStep(*f.net, ButcherTableau::rk23(), 0.0, h, 0.1));
+}
+BENCHMARK(BM_StreamingStep);
+
+void
+BM_StreamingOccupancyVsHeight(benchmark::State &state)
+{
+    // The measured peak live rows must stay flat as H grows — the
+    // depth-first claim. The peak is reported in the label.
+    auto &f = fixture();
+    const auto H = static_cast<std::size_t>(state.range(0));
+    Tensor h = Tensor::randn(Shape{4, H, 12}, f.rng, 0.5f);
+    std::size_t peak = 0;
+    for (auto _ : state) {
+        auto res =
+            streamingStep(*f.net, ButcherTableau::rk23(), 0.0, h, 0.1);
+        peak = res.peakLiveRows;
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetLabel("H=" + std::to_string(H) +
+                   " peakRows=" + std::to_string(peak));
+}
+BENCHMARK(BM_StreamingOccupancyVsHeight)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_DdgConstruction(benchmark::State &state)
+{
+    const auto names = ButcherTableau::names();
+    const auto &tab = ButcherTableau::byName(
+        names[static_cast<std::size_t>(state.range(0))]);
+    for (auto _ : state) {
+        DepthFirstDdg ddg(tab);
+        benchmark::DoNotOptimize(ddg.criticalPathLength());
+    }
+    state.SetLabel(tab.name());
+}
+BENCHMARK(BM_DdgConstruction)->DenseRange(0, 6);
+
+void
+BM_BufferAnalysis(benchmark::State &state)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+    cfg.H = cfg.W = cfg.C = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzeForwardBuffers(cfg));
+        benchmark::DoNotOptimize(analyzeTrainingBuffers(cfg));
+    }
+}
+BENCHMARK(BM_BufferAnalysis);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks of the RK stepper, adaptive IVP driver and the ACA
+ * backward pass on MLP embedded nets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+#include "core/slope_adaptive.h"
+#include "nn/loss.h"
+#include "ode/ivp.h"
+
+using namespace enode;
+
+namespace {
+
+struct NodeFixture
+{
+    NodeFixture() : rng(3)
+    {
+        model = NodeModel::makeMlp(2, 8, 32, 1, rng);
+        x0 = Tensor::randn(Shape{8}, rng, 0.5f);
+        target = Tensor::randn(Shape{8}, rng, 0.5f);
+        opts.tolerance = 1e-4;
+        opts.initialDt = 0.1;
+    }
+    Rng rng;
+    std::unique_ptr<NodeModel> model;
+    Tensor x0, target;
+    IvpOptions opts;
+};
+
+NodeFixture &
+fixture()
+{
+    static NodeFixture f;
+    return f;
+}
+
+void
+BM_RkStep(benchmark::State &state)
+{
+    auto &f = fixture();
+    EmbeddedNetOde ode(f.model->net(0));
+    RkStepper stepper(ButcherTableau::rk23());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stepper.step(ode, 0.0, f.x0, 0.1));
+}
+BENCHMARK(BM_RkStep);
+
+void
+BM_ForwardConventional(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        FixedFactorController ctrl;
+        benchmark::DoNotOptimize(f.model->forward(
+            f.x0, ButcherTableau::rk23(), ctrl, f.opts));
+    }
+}
+BENCHMARK(BM_ForwardConventional);
+
+void
+BM_ForwardSlopeAdaptive(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        SlopeAdaptiveController ctrl;
+        benchmark::DoNotOptimize(f.model->forward(
+            f.x0, ButcherTableau::rk23(), ctrl, f.opts));
+    }
+}
+BENCHMARK(BM_ForwardSlopeAdaptive);
+
+void
+BM_TrainingIteration(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        FixedFactorController ctrl;
+        f.model->zeroGrad();
+        benchmark::DoNotOptimize(
+            regressionTrainStep(*f.model, f.x0, f.target,
+                                ButcherTableau::rk23(), ctrl, f.opts));
+    }
+}
+BENCHMARK(BM_TrainingIteration);
+
+void
+BM_IntegratorSweep(benchmark::State &state)
+{
+    // Cost per tableau (stages drive f evaluations per step).
+    auto &f = fixture();
+    const auto names = ButcherTableau::names();
+    const auto &tab =
+        ButcherTableau::byName(names[static_cast<std::size_t>(
+            state.range(0))]);
+    EmbeddedNetOde ode(f.model->net(0));
+    RkStepper stepper(tab);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stepper.step(ode, 0.0, f.x0, 0.1));
+    state.SetLabel(tab.name());
+}
+BENCHMARK(BM_IntegratorSweep)->DenseRange(0, 6);
+
+} // namespace
+
+BENCHMARK_MAIN();

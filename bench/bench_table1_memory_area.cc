@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table I: memory and area breakdown of the baseline and eNODE for
+ * Configuration A (64x64x64) and Configuration B (256x256x64).
+ *
+ * Paper reference (28 nm): Config A totals baseline 5.5 MB / 23.89 mm^2
+ * vs eNODE 4.44 MB / 19.12 mm^2; Config B totals baseline 39.15 MB /
+ * 179.35 mm^2 vs eNODE 10.91 MB / 49.01 mm^2.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/area_model.h"
+#include "sim/system_config.h"
+
+using namespace enode;
+
+namespace {
+
+void
+printConfig(const char *label, const DepthFirstConfig &cfg)
+{
+    auto breakdown = computeAreaBreakdown(cfg);
+    Table table(std::string("Table I ") + label);
+    table.setHeader({"Component", "Baseline MB", "Baseline mm2",
+                     "eNODE MB", "eNODE mm2"});
+    for (const auto &item : breakdown.items) {
+        table.addRow({item.name,
+                      item.baselineMb > 0 ? Table::num(item.baselineMb, 2)
+                                          : "-",
+                      Table::num(item.baselineMm2, 2),
+                      item.enodeMb > 0 ? Table::num(item.enodeMb, 2) : "-",
+                      Table::num(item.enodeMm2, 2)});
+    }
+    table.addSeparator();
+    table.addRow({"Total", Table::num(breakdown.baselineTotalMb, 2),
+                  Table::num(breakdown.baselineTotalMm2, 2),
+                  Table::num(breakdown.enodeTotalMb, 2),
+                  Table::num(breakdown.enodeTotalMm2, 2)});
+    table.print();
+
+    std::printf("  area saving: %.1f%% (paper: %s)\n",
+                100.0 * (1.0 - breakdown.enodeTotalMm2 /
+                                   breakdown.baselineTotalMm2),
+                cfg.H == 64 ? "20.0%" : "72.7%");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Reproduction of Table I (memory and area breakdown).\n");
+    printConfig("Configuration A (layer 64x64x64)",
+                SystemConfig::configA().layer);
+    printConfig("Configuration B (layer 256x256x64)",
+                SystemConfig::configB().layer);
+    std::printf("\nPaper anchors: Config A baseline 5.5 MB / 23.89 mm2, "
+                "eNODE 4.44 MB / 19.12 mm2;\n"
+                "Config B baseline 39.15 MB / 179.35 mm2, eNODE 10.91 MB "
+                "/ 49.01 mm2.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of the eNODE library.
+ *
+ * 1. Define the true dynamics (Lotka-Volterra predator-prey).
+ * 2. Build a Neural ODE with an MLP embedded network f(t, h).
+ * 3. Train it with the ACA method under an adaptive RK23 solver.
+ * 4. Switch the stepsize search to the paper's slope-adaptive policy
+ *    and watch the trial count drop at the same accuracy.
+ *
+ * Build & run:  ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+#include "core/slope_adaptive.h"
+#include "nn/optimizer.h"
+#include "workloads/dynamic_systems.h"
+
+using namespace enode;
+
+int
+main()
+{
+    Rng rng(42);
+
+    // --- 1. Ground truth: predator-prey trajectories -------------------
+    LotkaVolterraOde truth;
+    auto data = generateTrajectories(
+        truth, [&](Rng &r) { return truth.randomInitialState(r); },
+        /*n_train=*/24, /*n_test=*/8, /*horizon=*/1.0, rng);
+    std::printf("dataset: %zu train / %zu test pairs, horizon %.1f\n",
+                data.train.size(), data.test.size(), data.horizon);
+
+    // --- 2. A Neural ODE: two integration layers, MLP f ---------------
+    auto model = NodeModel::makeMlp(/*num_layers=*/2,
+                                    /*dim=*/LotkaVolterraOde::stateDim,
+                                    /*hidden=*/48, /*f_depth=*/1, rng);
+    std::printf("model: %zu integration layers, %zu parameters\n",
+                model->numLayers(), model->paramCount());
+
+    // --- 3. Train with ACA under adaptive RK23 ------------------------
+    IvpOptions solver;
+    solver.tolerance = 1e-4; // epsilon
+    solver.initialDt = 0.02; // C
+
+    Adam opt(model->paramSlots(), 3e-3);
+    FixedFactorController conventional;
+    for (int iter = 0; iter < 120; iter++) {
+        const auto &pair = data.train[iter % data.train.size()];
+        opt.zeroGrad();
+        auto step =
+            regressionTrainStep(*model, pair.x0, pair.target,
+                                ButcherTableau::rk23(), conventional,
+                                solver);
+        opt.clipGradNorm(10.0);
+        opt.step();
+        if (iter % 30 == 0)
+            std::printf("  iter %3d  loss %.5f  (fwd trials %llu, "
+                        "bwd steps %llu)\n",
+                        iter, step.loss,
+                        static_cast<unsigned long long>(
+                            step.forwardStats.trials),
+                        static_cast<unsigned long long>(
+                            step.backwardStats.backwardSteps));
+    }
+
+    // --- 4. Evaluate under both stepsize-search policies ---------------
+    auto evaluate = [&](StepController &ctrl, const char *label) {
+        IvpStats stats;
+        double err = 0.0, ref = 0.0;
+        for (const auto &pair : data.test) {
+            auto fwd = model->forward(pair.x0, ButcherTableau::rk23(),
+                                      ctrl, solver);
+            stats.accumulate(fwd.totalStats);
+            err += (fwd.output - pair.target).l2Norm();
+            ref += pair.target.l2Norm();
+        }
+        std::printf("%-16s rel. error %.4f | trials/inference %.1f | "
+                    "eval points %.1f\n",
+                    label, err / ref,
+                    static_cast<double>(stats.trials) / data.test.size(),
+                    static_cast<double>(stats.evalPoints) /
+                        data.test.size());
+        return static_cast<double>(stats.trials);
+    };
+
+    std::printf("\nheld-out evaluation:\n");
+    FixedFactorController conv_eval;
+    const double conv_trials = evaluate(conv_eval, "conventional");
+    SlopeAdaptiveController slope; // the paper's Sec. VII.A policy
+    const double slope_trials = evaluate(slope, "slope-adaptive");
+    std::printf("\nslope-adaptive search used %.1fx fewer trials at the "
+                "same tolerance.\n",
+                conv_trials / slope_trials);
+    return 0;
+}

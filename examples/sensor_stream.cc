@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Continuous-time sensor modeling — the use case the paper's
+ * introduction motivates: data arrives continuously at *irregular*
+ * times and the model must both fit it and predict between/beyond the
+ * samples.
+ *
+ * A Lotka-Volterra "population sensor" is observed at irregular times;
+ * a NODE is fitted to the whole trajectory at once with
+ * trajectoryTrainStep (multi-observation chained adjoints), then asked
+ * to interpolate at times never observed and to extrapolate past the
+ * last sample.
+ *
+ * Build & run:  ./build/examples/example_sensor_stream
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/slope_adaptive.h"
+#include "core/trajectory.h"
+#include "nn/optimizer.h"
+#include "ode/rk_stepper.h"
+#include "workloads/dynamic_systems.h"
+
+using namespace enode;
+
+int
+main()
+{
+    Rng rng(21);
+    LotkaVolterraOde truth;
+    Tensor x0(Shape{2}, {5.0f, 1.5f});
+
+    // Irregularly-timed observations of the true populations.
+    const std::vector<double> sample_times = {0.3, 0.5, 1.1, 1.6, 2.4,
+                                              2.9};
+    std::vector<TrajectoryObservation> observations;
+    {
+        Tensor state = x0;
+        double t = 0.0;
+        for (double t_next : sample_times) {
+            state = integrateFixed(truth, ButcherTableau::rk4(), state, t,
+                                   t_next, 1e-3);
+            observations.push_back({t_next, state});
+            t = t_next;
+        }
+    }
+    std::printf("observed %zu irregular samples of (prey, predator) over "
+                "t in (0, %.1f]\n",
+                observations.size(), sample_times.back());
+
+    // Fit a NODE to the whole stream with the slope-adaptive search.
+    auto net = EmbeddedNet::makeMlp(LotkaVolterraOde::stateDim, 40, 1, rng);
+    Adam opt(net->paramSlots(), 5e-3);
+    SlopeAdaptiveController controller;
+    IvpOptions solver;
+    solver.tolerance = 1e-4;
+    solver.initialDt = 0.05;
+
+    for (int iter = 0; iter < 150; iter++) {
+        opt.zeroGrad();
+        auto fit = trajectoryTrainStep(*net, x0, 0.0, observations,
+                                       ButcherTableau::rk23(), controller,
+                                       solver);
+        opt.clipGradNorm(10.0);
+        opt.step();
+        if (iter % 50 == 0)
+            std::printf("  iter %3d  trajectory loss %.5f  "
+                        "(fwd trials %llu)\n",
+                        iter, fit.loss,
+                        static_cast<unsigned long long>(
+                            fit.forwardStats.trials));
+    }
+
+    // Interpolate between samples and extrapolate beyond them.
+    const std::vector<double> query_times = {0.8, 1.4, 2.0, 2.9, 3.5,
+                                             4.0};
+    auto predicted = sampleTrajectory(*net, x0, 0.0, query_times,
+                                      ButcherTableau::rk23(), controller,
+                                      solver);
+
+    std::printf("\n%8s %20s %20s %10s\n", "t", "true (prey, pred)",
+                "NODE (prey, pred)", "rel.err");
+    Tensor state = x0;
+    double t = 0.0;
+    for (std::size_t i = 0; i < query_times.size(); i++) {
+        state = integrateFixed(truth, ButcherTableau::rk4(), state, t,
+                               query_times[i], 1e-3);
+        t = query_times[i];
+        const Tensor &pred = predicted.states[i];
+        const double rel =
+            (pred - state).l2Norm() / state.l2Norm();
+        const bool seen = t <= sample_times.back();
+        std::printf("%8.2f      (%6.3f, %6.3f)      (%6.3f, %6.3f) %9.1f%%"
+                    "  %s\n",
+                    t, state.at(0), state.at(1), pred.at(0), pred.at(1),
+                    100.0 * rel, seen ? "" : "(extrapolated)");
+    }
+    std::printf("\nInterpolation uses only the learned continuous "
+                "dynamics — no sample fell on\nthe queried times; "
+                "extrapolation shows where the learned vector field "
+                "starts\nto drift from the truth.\n");
+    return 0;
+}

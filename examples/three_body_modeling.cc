@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dynamic-system modeling: learn the Three-Body dynamics (Eq. 6 of the
+ * paper) with a Neural ODE and roll the learned model forward.
+ *
+ * Demonstrates:
+ *  - ground-truth generation with the high-order fixed-step integrator,
+ *  - ACA training with gradient clipping,
+ *  - multi-step rollout of a learned NODE vs the true trajectory,
+ *  - using physical invariants (total energy) as a model diagnostic.
+ *
+ * Build & run:  ./build/examples/example_three_body_modeling
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+#include "core/slope_adaptive.h"
+#include "nn/optimizer.h"
+#include "ode/rk_stepper.h"
+#include "workloads/dynamic_systems.h"
+
+using namespace enode;
+
+int
+main()
+{
+    Rng rng(7);
+    ThreeBodyOde truth;
+    const double horizon = 0.25;
+
+    auto data = generateTrajectories(
+        truth, [&](Rng &r) { return truth.randomInitialState(r); },
+        /*n_train=*/32, /*n_test=*/4, horizon, rng);
+
+    // A single integration layer whose [0, 1] period is trained to
+    // realize the flow map over one horizon.
+    auto model = NodeModel::makeMlp(1, ThreeBodyOde::stateDim, 64, 2, rng);
+    std::printf("three-body NODE: %zu parameters, horizon %.2f\n",
+                model->paramCount(), horizon);
+
+    IvpOptions solver;
+    solver.tolerance = 1e-4;
+    solver.initialDt = 0.05;
+
+    Adam opt(model->paramSlots(), 3e-3);
+    SlopeAdaptiveController controller;
+    double running_loss = 0.0;
+    for (int iter = 0; iter < 240; iter++) {
+        const auto &pair = data.train[iter % data.train.size()];
+        opt.zeroGrad();
+        auto step = regressionTrainStep(*model, pair.x0, pair.target,
+                                        ButcherTableau::rk23(), controller,
+                                        solver);
+        opt.clipGradNorm(5.0);
+        opt.step();
+        running_loss = iter ? 0.95 * running_loss + 0.05 * step.loss
+                            : step.loss;
+        if (iter % 60 == 0)
+            std::printf("  iter %3d  smoothed loss %.5f\n", iter,
+                        running_loss);
+    }
+
+    // Multi-step rollout: apply the learned flow map repeatedly and
+    // compare against the true trajectory at each horizon multiple.
+    std::printf("\nrollout from a held-out initial condition:\n");
+    std::printf("%8s %14s %14s %14s\n", "t", "state rel.err",
+                "true energy", "NODE energy");
+    Tensor true_state = data.test.front().x0;
+    Tensor node_state = true_state;
+    for (int step = 1; step <= 6; step++) {
+        true_state = integrateFixed(truth, ButcherTableau::rk4(),
+                                    true_state, 0.0, horizon,
+                                    horizon / 256.0);
+        auto fwd = model->forward(node_state, ButcherTableau::rk23(),
+                                  controller, solver);
+        node_state = fwd.output;
+        const double rel_err = (node_state - true_state).l2Norm() /
+                               true_state.l2Norm();
+        std::printf("%8.2f %14.4f %14.4f %14.4f\n", step * horizon,
+                    rel_err, truth.energy(true_state),
+                    truth.energy(node_state));
+    }
+    std::printf("\nThe learned model tracks the flow over several "
+                "horizons; drift in the energy\ncolumn shows where the "
+                "learned dynamics depart from the physics.\n");
+    return 0;
+}

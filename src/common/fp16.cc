@@ -1,0 +1,100 @@
+#include "common/fp16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace enode {
+
+namespace {
+
+/** Bit-copy a float into a uint32 without violating aliasing rules. */
+std::uint32_t
+floatBits(float value)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &value, sizeof(u));
+    return u;
+}
+
+/** Bit-copy a uint32 into a float. */
+float
+bitsFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+std::uint16_t
+Fp16::fromFloat(float value)
+{
+    const std::uint32_t f = floatBits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000;
+    const std::uint32_t abs = f & 0x7fffffff;
+
+    // NaN: keep a quiet NaN and preserve a payload bit so it stays NaN.
+    if (abs > 0x7f800000)
+        return static_cast<std::uint16_t>(sign | 0x7e00);
+
+    // Overflow (including float infinity) saturates to half infinity.
+    // 0x47800000 is 65536.0f, the first value that rounds beyond 65504.
+    if (abs >= 0x47800000)
+        return static_cast<std::uint16_t>(sign | 0x7c00);
+
+    // Normal range for half: exponent >= -14, i.e. abs >= 2^-14.
+    if (abs >= 0x38800000) {
+        // Rebias exponent from 127 to 15 and round-to-nearest-even on the
+        // 13 bits dropped from the mantissa.
+        const std::uint32_t mant = abs - 0x38000000;
+        std::uint32_t half = mant >> 13;
+        const std::uint32_t rem = mant & 0x1fff;
+        if (rem > 0x1000 || (rem == 0x1000 && (half & 1)))
+            half++;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+
+    // Subnormal half range: 2^-24 <= |x| < 2^-14. The target mantissa is
+    // round(|x| * 2^24) = round(M * 2^(E - 126)) for the 24-bit mantissa
+    // M (implicit bit restored) and biased float exponent E.
+    if (abs >= 0x33000000) {
+        const int shift = 126 - static_cast<int>(abs >> 23); // in [1, 24]
+        const std::uint32_t mant = (abs & 0x007fffff) | 0x00800000;
+        std::uint32_t half = mant >> shift;
+        const std::uint32_t rem = mant & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            half++;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+
+    // Underflow to signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+Fp16::toFloatImpl(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000) << 16;
+    const std::uint32_t exp = (bits >> 10) & 0x1f;
+    const std::uint32_t mant = bits & 0x03ff;
+
+    if (exp == 0x1f) {
+        // Inf / NaN: widen with the float max exponent.
+        return bitsFloat(sign | 0x7f800000 | (mant << 13));
+    }
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsFloat(sign); // signed zero
+        // Subnormal half: value = mant * 2^-24; normalize via float math,
+        // which is exact because the mantissa fits easily.
+        const float magnitude =
+            std::ldexp(static_cast<float>(mant), -24);
+        return sign ? -magnitude : magnitude;
+    }
+    // Normal half: rebias exponent from 15 to 127.
+    return bitsFloat(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+} // namespace enode

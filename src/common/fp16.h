@@ -1,0 +1,129 @@
+#ifndef ENODE_COMMON_FP16_H
+#define ENODE_COMMON_FP16_H
+
+/**
+ * @file
+ * Software IEEE-754 binary16 (half precision).
+ *
+ * The eNODE prototype computes in FP16 "to support ODE applications"
+ * (Sec. VIII). The reference algorithm library computes in float, but the
+ * hardware-facing paths (PE array datapath, buffer sizing, DRAM traffic)
+ * use this type so that storage footprints and rounding behaviour match a
+ * 16-bit datapath. Conversion goes through bit manipulation, with correct
+ * handling of subnormals, infinities and NaN; arithmetic is performed by
+ * converting to float and rounding the result back, which is exactly the
+ * behaviour of an FP16 multiply-accumulate unit with FP32 conversion at
+ * the boundaries.
+ */
+
+#include <cstdint>
+
+namespace enode {
+
+/** IEEE binary16 value held as its raw 16-bit pattern. */
+class Fp16
+{
+  public:
+    /** Zero-initialized half. */
+    constexpr Fp16() : bits_(0) {}
+
+    /** Round a float to the nearest representable half (ties-to-even). */
+    explicit Fp16(float value) : bits_(fromFloat(value)) {}
+
+    /** Reinterpret a raw bit pattern as a half. */
+    static constexpr Fp16
+    fromBits(std::uint16_t bits)
+    {
+        Fp16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Widen to float, exactly (every half is representable in float). */
+    float toFloat() const { return toFloatImpl(bits_); }
+
+    /** Raw storage, e.g. for byte-accurate buffer models. */
+    std::uint16_t bits() const { return bits_; }
+
+    /** True for either signed zero. */
+    bool isZero() const { return (bits_ & 0x7fff) == 0; }
+
+    /** True for +/- infinity. */
+    bool isInf() const { return (bits_ & 0x7fff) == 0x7c00; }
+
+    /** True for any NaN pattern. */
+    bool isNaN() const { return (bits_ & 0x7fff) > 0x7c00; }
+
+    /** True for nonzero values below the normal range. */
+    bool
+    isSubnormal() const
+    {
+        return (bits_ & 0x7c00) == 0 && (bits_ & 0x03ff) != 0;
+    }
+
+    Fp16 operator+(Fp16 o) const { return Fp16(toFloat() + o.toFloat()); }
+    Fp16 operator-(Fp16 o) const { return Fp16(toFloat() - o.toFloat()); }
+    Fp16 operator*(Fp16 o) const { return Fp16(toFloat() * o.toFloat()); }
+    Fp16 operator/(Fp16 o) const { return Fp16(toFloat() / o.toFloat()); }
+    Fp16 operator-() const { return fromBits(bits_ ^ 0x8000); }
+
+    Fp16 &operator+=(Fp16 o) { return *this = *this + o; }
+    Fp16 &operator-=(Fp16 o) { return *this = *this - o; }
+    Fp16 &operator*=(Fp16 o) { return *this = *this * o; }
+    Fp16 &operator/=(Fp16 o) { return *this = *this / o; }
+
+    /** Bit equality except both zeros compare equal; NaN != NaN. */
+    bool
+    operator==(Fp16 o) const
+    {
+        if (isNaN() || o.isNaN())
+            return false;
+        if (isZero() && o.isZero())
+            return true;
+        return bits_ == o.bits_;
+    }
+
+    bool operator!=(Fp16 o) const { return !(*this == o); }
+    bool operator<(Fp16 o) const { return toFloat() < o.toFloat(); }
+    bool operator<=(Fp16 o) const { return toFloat() <= o.toFloat(); }
+    bool operator>(Fp16 o) const { return toFloat() > o.toFloat(); }
+    bool operator>=(Fp16 o) const { return toFloat() >= o.toFloat(); }
+
+    /** Largest finite half: 65504. */
+    static Fp16 max() { return fromBits(0x7bff); }
+
+    /** Smallest positive normal half: 2^-14. */
+    static Fp16 minNormal() { return fromBits(0x0400); }
+
+    /** Smallest positive subnormal half: 2^-24. */
+    static Fp16 minSubnormal() { return fromBits(0x0001); }
+
+    /** Machine epsilon for half: 2^-10. */
+    static Fp16 epsilon() { return fromBits(0x1400); }
+
+    /** Positive infinity. */
+    static Fp16 infinity() { return fromBits(0x7c00); }
+
+    /** A quiet NaN. */
+    static Fp16 quietNaN() { return fromBits(0x7e00); }
+
+  private:
+    static std::uint16_t fromFloat(float value);
+    static float toFloatImpl(std::uint16_t bits);
+
+    std::uint16_t bits_;
+};
+
+/**
+ * Round a float through half precision and back.
+ * Models one pass through a 16-bit datapath register.
+ */
+inline float
+roundToFp16(float value)
+{
+    return Fp16(value).toFloat();
+}
+
+} // namespace enode
+
+#endif // ENODE_COMMON_FP16_H

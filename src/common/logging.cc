@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace enode {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Info)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        std::cout << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace enode

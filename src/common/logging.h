@@ -1,0 +1,84 @@
+#ifndef ENODE_COMMON_LOGGING_H
+#define ENODE_COMMON_LOGGING_H
+
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant broke: a bug in this library. Aborts.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            invalid arguments). Exits with an error code.
+ * warn()   - something works but not as well as it should.
+ * inform() - plain status output, no connotation of misbehaviour.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace enode {
+
+/** Verbosity levels for inform()/warn() filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Process-wide log level; benches lower it to keep tables clean. */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Format a parameter pack into one string via an ostringstream. */
+template <typename... Args>
+std::string
+formatArgs(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace enode
+
+/** Abort: an internal invariant was violated (a library bug). */
+#define ENODE_PANIC(...) \
+    ::enode::detail::panicImpl(__FILE__, __LINE__, \
+                               ::enode::detail::formatArgs(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user error. */
+#define ENODE_FATAL(...) \
+    ::enode::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::enode::detail::formatArgs(__VA_ARGS__))
+
+/** Warn about a condition that might work well enough. */
+#define ENODE_WARN(...) \
+    ::enode::detail::warnImpl(::enode::detail::formatArgs(__VA_ARGS__))
+
+/** Informative message users should know but not worry about. */
+#define ENODE_INFORM(...) \
+    ::enode::detail::informImpl(::enode::detail::formatArgs(__VA_ARGS__))
+
+/** Developer-facing trace output, visible only at LogLevel::Debug. */
+#define ENODE_DEBUG(...) \
+    ::enode::detail::debugImpl(::enode::detail::formatArgs(__VA_ARGS__))
+
+/** Cheap always-on assertion that panics with context on failure. */
+#define ENODE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ENODE_PANIC("assertion failed: " #cond " ", \
+                        ::enode::detail::formatArgs(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // ENODE_COMMON_LOGGING_H

@@ -1,0 +1,136 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : cachedNormal_(0.0), hasCachedNormal_(false)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    // xoshiro must not start from the all-zero state.
+    if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    // xoshiro256** core.
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 significant bits, uniform in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; reject u1 == 0 to keep log() finite.
+    double u1 = uniform();
+    while (u1 == 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t n)
+{
+    ENODE_ASSERT(n > 0, "nextBelow requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % n);
+    std::uint64_t draw = nextU64();
+    while (draw >= limit)
+        draw = nextU64();
+    return draw % n;
+}
+
+int
+Rng::intRange(int lo, int hi)
+{
+    ENODE_ASSERT(lo <= hi, "intRange requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<int>(nextBelow(span));
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; i++)
+        perm[i] = i;
+    for (std::size_t i = n; i > 1; i--) {
+        const std::size_t j = nextBelow(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(nextU64());
+}
+
+} // namespace enode

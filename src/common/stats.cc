@@ -1,0 +1,135 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace enode {
+
+void
+Accumulator::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    count_++;
+    sum_ += sample;
+    sumSquares_ += sample * sample;
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSquares_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSquares_ / count_ - m * m;
+    return var > 0.0 ? var : 0.0; // clamp tiny negative rounding residue
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    ENODE_ASSERT(hi > lo && bins > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double sample)
+{
+    const double unit = (sample - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(unit * counts_.size());
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(idx)]++;
+    total_++;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    ENODE_ASSERT(i < counts_.size(), "histogram bin out of range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name)) {}
+
+void
+StatGroup::set(const std::string &key, double value)
+{
+    values_[key] = value;
+}
+
+void
+StatGroup::add(const std::string &key, double value)
+{
+    values_[key] += value;
+}
+
+double
+StatGroup::get(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        ENODE_FATAL("unknown stat '", key, "' in group '", name_, "'");
+    return it->second;
+}
+
+bool
+StatGroup::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::vector<std::string>
+StatGroup::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : values_) {
+        if (!name_.empty())
+            oss << name_ << ".";
+        oss << kv.first << " = " << kv.second << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace enode

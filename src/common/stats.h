@@ -1,0 +1,127 @@
+#ifndef ENODE_COMMON_STATS_H
+#define ENODE_COMMON_STATS_H
+
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Simulator components and algorithm drivers register named counters and
+ * scalar statistics in a StatGroup. Benches query groups to build their
+ * report tables; tests assert on individual counters. The design follows
+ * the gem5 stats idea at a much smaller scale: stats are plain values
+ * owned by their component, and a group only provides naming, iteration
+ * and formatted dumps.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace enode {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max / count accumulator for scalar samples. */
+class Accumulator
+{
+  public:
+    Accumulator() = default;
+
+    /** Record one sample. */
+    void add(double sample);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population variance of the recorded samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSquares_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bin histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+    void reset();
+
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    double binLow(std::size_t i) const;
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of scalar statistics.
+ *
+ * Components own their numeric stats and publish them by name; the group
+ * stores name -> value snapshots on dump. Hierarchical names use '.' as
+ * the separator (e.g. "core0.peArray.macs").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "");
+
+    /** Record (or overwrite) a named scalar. */
+    void set(const std::string &key, double value);
+
+    /** Add to a named scalar, creating it at zero if absent. */
+    void add(const std::string &key, double value);
+
+    /** Look up a scalar; fatal if missing. */
+    double get(const std::string &key) const;
+
+    /** True if the key exists. */
+    bool has(const std::string &key) const;
+
+    /** All keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+    /** Multi-line "name = value" dump. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+    void clear() { values_.clear(); }
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace enode
+
+#endif // ENODE_COMMON_STATS_H

@@ -1,0 +1,145 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+/** Heuristic: cells that parse as numbers are right-aligned. */
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = 0;
+    if (cell[0] == '-' || cell[0] == '+')
+        i = 1;
+    bool any_digit = false;
+    for (; i < cell.size(); i++) {
+        const char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            any_digit = true;
+        } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+                   c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return any_digit;
+}
+
+} // namespace
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    ENODE_ASSERT(header_.empty() || row.size() == header_.size(),
+                 "row width ", row.size(), " != header width ",
+                 header_.size(), " in table '", title_, "'");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    const std::size_t cols = header_.size();
+    std::vector<std::size_t> widths(cols, 0);
+    for (std::size_t c = 0; c < cols; c++)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderSeparator = [&](std::ostringstream &oss) {
+        oss << "+";
+        for (std::size_t c = 0; c < cols; c++)
+            oss << std::string(widths[c] + 2, '-') << "+";
+        oss << "\n";
+    };
+    auto renderRow = [&](std::ostringstream &oss,
+                         const std::vector<std::string> &row) {
+        oss << "|";
+        for (std::size_t c = 0; c < cols; c++) {
+            const std::string &cell = c < row.size() ? row[c] : std::string();
+            const std::size_t pad = widths[c] - cell.size();
+            if (looksNumeric(cell))
+                oss << " " << std::string(pad, ' ') << cell << " |";
+            else
+                oss << " " << cell << std::string(pad, ' ') << " |";
+        }
+        oss << "\n";
+    };
+
+    std::ostringstream oss;
+    oss << "\n== " << title_ << " ==\n";
+    renderSeparator(oss);
+    renderRow(oss, header_);
+    renderSeparator(oss);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            renderSeparator(oss);
+        else
+            renderRow(oss, row);
+    }
+    renderSeparator(oss);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::integer(long long value)
+{
+    return std::to_string(value);
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::ratio(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, value);
+    return buf;
+}
+
+} // namespace enode

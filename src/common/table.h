@@ -1,0 +1,56 @@
+#ifndef ENODE_COMMON_TABLE_H
+#define ENODE_COMMON_TABLE_H
+
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness.
+ *
+ * Every bench binary reproduces one table or figure from the paper by
+ * printing rows/series in a fixed-width table, so runs are directly
+ * comparable to the published numbers. The formatter sizes columns to
+ * their widest cell and right-aligns numeric-looking cells.
+ */
+
+#include <string>
+#include <vector>
+
+namespace enode {
+
+/** Builder for a fixed-width ASCII table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title);
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the full table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helpers for common cell types. */
+    static std::string num(double value, int precision = 3);
+    static std::string integer(long long value);
+    static std::string percent(double fraction, int precision = 1);
+    /** "3.1x" style speedup/ratio cell. */
+    static std::string ratio(double value, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace enode
+
+#endif // ENODE_COMMON_TABLE_H

@@ -1,0 +1,160 @@
+#include "core/aca_trainer.h"
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+/**
+ * Discrete adjoint of one explicit RK step.
+ *
+ * Forward (per the tableau):
+ *   y_j = h + dt * sum_{l<j} a_{jl} k_l,   k_j = f(t + c_j dt, y_j)
+ *   h'  = h + dt * sum_j b_j k_j
+ *
+ * Given abar = dL/dh', the reverse sweep computes dL/dh and accumulates
+ * dL/dtheta:
+ *   kbar_j = dt b_j abar + dt sum_{m>j} a_{mj} ybar_m
+ *   ybar_j = kbar_j^T df/dy_j           (VJP through f)
+ *   dL/dh  = abar + sum_j ybar_j
+ *
+ * Stages whose kbar is structurally zero are skipped entirely. For the
+ * FSAL RK23 this skips k4 — matching the paper's observation that "the
+ * backward pass only computes the integral states k1, k2 and k3"
+ * (Sec. IV.B).
+ */
+Tensor
+adjointStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
+            const Tensor &h, double dt, const Tensor &abar, AcaStats &stats)
+{
+    const std::size_t s = tableau.stages();
+    const auto &a = tableau.a();
+    const auto &b = tableau.b();
+    const auto &c = tableau.c();
+
+    // 1) Local forward step: recover the training states (stage inputs).
+    //    This is the "local forward step" of the ACA backward pass.
+    std::vector<Tensor> stages(s);
+    std::vector<Tensor> stage_inputs(s);
+    for (std::size_t j = 0; j < s; j++) {
+        Tensor yj = h;
+        for (std::size_t l = 0; l < j; l++) {
+            if (a[j][l] != 0.0)
+                yj.axpy(static_cast<float>(dt * a[j][l]), stages[l]);
+        }
+        stages[j] = net.eval(t + c[j] * dt, yj);
+        stage_inputs[j] = std::move(yj);
+        stats.localForwardEvals++;
+    }
+
+    // 2+3) Adjoint and parameter-gradient calculation, reverse stage
+    //      order (the counter-clockwise loop around the ring, Fig. 7d).
+    std::vector<Tensor> ybar(s);
+    Tensor hbar = abar;
+    for (std::size_t j = s; j-- > 0;) {
+        // Structural zero test on tableau coefficients only: the stage
+        // contributes nothing if b_j = 0 and no later stage reads k_j.
+        bool contributes = b[j] != 0.0;
+        for (std::size_t m = j + 1; m < s && !contributes; m++)
+            contributes = a[m][j] != 0.0;
+        if (!contributes)
+            continue;
+
+        Tensor kbar = abar * static_cast<float>(dt * b[j]);
+        for (std::size_t m = j + 1; m < s; m++) {
+            if (a[m][j] != 0.0 && !ybar[m].empty())
+                kbar.axpy(static_cast<float>(dt * a[m][j]), ybar[m]);
+        }
+
+        // Re-establish the layer caches at stage j, then pull the VJP.
+        // The re-evaluation models reading the stored training states; it
+        // is not counted as algorithmic forward work (the hardware reads
+        // the states from the training state buffer instead).
+        net.eval(t + c[j] * dt, stage_inputs[j]);
+        ybar[j] = net.vjp(kbar);
+        stats.adjointVjps++;
+        hbar += ybar[j];
+    }
+    return hbar;
+}
+
+} // namespace
+
+AcaBackwardResult
+acaBackwardLayer(EmbeddedNet &net, const ButcherTableau &tableau,
+                 const IvpResult &fwd, const Tensor &grad_output)
+{
+    AcaBackwardResult result;
+    Tensor abar = grad_output;
+    // Checkpoints are ordered forward in time; walk them back (T -> 0).
+    for (std::size_t i = fwd.checkpoints.size(); i-- > 0;) {
+        const Checkpoint &ck = fwd.checkpoints[i];
+        abar = adjointStep(net, tableau, ck.t, ck.state, ck.dt, abar,
+                           result.stats);
+        result.stats.backwardSteps++;
+    }
+    result.gradInput = std::move(abar);
+    return result;
+}
+
+AcaBackwardResult
+acaBackward(NodeModel &model, const ButcherTableau &tableau,
+            const NodeForwardResult &fwd, const Tensor &grad_output)
+{
+    ENODE_ASSERT(fwd.layers.size() == model.numLayers(),
+                 "forward record does not match the model");
+    AcaBackwardResult total;
+    Tensor abar = grad_output;
+    for (std::size_t layer = model.numLayers(); layer-- > 0;) {
+        auto layer_result = acaBackwardLayer(model.net(layer), tableau,
+                                             fwd.layers[layer], abar);
+        abar = std::move(layer_result.gradInput);
+        total.stats.accumulate(layer_result.stats);
+    }
+    total.gradInput = std::move(abar);
+    return total;
+}
+
+TrainStepResult
+classifierTrainStep(NodeClassifier &model, const Tensor &image,
+                    std::size_t label, const ButcherTableau &tableau,
+                    StepController &controller, const IvpOptions &opts,
+                    TrialEvaluator *evaluator)
+{
+    TrainStepResult out;
+    auto fwd = model.forward(image, tableau, controller, opts, evaluator);
+    out.forwardStats = fwd.node.totalStats;
+
+    auto loss = softmaxCrossEntropy(fwd.logits, label);
+    out.loss = loss.value;
+    out.correct = argmax(fwd.logits) == label;
+
+    // Head backward (standard backprop), then ACA through the NODE, then
+    // encoder backward.
+    const Tensor grad_node_out = model.head().backward(loss.grad);
+    auto aca = acaBackward(model.node(), tableau, fwd.node, grad_node_out);
+    out.backwardStats = aca.stats;
+    model.encoder().backward(aca.gradInput);
+    return out;
+}
+
+TrainStepResult
+regressionTrainStep(NodeModel &model, const Tensor &x0, const Tensor &target,
+                    const ButcherTableau &tableau,
+                    StepController &controller, const IvpOptions &opts,
+                    TrialEvaluator *evaluator)
+{
+    TrainStepResult out;
+    auto fwd = model.forward(x0, tableau, controller, opts, evaluator);
+    out.forwardStats = fwd.totalStats;
+
+    auto loss = mseLoss(fwd.output, target);
+    out.loss = loss.value;
+
+    auto aca = acaBackward(model, tableau, fwd, loss.grad);
+    out.backwardStats = aca.stats;
+    return out;
+}
+
+} // namespace enode

@@ -1,0 +1,110 @@
+#ifndef ENODE_CORE_ACA_TRAINER_H
+#define ENODE_CORE_ACA_TRAINER_H
+
+/**
+ * @file
+ * NODE training with the adaptive-checkpoint-adjoint (ACA) method.
+ *
+ * The backward pass (Sec. II.C) repeats, per accepted forward step
+ * (checkpoint interval [t_i, t_{i+1}]), working backward from T to 0:
+ *
+ *  1. Local forward step: re-integrate from the checkpoint h(t_i) with
+ *     the *recorded* stepsize to recover the intermediate training
+ *     states (integral states k_j and the per-conv-layer activations).
+ *  2. Adjoint calculation: propagate a(t) backward across the step by
+ *     vector-Jacobian products through the integrator's compute graph
+ *     (the discrete form of Eq. 4 — exactly what ACA does, since it
+ *     backprops through the accepted solver steps).
+ *  3. Parameter gradients: the same VJPs accumulate a^T df/dtheta,
+ *     the discrete form of the integral in Eq. 5.
+ *
+ * Because the backward pass reuses the stepsizes accepted by the forward
+ * search, it needs no stepsize search of its own — its complexity is
+ * O(N * n_eval * s) (Fig. 3).
+ */
+
+#include <cstdint>
+
+#include "core/node_model.h"
+
+namespace enode {
+
+/** Accounting for one backward pass (complexity metering, Fig. 3). */
+struct AcaStats
+{
+    std::uint64_t backwardSteps = 0;  ///< checkpoint intervals processed
+    std::uint64_t localForwardEvals = 0; ///< f evals in local forward steps
+    std::uint64_t adjointVjps = 0;    ///< VJP evaluations (Eq. 4/5 work)
+
+    void
+    accumulate(const AcaStats &other)
+    {
+        backwardSteps += other.backwardSteps;
+        localForwardEvals += other.localForwardEvals;
+        adjointVjps += other.adjointVjps;
+    }
+};
+
+/** Result of back-propagating one integration layer. */
+struct AcaBackwardResult
+{
+    Tensor gradInput; ///< dL/dh(0) of this layer (the adjoint at t = 0)
+    AcaStats stats;
+};
+
+/**
+ * Backward pass over one integration layer.
+ *
+ * @param net The layer's embedded network; parameter gradients accumulate
+ *        into its slots.
+ * @param tableau The integrator used in the forward pass.
+ * @param fwd The layer's forward IvpResult (checkpoints + stepsizes).
+ * @param grad_output a(T) = dL/dh(T), the adjoint seed (Eq. 4).
+ */
+AcaBackwardResult acaBackwardLayer(EmbeddedNet &net,
+                                   const ButcherTableau &tableau,
+                                   const IvpResult &fwd,
+                                   const Tensor &grad_output);
+
+/**
+ * Backward pass over a full NodeModel: layers are processed last-first,
+ * chaining the adjoint between them.
+ *
+ * @return dL/d(input of the first layer), for chaining into an encoder.
+ */
+AcaBackwardResult acaBackward(NodeModel &model, const ButcherTableau &tableau,
+                              const NodeForwardResult &fwd,
+                              const Tensor &grad_output);
+
+/** One full training iteration of a NodeClassifier on a single image. */
+struct TrainStepResult
+{
+    double loss = 0.0;
+    bool correct = false;
+    IvpStats forwardStats;
+    AcaStats backwardStats;
+};
+
+/**
+ * Forward + loss + full backward for one labelled image. Gradients
+ * accumulate into the classifier's parameter slots; the caller owns the
+ * optimizer step.
+ */
+TrainStepResult classifierTrainStep(NodeClassifier &model,
+                                    const Tensor &image, std::size_t label,
+                                    const ButcherTableau &tableau,
+                                    StepController &controller,
+                                    const IvpOptions &opts,
+                                    TrialEvaluator *evaluator = nullptr);
+
+/** One regression training step: MSE between h(T) and a target state. */
+TrainStepResult regressionTrainStep(NodeModel &model, const Tensor &x0,
+                                    const Tensor &target,
+                                    const ButcherTableau &tableau,
+                                    StepController &controller,
+                                    const IvpOptions &opts,
+                                    TrialEvaluator *evaluator = nullptr);
+
+} // namespace enode
+
+#endif // ENODE_CORE_ACA_TRAINER_H

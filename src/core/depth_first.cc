@@ -1,0 +1,592 @@
+#include "core/depth_first.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/activation.h"
+#include "nn/concat_time.h"
+#include "nn/conv2d.h"
+
+namespace enode {
+
+// ---------------------------------------------------------------------------
+// DDG construction
+// ---------------------------------------------------------------------------
+
+DepthFirstDdg::DepthFirstDdg(const ButcherTableau &tableau)
+    : tableau_(tableau)
+{
+    const std::size_t s = tableau.stages();
+    const auto &a = tableau.a();
+    const auto &b = tableau.b();
+    const bool emb = tableau.hasEmbedded();
+    const auto d = emb ? tableau.errorWeights() : std::vector<double>();
+
+    // h(t)
+    const std::size_t h_idx =
+        addNode(DdgNodeKind::InitialState, "h", -1, -1, {});
+
+    // Stage 1: k1 = f(h).
+    std::vector<std::size_t> k_idx(s);
+    k_idx[0] = addNode(DdgNodeKind::IntegralState, "k1", 0, -1, {h_idx});
+
+    // Partial-state chains: p_{i,1} = h + dt a_{i,1} k_1, then
+    // p_{i,j} = p_{i,j-1} + dt a_{i,j} k_j; finally k_i = f(p_{i,i-1}).
+    for (std::size_t i = 1; i < s; i++) {
+        std::size_t prev = h_idx;
+        for (std::size_t j = 0; j < i; j++) {
+            std::vector<std::size_t> inputs{prev};
+            if (a[i][j] != 0.0)
+                inputs.push_back(k_idx[j]);
+            prev = addNode(DdgNodeKind::PartialState,
+                           "p" + std::to_string(i + 1) +
+                               std::to_string(j + 1),
+                           static_cast<int>(i), static_cast<int>(j), inputs);
+        }
+        k_idx[i] = addNode(DdgNodeKind::IntegralState,
+                           "k" + std::to_string(i + 1), static_cast<int>(i),
+                           -1, {prev});
+    }
+
+    // Final state accumulation (folded into the last partial chain in
+    // hardware; modelled as one node reading every k with b_j != 0).
+    std::vector<std::size_t> final_inputs{h_idx};
+    for (std::size_t j = 0; j < s; j++)
+        if (b[j] != 0.0)
+            final_inputs.push_back(k_idx[j]);
+    addNode(DdgNodeKind::FinalState, "h'", -1, -1, final_inputs);
+
+    // Partial error chain e_1..e_{s-1}, then the error state e.
+    if (emb) {
+        std::size_t prev_e = 0;
+        bool have_prev = false;
+        std::size_t count = 0;
+        for (std::size_t j = 0; j < s; j++) {
+            if (d[j] == 0.0)
+                continue;
+            std::vector<std::size_t> inputs{k_idx[j]};
+            if (have_prev)
+                inputs.push_back(prev_e);
+            count++;
+            const bool last = [&] {
+                for (std::size_t m = j + 1; m < s; m++)
+                    if (d[m] != 0.0)
+                        return false;
+                return true;
+            }();
+            if (last) {
+                addNode(DdgNodeKind::ErrorState, "e", -1, -1, inputs);
+            } else {
+                prev_e = addNode(DdgNodeKind::PartialError,
+                                 "e" + std::to_string(count), -1,
+                                 static_cast<int>(j), inputs);
+                have_prev = true;
+            }
+        }
+    }
+    checkAcyclic();
+}
+
+std::size_t
+DepthFirstDdg::addNode(DdgNodeKind kind, std::string name, int stage,
+                       int substage, std::vector<std::size_t> inputs)
+{
+    for (auto i : inputs)
+        ENODE_ASSERT(i < nodes_.size(), "DDG edge to future node");
+    nodes_.push_back(
+        {kind, std::move(name), stage, substage, std::move(inputs)});
+    return nodes_.size() - 1;
+}
+
+std::size_t
+DepthFirstDdg::partialStateCount() const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.kind == DdgNodeKind::PartialState)
+            n++;
+    return n;
+}
+
+std::size_t
+DepthFirstDdg::partialErrorCount() const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.kind == DdgNodeKind::PartialError)
+            n++;
+    return n;
+}
+
+std::size_t
+DepthFirstDdg::criticalPathLength() const
+{
+    std::vector<std::size_t> depth(nodes_.size(), 0);
+    std::size_t longest = 0;
+    for (std::size_t i = 0; i < nodes_.size(); i++) {
+        for (auto in : nodes_[i].inputs)
+            depth[i] = std::max(depth[i], depth[in] + 1);
+        longest = std::max(longest, depth[i]);
+    }
+    return longest;
+}
+
+void
+DepthFirstDdg::checkAcyclic() const
+{
+    // Construction only ever references earlier nodes, so the index order
+    // is a topological order; verify the invariant held.
+    for (std::size_t i = 0; i < nodes_.size(); i++)
+        for (auto in : nodes_[i].inputs)
+            ENODE_ASSERT(in < i, "DDG cycle at node ", nodes_[i].name);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form buffer analyses
+// ---------------------------------------------------------------------------
+
+std::size_t
+ForwardBufferAnalysis::totalRows() const
+{
+    return integralBufferRows + lineBufferRows;
+}
+
+double
+ForwardBufferAnalysis::reductionFactor() const
+{
+    return static_cast<double>(baselineBytes) /
+           static_cast<double>(enodeBytes);
+}
+
+ForwardBufferAnalysis
+analyzeForwardBuffers(const DepthFirstConfig &cfg)
+{
+    ENODE_ASSERT(cfg.tableau != nullptr, "config needs a tableau");
+    const std::size_t s = cfg.tableau->stages();
+    const std::size_t K = cfg.kernel;
+    const bool emb = cfg.tableau->hasEmbedded();
+
+    ForwardBufferAnalysis out{};
+    out.partialStateRows = s * (s - 1) / 2;
+    out.partialErrorRows = emb ? s - 1 : 0;
+    out.integralPsumRows = s;
+    out.stageBufferRows = s * K; // K input rows per stream state buffer
+    out.stagingRows = 2;
+    out.convWindowRows = s * cfg.fDepth * (K - 1);
+
+    // Both SRAMs are double-buffered so a stream can fill one half while
+    // the cores drain the other (no-stall packetized processing).
+    out.integralBufferRows =
+        2 * (out.partialStateRows + out.partialErrorRows +
+             out.integralPsumRows + out.stageBufferRows + out.stagingRows);
+    out.lineBufferRows = 2 * out.convWindowRows;
+
+    const std::size_t row_bytes = cfg.W * cfg.C * cfg.bytesPerElement;
+    out.enodeIntegralBytes = out.integralBufferRows * row_bytes;
+    out.enodeLineBytes = out.lineBufferRows * row_bytes;
+    out.enodeBytes = out.enodeIntegralBytes + out.enodeLineBytes;
+
+    // The layer-by-layer baseline buffers every integral state as a full
+    // feature map for the duration of the step.
+    out.baselineBytes = s * cfg.H * row_bytes;
+    return out;
+}
+
+double
+TrainingBufferAnalysis::reductionFactor() const
+{
+    return static_cast<double>(totalBytes) /
+           static_cast<double>(enodeWorkingSetBytes);
+}
+
+std::size_t
+TrainingBufferAnalysis::dramTrafficBytes(std::size_t buffer_bytes,
+                                         bool depth_first) const
+{
+    const std::size_t need =
+        depth_first ? enodeWorkingSetBytes : totalBytes;
+    const std::size_t spill = need > buffer_bytes ? need - buffer_bytes : 0;
+    return 2 * spill; // each spilled byte is written once and read once
+}
+
+std::size_t
+backwardStageCount(const ButcherTableau &tableau)
+{
+    const std::size_t s = tableau.stages();
+    std::size_t backward_stages = 0;
+    for (std::size_t j = 0; j < s; j++) {
+        bool contributes = tableau.b()[j] != 0.0;
+        for (std::size_t m = j + 1; m < s && !contributes; m++)
+            contributes = tableau.a()[m][j] != 0.0;
+        if (contributes)
+            backward_stages++;
+    }
+    return backward_stages;
+}
+
+TrainingBufferAnalysis
+analyzeTrainingBuffers(const DepthFirstConfig &cfg)
+{
+    ENODE_ASSERT(cfg.tableau != nullptr, "config needs a tableau");
+
+    TrainingBufferAnalysis out{};
+    out.trainingStateMaps = backwardStageCount(*cfg.tableau) * cfg.fDepth;
+    const std::size_t row_bytes = cfg.W * cfg.C * cfg.bytesPerElement;
+    out.totalBytes = out.trainingStateMaps * cfg.H * row_bytes;
+
+    // Lifetime model: the adjoint streams row-by-row through all M maps
+    // right behind the local forward's production. A row of the map at
+    // pipeline position p (1-based, production order) is consumed when
+    // the adjoint front — which lags production by one conv window per
+    // remaining map — reaches it: live window of (M - p)(K - 1) + c
+    // rows, c = 2 covering the adjoint's own conv halo.
+    const std::size_t M = out.trainingStateMaps;
+    const std::size_t lag = cfg.kernel - 1;
+    std::size_t ws_rows = 0;
+    for (std::size_t p = 1; p <= M; p++)
+        ws_rows += std::min((M - p) * lag + 2, cfg.H);
+    out.enodeWorkingSetBytes = ws_rows * row_bytes;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming executor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** A map whose rows are produced and retired incrementally. */
+struct StreamMap
+{
+    std::string name;
+    Tensor data;               // full storage (bookkeeping tracks windows)
+    std::size_t rowsComputed = 0;
+    std::size_t rowsRetired = 0;
+    bool counted = true; // outputs stream off-chip and are not buffered
+
+    std::size_t liveRows() const { return rowsComputed - rowsRetired; }
+};
+
+/** The conv stack extracted from a streamable EmbeddedNet. */
+struct ConvStack
+{
+    std::vector<const Conv2d *> convs;
+    std::vector<bool> reluAfter; // applied to conv d's output
+};
+
+ConvStack
+extractConvStack(EmbeddedNet &net)
+{
+    ConvStack stack;
+    Sequential &body = net.body();
+    ENODE_ASSERT(dynamic_cast<ConcatTime *>(&body.layer(0)) != nullptr,
+                 "embedded net must start with ConcatTime");
+    for (std::size_t i = 1; i < body.size(); i++) {
+        Layer &layer = body.layer(i);
+        if (auto *conv = dynamic_cast<Conv2d *>(&layer)) {
+            stack.convs.push_back(conv);
+            stack.reluAfter.push_back(false);
+        } else if (dynamic_cast<ReLU *>(&layer) != nullptr) {
+            ENODE_ASSERT(!stack.convs.empty(), "ReLU before first conv");
+            stack.reluAfter.back() = true;
+        } else {
+            ENODE_FATAL("streamingStep supports Conv2d/ReLU bodies only; "
+                        "found ", layer.name(),
+                        " (use EmbeddedNet::makeStreamableConvNet)");
+        }
+    }
+    ENODE_ASSERT(!stack.convs.empty(), "no conv layers in embedded net");
+    return stack;
+}
+
+/**
+ * Compute one output row of a conv layer from an input map, optionally
+ * treating the final weight input-channel as a constant time plane and
+ * applying ReLU to the result.
+ */
+void
+convRow(const Tensor &in, const Conv2d &conv, std::size_t row,
+        bool time_channel, double time_value, bool relu, Tensor &out)
+{
+    const std::size_t C_in = in.shape().dim(0);
+    const std::size_t H = in.shape().dim(1);
+    const std::size_t W = in.shape().dim(2);
+    const std::size_t M = conv.outChannels();
+    const std::size_t K = conv.kernel();
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(K / 2);
+    const Tensor &weight = conv.weight();
+    ENODE_ASSERT(conv.inChannels() == C_in + (time_channel ? 1 : 0),
+                 "conv channel mismatch in streaming executor");
+
+    for (std::size_t m = 0; m < M; m++) {
+        const float bias = conv.bias().empty()
+                               ? 0.0f
+                               : conv.bias().at(m);
+        for (std::size_t w = 0; w < W; w++) {
+            float acc = bias;
+            for (std::size_t kh = 0; kh < K; kh++) {
+                const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(row) +
+                                          static_cast<std::ptrdiff_t>(kh) -
+                                          pad;
+                if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H))
+                    continue;
+                for (std::size_t kw = 0; kw < K; kw++) {
+                    const std::ptrdiff_t iw =
+                        static_cast<std::ptrdiff_t>(w) +
+                        static_cast<std::ptrdiff_t>(kw) - pad;
+                    if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W))
+                        continue;
+                    for (std::size_t c = 0; c < C_in; c++) {
+                        acc += in.at(c, static_cast<std::size_t>(ih),
+                                     static_cast<std::size_t>(iw)) *
+                               weight.at(m, c, kh, kw);
+                    }
+                    if (time_channel) {
+                        acc += static_cast<float>(time_value) *
+                               weight.at(m, C_in, kh, kw);
+                    }
+                }
+            }
+            if (relu && acc < 0.0f)
+                acc = 0.0f;
+            out.at(m, row, w) = acc;
+        }
+    }
+}
+
+} // namespace
+
+StreamingResult
+streamingStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
+              const Tensor &h, double dt)
+{
+    ENODE_ASSERT(h.shape().rank() == 3, "streamingStep needs a CHW state");
+    const ConvStack stack = extractConvStack(net);
+    const std::size_t s = tableau.stages();
+    const std::size_t depth = stack.convs.size();
+    const std::size_t C = h.shape().dim(0);
+    const std::size_t H = h.shape().dim(1);
+    const std::size_t W = h.shape().dim(2);
+    const auto &a = tableau.a();
+    const auto &b = tableau.b();
+    const auto &c = tableau.c();
+    const bool emb = tableau.hasEmbedded();
+    const auto d = emb ? tableau.errorWeights() : std::vector<double>();
+    const std::size_t pad_rows = stack.convs.front()->kernel() / 2;
+
+    // Maps: the source h, per-stage inputs (stage 0 aliases h), the conv
+    // chains z[j][l] (z[j][depth-1] is k_j), and the streamed outputs.
+    // h itself *streams in* row by row: rows are fetched on demand (the
+    // lowest-priority producer), so its live window stays bounded like
+    // every other buffer.
+    StreamMap h_map{"h", h, 0, 0, true};
+    std::vector<StreamMap> stage_in(s);  // [j]; j = 0 unused (alias of h)
+    std::vector<std::vector<StreamMap>> z(s);
+    for (std::size_t j = 0; j < s; j++) {
+        if (j > 0)
+            stage_in[j] = {"y" + std::to_string(j + 1),
+                           Tensor(Shape{C, H, W}), 0, 0, true};
+        z[j].resize(depth);
+        for (std::size_t l = 0; l < depth; l++)
+            z[j][l] = {"z" + std::to_string(j + 1) + "." +
+                           std::to_string(l + 1),
+                       Tensor(Shape{C, H, W}), 0, 0, true};
+    }
+    StreamMap y_next{"h'", h, 0, 0, false}; // starts as a copy of h
+    StreamMap e_map{"e", Tensor(Shape{C, H, W}), 0, 0, false};
+
+    StreamingResult result{};
+    result.peakLiveRows = 0;
+    result.totalRowsComputed = 0;
+
+    auto inputOf = [&](std::size_t j) -> StreamMap & {
+        return j == 0 ? h_map : stage_in[j];
+    };
+    auto kMap = [&](std::size_t j) -> StreamMap & {
+        return z[j][depth - 1];
+    };
+
+    // --- Row producers -----------------------------------------------------
+    auto canStageIn = [&](std::size_t j) {
+        const std::size_t r = stage_in[j].rowsComputed;
+        if (r >= H || h_map.rowsComputed <= r)
+            return false;
+        for (std::size_t l = 0; l < j; l++)
+            if (a[j][l] != 0.0 && kMap(l).rowsComputed <= r)
+                return false;
+        return true;
+    };
+    auto doStageIn = [&](std::size_t j) {
+        const std::size_t r = stage_in[j].rowsComputed;
+        for (std::size_t cc = 0; cc < C; cc++) {
+            for (std::size_t w = 0; w < W; w++) {
+                float acc = h.at(cc, r, w);
+                for (std::size_t l = 0; l < j; l++) {
+                    if (a[j][l] != 0.0)
+                        acc += static_cast<float>(dt * a[j][l]) *
+                               kMap(l).data.at(cc, r, w);
+                }
+                stage_in[j].data.at(cc, r, w) = acc;
+            }
+        }
+        stage_in[j].rowsComputed++;
+    };
+
+    auto canConv = [&](std::size_t j, std::size_t l) {
+        const std::size_t r = z[j][l].rowsComputed;
+        if (r >= H)
+            return false;
+        const StreamMap &src = l == 0 ? inputOf(j) : z[j][l - 1];
+        const std::size_t need = std::min(r + pad_rows + 1, H);
+        return src.rowsComputed >= need;
+    };
+    auto doConv = [&](std::size_t j, std::size_t l) {
+        const std::size_t r = z[j][l].rowsComputed;
+        const StreamMap &src = l == 0 ? inputOf(j) : z[j][l - 1];
+        convRow(src.data, *stack.convs[l], r, /*time_channel=*/l == 0,
+                t + c[j] * dt, stack.reluAfter[l], z[j][l].data);
+        z[j][l].rowsComputed++;
+    };
+
+    auto canOutput = [&](const StreamMap &map, bool use_b) {
+        const std::size_t r = map.rowsComputed;
+        if (r >= H)
+            return false;
+        if (use_b && h_map.rowsComputed <= r)
+            return false;
+        for (std::size_t j = 0; j < s; j++) {
+            const double coeff = use_b ? b[j] : d[j];
+            if (coeff != 0.0 && kMap(j).rowsComputed <= r)
+                return false;
+        }
+        return true;
+    };
+    auto doOutput = [&](StreamMap &map, bool use_b) {
+        const std::size_t r = map.rowsComputed;
+        for (std::size_t cc = 0; cc < C; cc++) {
+            for (std::size_t w = 0; w < W; w++) {
+                float acc = use_b ? h.at(cc, r, w) : 0.0f;
+                for (std::size_t j = 0; j < s; j++) {
+                    const double coeff = use_b ? b[j] : d[j];
+                    if (coeff != 0.0)
+                        acc += static_cast<float>(dt * coeff) *
+                               kMap(j).data.at(cc, r, w);
+                }
+                map.data.at(cc, r, w) = acc;
+            }
+        }
+        map.rowsComputed++;
+    };
+
+    // --- Retirement --------------------------------------------------------
+    // A row retires once every consumer that reads it has produced the
+    // rows that need it. The conv halo means row r of a conv input is
+    // last read when the consumer produces row r + pad.
+    auto retireSweep = [&] {
+        // h: read by every stage-input combine at row r, by stage 0's
+        // first conv up to row r + pad, and by h' at row r.
+        while (h_map.rowsRetired < H) {
+            const std::size_t r = h_map.rowsRetired;
+            bool dead = y_next.rowsComputed > r &&
+                        z[0][0].rowsComputed >= std::min(r + pad_rows + 1, H);
+            for (std::size_t j = 1; j < s && dead; j++)
+                dead = stage_in[j].rowsComputed > r;
+            if (!dead)
+                break;
+            h_map.rowsRetired++;
+        }
+        // Stage inputs: consumed by the stage's first conv.
+        for (std::size_t j = 1; j < s; j++) {
+            while (stage_in[j].rowsRetired < H) {
+                const std::size_t r = stage_in[j].rowsRetired;
+                if (z[j][0].rowsComputed < std::min(r + pad_rows + 1, H))
+                    break;
+                stage_in[j].rowsRetired++;
+            }
+        }
+        // Conv intermediates: consumed by the next conv in the chain;
+        // k_j (the last conv) is consumed by later stage inputs and the
+        // two outputs.
+        for (std::size_t j = 0; j < s; j++) {
+            for (std::size_t l = 0; l < depth; l++) {
+                StreamMap &map = z[j][l];
+                while (map.rowsRetired < H) {
+                    const std::size_t r = map.rowsRetired;
+                    bool dead = true;
+                    if (l + 1 < depth) {
+                        dead = z[j][l + 1].rowsComputed >=
+                               std::min(r + pad_rows + 1, H);
+                    } else {
+                        for (std::size_t m = j + 1; m < s && dead; m++)
+                            if (a[m][j] != 0.0)
+                                dead = stage_in[m].rowsComputed > r;
+                        if (dead && b[j] != 0.0)
+                            dead = y_next.rowsComputed > r;
+                        if (dead && emb && d[j] != 0.0)
+                            dead = e_map.rowsComputed > r;
+                    }
+                    if (!dead)
+                        break;
+                    map.rowsRetired++;
+                }
+            }
+        }
+    };
+
+    auto liveRows = [&] {
+        std::size_t live = h_map.liveRows();
+        for (std::size_t j = 1; j < s; j++)
+            live += stage_in[j].liveRows();
+        for (std::size_t j = 0; j < s; j++)
+            for (std::size_t l = 0; l < depth; l++)
+                live += z[j][l].liveRows();
+        return live;
+    };
+
+    // --- Depth-first scheduler ---------------------------------------------
+    // Always advance the most downstream computable row first: outputs,
+    // then the latest streams (highest stage) deepest-conv-first — the
+    // hardware's priority-selector policy ("a later stream is given a
+    // higher priority", Sec. V.B).
+    while (y_next.rowsComputed < H || (emb && e_map.rowsComputed < H)) {
+        bool progressed = false;
+        if (emb && canOutput(e_map, false)) {
+            doOutput(e_map, false);
+            progressed = true;
+        } else if (canOutput(y_next, true)) {
+            doOutput(y_next, true);
+            progressed = true;
+        } else {
+            for (std::size_t jj = s; jj-- > 0 && !progressed;) {
+                for (std::size_t ll = depth; ll-- > 0 && !progressed;) {
+                    if (canConv(jj, ll)) {
+                        doConv(jj, ll);
+                        progressed = true;
+                    }
+                }
+                if (!progressed && jj > 0 && canStageIn(jj)) {
+                    doStageIn(jj);
+                    progressed = true;
+                }
+            }
+        }
+        if (!progressed && h_map.rowsComputed < H) {
+            // Nothing downstream can run: fetch the next input row (the
+            // demand-driven arrival of h from the producer/DRAM).
+            h_map.rowsComputed++;
+            progressed = true;
+        }
+        ENODE_ASSERT(progressed, "streaming schedule deadlocked");
+        result.totalRowsComputed++;
+        retireSweep();
+        result.peakLiveRows = std::max(result.peakLiveRows, liveRows());
+    }
+
+    result.yNext = std::move(y_next.data);
+    if (emb)
+        result.errorState = std::move(e_map.data);
+    return result;
+}
+
+} // namespace enode

@@ -1,0 +1,205 @@
+#ifndef ENODE_CORE_DEPTH_FIRST_H
+#define ENODE_CORE_DEPTH_FIRST_H
+
+/**
+ * @file
+ * Depth-first integration (Sec. IV, Fig. 6).
+ *
+ * Three related facilities:
+ *
+ * 1. DepthFirstDdg — the data-dependency graph of one high-order RK step
+ *    after partial-state factoring: nodes for h(t), the integral states
+ *    k_j, the partial states p_{i,j} and the partial error states e_i,
+ *    with the stage ordering of Fig. 6(a). Built for any tableau.
+ *
+ * 2. Buffer analyses — closed-form line-buffer requirements for the
+ *    forward integrator (Fig. 14, Table I) and a lifetime model for the
+ *    training states of depth-first training (Fig. 15). These are what
+ *    the area/memory model of the simulator consumes.
+ *
+ * 3. StreamingExecutor — a functional row-streaming execution of one RK
+ *    step over a conv-only embedded network. It processes the input one
+ *    row at a time, triggers all downstream computation a finished row
+ *    enables (most-downstream-first, the depth-first order), retires
+ *    rows as their last consumer finishes, and records the peak number
+ *    of concurrently live rows. Its numerical output is validated
+ *    against the layer-by-layer RkStepper, and its measured peak
+ *    occupancy validates the closed-form analysis.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "ode/butcher.h"
+#include "ode/rk_stepper.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Node kinds in the depth-first DDG (Fig. 6a). */
+enum class DdgNodeKind
+{
+    InitialState, ///< h(t)
+    IntegralState, ///< k_j (output of one f evaluation)
+    PartialState, ///< p_{i,j}: partial accumulation toward stage input i
+    PartialError, ///< e_i: partial accumulation of the error state
+    FinalState,   ///< h(t + dt)
+    ErrorState,   ///< e
+};
+
+/** One node of the depth-first data-dependency graph. */
+struct DdgNode
+{
+    DdgNodeKind kind;
+    std::string name;     ///< "k2", "p31", "e1", ...
+    int stage;            ///< owning stage index (or -1)
+    int substage;         ///< j of p_{i,j} (or -1)
+    std::vector<std::size_t> inputs; ///< indices of producer nodes
+};
+
+/**
+ * The factored compute graph of one RK step.
+ *
+ * Construction follows Sec. IV.A: k_1 from h; low-order partials
+ * p_{i,1} from h and k_1; higher-order partials p_{i,j} from p_{i,j-1}
+ * and k_j; stage evaluations k_i = f(p_{i,i-1}); error partials e_i
+ * chained as the k's arrive. Zero tableau coefficients elide nodes.
+ */
+class DepthFirstDdg
+{
+  public:
+    explicit DepthFirstDdg(const ButcherTableau &tableau);
+
+    const std::vector<DdgNode> &nodes() const { return nodes_; }
+    const ButcherTableau &tableau() const { return tableau_; }
+
+    /** Count of partial-state nodes (the p_{i,j}). */
+    std::size_t partialStateCount() const;
+    /** Count of partial-error nodes (the e_i). */
+    std::size_t partialErrorCount() const;
+
+    /**
+     * Longest input->output path length; the pipeline depth of the
+     * unfolded integrator.
+     */
+    std::size_t criticalPathLength() const;
+
+    /** Topological order sanity: every edge goes forward. Panics if not. */
+    void checkAcyclic() const;
+
+  private:
+    std::size_t addNode(DdgNodeKind kind, std::string name, int stage,
+                        int substage, std::vector<std::size_t> inputs);
+
+    const ButcherTableau &tableau_;
+    std::vector<DdgNode> nodes_;
+};
+
+/** Problem geometry shared by the analyses. */
+struct DepthFirstConfig
+{
+    const ButcherTableau *tableau = nullptr;
+    std::size_t fDepth = 4;  ///< conv layers in f
+    std::size_t kernel = 3;  ///< conv kernel K
+    std::size_t H = 64;
+    std::size_t W = 64;
+    std::size_t C = 64;
+    std::size_t bytesPerElement = 2; ///< FP16 datapath
+};
+
+/**
+ * Closed-form forward (integral-state) buffer requirements.
+ *
+ * All row counts are in units of one feature-map row (W * C elements).
+ * The integral-state buffer and the line buffer are the two SRAMs of
+ * Table I; both are double-buffered so the packetized streams never
+ * stall on a buffer swap.
+ */
+struct ForwardBufferAnalysis
+{
+    std::size_t partialStateRows;  ///< p_{i,j}: one row each (s(s-1)/2)
+    std::size_t partialErrorRows;  ///< e_i: one row each (s-1 if embedded)
+    std::size_t integralPsumRows;  ///< k_j psum rows: one per stage
+    std::size_t stageBufferRows;   ///< packet state buffers BUF 1..s
+                                   ///< (K rows of input per stream)
+    std::size_t stagingRows;       ///< I/O staging between hub and cores
+    std::size_t convWindowRows;    ///< per-stream conv lines:
+                                   ///< s * fDepth * (K-1)
+
+    std::size_t integralBufferRows; ///< double-buffered integral SRAM rows
+    std::size_t lineBufferRows;     ///< double-buffered line SRAM rows
+    std::size_t totalRows() const;
+
+    std::size_t enodeIntegralBytes; ///< Table I "Integral State Buffer"
+    std::size_t enodeLineBytes;     ///< Table I "Line Buffer"
+    std::size_t enodeBytes;         ///< sum of the two
+    std::size_t baselineBytes;      ///< full-map storage (s maps), SIMD ASIC
+
+    double reductionFactor() const; ///< baseline / eNODE
+};
+
+/** Fig. 14 / Table I: integral-state storage of both designs. */
+ForwardBufferAnalysis analyzeForwardBuffers(const DepthFirstConfig &cfg);
+
+/** Training-state storage and DRAM-traffic model (Fig. 15). */
+struct TrainingBufferAnalysis
+{
+    std::size_t trainingStateMaps;  ///< maps per backward step (stages x f)
+    std::size_t totalBytes;         ///< all training states of one step
+    std::size_t enodeWorkingSetBytes; ///< depth-first peak live bytes
+    double reductionFactor() const;  ///< total / working set
+
+    /**
+     * External DRAM traffic for training states per backward step given
+     * an on-chip buffer of the given size: spilled bytes are written
+     * once and read once (Fig. 15(b)).
+     */
+    std::size_t dramTrafficBytes(std::size_t buffer_bytes,
+                                 bool depth_first) const;
+};
+
+/**
+ * Lifetime model of depth-first training (Sec. IV.B): with the adjoint
+ * streamed in the depth-first manner, a training-state row produced at
+ * pipeline position p (of M = stages x fDepth maps) stays live for about
+ * (M - p) * (K - 1) + 1 rows, so the working set is the sum of these
+ * windows instead of M full maps.
+ */
+TrainingBufferAnalysis analyzeTrainingBuffers(const DepthFirstConfig &cfg);
+
+/**
+ * Stages with backward work: b_j != 0 or read by a later stage. The
+ * FSAL RK23 has 3 of 4 (Sec. IV.B).
+ */
+std::size_t backwardStageCount(const ButcherTableau &tableau);
+
+/** Result of a streaming execution of one RK step. */
+struct StreamingResult
+{
+    Tensor yNext;
+    Tensor errorState;         ///< empty if no embedded estimator
+    std::size_t peakLiveRows;  ///< max concurrently buffered rows
+    std::size_t totalRowsComputed;
+};
+
+/**
+ * Execute one RK step of dh/dt = f(t, h) in depth-first row-streaming
+ * order with line buffers only.
+ *
+ * @param net A *streamable* embedded net: ConcatTime followed by Conv2d
+ *        (+ ReLU) layers only — see EmbeddedNet::makeStreamableConvNet.
+ *        Normalization layers need global statistics and are rejected.
+ * @param tableau Integrator.
+ * @param t Step start time.
+ * @param h Initial state (C, H, W).
+ * @param dt Stepsize.
+ */
+StreamingResult streamingStep(EmbeddedNet &net,
+                              const ButcherTableau &tableau, double t,
+                              const Tensor &h, double dt);
+
+} // namespace enode
+
+#endif // ENODE_CORE_DEPTH_FIRST_H

@@ -1,0 +1,74 @@
+#include "core/memory_profile.h"
+
+namespace enode {
+
+MemoryFootprint
+nodeInferenceFootprint(const NodeWorkloadProfile &profile)
+{
+    MemoryFootprint out;
+    // Peak residency during a layer-by-layer trial: the state h, every
+    // integral state k_1..k_s, and the candidate next state under test.
+    out.sizeMaps = 1.0 + static_cast<double>(profile.stages) + 1.0;
+
+    // Each trial writes s integral states and reads them back for the
+    // state/error accumulation, updates every partial state and partial
+    // error state (read-modify-write), and reads the state / writes the
+    // candidate. Per layer: n_eval * n_try trials.
+    const double s = static_cast<double>(profile.stages);
+    const double per_trial =
+        2.0 * s + 2.0 + s * (s - 1.0) + 2.0 * (s - 1.0);
+    out.accessMaps = static_cast<double>(profile.nLayers) * profile.nEval *
+                     profile.nTry * per_trial;
+    return out;
+}
+
+MemoryFootprint
+nodeTrainingFootprint(const NodeWorkloadProfile &profile)
+{
+    const MemoryFootprint fwd = nodeInferenceFootprint(profile);
+    MemoryFootprint out;
+
+    // Peak size: the forward working set plus the stored checkpoints of
+    // one layer (ACA keeps only evaluation points as checkpoints) plus
+    // the training states of the step being back-propagated.
+    const double training_states =
+        static_cast<double>(profile.backwardStages * profile.fDepth);
+    out.sizeMaps = fwd.sizeMaps + profile.nEval + training_states;
+
+    // Access: forward trials + checkpoint writes, then per backward step
+    // the local forward writes the training states, the adjoint reads
+    // them all, and the adjoint/grad state is updated per stage.
+    const double checkpoint_traffic =
+        static_cast<double>(profile.nLayers) * profile.nEval * 2.0;
+    const double per_backward_step =
+        2.0 * training_states + 2.0 * profile.backwardStages + 2.0;
+    const double backward = static_cast<double>(profile.nLayers) *
+                            profile.nEval * per_backward_step;
+    out.accessMaps = fwd.accessMaps + checkpoint_traffic + backward;
+    return out;
+}
+
+MemoryFootprint
+resnetInferenceFootprint(std::size_t blocks)
+{
+    MemoryFootprint out;
+    // Layer-by-layer: input and output of the current block only.
+    out.sizeMaps = 2.0;
+    // Each block reads its input and writes its output once.
+    out.accessMaps = 2.0 * static_cast<double>(blocks);
+    return out;
+}
+
+MemoryFootprint
+resnetTrainingFootprint(std::size_t blocks)
+{
+    MemoryFootprint out;
+    // Standard backprop stores every block activation.
+    out.sizeMaps = static_cast<double>(blocks);
+    // Forward: write each activation; backward: read each activation and
+    // propagate one gradient map through (read + write).
+    out.accessMaps = 4.0 * static_cast<double>(blocks);
+    return out;
+}
+
+} // namespace enode

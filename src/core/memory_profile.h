@@ -1,0 +1,53 @@
+#ifndef ENODE_CORE_MEMORY_PROFILE_H
+#define ENODE_CORE_MEMORY_PROFILE_H
+
+/**
+ * @file
+ * Analytical memory-footprint models (Sec. II.D, Fig. 4(b)).
+ *
+ * These models express peak memory *size* and total memory *access*
+ * volume per sample, in units of one feature map, for a NODE (driven by
+ * measured solver statistics) and for a plain ResNet of a given depth.
+ * Fig. 4(b)'s message — NODE inference needs a few times more memory
+ * than ResNet while NODE *training* needs one to two orders of magnitude
+ * more memory traffic — falls out of the n_eval * n_try * s multiplier
+ * on every stored intermediate state.
+ */
+
+#include <cstddef>
+
+namespace enode {
+
+/** Solver statistics characterizing one NODE workload. */
+struct NodeWorkloadProfile
+{
+    std::size_t nLayers = 4;      ///< integration layers N
+    std::size_t stages = 4;       ///< integrator stages s (RK23: 4)
+    std::size_t backwardStages = 3; ///< stages with adjoint work (RK23: 3)
+    std::size_t fDepth = 4;       ///< conv layers in f
+    double nEval = 16.0;          ///< mean evaluation points per layer
+    double nTry = 2.0;            ///< mean search trials per point
+};
+
+/** Peak size and total access volume, in feature-map units. */
+struct MemoryFootprint
+{
+    double sizeMaps = 0.0;   ///< peak resident feature maps
+    double accessMaps = 0.0; ///< total map reads+writes per sample
+};
+
+/** NODE forward pass (inference). */
+MemoryFootprint nodeInferenceFootprint(const NodeWorkloadProfile &profile);
+
+/** NODE forward + ACA backward (one training iteration). */
+MemoryFootprint nodeTrainingFootprint(const NodeWorkloadProfile &profile);
+
+/** Plain ResNet with the given number of residual blocks, inference. */
+MemoryFootprint resnetInferenceFootprint(std::size_t blocks);
+
+/** Plain ResNet, one training iteration (stored activations). */
+MemoryFootprint resnetTrainingFootprint(std::size_t blocks);
+
+} // namespace enode
+
+#endif // ENODE_CORE_MEMORY_PROFILE_H

@@ -1,0 +1,178 @@
+#include "core/node_model.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pool.h"
+
+namespace enode {
+
+NodeModel::NodeModel(std::vector<std::unique_ptr<EmbeddedNet>> nets,
+                     double layer_time)
+    : nets_(std::move(nets)), layerTime_(layer_time)
+{
+    ENODE_ASSERT(!nets_.empty(), "NodeModel needs >= 1 integration layer");
+    ENODE_ASSERT(layerTime_ > 0.0, "layer time must be positive");
+}
+
+std::unique_ptr<NodeModel>
+NodeModel::makeConv(std::size_t num_layers, std::size_t channels,
+                    std::size_t f_depth, Rng &rng)
+{
+    std::vector<std::unique_ptr<EmbeddedNet>> nets;
+    nets.reserve(num_layers);
+    for (std::size_t i = 0; i < num_layers; i++)
+        nets.push_back(EmbeddedNet::makeConvNet(channels, f_depth, rng));
+    return std::make_unique<NodeModel>(std::move(nets));
+}
+
+std::unique_ptr<NodeModel>
+NodeModel::makeMlp(std::size_t num_layers, std::size_t dim,
+                   std::size_t hidden, std::size_t f_depth, Rng &rng)
+{
+    std::vector<std::unique_ptr<EmbeddedNet>> nets;
+    nets.reserve(num_layers);
+    for (std::size_t i = 0; i < num_layers; i++)
+        nets.push_back(EmbeddedNet::makeMlp(dim, hidden, f_depth, rng));
+    return std::make_unique<NodeModel>(std::move(nets));
+}
+
+std::unique_ptr<NodeModel>
+NodeModel::makeAugmentedMlp(std::size_t num_layers, std::size_t dim,
+                            std::size_t aug, std::size_t hidden,
+                            std::size_t f_depth, Rng &rng)
+{
+    return makeMlp(num_layers, dim + aug, hidden, f_depth, rng);
+}
+
+Tensor
+augmentState(const Tensor &x, std::size_t aug)
+{
+    ENODE_ASSERT(x.shape().rank() == 1, "augmentState needs a rank-1 state");
+    const std::size_t dim = x.shape().dim(0);
+    Tensor out(Shape{dim + aug});
+    for (std::size_t i = 0; i < dim; i++)
+        out.at(i) = x.at(i);
+    return out;
+}
+
+Tensor
+truncateState(const Tensor &x, std::size_t dim)
+{
+    ENODE_ASSERT(x.shape().rank() == 1 && x.shape().dim(0) >= dim,
+                 "truncateState: state smaller than requested dim");
+    Tensor out(Shape{dim});
+    for (std::size_t i = 0; i < dim; i++)
+        out.at(i) = x.at(i);
+    return out;
+}
+
+NodeForwardResult
+NodeModel::forward(const Tensor &x, const ButcherTableau &tableau,
+                   StepController &controller, const IvpOptions &opts,
+                   TrialEvaluator *evaluator)
+{
+    NodeForwardResult result;
+    result.layers.reserve(nets_.size());
+    Tensor h = x;
+    for (auto &net : nets_) {
+        EmbeddedNetOde ode(*net);
+        IvpResult layer = solveIvp(ode, h, 0.0, layerTime_, tableau,
+                                   controller, opts, evaluator);
+        h = layer.yFinal;
+        result.totalStats.accumulate(layer.stats);
+        result.layers.push_back(std::move(layer));
+    }
+    result.output = std::move(h);
+    return result;
+}
+
+std::vector<ParamSlot>
+NodeModel::paramSlots()
+{
+    std::vector<ParamSlot> slots;
+    for (std::size_t i = 0; i < nets_.size(); i++) {
+        for (auto &slot : nets_[i]->paramSlots()) {
+            slot.name = "node" + std::to_string(i) + "." + slot.name;
+            slots.push_back(slot);
+        }
+    }
+    return slots;
+}
+
+void
+NodeModel::zeroGrad()
+{
+    for (auto &net : nets_)
+        net->zeroGrad();
+}
+
+std::size_t
+NodeModel::paramCount()
+{
+    std::size_t n = 0;
+    for (auto &net : nets_)
+        n += net->paramCount();
+    return n;
+}
+
+NodeClassifier::NodeClassifier(std::size_t in_channels,
+                               std::size_t state_channels,
+                               std::size_t num_layers, std::size_t f_depth,
+                               std::size_t num_classes, Rng &rng)
+{
+    encoder_ = std::make_unique<Sequential>();
+    encoder_->add(
+        std::make_unique<Conv2d>(in_channels, state_channels, 3, rng));
+    encoder_->add(std::make_unique<GroupNorm>(
+        state_channels, state_channels >= 8 ? 8 : 1));
+    encoder_->add(std::make_unique<ReLU>());
+
+    node_ = NodeModel::makeConv(num_layers, state_channels, f_depth, rng);
+
+    head_ = std::make_unique<Sequential>();
+    head_->add(std::make_unique<GlobalAvgPool>());
+    head_->add(std::make_unique<Linear>(state_channels, num_classes, rng));
+}
+
+NodeClassifier::Result
+NodeClassifier::forward(const Tensor &image, const ButcherTableau &tableau,
+                        StepController &controller, const IvpOptions &opts,
+                        TrialEvaluator *evaluator)
+{
+    Result result;
+    const Tensor h0 = encoder_->forward(image);
+    result.node = node_->forward(h0, tableau, controller, opts, evaluator);
+    result.logits = head_->forward(result.node.output);
+    return result;
+}
+
+std::vector<ParamSlot>
+NodeClassifier::paramSlots()
+{
+    std::vector<ParamSlot> slots;
+    for (auto &slot : encoder_->paramSlots()) {
+        slot.name = "encoder." + slot.name;
+        slots.push_back(slot);
+    }
+    for (auto &slot : node_->paramSlots())
+        slots.push_back(slot);
+    for (auto &slot : head_->paramSlots()) {
+        slot.name = "head." + slot.name;
+        slots.push_back(slot);
+    }
+    return slots;
+}
+
+void
+NodeClassifier::zeroGrad()
+{
+    encoder_->zeroGrad();
+    node_->zeroGrad();
+    head_->zeroGrad();
+}
+
+} // namespace enode

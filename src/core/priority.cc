@@ -1,0 +1,154 @@
+#include "core/priority.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace enode {
+
+PriorityTrialEvaluator::PriorityTrialEvaluator(PriorityOptions opts)
+    : opts_(opts)
+{
+    ENODE_ASSERT(opts_.windowHeight >= 1, "window height must be >= 1");
+}
+
+void
+PriorityTrialEvaluator::pointStart()
+{
+    // Fig. 12(b): the first trial of every evaluation point re-initializes
+    // the high-error region.
+    haveWindow_ = false;
+}
+
+std::size_t
+PriorityTrialEvaluator::rowCount(const Tensor &e)
+{
+    if (e.shape().rank() == 3)
+        return e.shape().dim(1);
+    return e.numel(); // rank-1 dynamic-system states: one row per entry
+}
+
+double
+PriorityTrialEvaluator::rowEnergy(const Tensor &e, std::size_t r)
+{
+    if (e.shape().rank() == 3) {
+        const double n = e.rowWindowL2(r, r + 1);
+        return n * n;
+    }
+    const double v = e.at(r);
+    return v * v;
+}
+
+TrialEvaluator::Trial
+PriorityTrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper,
+                                 double t, const Tensor &y, double dt,
+                                 double eps, const Tensor *k1_reuse)
+{
+    Trial trial;
+    // Numerically the step is always fully computed; the *hardware* cost
+    // of the trial is the scanned-row fraction recorded below. This keeps
+    // the algorithm's decisions bit-identical to a streaming
+    // implementation, which decides from the same error values.
+    trial.step = stepper.step(f, t, y, dt, k1_reuse);
+    stats_.trials++;
+
+    if (!stepper.tableau().hasEmbedded()) {
+        trial.accepted = true;
+        trial.decisionNorm = 0.0;
+        trial.workFraction = 1.0;
+        return trial;
+    }
+
+    const Tensor &e = trial.step.errorState;
+    const std::size_t rows = rowCount(e);
+    stats_.rowsTotal += static_cast<double>(rows);
+    const double eps_sq = eps * eps;
+
+    if (!haveWindow_ || !opts_.acceptFromWindow) {
+        // Full scan. The first trial doubles as the initialization that
+        // locates the high-error region for the rest of this point.
+        std::vector<double> energy(rows);
+        for (std::size_t r = 0; r < rows; r++)
+            energy[r] = rowEnergy(e, r);
+
+        // Early stop still applies to the full scan: stop counting work
+        // at the row where the cumulative energy crosses eps^2.
+        double cum = 0.0;
+        std::size_t scanned = rows;
+        for (std::size_t r = 0; r < rows; r++) {
+            cum += energy[r];
+            if (opts_.earlyStop && haveWindow_ && cum > eps_sq) {
+                scanned = r + 1;
+                break;
+            }
+        }
+        double total = 0.0;
+        for (double v : energy)
+            total += v;
+        trial.decisionNorm = std::sqrt(total);
+        trial.accepted = trial.decisionNorm <= eps;
+        const bool stopped_early = scanned < rows && !trial.accepted;
+        trial.workFraction =
+            stopped_early ? static_cast<double>(scanned) / rows : 1.0;
+        stats_.rowsScanned += trial.workFraction * rows;
+        if (stopped_early)
+            stats_.earlyRejects++;
+
+        // Locate the best window of windowHeight consecutive rows.
+        const std::size_t win = std::min(opts_.windowHeight, rows);
+        double best = -1.0;
+        std::size_t best_begin = 0;
+        double sliding = 0.0;
+        for (std::size_t r = 0; r < rows; r++) {
+            sliding += energy[r];
+            if (r + 1 >= win) {
+                if (sliding > best) {
+                    best = sliding;
+                    best_begin = r + 1 - win;
+                }
+                sliding -= energy[r + 1 - win];
+            }
+        }
+        winBegin_ = best_begin;
+        winEnd_ = best_begin + win;
+        haveWindow_ = true;
+        return trial;
+    }
+
+    // Subsequent trials: scan the priority window first, early-stopping
+    // on rejection; accept from the window alone (paper behaviour).
+    double cum = 0.0;
+    std::size_t scanned = 0;
+    bool rejected = false;
+    for (std::size_t r = winBegin_; r < winEnd_; r++) {
+        cum += rowEnergy(e, r);
+        scanned++;
+        if (opts_.earlyStop && cum > eps_sq) {
+            rejected = true;
+            break;
+        }
+    }
+    if (!rejected && !opts_.earlyStop) {
+        // Without early stop, check the window total after the fact.
+        rejected = cum > eps_sq;
+    }
+
+    trial.decisionNorm = std::sqrt(cum);
+    if (rejected) {
+        trial.accepted = false;
+        trial.workFraction = static_cast<double>(scanned) / rows;
+        stats_.earlyRejects++;
+    } else {
+        // Window clean: accept. The remaining rows are processed to
+        // produce h(t + dt), so the accepted trial costs a full pass.
+        trial.accepted = true;
+        trial.workFraction = 1.0;
+        stats_.windowAccepts++;
+    }
+    stats_.rowsScanned += trial.workFraction * rows;
+    return trial;
+}
+
+} // namespace enode

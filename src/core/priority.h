@@ -1,0 +1,97 @@
+#ifndef ENODE_CORE_PRIORITY_H
+#define ENODE_CORE_PRIORITY_H
+
+/**
+ * @file
+ * Priority processing and early stop (Sec. VII.B, Fig. 12).
+ *
+ * Each search trial traverses the feature map to compute the integral
+ * states and the truncation error norm ||e||_2. The norm is usually
+ * dominated by a small high-error region. The technique:
+ *
+ *  - The first trial at an evaluation point computes the full map and
+ *    locates the window of H_hat consecutive rows with the largest
+ *    error energy (the priority window).
+ *  - Subsequent trials process the priority window first. The partial
+ *    ||e||_2 accumulates row by row; as soon as it exceeds epsilon the
+ *    trial is rejected and stopped early (sound: the full norm can only
+ *    be larger). If the window completes below epsilon, the trial is
+ *    accepted with the window as a proxy for the full error — the
+ *    remaining rows are still processed to produce h(t+dt), but no
+ *    longer gate the decision. This proxy acceptance is where the
+ *    accuracy sensitivity to small H_hat in Fig. 13 comes from.
+ *
+ * The work metric reported per trial is the fraction of error rows
+ * actually scanned before the decision; rejected trials typically cost
+ * only a few rows (the latency/energy saving of Fig. 12(b)).
+ *
+ * A conservative mode is provided as an ablation: acceptance requires
+ * the full-map scan (only rejections stop early), which provably never
+ * changes the search decisions and thus costs no accuracy.
+ */
+
+#include <cstdint>
+
+#include "ode/ivp.h"
+
+namespace enode {
+
+/** Tunables of priority processing. */
+struct PriorityOptions
+{
+    std::size_t windowHeight = 16; ///< H_hat (rows)
+    bool earlyStop = true;         ///< allow mid-scan rejection
+    /**
+     * Paper behaviour: accept from the window alone (fast, may cost
+     * accuracy). When false, acceptance scans the full map (ablation;
+     * decisions identical to the baseline search).
+     */
+    bool acceptFromWindow = true;
+};
+
+/** Per-evaluator accounting. */
+struct PriorityStats
+{
+    std::uint64_t trials = 0;
+    std::uint64_t earlyRejects = 0;   ///< trials rejected mid-scan
+    std::uint64_t windowAccepts = 0;  ///< accepts decided from the window
+    double rowsScanned = 0.0;         ///< error rows scanned in total
+    double rowsTotal = 0.0;           ///< error rows a full scan would cost
+};
+
+/** Trial evaluator implementing priority processing + early stop. */
+class PriorityTrialEvaluator : public TrialEvaluator
+{
+  public:
+    explicit PriorityTrialEvaluator(PriorityOptions opts = {});
+
+    void pointStart() override;
+
+    Trial evaluate(OdeFunction &f, const RkStepper &stepper, double t,
+                   const Tensor &y, double dt, double eps,
+                   const Tensor *k1_reuse) override;
+
+    const PriorityStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+    /** Current priority window [begin, end) (for tests/visualization). */
+    bool hasWindow() const { return haveWindow_; }
+    std::size_t windowBegin() const { return winBegin_; }
+    std::size_t windowEnd() const { return winEnd_; }
+
+  private:
+    /** Row count of an error tensor (rank-3: H; rank-1: numel). */
+    static std::size_t rowCount(const Tensor &e);
+    /** Squared L2 of row r. */
+    static double rowEnergy(const Tensor &e, std::size_t r);
+
+    PriorityOptions opts_;
+    PriorityStats stats_;
+    bool haveWindow_ = false;
+    std::size_t winBegin_ = 0;
+    std::size_t winEnd_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_CORE_PRIORITY_H

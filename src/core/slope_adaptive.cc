@@ -1,0 +1,88 @@
+#include "core/slope_adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+SlopeAdaptiveController::SlopeAdaptiveController(SlopeAdaptiveOptions opts)
+    : opts_(opts)
+{
+    ENODE_ASSERT(opts_.sAcc >= 1 && opts_.sRej >= 1,
+                 "thresholds must be >= 1");
+    ENODE_ASSERT(opts_.downScale > 0.0 && opts_.downScale < 1.0,
+                 "downScale must be in (0, 1)");
+}
+
+void
+SlopeAdaptiveController::reset(double initial_dt)
+{
+    ENODE_ASSERT(initial_dt > 0.0, "initial dt must be positive");
+    dtPrev_ = initial_dt;
+    cAcc_ = 0;
+    cRej_ = 0;
+    rejectedThisPoint_ = false;
+}
+
+double
+SlopeAdaptiveController::initialDt()
+{
+    ENODE_ASSERT(dtPrev_ > 0.0, "controller not reset");
+    rejectedThisPoint_ = false;
+    return dtPrev_;
+}
+
+double
+SlopeAdaptiveController::rejectedDt(double dt, double /*err_norm*/,
+                                    double /*eps*/)
+{
+    if (!rejectedThisPoint_) {
+        // The *initial* stepsize of this evaluation point was rejected:
+        // update the consecutive-rejection history immediately so the
+        // retries below already benefit from the aggressive scaling.
+        rejectedThisPoint_ = true;
+        cRej_++;
+        cAcc_ = 0;
+    }
+    if (cRej_ >= opts_.sRej) {
+        const double beta_minus =
+            std::max(sigmoid(-static_cast<double>(cRej_)),
+                     opts_.betaMinusFloor);
+        return dt * beta_minus;
+    }
+    return dt * opts_.downScale;
+}
+
+void
+SlopeAdaptiveController::accepted(double dt, double /*err_norm*/,
+                                  double /*eps*/, bool first_trial_accepted)
+{
+    if (first_trial_accepted) {
+        cAcc_++;
+        cRej_ = 0;
+    }
+    // If the first trial was rejected, cRej_ was already incremented in
+    // rejectedDt(); nothing to do for the counters here.
+
+    double dt_next = dt;
+    if (first_trial_accepted && cAcc_ >= opts_.sAcc) {
+        const double beta_plus =
+            1.0 + sigmoid(static_cast<double>(cAcc_));
+        dt_next = dt * beta_plus;
+    }
+    dtPrev_ = std::min(dt_next, opts_.maxDt);
+}
+
+} // namespace enode

@@ -1,0 +1,89 @@
+#include "core/trajectory.h"
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace enode {
+
+TrajectorySample
+sampleTrajectory(EmbeddedNet &net, const Tensor &x0, double t0,
+                 const std::vector<double> &times,
+                 const ButcherTableau &tableau, StepController &controller,
+                 const IvpOptions &opts, TrialEvaluator *evaluator)
+{
+    ENODE_ASSERT(!times.empty(), "sampleTrajectory needs >= 1 time");
+    double prev = t0;
+    for (double t : times) {
+        ENODE_ASSERT(t > prev, "times must be strictly increasing and > t0");
+        prev = t;
+    }
+
+    TrajectorySample sample;
+    sample.states.reserve(times.size());
+    sample.segments.reserve(times.size());
+    EmbeddedNetOde ode(net);
+    Tensor h = x0;
+    double t = t0;
+    for (double t_next : times) {
+        IvpResult segment = solveIvp(ode, h, t, t_next, tableau,
+                                     controller, opts, evaluator);
+        h = segment.yFinal;
+        t = t_next;
+        sample.states.push_back(h);
+        sample.stats.accumulate(segment.stats);
+        sample.segments.push_back(std::move(segment));
+    }
+    return sample;
+}
+
+TrajectoryFitResult
+trajectoryTrainStep(EmbeddedNet &net, const Tensor &x0, double t0,
+                    const std::vector<TrajectoryObservation> &observations,
+                    const ButcherTableau &tableau,
+                    StepController &controller, const IvpOptions &opts,
+                    TrialEvaluator *evaluator)
+{
+    ENODE_ASSERT(!observations.empty(), "need >= 1 observation");
+    std::vector<double> times;
+    times.reserve(observations.size());
+    for (const auto &obs : observations)
+        times.push_back(obs.t);
+
+    auto sample = sampleTrajectory(net, x0, t0, times, tableau, controller,
+                                   opts, evaluator);
+
+    TrajectoryFitResult result;
+    result.forwardStats = sample.stats;
+    result.predictions = sample.states;
+
+    // Loss: mean of the per-observation MSEs; each observation's
+    // gradient carries the 1/n averaging factor.
+    const double n = static_cast<double>(observations.size());
+    std::vector<Tensor> grads;
+    grads.reserve(observations.size());
+    for (std::size_t i = 0; i < observations.size(); i++) {
+        auto loss = mseLoss(sample.states[i], observations[i].target);
+        result.loss += loss.value / n;
+        loss.grad *= static_cast<float>(1.0 / n);
+        grads.push_back(std::move(loss.grad));
+    }
+
+    // Backward: walk the segments in reverse. The adjoint leaving
+    // segment i (at time t_i) is the adjoint propagated from later
+    // segments *plus* observation i's own loss gradient — the
+    // continuous analogue of injecting dL/dh(t_i) at each observed
+    // point.
+    Tensor abar = grads.back();
+    for (std::size_t seg = observations.size(); seg-- > 0;) {
+        auto layer = acaBackwardLayer(net, tableau, sample.segments[seg],
+                                      abar);
+        result.backwardStats.accumulate(layer.stats);
+        if (seg > 0) {
+            abar = std::move(layer.gradInput);
+            abar += grads[seg - 1];
+        }
+    }
+    return result;
+}
+
+} // namespace enode

@@ -1,0 +1,77 @@
+#ifndef ENODE_CORE_TRAJECTORY_H
+#define ENODE_CORE_TRAJECTORY_H
+
+/**
+ * @file
+ * Trajectory sampling and fitting.
+ *
+ * NODE's core motivation is continuous-time data (Sec. I): a sensor
+ * stream observed at irregular times t_1 < ... < t_n. This module
+ * solves one embedded network's ODE across all observation times in a
+ * single pass (each [t_{i-1}, t_i] segment is an adaptive solve whose
+ * checkpoints are kept) and trains against every observation at once:
+ * the ACA backward pass walks the segments in reverse, injecting each
+ * observation's loss gradient into the adjoint as it crosses that
+ * observation time — the multi-observation generalization of Eq. (4)'s
+ * initial condition.
+ */
+
+#include <vector>
+
+#include "core/aca_trainer.h"
+
+namespace enode {
+
+/** One ground-truth observation of the trajectory. */
+struct TrajectoryObservation
+{
+    double t;      ///< observation time (strictly increasing, > t0)
+    Tensor target; ///< observed state
+};
+
+/** Result of a trajectory forward pass. */
+struct TrajectorySample
+{
+    std::vector<Tensor> states; ///< predicted state at each time
+    std::vector<IvpResult> segments; ///< per-segment solver records
+    IvpStats stats;
+};
+
+/**
+ * Integrate dh/dt = f(t, h) from (t0, x0) and record the state at each
+ * requested time.
+ *
+ * @param times Strictly increasing times, all > t0.
+ */
+TrajectorySample sampleTrajectory(EmbeddedNet &net, const Tensor &x0,
+                                  double t0,
+                                  const std::vector<double> &times,
+                                  const ButcherTableau &tableau,
+                                  StepController &controller,
+                                  const IvpOptions &opts,
+                                  TrialEvaluator *evaluator = nullptr);
+
+/** Result of one trajectory training step. */
+struct TrajectoryFitResult
+{
+    double loss = 0.0; ///< mean MSE across observations
+    std::vector<Tensor> predictions;
+    IvpStats forwardStats;
+    AcaStats backwardStats;
+};
+
+/**
+ * One training step against a full observed trajectory: forward through
+ * all observation times, MSE at each, ACA backward with per-observation
+ * adjoint injection. Parameter gradients accumulate into the net's
+ * slots; the caller owns the optimizer step.
+ */
+TrajectoryFitResult trajectoryTrainStep(
+    EmbeddedNet &net, const Tensor &x0, double t0,
+    const std::vector<TrajectoryObservation> &observations,
+    const ButcherTableau &tableau, StepController &controller,
+    const IvpOptions &opts, TrialEvaluator *evaluator = nullptr);
+
+} // namespace enode
+
+#endif // ENODE_CORE_TRAJECTORY_H

@@ -1,0 +1,78 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+Tensor
+ReLU::forward(const Tensor &x)
+{
+    cachedInput_ = x;
+    Tensor out = x;
+    for (std::size_t i = 0; i < out.numel(); i++)
+        if (out.at(i) < 0.0f)
+            out.at(i) = 0.0f;
+    return out;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    ENODE_ASSERT(!cachedInput_.empty(), "ReLU backward before forward");
+    Tensor grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.numel(); i++)
+        if (cachedInput_.at(i) <= 0.0f)
+            grad_in.at(i) = 0.0f;
+    return grad_in;
+}
+
+Tensor
+Tanh::forward(const Tensor &x)
+{
+    Tensor out = x;
+    for (std::size_t i = 0; i < out.numel(); i++)
+        out.at(i) = std::tanh(out.at(i));
+    cachedOutput_ = out;
+    return out;
+}
+
+Tensor
+Tanh::backward(const Tensor &grad_out)
+{
+    ENODE_ASSERT(!cachedOutput_.empty(), "Tanh backward before forward");
+    Tensor grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.numel(); i++) {
+        const float y = cachedOutput_.at(i);
+        grad_in.at(i) *= 1.0f - y * y;
+    }
+    return grad_in;
+}
+
+Tensor
+Softplus::forward(const Tensor &x)
+{
+    cachedInput_ = x;
+    Tensor out = x;
+    for (std::size_t i = 0; i < out.numel(); i++) {
+        const float v = out.at(i);
+        // Numerically stable softplus: max(v, 0) + log1p(exp(-|v|)).
+        out.at(i) = std::max(v, 0.0f) + std::log1p(std::exp(-std::abs(v)));
+    }
+    return out;
+}
+
+Tensor
+Softplus::backward(const Tensor &grad_out)
+{
+    ENODE_ASSERT(!cachedInput_.empty(), "Softplus backward before forward");
+    Tensor grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.numel(); i++) {
+        const float v = cachedInput_.at(i);
+        grad_in.at(i) *= 1.0f / (1.0f + std::exp(-v)); // sigmoid(v)
+    }
+    return grad_in;
+}
+
+} // namespace enode

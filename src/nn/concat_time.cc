@@ -1,0 +1,54 @@
+#include "nn/concat_time.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace enode {
+
+Tensor
+ConcatTime::forward(const Tensor &x)
+{
+    cachedInputShape_ = x.shape();
+    if (x.shape().rank() == 1) {
+        const std::size_t n = x.shape().dim(0);
+        Tensor out(Shape{n + 1});
+        std::memcpy(out.data(), x.data(), n * sizeof(float));
+        out.at(n) = static_cast<float>(time_);
+        return out;
+    }
+    ENODE_ASSERT(x.shape().rank() == 3,
+                 "ConcatTime supports rank 1 or 3, got ", x.shape().str());
+    const std::size_t C = x.shape().dim(0);
+    const std::size_t H = x.shape().dim(1);
+    const std::size_t W = x.shape().dim(2);
+    Tensor out(Shape{C + 1, H, W});
+    std::memcpy(out.data(), x.data(), C * H * W * sizeof(float));
+    float *time_plane = out.data() + C * H * W;
+    for (std::size_t i = 0; i < H * W; i++)
+        time_plane[i] = static_cast<float>(time_);
+    return out;
+}
+
+Tensor
+ConcatTime::backward(const Tensor &grad_out)
+{
+    ENODE_ASSERT(cachedInputShape_.rank() > 0,
+                 "ConcatTime backward before forward");
+    // Drop the gradient of the appended time feature.
+    Tensor grad_in(cachedInputShape_);
+    std::memcpy(grad_in.data(), grad_out.data(),
+                grad_in.numel() * sizeof(float));
+    return grad_in;
+}
+
+Shape
+ConcatTime::outputShape(const Shape &input) const
+{
+    if (input.rank() == 1)
+        return Shape{input.dim(0) + 1};
+    ENODE_ASSERT(input.rank() == 3, "ConcatTime supports rank 1 or 3");
+    return Shape{input.dim(0) + 1, input.dim(1), input.dim(2)};
+}
+
+} // namespace enode

@@ -1,0 +1,43 @@
+#ifndef ENODE_NN_CONCAT_TIME_H
+#define ENODE_NN_CONCAT_TIME_H
+
+/**
+ * @file
+ * Time-concatenation layer.
+ *
+ * The embedded network of a NODE is f(t, h, theta): it takes the scalar
+ * integration time t in addition to the state (Eq. 1). The standard
+ * construction (Chen et al. 2018) appends t as one extra input feature:
+ * an extra constant channel for (C, H, W) states, or one extra element
+ * for rank-1 states. The backward pass simply drops the gradient of the
+ * appended feature, since t is not differentiated through.
+ */
+
+#include "nn/layer.h"
+
+namespace enode {
+
+/** Appends the current scalar time as an extra channel / feature. */
+class ConcatTime : public Layer
+{
+  public:
+    ConcatTime() = default;
+
+    /** Set the time that the next forward() will append. */
+    void setTime(double t) { time_ = t; }
+
+    double time() const { return time_; }
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "ConcatTime"; }
+    Shape outputShape(const Shape &input) const override;
+
+  private:
+    double time_ = 0.0;
+    Shape cachedInputShape_;
+};
+
+} // namespace enode
+
+#endif // ENODE_NN_CONCAT_TIME_H

@@ -1,0 +1,21 @@
+#include "nn/layer.h"
+
+namespace enode {
+
+void
+Layer::zeroGrad()
+{
+    for (auto &slot : paramSlots())
+        slot.grad->fill(0.0f);
+}
+
+std::size_t
+Layer::paramCount()
+{
+    std::size_t n = 0;
+    for (auto &slot : paramSlots())
+        n += slot.param->numel();
+    return n;
+}
+
+} // namespace enode

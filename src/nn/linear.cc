@@ -1,0 +1,96 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace enode {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng &rng,
+               bool with_bias)
+    : inFeatures_(in_features),
+      outFeatures_(out_features),
+      withBias_(with_bias),
+      weightGrad_(Shape{out_features, in_features})
+{
+    const float bound =
+        static_cast<float>(std::sqrt(6.0 / static_cast<double>(in_features)));
+    weight_ = Tensor::uniform(Shape{out_features, in_features}, rng, -bound,
+                              bound);
+    if (withBias_) {
+        bias_ = Tensor::uniform(Shape{out_features}, rng, -bound, bound);
+        biasGrad_ = Tensor(Shape{out_features});
+    }
+}
+
+Tensor
+Linear::forward(const Tensor &x)
+{
+    ENODE_ASSERT(x.shape().rank() == 1 && x.shape().dim(0) == inFeatures_,
+                 "Linear expects (", inFeatures_, "), got ", x.shape().str());
+    cachedInput_ = x;
+    Tensor out(Shape{outFeatures_});
+    for (std::size_t o = 0; o < outFeatures_; o++) {
+        float acc = withBias_ ? bias_.at(o) : 0.0f;
+        const float *wrow = weight_.data() + o * inFeatures_;
+        for (std::size_t i = 0; i < inFeatures_; i++)
+            acc += wrow[i] * x.at(i);
+        out.at(o) = acc;
+    }
+    return out;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    ENODE_ASSERT(!cachedInput_.empty(), "Linear backward before forward");
+    ENODE_ASSERT(grad_out.shape().rank() == 1 &&
+                     grad_out.shape().dim(0) == outFeatures_,
+                 "Linear grad_out shape mismatch");
+
+    for (std::size_t o = 0; o < outFeatures_; o++) {
+        const float g = grad_out.at(o);
+        float *gw_row = weightGrad_.data() + o * inFeatures_;
+        for (std::size_t i = 0; i < inFeatures_; i++)
+            gw_row[i] += g * cachedInput_.at(i);
+        if (withBias_)
+            biasGrad_.at(o) += g;
+    }
+
+    Tensor grad_in(Shape{inFeatures_});
+    for (std::size_t i = 0; i < inFeatures_; i++) {
+        float acc = 0.0f;
+        for (std::size_t o = 0; o < outFeatures_; o++)
+            acc += weight_.data()[o * inFeatures_ + i] * grad_out.at(o);
+        grad_in.at(i) = acc;
+    }
+    return grad_in;
+}
+
+std::vector<ParamSlot>
+Linear::paramSlots()
+{
+    std::vector<ParamSlot> slots;
+    slots.push_back({"weight", &weight_, &weightGrad_});
+    if (withBias_)
+        slots.push_back({"bias", &bias_, &biasGrad_});
+    return slots;
+}
+
+std::string
+Linear::name() const
+{
+    return "Linear(" + std::to_string(inFeatures_) + "->" +
+           std::to_string(outFeatures_) + ")";
+}
+
+Shape
+Linear::outputShape(const Shape &input) const
+{
+    ENODE_ASSERT(input.rank() == 1 && input.dim(0) == inFeatures_,
+                 "Linear input shape mismatch");
+    return Shape{outFeatures_};
+}
+
+} // namespace enode

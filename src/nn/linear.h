@@ -1,0 +1,52 @@
+#ifndef ENODE_NN_LINEAR_H
+#define ENODE_NN_LINEAR_H
+
+/**
+ * @file
+ * Fully connected layer.
+ *
+ * Used as the embedded network for low-dimensional dynamic-system NODEs
+ * (Three-Body, Lotka-Volterra) and as the classifier head of the image
+ * models. Operates on rank-1 tensors.
+ */
+
+#include "nn/layer.h"
+
+namespace enode {
+
+class Rng;
+
+/** y = W x + b on rank-1 tensors. */
+class Linear : public Layer
+{
+  public:
+    Linear(std::size_t in_features, std::size_t out_features, Rng &rng,
+           bool with_bias = true);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<ParamSlot> paramSlots() override;
+    std::string name() const override;
+    Shape outputShape(const Shape &input) const override;
+
+    std::size_t inFeatures() const { return inFeatures_; }
+    std::size_t outFeatures() const { return outFeatures_; }
+
+    Tensor &weight() { return weight_; }
+
+  private:
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    bool withBias_;
+
+    Tensor weight_; // (out, in)
+    Tensor weightGrad_;
+    Tensor bias_; // (out) or empty
+    Tensor biasGrad_;
+
+    Tensor cachedInput_;
+};
+
+} // namespace enode
+
+#endif // ENODE_NN_LINEAR_H

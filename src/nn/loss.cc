@@ -1,0 +1,62 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+LossResult
+mseLoss(const Tensor &pred, const Tensor &target)
+{
+    ENODE_ASSERT(pred.shape() == target.shape(), "mse shape mismatch: ",
+                 pred.shape().str(), " vs ", target.shape().str());
+    const std::size_t n = pred.numel();
+    double acc = 0.0;
+    Tensor grad(pred.shape());
+    for (std::size_t i = 0; i < n; i++) {
+        const double d = static_cast<double>(pred.at(i)) - target.at(i);
+        acc += d * d;
+        grad.at(i) = static_cast<float>(2.0 * d / n);
+    }
+    return {acc / n, std::move(grad)};
+}
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, std::size_t label)
+{
+    ENODE_ASSERT(logits.shape().rank() == 1, "logits must be rank 1");
+    const std::size_t n = logits.numel();
+    ENODE_ASSERT(label < n, "label ", label, " out of ", n, " classes");
+
+    // Stable softmax.
+    float max_logit = logits.at(0);
+    for (std::size_t i = 1; i < n; i++)
+        max_logit = std::max(max_logit, logits.at(i));
+    double denom = 0.0;
+    for (std::size_t i = 0; i < n; i++)
+        denom += std::exp(static_cast<double>(logits.at(i)) - max_logit);
+
+    Tensor grad(logits.shape());
+    for (std::size_t i = 0; i < n; i++) {
+        const double p =
+            std::exp(static_cast<double>(logits.at(i)) - max_logit) / denom;
+        grad.at(i) = static_cast<float>(p - (i == label ? 1.0 : 0.0));
+    }
+    const double log_p_label =
+        static_cast<double>(logits.at(label)) - max_logit - std::log(denom);
+    return {-log_p_label, std::move(grad)};
+}
+
+std::size_t
+argmax(const Tensor &logits)
+{
+    ENODE_ASSERT(logits.numel() > 0, "argmax of empty tensor");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < logits.numel(); i++)
+        if (logits.at(i) > logits.at(best))
+            best = i;
+    return best;
+}
+
+} // namespace enode

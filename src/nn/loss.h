@@ -1,0 +1,43 @@
+#ifndef ENODE_NN_LOSS_H
+#define ENODE_NN_LOSS_H
+
+/**
+ * @file
+ * Loss functions with analytic gradients.
+ *
+ * The eNODE function unit computes the loss at the end of the forward
+ * pass (Sec. V.A); in training the loss gradient seeds the adjoint
+ * a(T) = dL/dh(T) of Eq. (4).
+ */
+
+#include <cstddef>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Value and gradient of a loss evaluation. */
+struct LossResult
+{
+    double value;
+    Tensor grad; // dL/d(prediction), same shape as the prediction
+};
+
+/** Mean squared error: mean over elements of (pred - target)^2. */
+LossResult mseLoss(const Tensor &pred, const Tensor &target);
+
+/**
+ * Softmax cross-entropy over rank-1 logits.
+ *
+ * @param logits Unnormalized class scores, shape (num_classes).
+ * @param label True class index.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits, std::size_t label);
+
+/** Class prediction: argmax over rank-1 logits. */
+std::size_t argmax(const Tensor &logits);
+
+} // namespace enode
+
+#endif // ENODE_NN_LOSS_H

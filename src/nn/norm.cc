@@ -1,0 +1,142 @@
+#include "nn/norm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+GroupNorm::GroupNorm(std::size_t channels, std::size_t groups, float eps)
+    : channels_(channels),
+      groups_(groups),
+      eps_(eps),
+      gamma_(Shape{channels}, 1.0f),
+      gammaGrad_(Shape{channels}),
+      beta_(Shape{channels}),
+      betaGrad_(Shape{channels})
+{
+    ENODE_ASSERT(groups > 0 && channels % groups == 0,
+                 "channels ", channels, " not divisible by groups ", groups);
+}
+
+Tensor
+GroupNorm::forward(const Tensor &x)
+{
+    ENODE_ASSERT(x.shape().rank() == 3 && x.shape().dim(0) == channels_,
+                 "GroupNorm expects (C=", channels_, ", H, W), got ",
+                 x.shape().str());
+    const std::size_t C = channels_;
+    const std::size_t H = x.shape().dim(1);
+    const std::size_t W = x.shape().dim(2);
+    const std::size_t cpg = C / groups_; // channels per group
+    const std::size_t group_elems = cpg * H * W;
+
+    Tensor x_hat(x.shape());
+    Tensor out(x.shape());
+    cachedInvStd_.assign(groups_, 0.0f);
+
+    for (std::size_t g = 0; g < groups_; g++) {
+        double sum = 0.0, sum_sq = 0.0;
+        for (std::size_t c = g * cpg; c < (g + 1) * cpg; c++) {
+            for (std::size_t h = 0; h < H; h++) {
+                for (std::size_t w = 0; w < W; w++) {
+                    const double v = x.at(c, h, w);
+                    sum += v;
+                    sum_sq += v * v;
+                }
+            }
+        }
+        const double mean = sum / group_elems;
+        const double var =
+            std::max(0.0, sum_sq / group_elems - mean * mean);
+        const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+        cachedInvStd_[g] = inv_std;
+
+        for (std::size_t c = g * cpg; c < (g + 1) * cpg; c++) {
+            for (std::size_t h = 0; h < H; h++) {
+                for (std::size_t w = 0; w < W; w++) {
+                    const float xh = (x.at(c, h, w) -
+                                      static_cast<float>(mean)) * inv_std;
+                    x_hat.at(c, h, w) = xh;
+                    out.at(c, h, w) = gamma_.at(c) * xh + beta_.at(c);
+                }
+            }
+        }
+    }
+    cachedNormalized_ = x_hat;
+    return out;
+}
+
+Tensor
+GroupNorm::backward(const Tensor &grad_out)
+{
+    ENODE_ASSERT(!cachedNormalized_.empty(),
+                 "GroupNorm backward before forward");
+    const Tensor &x_hat = cachedNormalized_;
+    const std::size_t C = channels_;
+    const std::size_t H = x_hat.shape().dim(1);
+    const std::size_t W = x_hat.shape().dim(2);
+    const std::size_t cpg = C / groups_;
+    const double n = static_cast<double>(cpg * H * W);
+
+    // Parameter gradients.
+    for (std::size_t c = 0; c < C; c++) {
+        double dg = 0.0, db = 0.0;
+        for (std::size_t h = 0; h < H; h++) {
+            for (std::size_t w = 0; w < W; w++) {
+                dg += grad_out.at(c, h, w) * x_hat.at(c, h, w);
+                db += grad_out.at(c, h, w);
+            }
+        }
+        gammaGrad_.at(c) += static_cast<float>(dg);
+        betaGrad_.at(c) += static_cast<float>(db);
+    }
+
+    // Input gradient. With dxhat = grad_out * gamma:
+    // dx = inv_std/n * (n*dxhat - sum(dxhat) - x_hat * sum(dxhat*x_hat))
+    Tensor grad_in(x_hat.shape());
+    for (std::size_t g = 0; g < groups_; g++) {
+        double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+        for (std::size_t c = g * cpg; c < (g + 1) * cpg; c++) {
+            for (std::size_t h = 0; h < H; h++) {
+                for (std::size_t w = 0; w < W; w++) {
+                    const double dxh =
+                        static_cast<double>(grad_out.at(c, h, w)) *
+                        gamma_.at(c);
+                    sum_dxhat += dxh;
+                    sum_dxhat_xhat += dxh * x_hat.at(c, h, w);
+                }
+            }
+        }
+        const double inv_std = cachedInvStd_[g];
+        for (std::size_t c = g * cpg; c < (g + 1) * cpg; c++) {
+            for (std::size_t h = 0; h < H; h++) {
+                for (std::size_t w = 0; w < W; w++) {
+                    const double dxh =
+                        static_cast<double>(grad_out.at(c, h, w)) *
+                        gamma_.at(c);
+                    grad_in.at(c, h, w) = static_cast<float>(
+                        inv_std / n *
+                        (n * dxh - sum_dxhat -
+                         x_hat.at(c, h, w) * sum_dxhat_xhat));
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::vector<ParamSlot>
+GroupNorm::paramSlots()
+{
+    return {{"gamma", &gamma_, &gammaGrad_}, {"beta", &beta_, &betaGrad_}};
+}
+
+std::string
+GroupNorm::name() const
+{
+    return "GroupNorm(C=" + std::to_string(channels_) +
+           ", G=" + std::to_string(groups_) + ")";
+}
+
+} // namespace enode

@@ -1,0 +1,53 @@
+#ifndef ENODE_NN_NORM_H
+#define ENODE_NN_NORM_H
+
+/**
+ * @file
+ * Group normalization.
+ *
+ * NODE embedded networks use GroupNorm rather than BatchNorm because the
+ * solver evaluates f on single states (batch of one) at arbitrary times;
+ * statistics must come from within the sample. The eNODE pre-/post-
+ * processing unit computes this "Norm" stage (Sec. VI). Backward
+ * propagates through the mean/variance statistics exactly.
+ */
+
+#include "nn/layer.h"
+
+namespace enode {
+
+/** GroupNorm over a (C, H, W) tensor with learned per-channel affine. */
+class GroupNorm : public Layer
+{
+  public:
+    /**
+     * @param channels C; must be divisible by groups.
+     * @param groups Number of channel groups sharing statistics.
+     * @param eps Variance floor for numerical stability.
+     */
+    GroupNorm(std::size_t channels, std::size_t groups, float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<ParamSlot> paramSlots() override;
+    std::string name() const override;
+    Shape outputShape(const Shape &input) const override { return input; }
+
+  private:
+    std::size_t channels_;
+    std::size_t groups_;
+    float eps_;
+
+    Tensor gamma_; // (C)
+    Tensor gammaGrad_;
+    Tensor beta_; // (C)
+    Tensor betaGrad_;
+
+    // Backward cache.
+    Tensor cachedNormalized_;      // x_hat
+    std::vector<float> cachedInvStd_; // per group
+};
+
+} // namespace enode
+
+#endif // ENODE_NN_NORM_H

@@ -1,0 +1,107 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+Optimizer::Optimizer(std::vector<ParamSlot> slots) : slots_(std::move(slots))
+{
+    for (const auto &slot : slots_) {
+        ENODE_ASSERT(slot.param && slot.grad, "null slot '", slot.name, "'");
+        ENODE_ASSERT(slot.param->shape() == slot.grad->shape(),
+                     "param/grad shape mismatch in '", slot.name, "'");
+    }
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto &slot : slots_)
+        slot.grad->fill(0.0f);
+}
+
+double
+Optimizer::clipGradNorm(double max_norm)
+{
+    double sum_sq = 0.0;
+    for (auto &slot : slots_) {
+        const double n = slot.grad->l2Norm();
+        sum_sq += n * n;
+    }
+    const double norm = std::sqrt(sum_sq);
+    if (norm > max_norm && norm > 0.0) {
+        const float scale = static_cast<float>(max_norm / norm);
+        for (auto &slot : slots_)
+            *slot.grad *= scale;
+    }
+    return norm;
+}
+
+Sgd::Sgd(std::vector<ParamSlot> slots, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(slots)),
+      lr_(lr),
+      momentum_(momentum),
+      weightDecay_(weight_decay)
+{
+    velocity_.reserve(slots_.size());
+    for (const auto &slot : slots_)
+        velocity_.emplace_back(slot.param->shape());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t s = 0; s < slots_.size(); s++) {
+        Tensor &param = *slots_[s].param;
+        Tensor &grad = *slots_[s].grad;
+        Tensor &vel = velocity_[s];
+        for (std::size_t i = 0; i < param.numel(); i++) {
+            float g = grad.at(i);
+            if (weightDecay_ != 0.0)
+                g += static_cast<float>(weightDecay_) * param.at(i);
+            vel.at(i) = static_cast<float>(momentum_) * vel.at(i) + g;
+            param.at(i) -= static_cast<float>(lr_) * vel.at(i);
+        }
+    }
+}
+
+Adam::Adam(std::vector<ParamSlot> slots, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(slots)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    m_.reserve(slots_.size());
+    v_.reserve(slots_.size());
+    for (const auto &slot : slots_) {
+        m_.emplace_back(slot.param->shape());
+        v_.emplace_back(slot.param->shape());
+    }
+}
+
+void
+Adam::step()
+{
+    t_++;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t s = 0; s < slots_.size(); s++) {
+        Tensor &param = *slots_[s].param;
+        Tensor &grad = *slots_[s].grad;
+        for (std::size_t i = 0; i < param.numel(); i++) {
+            const double g = grad.at(i);
+            const double m = beta1_ * m_[s].at(i) + (1.0 - beta1_) * g;
+            const double v = beta2_ * v_[s].at(i) + (1.0 - beta2_) * g * g;
+            m_[s].at(i) = static_cast<float>(m);
+            v_[s].at(i) = static_cast<float>(v);
+            const double m_hat = m / bc1;
+            const double v_hat = v / bc2;
+            param.at(i) -= static_cast<float>(
+                lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+        }
+    }
+}
+
+} // namespace enode

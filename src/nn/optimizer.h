@@ -1,0 +1,83 @@
+#ifndef ENODE_NN_OPTIMIZER_H
+#define ENODE_NN_OPTIMIZER_H
+
+/**
+ * @file
+ * Parameter update rules.
+ *
+ * In eNODE the weight update happens locally in the cores at the end of
+ * the backward pass ("The weights are updated locally", Sec. V.A). The
+ * reference library provides SGD-with-momentum and Adam over the
+ * ParamSlot lists exposed by layers.
+ */
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace enode {
+
+/** Base optimizer over a fixed set of parameter slots. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<ParamSlot> slots);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero all gradient accumulators. */
+    void zeroGrad();
+
+    /** Clip gradients to a global L2 norm bound; returns the pre-clip norm. */
+    double clipGradNorm(double max_norm);
+
+  protected:
+    std::vector<ParamSlot> slots_;
+};
+
+/** SGD with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<ParamSlot> slots, double lr, double momentum = 0.0,
+        double weight_decay = 0.0);
+
+    void step() override;
+
+    void setLearningRate(double lr) { lr_ = lr; }
+    double learningRate() const { return lr_; }
+
+  private:
+    double lr_;
+    double momentum_;
+    double weightDecay_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<ParamSlot> slots, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8);
+
+    void step() override;
+
+    void setLearningRate(double lr) { lr_ = lr; }
+    double learningRate() const { return lr_; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    std::uint64_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace enode
+
+#endif // ENODE_NN_OPTIMIZER_H

@@ -1,0 +1,54 @@
+#ifndef ENODE_NN_POOL_H
+#define ENODE_NN_POOL_H
+
+/**
+ * @file
+ * Pooling and shape-adapter layers for the classifier head.
+ */
+
+#include "nn/layer.h"
+
+namespace enode {
+
+/** Global average pool: (C, H, W) -> (C). */
+class GlobalAvgPool : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "GlobalAvgPool"; }
+    Shape outputShape(const Shape &input) const override;
+
+  private:
+    Shape cachedInputShape_;
+};
+
+/** 2x2 average pool with stride 2: (C, H, W) -> (C, H/2, W/2). */
+class AvgPool2x2 : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "AvgPool2x2"; }
+    Shape outputShape(const Shape &input) const override;
+
+  private:
+    Shape cachedInputShape_;
+};
+
+/** Flatten any tensor to rank 1. */
+class Flatten : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return "Flatten"; }
+    Shape outputShape(const Shape &input) const override;
+
+  private:
+    Shape cachedInputShape_;
+};
+
+} // namespace enode
+
+#endif // ENODE_NN_POOL_H

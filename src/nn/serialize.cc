@@ -1,0 +1,124 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'N', 'O', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeValue(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readValue(std::istream &in, const std::string &path)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        ENODE_FATAL("truncated checkpoint '", path, "'");
+    return value;
+}
+
+} // namespace
+
+void
+saveParameters(const std::string &path, const std::vector<ParamSlot> &slots)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        ENODE_FATAL("cannot open '", path, "' for writing");
+
+    out.write(kMagic, sizeof(kMagic));
+    writeValue<std::uint32_t>(out, kVersion);
+    writeValue<std::uint32_t>(out, static_cast<std::uint32_t>(slots.size()));
+    for (const auto &slot : slots) {
+        ENODE_ASSERT(slot.param != nullptr, "null param in slot '",
+                     slot.name, "'");
+        writeValue<std::uint32_t>(
+            out, static_cast<std::uint32_t>(slot.name.size()));
+        out.write(slot.name.data(),
+                  static_cast<std::streamsize>(slot.name.size()));
+        const auto &shape = slot.param->shape();
+        writeValue<std::uint32_t>(out,
+                                  static_cast<std::uint32_t>(shape.rank()));
+        for (std::size_t d = 0; d < shape.rank(); d++)
+            writeValue<std::uint64_t>(out, shape.dim(d));
+        out.write(reinterpret_cast<const char *>(slot.param->data()),
+                  static_cast<std::streamsize>(slot.param->numel() *
+                                               sizeof(float)));
+    }
+    if (!out)
+        ENODE_FATAL("write to '", path, "' failed");
+}
+
+void
+loadParameters(const std::string &path, const std::vector<ParamSlot> &slots)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        ENODE_FATAL("cannot open checkpoint '", path, "'");
+
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        ENODE_FATAL("'", path, "' is not an eNODE checkpoint");
+    const auto version = readValue<std::uint32_t>(in, path);
+    if (version != kVersion)
+        ENODE_FATAL("checkpoint version ", version, " unsupported");
+    const auto count = readValue<std::uint32_t>(in, path);
+    if (count != slots.size())
+        ENODE_FATAL("checkpoint has ", count, " parameters, model has ",
+                    slots.size());
+
+    std::map<std::string, const ParamSlot *> by_name;
+    for (const auto &slot : slots) {
+        const bool inserted =
+            by_name.emplace(slot.name, &slot).second;
+        ENODE_ASSERT(inserted, "duplicate slot name '", slot.name, "'");
+    }
+
+    for (std::uint32_t i = 0; i < count; i++) {
+        const auto name_len = readValue<std::uint32_t>(in, path);
+        std::string name(name_len, '\0');
+        in.read(name.data(), name_len);
+        if (!in)
+            ENODE_FATAL("truncated checkpoint '", path, "'");
+
+        auto it = by_name.find(name);
+        if (it == by_name.end())
+            ENODE_FATAL("checkpoint parameter '", name,
+                        "' not found in the model");
+        const ParamSlot &slot = *it->second;
+
+        const auto rank = readValue<std::uint32_t>(in, path);
+        std::vector<std::size_t> dims(rank);
+        for (auto &d : dims)
+            d = static_cast<std::size_t>(readValue<std::uint64_t>(in, path));
+        const Shape shape{dims};
+        if (shape != slot.param->shape())
+            ENODE_FATAL("shape mismatch for '", name, "': checkpoint ",
+                        shape.str(), " vs model ",
+                        slot.param->shape().str());
+
+        in.read(reinterpret_cast<char *>(slot.param->data()),
+                static_cast<std::streamsize>(slot.param->numel() *
+                                             sizeof(float)));
+        if (!in)
+            ENODE_FATAL("truncated checkpoint '", path, "'");
+    }
+}
+
+} // namespace enode

@@ -1,0 +1,125 @@
+#include "ode/ivp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+void
+IvpStats::accumulate(const IvpStats &other)
+{
+    evalPoints += other.evalPoints;
+    trials += other.trials;
+    rejected += other.rejected;
+    fEvals += other.fEvals;
+    equivalentTrials += other.equivalentTrials;
+}
+
+TrialEvaluator::Trial
+TrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper, double t,
+                         const Tensor &y, double dt, double eps,
+                         const Tensor *k1_reuse)
+{
+    Trial trial;
+    trial.step = stepper.step(f, t, y, dt, k1_reuse);
+    trial.decisionNorm = trial.step.errorNorm;
+    // Integrators without an embedded estimator cannot reject; they run
+    // at whatever stepsize the controller proposes (fixed-step mode).
+    trial.accepted = !stepper.tableau().hasEmbedded() ||
+                     trial.decisionNorm <= eps;
+    trial.workFraction = 1.0;
+    return trial;
+}
+
+IvpResult
+solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
+         const ButcherTableau &tableau, StepController &controller,
+         const IvpOptions &opts, TrialEvaluator *evaluator)
+{
+    ENODE_ASSERT(t1 > t0, "solveIvp needs t1 > t0");
+    ENODE_ASSERT(opts.tolerance > 0.0 && opts.initialDt > 0.0,
+                 "bad IvpOptions");
+
+    TrialEvaluator default_evaluator;
+    TrialEvaluator &eval = evaluator ? *evaluator : default_evaluator;
+
+    RkStepper stepper(tableau);
+    controller.reset(opts.initialDt);
+
+    IvpResult result;
+    Tensor y = y0;
+    double t = t0;
+    // FSAL: the last stage of the previous accepted step. Only valid when
+    // the previous step was accepted at the time the new k1 is needed and
+    // the stage was evaluated at (t, y) — true for FSAL tableaus.
+    Tensor fsal_stage;
+    bool have_fsal = false;
+
+    const std::uint64_t f_evals_at_start = f.evalCount();
+
+    while (t1 - t > 1e-12 * std::max(1.0, std::abs(t1))) {
+        ENODE_ASSERT(result.stats.evalPoints < opts.maxEvalPoints,
+                     "evaluation point budget exhausted; tolerance ",
+                     opts.tolerance, " may be unreachable");
+        eval.pointStart();
+        double dt_try = controller.initialDt();
+        std::uint32_t n_try = 0;
+        bool accepted = false;
+
+        while (!accepted) {
+            // Clamp the final step to land exactly on t1. The clamped
+            // value is what gets tried and recorded.
+            const bool clamped = dt_try > t1 - t;
+            const double dt_effective = clamped ? (t1 - t) : dt_try;
+
+            // FSAL reuse is invalid right after a rejection at a new dt?
+            // No: k1 = f(t, y) does not depend on dt, so the reuse stays
+            // valid across retries at the same point as well.
+            const Tensor *k1 =
+                (have_fsal && tableau.fsal()) ? &fsal_stage : nullptr;
+
+            auto trial = eval.evaluate(f, stepper, t, y, dt_effective,
+                                       opts.tolerance, k1);
+            n_try++;
+            result.stats.trials++;
+            result.stats.equivalentTrials += trial.workFraction;
+
+            const bool force = dt_effective <= opts.minDt ||
+                               n_try >= opts.maxTrialsPerPoint;
+            if (force && !trial.accepted) {
+                ENODE_WARN("force-accepting step at t=", t, " dt=",
+                           dt_effective, " err=", trial.decisionNorm);
+            }
+            if (trial.accepted || force) {
+                accepted = true;
+                controller.accepted(dt_effective, trial.decisionNorm,
+                                    opts.tolerance, n_try == 1);
+                result.checkpoints.push_back({t, dt_effective, y});
+                y = std::move(trial.step.yNext);
+                if (opts.quantizeFp16)
+                    y.quantizeFp16();
+                if (tableau.fsal() && !trial.step.stages.empty()) {
+                    fsal_stage = trial.step.stages.back();
+                    have_fsal = true;
+                }
+                t += dt_effective;
+                result.stats.evalPoints++;
+                result.trialsPerPoint.push_back(n_try);
+            } else {
+                result.stats.rejected++;
+                dt_try = controller.rejectedDt(dt_effective,
+                                               trial.decisionNorm,
+                                               opts.tolerance);
+                ENODE_ASSERT(dt_try > 0.0, "controller proposed dt <= 0");
+            }
+        }
+    }
+
+    result.yFinal = std::move(y);
+    result.stats.fEvals = f.evalCount() - f_evals_at_start;
+    return result;
+}
+
+} // namespace enode

@@ -1,0 +1,126 @@
+#ifndef ENODE_ODE_IVP_H
+#define ENODE_ODE_IVP_H
+
+/**
+ * @file
+ * Adaptive initial-value-problem driver — one NODE integration layer.
+ *
+ * Solves h(T) = h(0) + integral of f over [0, T] (Eq. 2) by walking
+ * evaluation points with an iterative stepsize search (Fig. 2(d)):
+ *
+ *   for each evaluation point:
+ *     dt_try = controller.initialDt()
+ *     loop: trial integrate; accept if ||e||_2 <= eps else shrink dt_try
+ *
+ * The *trial* itself is pluggable through TrialEvaluator so the paper's
+ * priority processing + early stop (Sec. VII.B) can replace the full
+ * error evaluation with a windowed, early-terminating one. The driver
+ * records every accepted evaluation point as a checkpoint — exactly the
+ * state the ACA backward pass (Sec. II.C) replays.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ode/rk_stepper.h"
+#include "ode/step_control.h"
+
+namespace enode {
+
+/** Per-solve accounting that backs the complexity analysis of Fig. 3. */
+struct IvpStats
+{
+    std::uint64_t evalPoints = 0; ///< n_eval: accepted steps
+    std::uint64_t trials = 0;     ///< total search trials (n_eval * n_try)
+    std::uint64_t rejected = 0;   ///< rejected trials
+    std::uint64_t fEvals = 0;     ///< embedded-NN evaluations
+    /**
+     * Work actually performed, in units of full-feature-map trials.
+     * Without early stop this equals trials; with priority processing a
+     * trial that stops after a fraction of the rows contributes that
+     * fraction (the latency/energy metric of Fig. 13).
+     */
+    double equivalentTrials = 0.0;
+
+    void accumulate(const IvpStats &other);
+};
+
+/** One accepted evaluation point: the checkpoint of the ACA method. */
+struct Checkpoint
+{
+    double t;    ///< time at the *start* of the step
+    double dt;   ///< accepted stepsize taken from t
+    Tensor state; ///< h(t)
+};
+
+/** Result of solving one integration layer. */
+struct IvpResult
+{
+    Tensor yFinal;                       ///< h(T)
+    std::vector<Checkpoint> checkpoints; ///< accepted points, first at t0
+    IvpStats stats;
+    std::vector<std::uint32_t> trialsPerPoint; ///< n_try at each point
+};
+
+/** Options for the adaptive solve. */
+struct IvpOptions
+{
+    double tolerance = 1e-6;   ///< epsilon, the error tolerance
+    double initialDt = 0.05;   ///< C, the predefined starting stepsize
+    double minDt = 1e-9;       ///< below this a step is force-accepted
+    std::uint32_t maxTrialsPerPoint = 60;
+    std::uint64_t maxEvalPoints = 1u << 20;
+    bool quantizeFp16 = false; ///< round accepted states through FP16
+};
+
+/**
+ * Evaluates one search trial and renders the accept/reject verdict.
+ *
+ * The default implementation computes the full step and compares
+ * ||e||_2 against eps. PriorityTrialEvaluator (src/core/priority.h)
+ * overrides this with the windowed early-stopping scan.
+ */
+class TrialEvaluator
+{
+  public:
+    /** Outcome of one trial integration. */
+    struct Trial
+    {
+        StepResult step;      ///< full step result (always fully computed
+                              ///< numerically; hardware cost may be less)
+        bool accepted;        ///< verdict used by the search
+        double decisionNorm;  ///< the error norm the verdict was based on
+        double workFraction;  ///< fraction of the feature map processed
+    };
+
+    virtual ~TrialEvaluator() = default;
+
+    /** A new evaluation point begins (priority windows reset here). */
+    virtual void pointStart() {}
+
+    /** Perform one trial at stepsize dt. */
+    virtual Trial evaluate(OdeFunction &f, const RkStepper &stepper,
+                           double t, const Tensor &y, double dt, double eps,
+                           const Tensor *k1_reuse);
+};
+
+/**
+ * Solve one integration layer over [t0, t1].
+ *
+ * @param f Right-hand side (the embedded NN during NODE inference).
+ * @param y0 Initial state h(t0).
+ * @param tableau Integrator.
+ * @param controller Stepsize-search policy (conventional or
+ *        slope-adaptive).
+ * @param opts Tolerances and limits.
+ * @param evaluator Optional trial evaluator (null = full evaluation).
+ */
+IvpResult solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
+                   const ButcherTableau &tableau, StepController &controller,
+                   const IvpOptions &opts,
+                   TrialEvaluator *evaluator = nullptr);
+
+} // namespace enode
+
+#endif // ENODE_ODE_IVP_H

@@ -1,0 +1,68 @@
+#ifndef ENODE_ODE_ODE_FUNCTION_H
+#define ENODE_ODE_ODE_FUNCTION_H
+
+/**
+ * @file
+ * The right-hand side f(t, h) of Eq. (1).
+ *
+ * Implemented by the embedded neural network (NODE) and by analytic
+ * dynamic systems (Three-Body, Lotka-Volterra) used as ground truth.
+ */
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Right-hand side of dh/dt = f(t, h). */
+class OdeFunction
+{
+  public:
+    virtual ~OdeFunction() = default;
+
+    /** Evaluate the derivative at time t and state h. */
+    virtual Tensor eval(double t, const Tensor &h) = 0;
+
+    /** Total evaluations performed (complexity metering, Fig. 3). */
+    std::uint64_t evalCount() const { return evalCount_; }
+    void resetEvalCount() { evalCount_ = 0; }
+
+  protected:
+    /** Subclasses call this once per eval. */
+    void countEval() { evalCount_++; }
+
+  private:
+    std::uint64_t evalCount_ = 0;
+};
+
+/**
+ * FP16-datapath wrapper: rounds both the state fed to the inner f and
+ * the derivative it returns through half precision, modelling an
+ * accelerator whose f evaluations run on a 16-bit datapath end to end
+ * ("All designs use FP16 precision", Sec. VIII). Composable around any
+ * OdeFunction.
+ */
+class Fp16Ode : public OdeFunction
+{
+  public:
+    explicit Fp16Ode(OdeFunction &inner) : inner_(inner) {}
+
+    Tensor
+    eval(double t, const Tensor &h) override
+    {
+        countEval();
+        Tensor h16 = h;
+        h16.quantizeFp16();
+        Tensor d = inner_.eval(t, h16);
+        d.quantizeFp16();
+        return d;
+    }
+
+  private:
+    OdeFunction &inner_;
+};
+
+} // namespace enode
+
+#endif // ENODE_ODE_ODE_FUNCTION_H

@@ -1,0 +1,73 @@
+#ifndef ENODE_ODE_RK_STEPPER_H
+#define ENODE_ODE_RK_STEPPER_H
+
+/**
+ * @file
+ * One explicit Runge-Kutta step (the paper's "integration trial").
+ *
+ * The stepper evaluates all stages k_1..k_s of a tableau, forms the next
+ * state and (for embedded tableaus) the error state e of Fig. 2(c). The
+ * stages are retained in the result because both depth-first training
+ * (the k's are training states, Sec. IV.B) and the discrete ACA adjoint
+ * need them.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "ode/butcher.h"
+#include "ode/ode_function.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Everything produced by one RK step at one trial stepsize. */
+struct StepResult
+{
+    Tensor yNext;                 ///< h(t + dt)
+    Tensor errorState;            ///< e (empty if no embedded estimator)
+    double errorNorm = 0.0;       ///< ||e||_2 (0 if no estimator)
+    std::vector<Tensor> stages;   ///< k_1..k_s
+    std::vector<Tensor> stageInputs; ///< y_1..y_s (inputs to f per stage)
+    std::vector<double> stageTimes;  ///< t + c_j dt per stage
+};
+
+/** Executes single steps of a fixed tableau. */
+class RkStepper
+{
+  public:
+    explicit RkStepper(const ButcherTableau &tableau);
+
+    /**
+     * Take one full step.
+     *
+     * @param f Right-hand side.
+     * @param t Current time.
+     * @param y Current state.
+     * @param dt Stepsize (may be negative for backward-in-time adjoint
+     *        integration).
+     * @param k1_reuse FSAL: pass the last stage of the previous accepted
+     *        step to skip re-evaluating k1.
+     */
+    StepResult step(OdeFunction &f, double t, const Tensor &y, double dt,
+                    const Tensor *k1_reuse = nullptr) const;
+
+    const ButcherTableau &tableau() const { return tableau_; }
+
+  private:
+    const ButcherTableau &tableau_;
+};
+
+/**
+ * Integrate with a fixed stepsize over [t0, t1] (used by ground-truth
+ * generation and by fixed-grid baselines). Steps are shortened at the end
+ * to land exactly on t1. Works for t1 < t0 (backward integration).
+ *
+ * @return The final state.
+ */
+Tensor integrateFixed(OdeFunction &f, const ButcherTableau &tableau,
+                      const Tensor &y0, double t0, double t1, double dt);
+
+} // namespace enode
+
+#endif // ENODE_ODE_RK_STEPPER_H

@@ -1,0 +1,191 @@
+#include "ode/step_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+FixedFactorController::FixedFactorController(double down_scale)
+    : downScale_(down_scale)
+{
+    ENODE_ASSERT(down_scale > 0.0 && down_scale < 1.0,
+                 "down_scale must be in (0, 1)");
+}
+
+void
+FixedFactorController::reset(double initial_dt)
+{
+    ENODE_ASSERT(initial_dt > 0.0, "initial dt must be positive");
+    dtPrev_ = initial_dt;
+}
+
+double
+FixedFactorController::initialDt()
+{
+    ENODE_ASSERT(dtPrev_ > 0.0, "controller not reset");
+    return dtPrev_;
+}
+
+double
+FixedFactorController::rejectedDt(double dt, double /*err_norm*/,
+                                  double /*eps*/)
+{
+    return dt * downScale_;
+}
+
+void
+FixedFactorController::accepted(double dt, double /*err_norm*/,
+                                double /*eps*/, bool /*first*/)
+{
+    dtPrev_ = dt;
+}
+
+ConstantInitController::ConstantInitController(double down_scale)
+    : downScale_(down_scale)
+{
+    ENODE_ASSERT(down_scale > 0.0 && down_scale < 1.0,
+                 "down_scale must be in (0, 1)");
+}
+
+void
+ConstantInitController::reset(double initial_dt)
+{
+    ENODE_ASSERT(initial_dt > 0.0, "initial dt must be positive");
+    constantC_ = initial_dt;
+}
+
+double
+ConstantInitController::initialDt()
+{
+    ENODE_ASSERT(constantC_ > 0.0, "controller not reset");
+    return constantC_;
+}
+
+double
+ConstantInitController::rejectedDt(double dt, double /*err_norm*/,
+                                   double /*eps*/)
+{
+    return dt * downScale_;
+}
+
+void
+ConstantInitController::accepted(double /*dt*/, double /*err_norm*/,
+                                 double /*eps*/, bool /*first*/)
+{
+    // Next point restarts from C; nothing carries over.
+}
+
+PressTeukolskyController::PressTeukolskyController(int order, double safety,
+                                                   double max_growth,
+                                                   double min_shrink)
+    : order_(order),
+      safety_(safety),
+      maxGrowth_(max_growth),
+      minShrink_(min_shrink)
+{
+    ENODE_ASSERT(order >= 1, "order must be >= 1");
+}
+
+void
+PressTeukolskyController::reset(double initial_dt)
+{
+    ENODE_ASSERT(initial_dt > 0.0, "initial dt must be positive");
+    dtPrev_ = initial_dt;
+}
+
+double
+PressTeukolskyController::initialDt()
+{
+    ENODE_ASSERT(dtPrev_ > 0.0, "controller not reset");
+    return dtPrev_;
+}
+
+double
+PressTeukolskyController::rejectedDt(double dt, double err_norm, double eps)
+{
+    // err scales as dt^order when retrying the same point, so the factor
+    // that would exactly hit eps is (eps/err)^(1/order); apply a safety
+    // margin and clamp the shrink.
+    double factor = minShrink_;
+    if (err_norm > 0.0) {
+        factor = safety_ * std::pow(eps / err_norm,
+                                    1.0 / static_cast<double>(order_));
+        factor = std::clamp(factor, minShrink_, 0.9);
+    }
+    return dt * factor;
+}
+
+void
+PressTeukolskyController::accepted(double dt, double err_norm, double eps,
+                                   bool /*first*/)
+{
+    // Growth uses order+1: the local error of the *next* step responds to
+    // the new dt with one extra power (standard PI-free controller).
+    double factor = maxGrowth_;
+    if (err_norm > 0.0) {
+        factor = safety_ * std::pow(eps / err_norm,
+                                    1.0 / static_cast<double>(order_ + 1));
+        factor = std::clamp(factor, 0.2, maxGrowth_);
+    }
+    dtPrev_ = dt * factor;
+}
+
+PiController::PiController(int order, double k_i, double k_p,
+                           double safety)
+    : order_(order),
+      kI_(k_i > 0.0 ? k_i : 0.3 / order),
+      kP_(k_p > 0.0 ? k_p : 0.4 / order),
+      safety_(safety)
+{
+    ENODE_ASSERT(order >= 1, "order must be >= 1");
+}
+
+void
+PiController::reset(double initial_dt)
+{
+    ENODE_ASSERT(initial_dt > 0.0, "initial dt must be positive");
+    dtPrev_ = initial_dt;
+    errPrev_ = -1.0;
+}
+
+double
+PiController::initialDt()
+{
+    ENODE_ASSERT(dtPrev_ > 0.0, "controller not reset");
+    return dtPrev_;
+}
+
+double
+PiController::rejectedDt(double dt, double err_norm, double eps)
+{
+    // On rejection fall back to the proportional law with clamps.
+    double factor = 0.2;
+    if (err_norm > 0.0) {
+        factor = safety_ * std::pow(eps / err_norm,
+                                    1.0 / static_cast<double>(order_));
+        factor = std::clamp(factor, 0.1, 0.9);
+    }
+    return dt * factor;
+}
+
+void
+PiController::accepted(double dt, double err_norm, double eps,
+                       bool /*first*/)
+{
+    const double scaled = err_norm > 0.0 ? err_norm / eps : 1e-10;
+    double factor;
+    if (errPrev_ < 0.0) {
+        factor = safety_ * std::pow(1.0 / scaled, kI_ + kP_);
+    } else {
+        // dt' = dt * (1/e_n)^kI * (e_{n-1}/e_n)^kP, all errors scaled
+        // by the tolerance.
+        factor = safety_ * std::pow(1.0 / scaled, kI_) *
+                 std::pow(errPrev_ / scaled, kP_);
+    }
+    errPrev_ = scaled;
+    dtPrev_ = dt * std::clamp(factor, 0.2, 5.0);
+}
+
+} // namespace enode

@@ -1,0 +1,182 @@
+#ifndef ENODE_ODE_STEP_CONTROL_H
+#define ENODE_ODE_STEP_CONTROL_H
+
+/**
+ * @file
+ * Stepsize-search controllers (Sec. II.B and Fig. 2(d)).
+ *
+ * At each evaluation point the IVP driver performs a sequence of trial
+ * integrations; the controller decides the stepsize of the first trial
+ * and of each retry after a rejection, and observes the accepted result.
+ * Two conventional policies live here; the paper's slope-adaptive policy
+ * (Sec. VII.A) lives in src/core/slope_adaptive.h and derives from the
+ * same interface.
+ */
+
+#include <memory>
+#include <string>
+
+namespace enode {
+
+/** Strategy object driving the iterative stepsize search. */
+class StepController
+{
+  public:
+    virtual ~StepController() = default;
+
+    /**
+     * Start a fresh solve.
+     *
+     * @param initial_dt The predefined starting stepsize C of Fig. 2(d).
+     */
+    virtual void reset(double initial_dt) = 0;
+
+    /** Stepsize for the first trial at the current evaluation point. */
+    virtual double initialDt() = 0;
+
+    /**
+     * A trial was rejected (error above tolerance); pick the retry dt.
+     *
+     * @param dt The rejected stepsize.
+     * @param err_norm Trial truncation error norm ||e||_2.
+     * @param eps Error tolerance.
+     */
+    virtual double rejectedDt(double dt, double err_norm, double eps) = 0;
+
+    /**
+     * The evaluation point concluded with an accepted step.
+     *
+     * @param dt The accepted stepsize.
+     * @param err_norm Its error norm.
+     * @param eps Tolerance.
+     * @param first_trial_accepted True when no retries were needed — the
+     *        signal the slope-adaptive counters C_acc/C_rej consume.
+     */
+    virtual void accepted(double dt, double err_norm, double eps,
+                          bool first_trial_accepted) = 0;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * The paper's conventional baseline: a nearly fixed scaling factor.
+ * Rejections halve the stepsize; the accepted stepsize carries over to
+ * the next evaluation point unchanged ("uses a nearly fixed scaling
+ * factor and ignores how fast the state changes", Sec. VII.A).
+ */
+class FixedFactorController : public StepController
+{
+  public:
+    /** @param down_scale Multiplier applied on rejection (default 0.5). */
+    explicit FixedFactorController(double down_scale = 0.5);
+
+    void reset(double initial_dt) override;
+    double initialDt() override;
+    double rejectedDt(double dt, double err_norm, double eps) override;
+    void accepted(double dt, double err_norm, double eps,
+                  bool first_trial_accepted) override;
+    std::string name() const override { return "fixed-factor"; }
+
+  private:
+    double downScale_;
+    double dtPrev_ = 0.0;
+};
+
+/**
+ * The other conventional variant of Fig. 2(d): every evaluation point
+ * restarts the trial stepsize from the predefined constant C, shrinking
+ * by a fixed factor on rejection. This is the regime where the
+ * iterative search dominates latency (Fig. 4(a)): every point replays
+ * the whole search from C.
+ */
+class ConstantInitController : public StepController
+{
+  public:
+    explicit ConstantInitController(double down_scale = 0.5);
+
+    void reset(double initial_dt) override;
+    double initialDt() override;
+    double rejectedDt(double dt, double err_norm, double eps) override;
+    void accepted(double dt, double err_norm, double eps,
+                  bool first_trial_accepted) override;
+    std::string name() const override { return "constant-init"; }
+
+  private:
+    double downScale_;
+    double constantC_ = 0.0;
+};
+
+/**
+ * Classic error-proportional control (Press & Teukolsky 1992, the
+ * paper's Ref. [23]): scale by safety * (eps/err)^(1/order) on
+ * rejection and grow by the same law (clamped) on acceptance.
+ */
+class PressTeukolskyController : public StepController
+{
+  public:
+    /**
+     * @param order Order of the integrator's propagated solution.
+     * @param safety Safety factor (default 0.9).
+     * @param max_growth Upper clamp on per-point growth (default 5).
+     * @param min_shrink Lower clamp on per-trial shrink (default 0.1).
+     */
+    explicit PressTeukolskyController(int order, double safety = 0.9,
+                                      double max_growth = 5.0,
+                                      double min_shrink = 0.1);
+
+    void reset(double initial_dt) override;
+    double initialDt() override;
+    double rejectedDt(double dt, double err_norm, double eps) override;
+    void accepted(double dt, double err_norm, double eps,
+                  bool first_trial_accepted) override;
+    std::string name() const override { return "press-teukolsky"; }
+
+  private:
+    int order_;
+    double safety_;
+    double maxGrowth_;
+    double minShrink_;
+    double dtPrev_ = 0.0;
+};
+
+/**
+ * PI (proportional-integral) stepsize control (Gustafsson). A smoother
+ * alternative to the pure error-proportional law: the growth factor
+ * blends the current error ratio (integral term) with the error trend
+ * (proportional term), damping the grow/reject oscillation that plagues
+ * aggressive controllers. Included as an ablation point against the
+ * paper's slope-adaptive policy: both exploit *history*, but the PI
+ * controller uses error magnitudes while slope-adaptive uses
+ * accept/reject outcomes only (cheap enough for hardware).
+ */
+class PiController : public StepController
+{
+  public:
+    /**
+     * @param order Integrator order.
+     * @param k_i Integral gain (default 0.3 / order).
+     * @param k_p Proportional gain (default 0.4 / order).
+     */
+    explicit PiController(int order, double k_i = 0.0, double k_p = 0.0,
+                          double safety = 0.9);
+
+    void reset(double initial_dt) override;
+    double initialDt() override;
+    double rejectedDt(double dt, double err_norm, double eps) override;
+    void accepted(double dt, double err_norm, double eps,
+                  bool first_trial_accepted) override;
+    std::string name() const override { return "pi"; }
+
+  private:
+    int order_;
+    double kI_;
+    double kP_;
+    double safety_;
+    double dtPrev_ = 0.0;
+    double errPrev_ = -1.0; ///< scaled error of the previous accept
+};
+
+} // namespace enode
+
+#endif // ENODE_ODE_STEP_CONTROL_H

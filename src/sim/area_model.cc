@@ -1,0 +1,76 @@
+#include "sim/area_model.h"
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+/**
+ * Weight buffer: all integration layers' f weights, double buffered so
+ * the next layer's weights load while the current layer computes. Both
+ * designs carry the same weight storage (Table I lists identical weight
+ * buffers for baseline and eNODE).
+ */
+double
+weightBufferMb(const DepthFirstConfig &cfg, std::size_t integration_layers)
+{
+    const double per_conv = static_cast<double>(cfg.C) * cfg.C * cfg.kernel *
+                            cfg.kernel * cfg.bytesPerElement;
+    return 2.0 * integration_layers * cfg.fDepth * per_conv / kMb;
+}
+
+} // namespace
+
+AreaBreakdown
+computeAreaBreakdown(const DepthFirstConfig &cfg, const AreaParams &params)
+{
+    ENODE_ASSERT(cfg.tableau != nullptr, "config needs a tableau");
+    const auto fwd = analyzeForwardBuffers(cfg);
+    const auto train = analyzeTrainingBuffers(cfg);
+
+    AreaBreakdown out;
+    auto addItem = [&](std::string name, double base_mb, double base_mm2,
+                       double enode_mb, double enode_mm2) {
+        out.items.push_back(
+            {std::move(name), base_mb, base_mm2, enode_mb, enode_mm2});
+        out.baselineTotalMb += base_mb;
+        out.baselineTotalMm2 += base_mm2;
+        out.enodeTotalMb += enode_mb;
+        out.enodeTotalMm2 += enode_mm2;
+    };
+
+    // Logic: the same MAC count on both sides; eNODE pays a little extra
+    // for the ring router, hub and packet control.
+    addItem("Core & Control", 0.0, params.baselineCoreMm2, 0.0,
+            params.enodeCoreMm2);
+
+    const double w_mb = weightBufferMb(cfg, 4);
+    addItem("Weight Buffer", w_mb, w_mb * params.weightSramMm2PerMb, w_mb,
+            w_mb * params.weightSramMm2PerMb);
+
+    const double base_int_mb = static_cast<double>(fwd.baselineBytes) / kMb;
+    const double enode_int_mb =
+        static_cast<double>(fwd.enodeIntegralBytes) / kMb;
+    addItem("Integral State Buffer", base_int_mb,
+            base_int_mb * params.sramMm2PerMb, enode_int_mb,
+            enode_int_mb * params.sramMm2PerMb);
+
+    const double line_mb = static_cast<double>(fwd.enodeLineBytes) / kMb;
+    addItem("Line Buffer", 0.0, 0.0, line_mb,
+            line_mb * params.sramMm2PerMb);
+
+    // Both designs provision the training-state buffer at the depth-first
+    // working set; the baseline simply spills the rest to DRAM (Fig 15b).
+    const double train_mb =
+        static_cast<double>(train.enodeWorkingSetBytes) / kMb;
+    addItem("Training State Buffer", train_mb,
+            train_mb * params.sramMm2PerMb, train_mb,
+            train_mb * params.sramMm2PerMb);
+
+    return out;
+}
+
+} // namespace enode

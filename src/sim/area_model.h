@@ -1,0 +1,66 @@
+#ifndef ENODE_SIM_AREA_MODEL_H
+#define ENODE_SIM_AREA_MODEL_H
+
+/**
+ * @file
+ * 28 nm area model (Table I, Fig. 15(c)).
+ *
+ * SRAM densities are back-solved from the paper's own Table I
+ * (4.62 mm^2/MB for the state buffers, 2.37 mm^2/MB for the denser
+ * single-port weight buffer) and the logic areas from its "Core &
+ * Control" rows, so this model *reproduces* the published breakdown and
+ * then extrapolates it across layer sizes for the scalability study.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/depth_first.h"
+
+namespace enode {
+
+/** Area cost coefficients (28 nm). */
+struct AreaParams
+{
+    double sramMm2PerMb = 4.62;      ///< dual-port state buffers
+    double weightSramMm2PerMb = 2.37; ///< denser weight storage
+    double baselineCoreMm2 = 3.53;   ///< SIMD MAC array + control
+    double enodeCoreMm2 = 3.66;      ///< 4 NN cores + hub + router
+};
+
+/** One row of Table I. */
+struct AreaItem
+{
+    std::string name;
+    double baselineMb; ///< 0 for logic rows
+    double baselineMm2;
+    double enodeMb;
+    double enodeMm2;
+};
+
+/** Full memory/area breakdown for a layer geometry. */
+struct AreaBreakdown
+{
+    std::vector<AreaItem> items;
+    double baselineTotalMb = 0.0;
+    double baselineTotalMm2 = 0.0;
+    double enodeTotalMb = 0.0;
+    double enodeTotalMm2 = 0.0;
+};
+
+/**
+ * Build the Table I breakdown for a geometry.
+ *
+ * Rows: Core & Control, Weight Buffer, Integral State Buffer, Line
+ * Buffer (eNODE only), Training State Buffer.
+ *
+ * @param cfg Layer geometry + integrator (Table I uses RK23, 4-conv f).
+ * @param params Cost coefficients.
+ */
+AreaBreakdown computeAreaBreakdown(const DepthFirstConfig &cfg,
+                                   const AreaParams &params = {});
+
+} // namespace enode
+
+#endif // ENODE_SIM_AREA_MODEL_H

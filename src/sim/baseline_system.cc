@@ -1,0 +1,230 @@
+#include "sim/baseline_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/pe_array.h"
+
+namespace enode {
+
+BaselineSystem::BaselineSystem(SystemConfig config)
+    : config_(std::move(config))
+{
+    ENODE_ASSERT(config_.layer.tableau != nullptr, "config needs a tableau");
+}
+
+double
+BaselineSystem::arrayMacsPerCycle() const
+{
+    // Same MAC count as eNODE: numCores x lanes^2 PEs x K^2 MACs each.
+    return static_cast<double>(config_.numCores) * config_.peLanes *
+           config_.peLanes * config_.layer.kernel * config_.layer.kernel;
+}
+
+const StepCost &
+BaselineSystem::forwardTrialCost()
+{
+    if (!haveForward_) {
+        forwardCost_ = simulateForwardTrial();
+        haveForward_ = true;
+    }
+    return forwardCost_;
+}
+
+const StepCost &
+BaselineSystem::backwardStepCost()
+{
+    if (!haveBackward_) {
+        backwardCost_ = simulateBackwardStep();
+        haveBackward_ = true;
+    }
+    return backwardCost_;
+}
+
+StepCost
+BaselineSystem::simulateForwardTrial()
+{
+    const auto &g = config_.layer;
+    const std::size_t s = g.tableau->stages();
+    const double map_elems = static_cast<double>(g.H) * g.W * g.C;
+    const double map_bytes = map_elems * g.bytesPerElement;
+    const double conv_macs =
+        PeArray::convMacs(g.H, g.W, g.C, g.C, g.kernel);
+    const double conv_compute = conv_macs / arrayMacsPerCycle();
+
+    Dram dram("baseline-dram", config_.dram);
+    StepCost cost;
+    std::uint64_t address = 0;
+    double cycles = 0.0;
+
+    for (std::size_t stage = 0; stage < s; stage++) {
+        for (std::size_t d = 0; d < g.fDepth; d++) {
+            // Layer by layer: the conv reads its input activation from
+            // DRAM and writes its output back ("transfers intermediate
+            // activations of every NN layer between the cores and the
+            // DRAM"). Reads prefetch behind compute; writes drain after,
+            // so each conv costs max(compute, traffic) plus latency.
+            const Tick read_cycles = dram.access(
+                address, static_cast<std::size_t>(map_bytes), false);
+            address += static_cast<std::uint64_t>(map_bytes);
+            const Tick write_cycles = dram.access(
+                address, static_cast<std::size_t>(map_bytes), true);
+            address += static_cast<std::uint64_t>(map_bytes);
+            cycles += std::max(conv_compute,
+                               static_cast<double>(read_cycles +
+                                                   write_cycles)) +
+                      config_.dram.tCas;
+        }
+        // Integral accumulation of the stage output on the SIMD ALUs.
+        cycles += map_elems / config_.hubAluLanes;
+    }
+
+    // Integral-state working set beyond the on-chip buffer spills to
+    // DRAM once more per trial.
+    DepthFirstConfig dfc = g;
+    const auto fwd = analyzeForwardBuffers(dfc);
+    const std::size_t onchip = fwd.baselineBytes / 2; // Table I sizing:
+    // the baseline provisions half the full integral working set
+    // (2 MB for Config A) and round-trips the remainder.
+    const std::size_t need =
+        static_cast<std::size_t>((s + 1) * map_bytes);
+    if (need > onchip) {
+        const std::size_t spill = need - onchip;
+        const Tick spill_cycles =
+            dram.access(address, spill, true) +
+            dram.access(address, spill, false);
+        cycles += static_cast<double>(spill_cycles) * 0.5; // half hidden
+    }
+
+    cost.cycles = cycles;
+    cost.activity.macs = static_cast<std::uint64_t>(
+        s * g.fDepth * conv_macs);
+    // SIMD activations and psums stream through the large SRAM.
+    cost.activity.sramReads = static_cast<std::uint64_t>(
+        s * g.fDepth * map_elems * 3.0);
+    cost.activity.sramWrites = static_cast<std::uint64_t>(
+        s * g.fDepth * map_elems * 2.0);
+    cost.activity.aluOps = static_cast<std::uint64_t>(
+        s * (s + 1) * map_elems / 2.0);
+    dram.addActivity(cost.activity);
+    cost.coreUtilization =
+        s * g.fDepth * conv_compute / std::max(cycles, 1.0);
+    return cost;
+}
+
+StepCost
+BaselineSystem::simulateBackwardStep()
+{
+    // Local forward step first (same as one trial), then the adjoint.
+    StepCost cost = simulateForwardTrial();
+    const auto &g = config_.layer;
+    const double map_elems = static_cast<double>(g.H) * g.W * g.C;
+    const double conv_macs =
+        PeArray::convMacs(g.H, g.W, g.C, g.C, g.kernel);
+    const double conv_compute = conv_macs / arrayMacsPerCycle();
+
+    DepthFirstConfig dfc = g;
+    const auto train = analyzeTrainingBuffers(dfc);
+    const double state_maps =
+        static_cast<double>(train.trainingStateMaps);
+
+    // Adjoint: backward-data + weight-grad conv per training-state map,
+    // with the gradient maps also round-tripping through DRAM.
+    Dram dram("baseline-dram-bwd", config_.dram);
+    const double map_bytes = map_elems * g.bytesPerElement;
+    double cycles = 0.0;
+    std::uint64_t address = 0;
+    for (double m = 0; m < state_maps; m++) {
+        // Per training-state map: read the stored state, read the
+        // incoming gradient map, write the outgoing gradient map, and
+        // round-trip the weight-gradient psums (no local accumulation
+        // across the full map in a weight-stationary SIMD array).
+        Tick traffic = 0;
+        for (int xfer = 0; xfer < 4; xfer++) {
+            traffic += dram.access(address,
+                                   static_cast<std::size_t>(map_bytes),
+                                   xfer >= 2);
+            address += static_cast<std::uint64_t>(map_bytes);
+        }
+        cycles += std::max(2.0 * conv_compute,
+                           static_cast<double>(traffic)) +
+                  config_.dram.tCas;
+    }
+
+    // Training states beyond the on-chip buffer spill to DRAM
+    // (Fig. 15(b)): the baseline needs ~6 MB to avoid this; it has the
+    // same 1.25 MB buffer as eNODE (Table I) and pays the difference.
+    const std::size_t buffer =
+        config_.trainingBufferBytes ? config_.trainingBufferBytes
+                                    : train.enodeWorkingSetBytes;
+    const std::size_t spill_traffic =
+        train.dramTrafficBytes(buffer, /*depth_first=*/false);
+    const Tick spill_cycles =
+        dram.access(address, std::max<std::size_t>(spill_traffic, 1),
+                    true);
+    cycles += static_cast<double>(spill_cycles);
+
+    cost.cycles += cycles;
+    cost.activity.macs +=
+        static_cast<std::uint64_t>(2.0 * state_maps * conv_macs);
+    cost.activity.sramReads +=
+        static_cast<std::uint64_t>(state_maps * map_elems * 3.0);
+    cost.activity.sramWrites +=
+        static_cast<std::uint64_t>(state_maps * map_elems * 2.0);
+    dram.addActivity(cost.activity);
+    return cost;
+}
+
+RunCost
+BaselineSystem::finalize(double cycles, ActivityCounts activity) const
+{
+    RunCost run;
+    run.cycles = cycles;
+    run.activity = activity;
+    EnergyParams params = config_.energy;
+    params.coreStaticW = config_.baselineStaticW;
+    run.energy = computeEnergy(activity, cycles, params);
+    run.seconds = cycles / params.clockHz;
+    run.energyJ = run.energy.totalJ();
+    run.powerW = run.energy.totalW(cycles, params.clockHz);
+    run.dramPowerW = run.energy.dramW(cycles, params.clockHz);
+    return run;
+}
+
+RunCost
+BaselineSystem::runInference(const WorkloadTrace &trace)
+{
+    const StepCost &trial = forwardTrialCost();
+    // No depth-first error streaming: every trial runs to completion, so
+    // the *raw* trial count applies (no equivalent-trial discount).
+    double cycles = trace.trials * trial.cycles;
+    ActivityCounts activity = trial.activity;
+    activity.scale(trace.trials);
+
+    const auto &g = config_.layer;
+    const double map_bytes =
+        static_cast<double>(g.H) * g.W * g.C * g.bytesPerElement;
+    activity.dramBytes += static_cast<std::uint64_t>(
+        trace.integrationLayers * map_bytes + trace.evalPoints * map_bytes);
+    return finalize(cycles, activity);
+}
+
+RunCost
+BaselineSystem::runTraining(const WorkloadTrace &trace)
+{
+    RunCost fwd = runInference(trace);
+    const StepCost &bwd = backwardStepCost();
+    double cycles = fwd.cycles + trace.backwardSteps * bwd.cycles;
+    ActivityCounts activity = bwd.activity;
+    activity.scale(trace.backwardSteps);
+    activity.accumulate(fwd.activity);
+    const auto &g = config_.layer;
+    const double map_bytes =
+        static_cast<double>(g.H) * g.W * g.C * g.bytesPerElement;
+    activity.dramBytes +=
+        static_cast<std::uint64_t>(trace.backwardSteps * map_bytes);
+    return finalize(cycles, activity);
+}
+
+} // namespace enode

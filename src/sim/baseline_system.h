@@ -1,0 +1,58 @@
+#ifndef ENODE_SIM_BASELINE_SYSTEM_H
+#define ENODE_SIM_BASELINE_SYSTEM_H
+
+/**
+ * @file
+ * The SIMD ASIC baseline (Sec. VIII).
+ *
+ * A weight-stationary SIMD architecture with local psum accumulation
+ * (Envision-style, the paper's Ref. [22]) carrying the *same MAC count*
+ * as the eNODE prototype. It processes NODE layer by layer: every conv
+ * layer of every stage runs to completion before the next starts, and
+ * intermediate activations travel between the array and DRAM because
+ * the integral states of a high-order integrator exceed its on-chip
+ * buffering. No depth-first pipelining, no packetized streams, no early
+ * stop — each search trial costs a full pass.
+ */
+
+#include "sim/dram.h"
+#include "sim/system_config.h"
+#include "sim/trace.h"
+
+namespace enode {
+
+/** Cycle/energy model of the layer-by-layer SIMD baseline. */
+class BaselineSystem
+{
+  public:
+    explicit BaselineSystem(SystemConfig config);
+
+    /** One integration trial: s stages x fDepth convs, serialized. */
+    const StepCost &forwardTrialCost();
+
+    /** One backward step: local forward + adjoint, DRAM-bound states. */
+    const StepCost &backwardStepCost();
+
+    RunCost runInference(const WorkloadTrace &trace);
+    RunCost runTraining(const WorkloadTrace &trace);
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    StepCost simulateForwardTrial();
+    StepCost simulateBackwardStep();
+    RunCost finalize(double cycles, ActivityCounts activity) const;
+
+    /** Total MACs per cycle across the whole SIMD array. */
+    double arrayMacsPerCycle() const;
+
+    SystemConfig config_;
+    bool haveForward_ = false;
+    bool haveBackward_ = false;
+    StepCost forwardCost_;
+    StepCost backwardCost_;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_BASELINE_SYSTEM_H

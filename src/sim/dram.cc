@@ -1,0 +1,87 @@
+#include "sim/dram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+Dram::Dram(std::string name, DramParams params)
+    : name_(std::move(name)),
+      params_(params),
+      openRow_(params.banks, -1)
+{
+    ENODE_ASSERT(params_.banks > 0 && params_.rowBytes > 0 &&
+                     params_.bytesPerCycle > 0.0,
+                 "bad DRAM parameters");
+}
+
+Tick
+Dram::serviceLatency(std::size_t bytes, bool row_hit) const
+{
+    const Tick burst = static_cast<Tick>(
+        std::ceil(static_cast<double>(bytes) / params_.bytesPerCycle));
+    const Tick activate = row_hit ? 0 : params_.tRp + params_.tRcd;
+    return activate + params_.tCas + burst;
+}
+
+Tick
+Dram::access(std::uint64_t address, std::size_t bytes, bool is_write)
+{
+    ENODE_ASSERT(bytes > 0, "zero-byte DRAM access");
+    stats_.requests++;
+    if (is_write)
+        stats_.bytesWritten += bytes;
+    else
+        stats_.bytesRead += bytes;
+
+    // Walk the transfer row by row; row activations on distinct banks
+    // overlap with the previous row's burst, so a streaming transfer
+    // approaches the interface bandwidth.
+    Tick cycles = params_.tCas;
+    std::uint64_t addr = address;
+    std::size_t remaining = bytes;
+    bool first_row = true;
+    while (remaining > 0) {
+        const std::uint64_t row = addr / params_.rowBytes;
+        const std::size_t bank =
+            static_cast<std::size_t>(row % params_.banks);
+        const std::size_t in_row = static_cast<std::size_t>(
+            params_.rowBytes - addr % params_.rowBytes);
+        const std::size_t chunk = std::min(remaining, in_row);
+
+        const bool hit = openRow_[bank] == static_cast<std::int64_t>(row);
+        if (hit) {
+            stats_.rowHits++;
+        } else {
+            stats_.rowMisses++;
+            openRow_[bank] = static_cast<std::int64_t>(row);
+            // Activation overlaps with the previous burst except on the
+            // very first row of the transfer.
+            if (first_row)
+                cycles += params_.tRp + params_.tRcd;
+        }
+        cycles += static_cast<Tick>(std::ceil(
+            static_cast<double>(chunk) / params_.bytesPerCycle));
+        addr += chunk;
+        remaining -= chunk;
+        first_row = false;
+    }
+    stats_.busyCycles += cycles;
+    return cycles;
+}
+
+void
+Dram::addActivity(ActivityCounts &activity) const
+{
+    activity.dramBytes += stats_.bytesRead + stats_.bytesWritten;
+}
+
+void
+Dram::resetStats()
+{
+    stats_ = {};
+    std::fill(openRow_.begin(), openRow_.end(), -1);
+}
+
+} // namespace enode

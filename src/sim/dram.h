@@ -1,0 +1,87 @@
+#ifndef ENODE_SIM_DRAM_H
+#define ENODE_SIM_DRAM_H
+
+/**
+ * @file
+ * External DRAM timing and energy model.
+ *
+ * A compact stand-in for the paper's Ramulator setup: a multi-bank
+ * device with open-row policy. Each request is decomposed into row
+ * activations (tRCD + tRP on a miss) and column bursts at the interface
+ * bandwidth; bank-level parallelism overlaps activations of different
+ * banks. The controller serves a FIFO of requests and reports both the
+ * service time of an isolated transfer and the busy time of a stream,
+ * which is what the system models use for stall accounting. Energy is
+ * counted per byte by the shared EnergyParams.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/energy_model.h"
+#include "sim/event_queue.h"
+
+namespace enode {
+
+/** Device timing/geometry in core-clock cycles. */
+struct DramParams
+{
+    std::size_t banks = 8;
+    std::size_t rowBytes = 2048;       ///< open-row (page) size
+    double bytesPerCycle = 51.2;       ///< interface BW at the core clock
+                                       ///< (25.6 GB/s at 500 MHz)
+    Tick tRcd = 15;                    ///< activate-to-column
+    Tick tRp = 15;                     ///< precharge
+    Tick tCas = 15;                    ///< column access latency
+};
+
+/** Aggregated DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    Tick busyCycles = 0;
+};
+
+/** Open-row DRAM with a simple in-order controller. */
+class Dram
+{
+  public:
+    Dram(std::string name, DramParams params = {});
+
+    /**
+     * Account a sequential transfer of the given size starting at the
+     * given byte address.
+     *
+     * @param address Start address (determines bank/row interleaving).
+     * @param bytes Transfer size.
+     * @param is_write Direction.
+     * @return Cycles the transfer occupies the device (row activations
+     *         overlapped across banks + burst time).
+     */
+    Tick access(std::uint64_t address, std::size_t bytes, bool is_write);
+
+    /** Service latency of a single isolated request of `bytes`. */
+    Tick serviceLatency(std::size_t bytes, bool row_hit) const;
+
+    const DramStats &stats() const { return stats_; }
+    const DramParams &params() const { return params_; }
+
+    /** Merge traffic into an activity record. */
+    void addActivity(ActivityCounts &activity) const;
+
+    void resetStats();
+
+  private:
+    std::string name_;
+    DramParams params_;
+    DramStats stats_;
+    std::vector<std::int64_t> openRow_; ///< per bank, -1 = closed
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_DRAM_H

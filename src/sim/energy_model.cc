@@ -1,0 +1,92 @@
+#include "sim/energy_model.h"
+
+namespace enode {
+
+void
+ActivityCounts::accumulate(const ActivityCounts &other)
+{
+    macs += other.macs;
+    aluOps += other.aluOps;
+    sramReads += other.sramReads;
+    sramWrites += other.sramWrites;
+    regAccesses += other.regAccesses;
+    nocHopWords += other.nocHopWords;
+    dramBytes += other.dramBytes;
+}
+
+void
+ActivityCounts::scale(double factor)
+{
+    auto mul = [factor](std::uint64_t v) {
+        return static_cast<std::uint64_t>(static_cast<double>(v) * factor +
+                                          0.5);
+    };
+    macs = mul(macs);
+    aluOps = mul(aluOps);
+    sramReads = mul(sramReads);
+    sramWrites = mul(sramWrites);
+    regAccesses = mul(regAccesses);
+    nocHopWords = mul(nocHopWords);
+    dramBytes = mul(dramBytes);
+}
+
+double
+EnergyBreakdown::totalJ() const
+{
+    return computeJ + sramJ + nocJ + dramJ + staticJ;
+}
+
+double
+EnergyBreakdown::totalW(double cycles, double clock_hz) const
+{
+    if (cycles <= 0.0)
+        return 0.0;
+    return totalJ() / (cycles / clock_hz);
+}
+
+double
+EnergyBreakdown::dramW(double cycles, double clock_hz) const
+{
+    if (cycles <= 0.0)
+        return 0.0;
+    return dramJ / (cycles / clock_hz);
+}
+
+EnergyBreakdown
+computeEnergy(const ActivityCounts &activity, double cycles,
+              const EnergyParams &params)
+{
+    constexpr double pj = 1e-12;
+    EnergyBreakdown out;
+    out.computeJ = (activity.macs * params.macPj +
+                    activity.aluOps * params.aluPj) *
+                   pj;
+    out.sramJ = (activity.sramReads * params.sramReadPj +
+                 activity.sramWrites * params.sramWritePj +
+                 activity.regAccesses * params.regPj) *
+                pj;
+    out.nocJ = activity.nocHopWords * params.nocHopPj * pj;
+    const double seconds = cycles / params.clockHz;
+    out.dramJ = activity.dramBytes * params.dramPjPerByte * pj +
+                params.dramStaticW * seconds;
+    out.staticJ = params.coreStaticW * seconds;
+    return out;
+}
+
+void
+publishEnergy(StatGroup &stats, const std::string &prefix,
+              const EnergyBreakdown &energy, double cycles,
+              const EnergyParams &params)
+{
+    stats.set(prefix + ".computeJ", energy.computeJ);
+    stats.set(prefix + ".sramJ", energy.sramJ);
+    stats.set(prefix + ".nocJ", energy.nocJ);
+    stats.set(prefix + ".dramJ", energy.dramJ);
+    stats.set(prefix + ".staticJ", energy.staticJ);
+    stats.set(prefix + ".totalJ", energy.totalJ());
+    stats.set(prefix + ".cycles", cycles);
+    stats.set(prefix + ".totalW", energy.totalW(cycles, params.clockHz));
+    stats.set(prefix + ".dramW", energy.dramW(cycles, params.clockHz));
+}
+
+} // namespace enode

@@ -1,0 +1,90 @@
+#ifndef ENODE_SIM_ENERGY_MODEL_H
+#define ENODE_SIM_ENERGY_MODEL_H
+
+/**
+ * @file
+ * 28 nm energy model.
+ *
+ * The paper evaluates power with PrimeTime over synthesized RTL plus
+ * Ramulator for DRAM. Offline we substitute an activity-based model:
+ * the cycle-accurate simulator counts events (MACs, SRAM accesses, NoC
+ * hops, DRAM bytes) and this model converts counts into Joules using
+ * per-event energies representative of a 28 nm CMOS node with FP16
+ * datapaths. Constants are calibrated so the *baseline's* absolute
+ * power lands near the paper's Fig. 16 (9.3 W inference); all
+ * comparative results then follow from simulated activity ratios, which
+ * is the same methodology as the paper's (activity x cell energy).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace enode {
+
+/** Per-event energies in picojoules and static power in watts. */
+struct EnergyParams
+{
+    // Datapath.
+    double macPj = 1.0;         ///< one FP16 multiply-accumulate
+    double aluPj = 0.4;         ///< scale/accumulate in the integral unit
+    // On-chip SRAM, per 16-bit word.
+    double sramReadPj = 1.6;
+    double sramWritePj = 1.8;
+    // Register/line-buffer access, per 16-bit word (small arrays).
+    double regPj = 0.15;
+    // NoC, per 16-bit word per hop.
+    double nocHopPj = 0.25;
+    // External DRAM, per byte (LPDDR-class interface + device).
+    double dramPjPerByte = 620.0;
+    // Static/background power in watts (clock tree, leakage, PHY).
+    double coreStaticW = 0.55;
+    double dramStaticW = 0.30;
+    // Core clock.
+    double clockHz = 500e6;
+};
+
+/** Activity counts accumulated by a simulation. */
+struct ActivityCounts
+{
+    std::uint64_t macs = 0;
+    std::uint64_t aluOps = 0;
+    std::uint64_t sramReads = 0;   ///< 16-bit words
+    std::uint64_t sramWrites = 0;  ///< 16-bit words
+    std::uint64_t regAccesses = 0; ///< 16-bit words
+    std::uint64_t nocHopWords = 0; ///< word-hops
+    std::uint64_t dramBytes = 0;
+
+    void accumulate(const ActivityCounts &other);
+    /** Scale all counts (used when one simulated step stands for many). */
+    void scale(double factor);
+};
+
+/** Energy split of a run. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0;
+    double sramJ = 0.0;
+    double nocJ = 0.0;
+    double dramJ = 0.0;
+    double staticJ = 0.0;
+
+    double totalJ() const;
+    /** Average power over the given cycle count. */
+    double totalW(double cycles, double clock_hz) const;
+    double dramW(double cycles, double clock_hz) const;
+};
+
+/** Convert activity + duration into an energy breakdown. */
+EnergyBreakdown computeEnergy(const ActivityCounts &activity, double cycles,
+                              const EnergyParams &params);
+
+/** Publish a breakdown into a StatGroup under the given prefix. */
+void publishEnergy(StatGroup &stats, const std::string &prefix,
+                   const EnergyBreakdown &energy, double cycles,
+                   const EnergyParams &params);
+
+} // namespace enode
+
+#endif // ENODE_SIM_ENERGY_MODEL_H

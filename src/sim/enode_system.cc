@@ -1,0 +1,437 @@
+#include "sim/enode_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/pe_array.h"
+
+namespace enode {
+
+namespace {
+
+/**
+ * Row-granular pipelined execution engine.
+ *
+ * Tasks are (stream, stage, row) triples. Stage layout:
+ *   stage 0                : hub stage-input accumulation (resource hub)
+ *   stage 1 .. depth       : conv layer d-1 on core (d-1) % numCores
+ *   stage depth+1          : hub integral accumulation of k_j
+ *
+ * Dependencies encode the depth-first dataflow: a conv row needs its
+ * producer's rows up to r+pad (the conv halo), its own previous row
+ * (in-order per map), and the ring transfer of the producer row to its
+ * core. Stage-input rows of stream j need the accumulated k_l rows of
+ * every earlier stream the tableau references. Resources serialize;
+ * when several streams contend for a core, the *later* stream wins
+ * (the priority-selector policy of Fig. 8).
+ */
+class PipelineSim
+{
+  public:
+    PipelineSim(const SystemConfig &cfg, RingDirection direction,
+                double conv_duration_scale, std::size_t streams = 0)
+        : cfg_(cfg),
+          direction_(direction),
+          noc_(cfg.numCores + 1, cfg.linkBytesPerCycle),
+          tableau_(*cfg.layer.tableau),
+          s_(streams ? streams : tableau_.stages()),
+          depth_(cfg.layer.fDepth),
+          H_(cfg.layer.H),
+          stages_(depth_ + 2),
+          convScale_(conv_duration_scale)
+    {
+        rowBytes_ = cfg.layer.W * cfg.layer.C * cfg.layer.bytesPerElement;
+        // Layer splitting (Fig. 7e's dual): a shallow f spreads each
+        // conv layer's channel tiles over numCores / fDepth cores.
+        splitFactor_ = 1;
+        if (cfg.splitShallowLayers && depth_ < cfg.numCores &&
+            cfg.numCores % depth_ == 0) {
+            splitFactor_ = cfg.numCores / depth_;
+        }
+        convRowCycles_ = static_cast<Tick>(
+            convScale_ *
+            PeArray::convCycles(1, cfg.layer.W, cfg.layer.C, cfg.layer.C,
+                                cfg.peLanes) /
+            splitFactor_);
+        if (convRowCycles_ == 0)
+            convRowCycles_ = 1;
+        hubRowCycles_ = static_cast<Tick>(std::ceil(
+            static_cast<double>(cfg.layer.W) * cfg.layer.C /
+            cfg.hubAluLanes));
+        pad_ = cfg.layer.kernel / 2;
+
+        const std::size_t n = s_ * stages_ * H_;
+        done_.assign(n, false);
+        completion_.assign(n, 0);
+        arrival_.assign(n, 0);
+        resourceFree_.assign(cfg.numCores + 1, 0);
+        resourceBusy_.assign(cfg.numCores + 1, 0);
+
+        // h rows stream from DRAM (or the previous step's on-chip
+        // output); model a prefetch at DRAM bandwidth.
+        const double row_burst =
+            static_cast<double>(rowBytes_) / cfg.dram.bytesPerCycle;
+        hAvail_.resize(H_);
+        for (std::size_t r = 0; r < H_; r++)
+            hAvail_[r] = cfg.dram.tCas + cfg.dram.tRcd +
+                         static_cast<Tick>((r + 1) * row_burst);
+    }
+
+    /** Run to completion; returns cycles and fills link/core stats. */
+    StepCost
+    run()
+    {
+        std::size_t remaining = s_ * stages_ * H_;
+        Tick finish = 0;
+        while (remaining > 0) {
+            // Pick the schedulable task with the earliest possible start;
+            // ties go to the later stream (priority selector policy),
+            // then to the deeper stage (drain downstream work first).
+            Tick best_start = std::numeric_limits<Tick>::max();
+            std::size_t bj = 0, bst = 0, br = 0;
+            bool found = false;
+            for (std::size_t j = 0; j < s_; j++) {
+                for (std::size_t st = 0; st < stages_; st++) {
+                    // The next unfinished row of each (stream, stage) map
+                    // is the only candidate (rows execute in order).
+                    const std::size_t r = nextRow_[key(j, st)];
+                    if (r >= H_)
+                        continue;
+                    Tick ready;
+                    if (!depsReady(j, st, r, ready))
+                        continue;
+                    const std::size_t res = resourceOf(st);
+                    const Tick start = std::max(ready, resourceFree_[res]);
+                    const bool better =
+                        start < best_start ||
+                        (start == best_start && j > bj) ||
+                        (start == best_start && j == bj && st > bst);
+                    if (!found || better) {
+                        found = true;
+                        best_start = start;
+                        bj = j;
+                        bst = st;
+                        br = r;
+                    }
+                }
+            }
+            ENODE_ASSERT(found, "pipeline deadlock: ", remaining,
+                         " tasks stuck");
+            execute(bj, bst, br, best_start);
+            finish = std::max(finish, completion_[idx(bj, bst, br)]);
+            remaining--;
+        }
+
+        StepCost cost;
+        cost.cycles = static_cast<double>(finish);
+        Tick max_core = 0;
+        for (std::size_t res = 1; res <= cfg_.numCores; res++)
+            max_core = std::max(max_core, resourceBusy_[res]);
+        cost.coreUtilization =
+            finish ? static_cast<double>(max_core) / finish : 0.0;
+        cost.maxLinkBusyFraction =
+            finish ? static_cast<double>(noc_.maxLinkBusy()) / finish : 0.0;
+        noc_.addActivity(cost.activity);
+        return cost;
+    }
+
+  private:
+    std::size_t
+    key(std::size_t j, std::size_t st) const
+    {
+        return j * stages_ + st;
+    }
+    std::size_t
+    idx(std::size_t j, std::size_t st, std::size_t r) const
+    {
+        return key(j, st) * H_ + r;
+    }
+
+    /**
+     * Resource (== ring node) of a stage: 0 = hub, 1..numCores = cores.
+     * A forward pass walks the cores clockwise (1, 2, ..., n); a
+     * backward pass enters at the last core and walks counter-clockwise
+     * (n, n-1, ..., 1), so every pipeline handoff is a single-hop
+     * transfer in its loop direction (Fig. 7(b)/(d)).
+     */
+    std::size_t
+    resourceOf(std::size_t st) const
+    {
+        if (st == 0 || st == stages_ - 1)
+            return 0;
+        const std::size_t pos = (st - 1) % cfg_.numCores;
+        return direction_ == RingDirection::Clockwise
+                   ? 1 + pos
+                   : cfg_.numCores - pos;
+    }
+
+    std::size_t
+    nodeOf(std::size_t st) const
+    {
+        return resourceOf(st);
+    }
+
+    bool
+    depsReady(std::size_t j, std::size_t st, std::size_t r,
+              Tick &ready) const
+    {
+        ready = 0;
+        // In-order per map.
+        if (r > 0) {
+            if (!done_[idx(j, st, r - 1)])
+                return false;
+            ready = std::max(ready, completion_[idx(j, st, r - 1)]);
+        }
+        if (st == 0) {
+            // Stage input at the hub: h row plus accumulated k_l rows of
+            // referenced earlier streams.
+            ready = std::max(ready, hAvail_[r]);
+            for (std::size_t l = 0; l < j; l++) {
+                if (tableau_.a()[j][l] == 0.0)
+                    continue;
+                if (!done_[idx(l, stages_ - 1, r)])
+                    return false;
+                ready = std::max(ready, completion_[idx(l, stages_ - 1, r)]);
+            }
+            return true;
+        }
+        // Conv stages and the final hub accumulation read the previous
+        // stage's rows up to r + pad (conv halo; the hub accumulation
+        // needs only row r).
+        const std::size_t halo = st == stages_ - 1 ? 0 : pad_;
+        const std::size_t need = std::min(r + halo, H_ - 1);
+        for (std::size_t rr = r > pad_ ? r - pad_ : 0; rr <= need; rr++) {
+            if (!done_[idx(j, st - 1, rr)])
+                return false;
+            ready = std::max(ready, arrival_[idx(j, st - 1, rr)]);
+        }
+        return true;
+    }
+
+    void
+    execute(std::size_t j, std::size_t st, std::size_t r, Tick start)
+    {
+        const std::size_t res = resourceOf(st);
+        const bool is_conv = st != 0 && st != stages_ - 1;
+        const Tick duration = is_conv ? convRowCycles_ : hubRowCycles_;
+        const Tick end = start + duration;
+        resourceFree_[res] = end;
+        resourceBusy_[res] += duration;
+        if (is_conv && splitFactor_ > 1) {
+            // The partner cores carrying this layer's other channel
+            // tiles are busy for the same interval.
+            for (std::size_t k = 1; k < splitFactor_; k++) {
+                const std::size_t partner =
+                    1 + (res - 1 + k * depth_) % cfg_.numCores;
+                resourceFree_[partner] =
+                    std::max(resourceFree_[partner], end);
+                resourceBusy_[partner] += duration;
+            }
+        }
+        const std::size_t i = idx(j, st, r);
+        done_[i] = true;
+        completion_[i] = end;
+        nextRow_[key(j, st)] = r + 1;
+
+        // Ship the produced row to the next stage's node.
+        if (st < stages_ - 1) {
+            const std::size_t src = nodeOf(st);
+            const std::size_t dst = nodeOf(st + 1);
+            arrival_[i] = src == dst
+                              ? end
+                              : noc_.transfer(src, dst, rowBytes_,
+                                              direction_, end);
+        } else {
+            arrival_[i] = end;
+        }
+    }
+
+    const SystemConfig &cfg_;
+    RingDirection direction_;
+    RingNoc noc_;
+    const ButcherTableau &tableau_;
+    std::size_t s_;
+    std::size_t depth_;
+    std::size_t H_;
+    std::size_t stages_;
+    double convScale_;
+    std::size_t splitFactor_ = 1;
+    std::size_t rowBytes_ = 0;
+    Tick convRowCycles_ = 0;
+    Tick hubRowCycles_ = 0;
+    std::size_t pad_ = 1;
+
+    std::vector<bool> done_;
+    std::vector<Tick> completion_;
+    std::vector<Tick> arrival_;
+    std::vector<Tick> hAvail_;
+    std::vector<Tick> resourceFree_;
+    std::vector<Tick> resourceBusy_;
+    std::map<std::size_t, std::size_t> nextRow_;
+};
+
+} // namespace
+
+EnodeSystem::EnodeSystem(SystemConfig config) : config_(std::move(config))
+{
+    ENODE_ASSERT(config_.layer.tableau != nullptr, "config needs a tableau");
+}
+
+const StepCost &
+EnodeSystem::forwardTrialCost()
+{
+    if (!haveForward_) {
+        forwardCost_ = simulateForwardTrial();
+        haveForward_ = true;
+    }
+    return forwardCost_;
+}
+
+const StepCost &
+EnodeSystem::backwardStepCost()
+{
+    if (!haveBackward_) {
+        backwardCost_ = simulateBackwardStep();
+        haveBackward_ = true;
+    }
+    return backwardCost_;
+}
+
+StepCost
+EnodeSystem::simulateForwardTrial()
+{
+    PipelineSim sim(config_, RingDirection::Clockwise, 1.0);
+    StepCost cost = sim.run();
+
+    const auto &g = config_.layer;
+    const double map_elems = static_cast<double>(g.H) * g.W * g.C;
+    const std::size_t s = g.tableau->stages();
+
+    cost.activity.macs += static_cast<std::uint64_t>(
+        s * g.fDepth *
+        PeArray::convMacs(g.H, g.W, g.C, g.C, g.kernel));
+    // Line buffers / channel collectors: input read, psum update and
+    // output write per element per conv (register-class energy).
+    cost.activity.regAccesses += static_cast<std::uint64_t>(
+        s * g.fDepth * map_elems * 6.0);
+    // Hub integral-state SRAM: every partial-state/error/final update is
+    // a read-modify-write of one row's worth of words.
+    const std::size_t p_updates = s * (s - 1) / 2;
+    const std::size_t e_updates = g.tableau->hasEmbedded() ? s : 0;
+    const std::size_t out_updates = s;
+    cost.activity.sramReads += static_cast<std::uint64_t>(
+        (p_updates + e_updates + out_updates) * map_elems);
+    cost.activity.sramWrites += static_cast<std::uint64_t>(
+        (p_updates + e_updates + out_updates) * map_elems);
+    cost.activity.aluOps += static_cast<std::uint64_t>(
+        (p_updates + e_updates + out_updates) * map_elems);
+    return cost;
+}
+
+StepCost
+EnodeSystem::simulateBackwardStep()
+{
+    // Local forward step (clockwise) with training-state capture.
+    StepCost cost = simulateForwardTrial();
+
+    // Adjoint + weight gradients: counter-clockwise loop over the
+    // backward stages only (RK23: 3 of 4, Sec. IV.B); each conv row
+    // makes two passes over the PE array (backward-data then dW), hence
+    // the 2x duration scale.
+    PipelineSim adj(config_, RingDirection::CounterClockwise, 2.0,
+                    backwardStageCount(*config_.layer.tableau));
+    StepCost adj_cost = adj.run();
+    cost.cycles += adj_cost.cycles;
+    cost.activity.accumulate(adj_cost.activity);
+    cost.coreUtilization =
+        std::max(cost.coreUtilization, adj_cost.coreUtilization);
+
+    const auto &g = config_.layer;
+    const double map_elems = static_cast<double>(g.H) * g.W * g.C;
+    DepthFirstConfig dfc = g;
+    const auto train = analyzeTrainingBuffers(dfc);
+    const double state_maps =
+        static_cast<double>(train.trainingStateMaps);
+
+    // Adjoint compute: backward-data + weight-grad convs over every
+    // training-state map (one per backward stage per conv layer).
+    cost.activity.macs += static_cast<std::uint64_t>(
+        2.0 * state_maps *
+        PeArray::convMacs(g.H, g.W, g.C, g.C, g.kernel));
+    // Training states: written once by the local forward, read once by
+    // the adjoint — through the training-state SRAM.
+    cost.activity.sramWrites +=
+        static_cast<std::uint64_t>(state_maps * map_elems);
+    cost.activity.sramReads +=
+        static_cast<std::uint64_t>(state_maps * map_elems);
+    // Depth-first training keeps the working set on chip; anything above
+    // the configured buffer spills to DRAM (Fig. 15(b)).
+    const std::size_t buffer =
+        config_.trainingBufferBytes
+            ? config_.trainingBufferBytes
+            : train.enodeWorkingSetBytes;
+    cost.activity.dramBytes += train.dramTrafficBytes(buffer, true);
+    return cost;
+}
+
+RunCost
+EnodeSystem::finalize(double cycles, ActivityCounts activity) const
+{
+    RunCost run;
+    run.cycles = cycles;
+    run.activity = activity;
+    EnergyParams params = config_.energy;
+    params.coreStaticW =
+        config_.baselineStaticW + config_.enodeControlStaticW;
+    run.energy = computeEnergy(activity, cycles, params);
+    run.seconds = cycles / params.clockHz;
+    run.energyJ = run.energy.totalJ();
+    run.powerW = run.energy.totalW(cycles, params.clockHz);
+    run.dramPowerW = run.energy.dramW(cycles, params.clockHz);
+    return run;
+}
+
+RunCost
+EnodeSystem::runInference(const WorkloadTrace &trace)
+{
+    const StepCost &trial = forwardTrialCost();
+    const auto &g = config_.layer;
+    const double map_bytes =
+        static_cast<double>(g.H) * g.W * g.C * g.bytesPerElement;
+
+    double cycles = trace.equivalentTrials * trial.cycles;
+    ActivityCounts activity = trial.activity;
+    activity.scale(trace.equivalentTrials);
+    // Initial state per layer in; accepted step checkpoints out.
+    activity.dramBytes += static_cast<std::uint64_t>(
+        trace.integrationLayers * map_bytes +
+        trace.evalPoints * map_bytes);
+    cycles += (trace.integrationLayers + trace.evalPoints) * map_bytes /
+              config_.dram.bytesPerCycle * 0.1; // mostly overlapped
+    return finalize(cycles, activity);
+}
+
+RunCost
+EnodeSystem::runTraining(const WorkloadTrace &trace)
+{
+    RunCost fwd = runInference(trace);
+    const StepCost &bwd = backwardStepCost();
+
+    double cycles = fwd.cycles + trace.backwardSteps * bwd.cycles;
+    ActivityCounts activity = bwd.activity;
+    activity.scale(trace.backwardSteps);
+    activity.accumulate(fwd.activity);
+    const auto &g = config_.layer;
+    const double map_bytes =
+        static_cast<double>(g.H) * g.W * g.C * g.bytesPerElement;
+    // Each backward step re-reads its checkpoint.
+    activity.dramBytes +=
+        static_cast<std::uint64_t>(trace.backwardSteps * map_bytes);
+    return finalize(cycles, activity);
+}
+
+} // namespace enode

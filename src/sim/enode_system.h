@@ -1,0 +1,70 @@
+#ifndef ENODE_SIM_ENODE_SYSTEM_H
+#define ENODE_SIM_ENODE_SYSTEM_H
+
+/**
+ * @file
+ * The eNODE accelerator system model (Secs. III-VI).
+ *
+ * Four depth-first NN cores on a ring around a central hub (controller,
+ * global router, integral accumulator, integral state buffer, function
+ * unit, DRAM controller). One loop around the ring evaluates f once;
+ * high-order integrators loop s times, packetized so all s streams are
+ * in flight concurrently with later-stream priority.
+ *
+ * simulateForwardTrial() runs one integration trial in full detail with
+ * an event-driven engine at row granularity: every conv row is a task on
+ * its core, every inter-core handoff is a bandwidth-accurate ring
+ * transfer, the hub accumulates partial states, and the priority policy
+ * arbitrates cores between concurrent streams. simulateBackwardStep()
+ * models one ACA backward step (local forward + counter-clockwise
+ * adjoint with weight-gradient pass). Full runs compose these step
+ * costs over a WorkloadTrace.
+ */
+
+#include "sim/noc.h"
+#include "sim/priority_selector.h"
+#include "sim/sram.h"
+#include "sim/system_config.h"
+#include "sim/trace.h"
+
+namespace enode {
+
+/** Cycle/energy model of the eNODE prototype. */
+class EnodeSystem
+{
+  public:
+    explicit EnodeSystem(SystemConfig config);
+
+    /**
+     * One integration trial (one RK step attempt) in event-driven
+     * detail. Cached after the first call — every trial of a geometry
+     * costs the same by construction.
+     */
+    const StepCost &forwardTrialCost();
+
+    /** One ACA backward step: local forward + adjoint + dW. */
+    const StepCost &backwardStepCost();
+
+    /** Compose a full inference from a trace. */
+    RunCost runInference(const WorkloadTrace &trace);
+
+    /** Compose a full training iteration from a trace. */
+    RunCost runTraining(const WorkloadTrace &trace);
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    StepCost simulateForwardTrial();
+    StepCost simulateBackwardStep();
+    RunCost finalize(double cycles, ActivityCounts activity) const;
+
+    SystemConfig config_;
+    bool haveForward_ = false;
+    bool haveBackward_ = false;
+    StepCost forwardCost_;
+    StepCost backwardCost_;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_ENODE_SYSTEM_H

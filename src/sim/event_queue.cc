@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace enode {
+
+void
+EventQueue::scheduleAt(Tick when, std::function<void()> callback)
+{
+    ENODE_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+                 now_);
+    events_.push({when, nextSequence_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleIn(Tick delta, std::function<void()> callback)
+{
+    scheduleAt(now_ + delta, std::move(callback));
+}
+
+std::uint64_t
+EventQueue::run(Tick max_ticks)
+{
+    const Tick deadline =
+        max_ticks == ~Tick(0) ? ~Tick(0) : now_ + max_ticks;
+    std::uint64_t count = 0;
+    while (!events_.empty() && events_.top().when <= deadline) {
+        // Copy out before pop so the callback can schedule new events.
+        Event ev = events_.top();
+        events_.pop();
+        now_ = ev.when;
+        ev.callback();
+        count++;
+        executed_++;
+    }
+    // The deadline elapsed (any remaining events lie beyond it), so the
+    // clock advances to it.
+    if (deadline != ~Tick(0) && now_ < deadline)
+        now_ = deadline;
+    return count;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events_.empty())
+        events_.pop();
+    now_ = 0;
+    nextSequence_ = 0;
+}
+
+} // namespace enode

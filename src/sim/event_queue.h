@@ -1,0 +1,84 @@
+#ifndef ENODE_SIM_EVENT_QUEUE_H
+#define ENODE_SIM_EVENT_QUEUE_H
+
+/**
+ * @file
+ * Tick-based discrete-event simulation kernel.
+ *
+ * The cycle-accurate models (NN cores, ring NoC, DRAM controller,
+ * priority selector) communicate by scheduling callbacks at future
+ * ticks. One tick is one core clock cycle. The kernel is deliberately
+ * small: a stable priority queue with deterministic same-tick ordering
+ * (FIFO by insertion), which keeps simulations reproducible.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace enode {
+
+/** Simulation time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Discrete-event scheduler. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void scheduleAt(Tick when, std::function<void()> callback);
+
+    /** Schedule a callback delta ticks in the future. */
+    void scheduleIn(Tick delta, std::function<void()> callback);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run until the queue drains or max_ticks elapses.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick max_ticks = ~Tick(0));
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+    /** Total events executed since construction/reset. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t sequence; // FIFO tie-break within a tick
+        std::function<void()> callback;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_EVENT_QUEUE_H

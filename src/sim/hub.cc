@@ -1,0 +1,63 @@
+#include "sim/hub.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+void
+IntegralAccumulator::accumulate(Tensor &acc, double coeff, const Tensor &k)
+{
+    ENODE_ASSERT(acc.shape() == k.shape(),
+                 "integral accumulate shape mismatch");
+    acc.axpy(static_cast<float>(coeff), k);
+    ops_ += k.numel();
+}
+
+void
+FunctionUnit::startTrial(double epsilon)
+{
+    ENODE_ASSERT(epsilon > 0.0, "tolerance must be positive");
+    epsilonSq_ = epsilon * epsilon;
+    sumSq_ = 0.0;
+    exceeded_ = false;
+    armed_ = true;
+    trialsStarted_++;
+}
+
+bool
+FunctionUnit::consumeRow(const Tensor &e, std::size_t row)
+{
+    ENODE_ASSERT(armed_, "function unit not armed (startTrial missing)");
+    if (exceeded_)
+        return true;
+
+    double row_sq = 0.0;
+    std::size_t elems = 0;
+    if (e.shape().rank() == 3) {
+        const double n = e.rowWindowL2(row, row + 1);
+        row_sq = n * n;
+        elems = e.shape().dim(0) * e.shape().dim(2);
+    } else {
+        const double v = e.at(row);
+        row_sq = v * v;
+        elems = 1;
+    }
+    sumSq_ += row_sq;
+    rowsConsumed_++;
+    aluOps_ += elems + 1; // squares + the comparison
+    if (sumSq_ > epsilonSq_) {
+        exceeded_ = true;
+        earlyTerminations_++;
+    }
+    return exceeded_;
+}
+
+double
+FunctionUnit::partialNorm() const
+{
+    return std::sqrt(sumSq_);
+}
+
+} // namespace enode

@@ -1,0 +1,95 @@
+#ifndef ENODE_SIM_HUB_H
+#define ENODE_SIM_HUB_H
+
+/**
+ * @file
+ * Central-hub peripherals (Sec. V.A, Fig. 7): the integral accumulator
+ * and the function unit.
+ *
+ * The integral accumulator performs the scale-and-accumulate of the
+ * partial states (p_{i,j}, e_i, h') as k rows arrive from the ring; the
+ * function unit computes the truncation-error norm *incrementally* —
+ * the hardware hook behind early stop: "the depth-first integrator
+ * computes e incrementally; if a partially computed ||e||_2 exceeds
+ * epsilon, a search trial can be terminated early" (Sec. VII.B).
+ */
+
+#include <cstdint>
+
+#include "sim/energy_model.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Scale-and-accumulate unit for integral partial states. */
+class IntegralAccumulator
+{
+  public:
+    /** acc += coeff * k (one partial-state update); counts ALU ops. */
+    void accumulate(Tensor &acc, double coeff, const Tensor &k);
+
+    std::uint64_t ops() const { return ops_; }
+
+    void
+    addActivity(ActivityCounts &activity) const
+    {
+        activity.aluOps += ops_;
+    }
+
+  private:
+    std::uint64_t ops_ = 0;
+};
+
+/**
+ * The function unit: incremental ||e||_2 with early termination.
+ *
+ * Rows of the error state stream in (in priority order when priority
+ * processing is active); the unit accumulates the squared norm and
+ * raises `exceeded` the moment the partial norm crosses the tolerance.
+ */
+class FunctionUnit
+{
+  public:
+    /** Arm the unit for a new trial at tolerance epsilon. */
+    void startTrial(double epsilon);
+
+    /**
+     * Feed one error row; returns true if the trial should stop early
+     * (partial norm already above the tolerance).
+     *
+     * @param e Error tensor (rank 3, rows = dim 1; or rank 1, one
+     *        entry per "row").
+     * @param row Row index to consume.
+     */
+    bool consumeRow(const Tensor &e, std::size_t row);
+
+    /** Partial (or final) norm accumulated so far. */
+    double partialNorm() const;
+
+    /** True once the partial norm crossed the tolerance. */
+    bool exceeded() const { return exceeded_; }
+
+    std::uint64_t rowsConsumed() const { return rowsConsumed_; }
+    std::uint64_t trialsStarted() const { return trialsStarted_; }
+    std::uint64_t earlyTerminations() const { return earlyTerminations_; }
+
+    void
+    addActivity(ActivityCounts &activity) const
+    {
+        activity.aluOps += aluOps_;
+    }
+
+  private:
+    double epsilonSq_ = 0.0;
+    double sumSq_ = 0.0;
+    bool exceeded_ = false;
+    bool armed_ = false;
+    std::uint64_t rowsConsumed_ = 0;
+    std::uint64_t trialsStarted_ = 0;
+    std::uint64_t earlyTerminations_ = 0;
+    std::uint64_t aluOps_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_HUB_H

@@ -1,0 +1,131 @@
+#include "sim/nn_core.h"
+
+#include "common/logging.h"
+
+namespace enode {
+
+NnCore::NnCore(std::string name, NnCoreConfig config)
+    : name_(std::move(name)),
+      config_(config),
+      array_(config.lanes, config.kernel),
+      lineBuffer_(name_ + ".lineBuffer", config.lineBufferBytes),
+      trainingBuffer_(name_ + ".trainingBuffer",
+                      config.trainingBufferBytes)
+{
+}
+
+std::size_t
+NnCore::tensorBytes(const Tensor &t) const
+{
+    return t.numel() * 2; // FP16 storage
+}
+
+void
+NnCore::loadWeights(const Tensor &weight)
+{
+    array_.loadWeights(weight);
+}
+
+Tensor
+NnCore::forward(const Tensor &x, const Tensor &bias, bool relu,
+                bool capture_training_state)
+{
+    ENODE_ASSERT(x.shape().rank() == 3, "core input must be CHW");
+    const std::size_t H = x.shape().dim(1);
+    const std::size_t W = x.shape().dim(2);
+
+    // Channel collector: one packet per pixel (1 x 1 x lanes).
+    stats_.packetsCollected += H * W;
+
+    // Depth-first psum window: (K - 1) rows of psums plus the row under
+    // production live in the line buffer while the map streams through.
+    const std::size_t window_bytes =
+        config_.kernel * W * config_.lanes * 2;
+    ENODE_ASSERT(lineBuffer_.allocate(window_bytes),
+                 name_, ": line buffer overflow (", window_bytes,
+                 " bytes needed, ", lineBuffer_.freeBytes(), " free)");
+    // Every output element is a psum read-modify-write per kernel row.
+    lineBuffer_.read(tensorBytes(x) * config_.kernel);
+    lineBuffer_.write(tensorBytes(x) * config_.kernel);
+
+    Tensor out = array_.forwardConv(x, bias);
+    stats_.computeCycles += PeArray::convCycles(
+        H, W, config_.lanes, config_.lanes, config_.lanes);
+
+    if (relu) {
+        for (std::size_t i = 0; i < out.numel(); i++) {
+            if (out.at(i) < 0.0f)
+                out.at(i) = 0.0f;
+        }
+        stats_.reluOps += out.numel();
+    }
+
+    if (capture_training_state) {
+        ENODE_ASSERT(trainingBuffer_.allocate(tensorBytes(x)),
+                     name_, ": training-state buffer overflow");
+        trainingBuffer_.write(tensorBytes(x));
+        trainingStates_.push_back(x);
+        stats_.trainingStatesCaptured++;
+    }
+
+    lineBuffer_.release(window_bytes);
+    return out;
+}
+
+Tensor
+NnCore::backwardData(const Tensor &grad_out)
+{
+    const std::size_t H = grad_out.shape().dim(1);
+    const std::size_t W = grad_out.shape().dim(2);
+    stats_.packetsCollected += H * W;
+
+    const std::size_t window_bytes =
+        config_.kernel * W * config_.lanes * 2;
+    ENODE_ASSERT(lineBuffer_.allocate(window_bytes),
+                 name_, ": line buffer overflow in backward");
+    lineBuffer_.read(tensorBytes(grad_out) * config_.kernel);
+    lineBuffer_.write(tensorBytes(grad_out) * config_.kernel);
+
+    Tensor out = array_.backwardDataConv(grad_out);
+    stats_.computeCycles += PeArray::convCycles(
+        H, W, config_.lanes, config_.lanes, config_.lanes);
+    lineBuffer_.release(window_bytes);
+    return out;
+}
+
+Tensor
+NnCore::weightGrad(const Tensor &grad_out)
+{
+    ENODE_ASSERT(!trainingStates_.empty(),
+                 name_, ": no training state captured for weightGrad");
+    const Tensor &state = trainingStates_.back();
+    trainingBuffer_.read(tensorBytes(state));
+    Tensor grad = array_.weightGrad(state, grad_out);
+    stats_.computeCycles += PeArray::convCycles(
+        grad_out.shape().dim(1), grad_out.shape().dim(2), config_.lanes,
+        config_.lanes, config_.lanes);
+    return grad;
+}
+
+void
+NnCore::retireTrainingState()
+{
+    ENODE_ASSERT(!trainingStates_.empty(),
+                 name_, ": no training state to retire");
+    trainingBuffer_.release(tensorBytes(trainingStates_.back()));
+    trainingStates_.pop_back();
+}
+
+void
+NnCore::addActivity(ActivityCounts &activity) const
+{
+    activity.macs += array_.macCount();
+    activity.aluOps += stats_.reluOps;
+    // Channel-collector distribution: one register access per packet
+    // word in and out.
+    activity.regAccesses += stats_.packetsCollected * config_.lanes * 2;
+    lineBuffer_.addActivity(activity);
+    trainingBuffer_.addActivity(activity);
+}
+
+} // namespace enode

@@ -1,0 +1,114 @@
+#ifndef ENODE_SIM_NN_CORE_H
+#define ENODE_SIM_NN_CORE_H
+
+/**
+ * @file
+ * The unified NN core (Sec. VI, Fig. 9(a)) as a composed functional
+ * model: channel collector -> PE array -> line buffer, with the
+ * pre-/post-processing unit and the training-state buffer attached.
+ *
+ * The core executes one conv layer of the embedded network in any of
+ * the three datapath modes and accounts every buffer access:
+ *
+ *  - the channel collector packetizes the input into 1x1xlanes packets
+ *    and counts the register traffic of distribution,
+ *  - the PE array performs the grouped multiply/adder-tree reduction
+ *    (see sim/pe_array.h; numerically validated against the reference
+ *    convolutions),
+ *  - the line buffer holds the psum rows of the depth-first window and
+ *    enforces its capacity (allocation failure = a design bug),
+ *  - the pre/post unit applies ReLU (and counts its ALU ops),
+ *  - the training-state buffer captures activations during local
+ *    forward steps for the counter-clockwise adjoint loop.
+ *
+ * The system-level models (enode_system.cc) use the same cost
+ * expressions at row granularity; this class is the single-core
+ * functional reference and the place where buffer capacities derived
+ * from the depth-first analysis are actually enforced.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/pe_array.h"
+#include "sim/sram.h"
+
+namespace enode {
+
+/** Configuration of one NN core. */
+struct NnCoreConfig
+{
+    std::size_t lanes = 8;          ///< PE array side (8x8 PEs)
+    std::size_t kernel = 3;
+    std::size_t lineBufferBytes = 128 * 1024;     ///< Table I / 4 cores
+    std::size_t trainingBufferBytes = 320 * 1024; ///< Table I / 4 cores
+};
+
+/** Statistics of one core. */
+struct NnCoreStats
+{
+    std::uint64_t packetsCollected = 0;
+    std::uint64_t reluOps = 0;
+    std::uint64_t trainingStatesCaptured = 0; ///< tensors
+    double computeCycles = 0.0;
+};
+
+/** One depth-first NN core with a unified forward/backward datapath. */
+class NnCore
+{
+  public:
+    explicit NnCore(std::string name, NnCoreConfig config = {});
+
+    const std::string &name() const { return name_; }
+
+    /** Load one (lanes x lanes x K x K) weight tile into the PE caches. */
+    void loadWeights(const Tensor &weight);
+
+    /**
+     * Forward conv of one map tile, optionally through the post-unit
+     * ReLU, capturing the input as a training state when requested.
+     *
+     * @param x Input (lanes, H, W).
+     * @param bias Optional per-channel bias.
+     * @param relu Apply the pre/post unit's ReLU.
+     * @param capture_training_state Store x into the training-state
+     *        buffer (local forward step of the backward pass).
+     */
+    Tensor forward(const Tensor &x, const Tensor &bias, bool relu,
+                   bool capture_training_state = false);
+
+    /** Backward-data conv (counter-clockwise loop), same cached weights. */
+    Tensor backwardData(const Tensor &grad_out);
+
+    /**
+     * Weight-gradient accumulation against the *most recent captured
+     * training state* (the state the adjoint is currently consuming).
+     */
+    Tensor weightGrad(const Tensor &grad_out);
+
+    /** Release the most recent training state (consumed by the adjoint). */
+    void retireTrainingState();
+
+    const NnCoreStats &stats() const { return stats_; }
+    const Sram &lineBuffer() const { return lineBuffer_; }
+    const Sram &trainingBuffer() const { return trainingBuffer_; }
+    const PeArray &peArray() const { return array_; }
+
+    /** Merge all buffer/compute activity into an activity record. */
+    void addActivity(ActivityCounts &activity) const;
+
+  private:
+    std::size_t tensorBytes(const Tensor &t) const;
+
+    std::string name_;
+    NnCoreConfig config_;
+    PeArray array_;
+    Sram lineBuffer_;
+    Sram trainingBuffer_;
+    std::vector<Tensor> trainingStates_;
+    NnCoreStats stats_;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_NN_CORE_H

@@ -1,0 +1,88 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+RingNoc::RingNoc(std::size_t nodes, double bytes_per_cycle, Tick hop_latency)
+    : nodes_(nodes),
+      bytesPerCycle_(bytes_per_cycle),
+      hopLatency_(hop_latency),
+      linkFree_(2 * nodes, 0),
+      linkBusy_(2 * nodes, 0)
+{
+    ENODE_ASSERT(nodes >= 2, "ring needs >= 2 nodes");
+    ENODE_ASSERT(bytes_per_cycle > 0.0, "ring needs bandwidth");
+}
+
+std::size_t
+RingNoc::hops(std::size_t src, std::size_t dst,
+              RingDirection direction) const
+{
+    ENODE_ASSERT(src < nodes_ && dst < nodes_, "node out of range");
+    if (src == dst)
+        return 0;
+    if (direction == RingDirection::Clockwise)
+        return (dst + nodes_ - src) % nodes_;
+    return (src + nodes_ - dst) % nodes_;
+}
+
+std::size_t
+RingNoc::linkIndex(std::size_t from, RingDirection direction) const
+{
+    return direction == RingDirection::Clockwise ? from : nodes_ + from;
+}
+
+Tick
+RingNoc::transfer(std::size_t src, std::size_t dst, std::size_t bytes,
+                  RingDirection direction, Tick earliest)
+{
+    const std::size_t n_hops = hops(src, dst, direction);
+    if (n_hops == 0)
+        return earliest;
+    const Tick occupancy = static_cast<Tick>(std::ceil(
+        static_cast<double>(bytes) / bytesPerCycle_));
+
+    // Wormhole-style: the head flit pays hop latency per hop, the body
+    // streams behind it; each traversed link is occupied for the burst.
+    Tick depart = earliest;
+    std::size_t node = src;
+    for (std::size_t i = 0; i < n_hops; i++) {
+        const std::size_t link = linkIndex(node, direction);
+        const Tick start = std::max(depart, linkFree_[link]);
+        linkFree_[link] = start + occupancy;
+        linkBusy_[link] += occupancy;
+        depart = start + hopLatency_;
+        node = direction == RingDirection::Clockwise
+                   ? (node + 1) % nodes_
+                   : (node + nodes_ - 1) % nodes_;
+    }
+    hopWords_ += static_cast<std::uint64_t>((bytes + 1) / 2) * n_hops;
+    // Arrival: head latency plus the burst draining the last link.
+    return depart + occupancy;
+}
+
+Tick
+RingNoc::maxLinkBusy() const
+{
+    return *std::max_element(linkBusy_.begin(), linkBusy_.end());
+}
+
+void
+RingNoc::addActivity(ActivityCounts &activity) const
+{
+    activity.nocHopWords += hopWords_;
+}
+
+void
+RingNoc::resetStats()
+{
+    std::fill(linkFree_.begin(), linkFree_.end(), 0);
+    std::fill(linkBusy_.begin(), linkBusy_.end(), 0);
+    hopWords_ = 0;
+}
+
+} // namespace enode

@@ -1,0 +1,85 @@
+#ifndef ENODE_SIM_NOC_H
+#define ENODE_SIM_NOC_H
+
+/**
+ * @file
+ * Ring network-on-chip (Sec. V.A, Fig. 7).
+ *
+ * The eNODE prototype connects 4 NN cores and the central hub in a
+ * ring. A forward pass loops clockwise, a backward pass counter-
+ * clockwise. Each directed link carries a fixed bandwidth; transfers
+ * serialize per link (next-free-time bookkeeping) so congestion shows
+ * up as added latency, and per-link busy counters expose utilization.
+ * Node 0 is the hub; nodes 1..n are the NN cores.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy_model.h"
+#include "sim/event_queue.h"
+
+namespace enode {
+
+/** Loop direction around the ring. */
+enum class RingDirection { Clockwise, CounterClockwise };
+
+/** Bandwidth-accurate ring interconnect. */
+class RingNoc
+{
+  public:
+    /**
+     * @param nodes Total nodes including the hub (prototype: 5).
+     * @param bytes_per_cycle Per-link bandwidth.
+     * @param hop_latency Cycles of latency per hop (router + wire).
+     */
+    RingNoc(std::size_t nodes, double bytes_per_cycle, Tick hop_latency = 1);
+
+    /**
+     * Transfer bytes from src to dst in the given direction.
+     *
+     * @param src Source node.
+     * @param dst Destination node.
+     * @param bytes Payload size.
+     * @param direction Ring direction to traverse.
+     * @param earliest Tick at which the payload is ready at src.
+     * @return Tick at which the payload has fully arrived at dst.
+     */
+    Tick transfer(std::size_t src, std::size_t dst, std::size_t bytes,
+                  RingDirection direction, Tick earliest);
+
+    /** Hops between two nodes in a direction. */
+    std::size_t hops(std::size_t src, std::size_t dst,
+                     RingDirection direction) const;
+
+    std::size_t nodeCount() const { return nodes_; }
+
+    /** Total words moved x hops (for NoC energy). */
+    std::uint64_t hopWords() const { return hopWords_; }
+
+    /** Busy cycles of the most loaded link (congestion indicator). */
+    Tick maxLinkBusy() const;
+
+    /** Busy cycles per directed link, clockwise then counter-clockwise. */
+    const std::vector<Tick> &linkBusy() const { return linkBusy_; }
+
+    void addActivity(ActivityCounts &activity) const;
+
+    void resetStats();
+
+  private:
+    /** Directed link index: cw links [0, n), ccw links [n, 2n). */
+    std::size_t linkIndex(std::size_t from, RingDirection direction) const;
+
+    std::size_t nodes_;
+    double bytesPerCycle_;
+    Tick hopLatency_;
+    std::vector<Tick> linkFree_; ///< next tick each link is free
+    std::vector<Tick> linkBusy_;
+    std::uint64_t hopWords_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_NOC_H

@@ -1,0 +1,198 @@
+#include "sim/pe_array.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enode {
+
+PeArray::PeArray(std::size_t lanes, std::size_t kernel)
+    : lanes_(lanes), kernel_(kernel)
+{
+    ENODE_ASSERT(lanes >= 1 && kernel % 2 == 1, "bad PE array geometry");
+}
+
+std::size_t
+PeArray::groupOf(std::size_t c, std::size_t m) const
+{
+    return (m + lanes_ - c % lanes_) % lanes_;
+}
+
+void
+PeArray::loadWeights(const Tensor &weight)
+{
+    ENODE_ASSERT(weight.shape().rank() == 4 &&
+                     weight.shape().dim(0) == lanes_ &&
+                     weight.shape().dim(1) == lanes_ &&
+                     weight.shape().dim(2) == kernel_ &&
+                     weight.shape().dim(3) == kernel_,
+                 "weight tile must be (lanes, lanes, K, K), got ",
+                 weight.shape().str());
+    cachedWeights_ = weight;
+    weightsLoaded_ = true;
+}
+
+Tensor
+PeArray::forwardConv(const Tensor &x, const Tensor &bias)
+{
+    ENODE_ASSERT(weightsLoaded_, "weights not loaded");
+    ENODE_ASSERT(x.shape().rank() == 3 && x.shape().dim(0) == lanes_,
+                 "input must have ", lanes_, " channels");
+    const std::size_t H = x.shape().dim(1);
+    const std::size_t W = x.shape().dim(2);
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+
+    Tensor psum(Shape{lanes_, H, W});
+    // Stream input packets (one pixel x lanes channels). Each packet is
+    // broadcast to all groups; within a group, PE_{c, (c+g)%lanes}
+    // multiplies channel c against its cached kernel, scattering a 3x3
+    // psum patch around the pixel (Fig. 6(b) step 1-2). The adder tree
+    // lane m accumulates one contribution from each group.
+    for (std::size_t h = 0; h < H; h++) {
+        for (std::size_t w = 0; w < W; w++) {
+            for (std::size_t g = 0; g < lanes_; g++) {
+                for (std::size_t c = 0; c < lanes_; c++) {
+                    const std::size_t m = (c + g) % lanes_;
+                    const float in = x.at(c, h, w);
+                    for (std::size_t kh = 0; kh < kernel_; kh++) {
+                        const std::ptrdiff_t oh =
+                            static_cast<std::ptrdiff_t>(h) + pad -
+                            static_cast<std::ptrdiff_t>(kh);
+                        if (oh < 0 || oh >= static_cast<std::ptrdiff_t>(H))
+                            continue;
+                        for (std::size_t kw = 0; kw < kernel_; kw++) {
+                            const std::ptrdiff_t ow =
+                                static_cast<std::ptrdiff_t>(w) + pad -
+                                static_cast<std::ptrdiff_t>(kw);
+                            if (ow < 0 ||
+                                ow >= static_cast<std::ptrdiff_t>(W))
+                                continue;
+                            psum.at(m, static_cast<std::size_t>(oh),
+                                    static_cast<std::size_t>(ow)) +=
+                                in * cachedWeights_.at(m, c, kh, kw);
+                            macs_++;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (!bias.empty()) {
+        for (std::size_t m = 0; m < lanes_; m++)
+            for (std::size_t h = 0; h < H; h++)
+                for (std::size_t w = 0; w < W; w++)
+                    psum.at(m, h, w) += bias.at(m);
+    }
+    return psum;
+}
+
+Tensor
+PeArray::backwardDataConv(const Tensor &grad_out)
+{
+    ENODE_ASSERT(weightsLoaded_, "weights not loaded");
+    ENODE_ASSERT(grad_out.shape().rank() == 3 &&
+                     grad_out.shape().dim(0) == lanes_,
+                 "grad_out must have ", lanes_, " channels");
+    const std::size_t H = grad_out.shape().dim(1);
+    const std::size_t W = grad_out.shape().dim(2);
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+
+    Tensor psum(Shape{lanes_, H, W});
+    // Same PEs, same cached kernels, roles of C and M swapped and the
+    // kernel spatially flipped: the psum patch scatters to (h+kh-pad)
+    // instead of (h+pad-kh). The adder tree lane c now sums one psum set
+    // per group across the m's (Fig. 9(c)).
+    for (std::size_t h = 0; h < H; h++) {
+        for (std::size_t w = 0; w < W; w++) {
+            for (std::size_t g = 0; g < lanes_; g++) {
+                for (std::size_t m = 0; m < lanes_; m++) {
+                    const std::size_t c = (m + lanes_ - g) % lanes_;
+                    const float in = grad_out.at(m, h, w);
+                    for (std::size_t kh = 0; kh < kernel_; kh++) {
+                        const std::ptrdiff_t oh =
+                            static_cast<std::ptrdiff_t>(h) +
+                            static_cast<std::ptrdiff_t>(kh) - pad;
+                        if (oh < 0 || oh >= static_cast<std::ptrdiff_t>(H))
+                            continue;
+                        for (std::size_t kw = 0; kw < kernel_; kw++) {
+                            const std::ptrdiff_t ow =
+                                static_cast<std::ptrdiff_t>(w) +
+                                static_cast<std::ptrdiff_t>(kw) - pad;
+                            if (ow < 0 ||
+                                ow >= static_cast<std::ptrdiff_t>(W))
+                                continue;
+                            psum.at(c, static_cast<std::size_t>(oh),
+                                    static_cast<std::size_t>(ow)) +=
+                                in * cachedWeights_.at(m, c, kh, kw);
+                            macs_++;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return psum;
+}
+
+Tensor
+PeArray::weightGrad(const Tensor &x, const Tensor &grad_out)
+{
+    ENODE_ASSERT(weightsLoaded_, "weights not loaded");
+    ENODE_ASSERT(x.shape() == grad_out.shape() &&
+                     x.shape().dim(0) == lanes_,
+                 "weightGrad shape mismatch");
+    const std::size_t H = x.shape().dim(1);
+    const std::size_t W = x.shape().dim(2);
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+
+    Tensor grad_w(Shape{lanes_, lanes_, kernel_, kernel_});
+    // PE_{c,m} receives the (x[c], dy[m]) pair of each pixel and
+    // accumulates its own 9-entry kernel gradient locally.
+    for (std::size_t h = 0; h < H; h++) {
+        for (std::size_t w = 0; w < W; w++) {
+            for (std::size_t m = 0; m < lanes_; m++) {
+                const float dy = grad_out.at(m, h, w);
+                for (std::size_t c = 0; c < lanes_; c++) {
+                    for (std::size_t kh = 0; kh < kernel_; kh++) {
+                        const std::ptrdiff_t ih =
+                            static_cast<std::ptrdiff_t>(h) +
+                            static_cast<std::ptrdiff_t>(kh) - pad;
+                        if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H))
+                            continue;
+                        for (std::size_t kw = 0; kw < kernel_; kw++) {
+                            const std::ptrdiff_t iw =
+                                static_cast<std::ptrdiff_t>(w) +
+                                static_cast<std::ptrdiff_t>(kw) - pad;
+                            if (iw < 0 ||
+                                iw >= static_cast<std::ptrdiff_t>(W))
+                                continue;
+                            grad_w.at(m, c, kh, kw) +=
+                                dy * x.at(c, static_cast<std::size_t>(ih),
+                                          static_cast<std::size_t>(iw));
+                            macs_++;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_w;
+}
+
+double
+PeArray::convCycles(std::size_t H, std::size_t W, std::size_t C,
+                    std::size_t M, std::size_t lanes)
+{
+    const double tiles_c = std::ceil(static_cast<double>(C) / lanes);
+    const double tiles_m = std::ceil(static_cast<double>(M) / lanes);
+    return static_cast<double>(H) * W * tiles_c * tiles_m;
+}
+
+double
+PeArray::convMacs(std::size_t H, std::size_t W, std::size_t C,
+                  std::size_t M, std::size_t kernel)
+{
+    return static_cast<double>(H) * W * C * M * kernel * kernel;
+}
+
+} // namespace enode

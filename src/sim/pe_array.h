@@ -1,0 +1,105 @@
+#ifndef ENODE_SIM_PE_ARRAY_H
+#define ENODE_SIM_PE_ARRAY_H
+
+/**
+ * @file
+ * The unified NN core's PE array (Sec. VI, Fig. 9).
+ *
+ * 64 PEs arranged as 8 input channels x 8 output channels, organized in
+ * 8 diagonal groups: group g holds PE_{c, (c+g) % 8}. Each PE caches one
+ * 3x3 kernel and computes 9 psums per input. An 8-lane adder tree sums,
+ * per output channel, one psum set from each group.
+ *
+ * The same PEs, cached weights and adder tree serve three computations:
+ *  - Mode::Forward        y[m] += sum_c x[c] * W[m][c]           (Fig. 9b)
+ *  - Mode::BackwardData   dx[c] += sum_m dy[m] * flip(W[m][c])   (Fig. 9c)
+ *  - Mode::WeightGrad     dW[m][c] += correlate(x[c], dy[m])
+ *
+ * This file provides a *functional* model — it routes real numbers
+ * through the group/adder-tree structure and is tested against the
+ * reference convolution — plus the cycle/MAC cost expressions the
+ * system models use. Larger channel counts time-multiplex the array in
+ * ceil(C/8) x ceil(M/8) tiles.
+ */
+
+#include <cstdint>
+
+#include "sim/energy_model.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Datapath mode of the unified core. */
+enum class PeMode { Forward, BackwardData, WeightGrad };
+
+/** Functional + cost model of one grouped PE array. */
+class PeArray
+{
+  public:
+    /**
+     * @param lanes PEs per side (prototype: 8 in x 8 out = 64 PEs).
+     * @param kernel Cached kernel extent (3).
+     */
+    PeArray(std::size_t lanes = 8, std::size_t kernel = 3);
+
+    std::size_t lanes() const { return lanes_; }
+    std::size_t peCount() const { return lanes_ * lanes_; }
+    /** MACs the array completes per cycle at full utilization. */
+    std::size_t macsPerCycle() const
+    {
+        return peCount() * kernel_ * kernel_;
+    }
+
+    /**
+     * Load a (lanes x lanes x K x K) weight tile into the PE caches.
+     * PE_{c,m} (group (m - c) mod lanes) caches W[m][c].
+     */
+    void loadWeights(const Tensor &weight);
+
+    /**
+     * Full-map forward convolution routed through the group structure.
+     * Input (lanes, H, W) -> output (lanes, H, W), same padding.
+     * Numerically identical to the reference convForward.
+     */
+    Tensor forwardConv(const Tensor &x, const Tensor &bias);
+
+    /**
+     * Full-map backward-data convolution on the *same* cached weights:
+     * flipped kernels, C/M roles swapped, same adder tree (Fig. 9c).
+     * Matches the reference convBackwardData.
+     */
+    Tensor backwardDataConv(const Tensor &grad_out);
+
+    /** Weight-gradient accumulation on the same PEs. */
+    Tensor weightGrad(const Tensor &x, const Tensor &grad_out);
+
+    /** MACs executed so far (functional model). */
+    std::uint64_t macCount() const { return macs_; }
+
+    // ---- Cost model (used by the system simulators) ----
+
+    /**
+     * Cycles for one conv layer over an H x W map with C in / M out
+     * channels: one packet (8 channels x 1 pixel) per cycle per tile.
+     */
+    static double convCycles(std::size_t H, std::size_t W, std::size_t C,
+                             std::size_t M, std::size_t lanes);
+
+    /** MACs for the same conv layer. */
+    static double convMacs(std::size_t H, std::size_t W, std::size_t C,
+                           std::size_t M, std::size_t kernel);
+
+  private:
+    /** group of PE_{c,m}: (m - c) mod lanes. */
+    std::size_t groupOf(std::size_t c, std::size_t m) const;
+
+    std::size_t lanes_;
+    std::size_t kernel_;
+    Tensor cachedWeights_; // (lanes, lanes, K, K) = (M, C, K, K)
+    bool weightsLoaded_ = false;
+    std::uint64_t macs_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_PE_ARRAY_H

@@ -1,0 +1,64 @@
+#include "sim/priority_selector.h"
+
+#include "common/logging.h"
+
+namespace enode {
+
+PrioritySelector::PrioritySelector(std::size_t streams,
+                                   std::size_t buffer_capacity)
+    : capacity_(buffer_capacity), buffers_(streams)
+{
+    ENODE_ASSERT(streams >= 1 && buffer_capacity >= 1,
+                 "bad priority selector geometry");
+}
+
+bool
+PrioritySelector::push(const Packet &packet)
+{
+    ENODE_ASSERT(packet.stream < buffers_.size(), "stream out of range");
+    auto &buf = buffers_[packet.stream];
+    if (buf.size() >= capacity_) {
+        rejectedPushes_++;
+        return false;
+    }
+    buf.push_back(packet);
+    std::size_t total = 0;
+    for (const auto &b : buffers_)
+        total += b.size();
+    peakOccupancy_ = std::max(peakOccupancy_, total);
+    return true;
+}
+
+bool
+PrioritySelector::anyReady() const
+{
+    for (const auto &b : buffers_)
+        if (!b.empty())
+            return true;
+    return false;
+}
+
+Packet
+PrioritySelector::pop()
+{
+    // Later streams get priority: they consume the outputs of earlier
+    // streams, freeing buffer space (Sec. V.B).
+    for (std::size_t s = buffers_.size(); s-- > 0;) {
+        if (!buffers_[s].empty()) {
+            Packet p = buffers_[s].front();
+            buffers_[s].pop_front();
+            dispatched_++;
+            return p;
+        }
+    }
+    ENODE_PANIC("pop() on empty priority selector");
+}
+
+std::size_t
+PrioritySelector::occupancy(std::size_t stream) const
+{
+    ENODE_ASSERT(stream < buffers_.size(), "stream out of range");
+    return buffers_[stream].size();
+}
+
+} // namespace enode

@@ -1,0 +1,74 @@
+#ifndef ENODE_SIM_PRIORITY_SELECTOR_H
+#define ENODE_SIM_PRIORITY_SELECTOR_H
+
+/**
+ * @file
+ * Packetized processing control (Sec. V.B, Fig. 8).
+ *
+ * The controller keeps one state buffer per stream (one stream per f
+ * evaluation: k_1..k_s for RK23). A priority selector watches input
+ * availability across the buffers and dispatches packets to the ring,
+ * giving *later* streams higher priority so they drain the outputs of
+ * earlier streams and free buffer space — the no-stall property of
+ * depth-first processing on a folded (function-reused) architecture.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace enode {
+
+/** A packetized unit of work: one input packet of one stream. */
+struct Packet
+{
+    std::uint32_t stream; ///< which f evaluation (k_j) this belongs to
+    std::uint32_t index;  ///< packet index within the stream
+};
+
+/** Per-stream state buffers + the later-stream-first selector. */
+class PrioritySelector
+{
+  public:
+    /**
+     * @param streams Number of concurrent streams (integrator stages).
+     * @param buffer_capacity Packets each state buffer can hold.
+     */
+    PrioritySelector(std::size_t streams, std::size_t buffer_capacity);
+
+    /**
+     * Offer a packet to stream s's state buffer.
+     * @return false when the buffer is full (producer must stall).
+     */
+    bool push(const Packet &packet);
+
+    /** True if any stream has a packet ready. */
+    bool anyReady() const;
+
+    /**
+     * Dispatch the next packet: the non-empty buffer with the highest
+     * stream index wins (later streams first).
+     */
+    Packet pop();
+
+    std::size_t occupancy(std::size_t stream) const;
+    std::size_t streams() const { return buffers_.size(); }
+
+    std::uint64_t dispatched() const { return dispatched_; }
+    std::uint64_t rejectedPushes() const { return rejectedPushes_; }
+    /** Peak total occupancy across all buffers. */
+    std::size_t peakOccupancy() const { return peakOccupancy_; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<std::deque<Packet>> buffers_;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t rejectedPushes_ = 0;
+    std::size_t peakOccupancy_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_PRIORITY_SELECTOR_H

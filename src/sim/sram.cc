@@ -1,0 +1,60 @@
+#include "sim/sram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace enode {
+
+Sram::Sram(std::string name, std::size_t capacity_bytes)
+    : name_(std::move(name)), capacityBytes_(capacity_bytes)
+{
+    ENODE_ASSERT(capacity_bytes > 0, "SRAM '", name_, "' needs capacity");
+}
+
+bool
+Sram::allocate(std::size_t bytes)
+{
+    if (usedBytes_ + bytes > capacityBytes_)
+        return false;
+    usedBytes_ += bytes;
+    peakUsedBytes_ = std::max(peakUsedBytes_, usedBytes_);
+    return true;
+}
+
+void
+Sram::release(std::size_t bytes)
+{
+    ENODE_ASSERT(bytes <= usedBytes_, "SRAM '", name_,
+                 "' releasing more than allocated");
+    usedBytes_ -= bytes;
+}
+
+void
+Sram::read(std::size_t bytes)
+{
+    readWords_ += (bytes + 1) / 2;
+}
+
+void
+Sram::write(std::size_t bytes)
+{
+    writeWords_ += (bytes + 1) / 2;
+}
+
+void
+Sram::addActivity(ActivityCounts &activity) const
+{
+    activity.sramReads += readWords_;
+    activity.sramWrites += writeWords_;
+}
+
+void
+Sram::resetStats()
+{
+    readWords_ = 0;
+    writeWords_ = 0;
+    peakUsedBytes_ = usedBytes_;
+}
+
+} // namespace enode

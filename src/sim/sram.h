@@ -1,0 +1,72 @@
+#ifndef ENODE_SIM_SRAM_H
+#define ENODE_SIM_SRAM_H
+
+/**
+ * @file
+ * On-chip SRAM buffer model.
+ *
+ * Tracks occupancy against a hard capacity, counts word accesses for the
+ * energy model, and exposes allocation failure so callers (the training
+ * state buffer in particular) can model spills to DRAM. Latency is one
+ * cycle and fully pipelined — adequate at the packet granularity the
+ * system models operate on.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/energy_model.h"
+
+namespace enode {
+
+/** A named SRAM with capacity accounting and access counters. */
+class Sram
+{
+  public:
+    /**
+     * @param name Instance name for stats.
+     * @param capacity_bytes Hard capacity.
+     */
+    Sram(std::string name, std::size_t capacity_bytes);
+
+    const std::string &name() const { return name_; }
+    std::size_t capacityBytes() const { return capacityBytes_; }
+    std::size_t usedBytes() const { return usedBytes_; }
+    std::size_t freeBytes() const { return capacityBytes_ - usedBytes_; }
+    std::size_t peakUsedBytes() const { return peakUsedBytes_; }
+
+    /**
+     * Reserve bytes; returns false (and leaves state unchanged) when the
+     * allocation does not fit.
+     */
+    bool allocate(std::size_t bytes);
+
+    /** Release bytes previously allocated. */
+    void release(std::size_t bytes);
+
+    /** Count a read of the given byte count (word-granular energy). */
+    void read(std::size_t bytes);
+
+    /** Count a write of the given byte count. */
+    void write(std::size_t bytes);
+
+    std::uint64_t readWords() const { return readWords_; }
+    std::uint64_t writeWords() const { return writeWords_; }
+
+    /** Merge this SRAM's access counts into an activity record. */
+    void addActivity(ActivityCounts &activity) const;
+
+    void resetStats();
+
+  private:
+    std::string name_;
+    std::size_t capacityBytes_;
+    std::size_t usedBytes_ = 0;
+    std::size_t peakUsedBytes_ = 0;
+    std::uint64_t readWords_ = 0;
+    std::uint64_t writeWords_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_SRAM_H

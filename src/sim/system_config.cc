@@ -1,0 +1,50 @@
+#include "sim/system_config.h"
+
+namespace enode {
+
+void
+RunCost::publish(StatGroup &stats, const std::string &prefix,
+                 const EnergyParams &params) const
+{
+    publishEnergy(stats, prefix, energy, cycles, params);
+    stats.set(prefix + ".seconds", seconds);
+    stats.set(prefix + ".macs", static_cast<double>(activity.macs));
+    stats.set(prefix + ".sramReads",
+              static_cast<double>(activity.sramReads));
+    stats.set(prefix + ".sramWrites",
+              static_cast<double>(activity.sramWrites));
+    stats.set(prefix + ".regAccesses",
+              static_cast<double>(activity.regAccesses));
+    stats.set(prefix + ".nocHopWords",
+              static_cast<double>(activity.nocHopWords));
+    stats.set(prefix + ".dramBytes",
+              static_cast<double>(activity.dramBytes));
+}
+
+SystemConfig::SystemConfig()
+{
+    layer.tableau = &ButcherTableau::rk23();
+    layer.fDepth = 4;
+    layer.kernel = 3;
+    layer.H = 64;
+    layer.W = 64;
+    layer.C = 64;
+    layer.bytesPerElement = 2;
+}
+
+SystemConfig
+SystemConfig::configA()
+{
+    return SystemConfig{};
+}
+
+SystemConfig
+SystemConfig::configB()
+{
+    SystemConfig cfg;
+    cfg.layer.H = 256;
+    cfg.layer.W = 256;
+    return cfg;
+}
+
+} // namespace enode

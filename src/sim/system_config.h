@@ -1,0 +1,87 @@
+#ifndef ENODE_SIM_SYSTEM_CONFIG_H
+#define ENODE_SIM_SYSTEM_CONFIG_H
+
+/**
+ * @file
+ * Shared configuration and result types of the two system models.
+ */
+
+#include "core/depth_first.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+
+namespace enode {
+
+/** Full hardware + problem configuration. */
+struct SystemConfig
+{
+    /** Problem geometry (Table I Config A by default). */
+    DepthFirstConfig layer{};
+
+    /** PE lanes per NN core (8 x 8 PEs). */
+    std::size_t peLanes = 8;
+    /** NN cores on the ring (each maps one conv layer of f). */
+    std::size_t numCores = 4;
+    /** Hub integral-accumulator width in 16-bit lanes. */
+    std::size_t hubAluLanes = 64;
+    /** Ring link bandwidth, bytes per cycle. */
+    double linkBytesPerCycle = 16.0;
+    /** Training-state buffer capacity (both designs, Table I). */
+    std::size_t trainingBufferBytes = 0; ///< 0 = size to the depth-first
+                                         ///< working set (Table I policy)
+    /**
+     * "Layers can also be split and mapped on multiple NN cores"
+     * (Sec. V.A): when f is shallower than the core count, split each
+     * conv layer's channel tiles across numCores / fDepth cores so no
+     * core idles. Requires numCores % fDepth == 0.
+     */
+    bool splitShallowLayers = false;
+
+    EnergyParams energy{};
+    DramParams dram{};
+
+    /** Extra static power of the richer eNODE control (W). */
+    double enodeControlStaticW = 0.50;
+    /** Baseline core static power (clock tree + control, W). */
+    double baselineStaticW = 2.20;
+
+    SystemConfig();
+
+    /** Table I Configuration A: 64 x 64 x 64, RK23, 4-conv f. */
+    static SystemConfig configA();
+    /** Table I Configuration B: 256 x 256 x 64. */
+    static SystemConfig configB();
+};
+
+/** Cost of one simulated step (one trial / one backward step). */
+struct StepCost
+{
+    double cycles = 0.0;
+    ActivityCounts activity{};
+    double coreUtilization = 0.0; ///< busy fraction of the busiest core
+    double maxLinkBusyFraction = 0.0;
+};
+
+/** Cost of a full run (one inference or one training iteration). */
+struct RunCost
+{
+    double cycles = 0.0;
+    ActivityCounts activity{};
+    EnergyBreakdown energy{};
+    double seconds = 0.0;
+    double powerW = 0.0;
+    double dramPowerW = 0.0;
+    double energyJ = 0.0;
+
+    /**
+     * Publish the run into a StatGroup under the given prefix: the
+     * energy breakdown (via publishEnergy) plus activity counters, in
+     * the gem5 "component.stat = value" style.
+     */
+    void publish(StatGroup &stats, const std::string &prefix,
+                 const EnergyParams &params) const;
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_SYSTEM_CONFIG_H

@@ -1,0 +1,48 @@
+#include "sim/trace.h"
+
+namespace enode {
+
+WorkloadTrace
+WorkloadTrace::fromForward(const std::string &name,
+                           const NodeForwardResult &fwd)
+{
+    WorkloadTrace trace;
+    trace.name = name;
+    trace.integrationLayers = static_cast<double>(fwd.layers.size());
+    trace.evalPoints = static_cast<double>(fwd.totalStats.evalPoints);
+    trace.trials = static_cast<double>(fwd.totalStats.trials);
+    trace.equivalentTrials = fwd.totalStats.equivalentTrials;
+    return trace;
+}
+
+WorkloadTrace
+WorkloadTrace::fromTraining(const std::string &name,
+                            const NodeForwardResult &fwd,
+                            const AcaStats &bwd)
+{
+    WorkloadTrace trace = fromForward(name, fwd);
+    trace.backwardSteps = static_cast<double>(bwd.backwardSteps);
+    return trace;
+}
+
+WorkloadTrace
+WorkloadTrace::synthetic(const std::string &name, double layers,
+                         double eval_points_per_layer,
+                         double tries_per_point, bool training,
+                         double work_fraction)
+{
+    WorkloadTrace trace;
+    trace.name = name;
+    trace.integrationLayers = layers;
+    trace.evalPoints = layers * eval_points_per_layer;
+    trace.trials = trace.evalPoints * tries_per_point;
+    // Accepted trials always process the full map; only the rejected
+    // remainder is discounted by the early-stop work fraction.
+    const double rejected = trace.trials - trace.evalPoints;
+    trace.equivalentTrials =
+        trace.evalPoints + rejected * work_fraction;
+    trace.backwardSteps = training ? trace.evalPoints : 0.0;
+    return trace;
+}
+
+} // namespace enode

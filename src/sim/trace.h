@@ -1,0 +1,59 @@
+#ifndef ENODE_SIM_TRACE_H
+#define ENODE_SIM_TRACE_H
+
+/**
+ * @file
+ * Workload traces: the bridge from algorithm runs to the hardware model.
+ *
+ * The cycle-accurate simulators execute *representative steps* in full
+ * detail (every conv row, ring transfer and DRAM burst of one
+ * integration trial / one backward step) and then compose whole
+ * inferences or training iterations from the solver statistics recorded
+ * by the reference algorithm run: how many evaluation points, how many
+ * search trials, and how much of each trial was actually processed
+ * under early stop. This mirrors the paper's methodology (cycle model
+ * driven by the benchmark's integration schedule) and keeps full-run
+ * simulation tractable.
+ */
+
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+
+namespace enode {
+
+/** Solver activity of one forward pass / training iteration. */
+struct WorkloadTrace
+{
+    std::string name;            ///< workload label for reports
+    double integrationLayers = 0;
+    double evalPoints = 0;       ///< accepted steps, all layers
+    double trials = 0;           ///< search trials, all layers
+    double equivalentTrials = 0; ///< work-weighted (early-stop) trials
+    double backwardSteps = 0;    ///< ACA backward steps (0 for inference)
+
+    /** Mean trials per evaluation point. */
+    double
+    triesPerPoint() const
+    {
+        return evalPoints > 0 ? trials / evalPoints : 0.0;
+    }
+
+    /** Build from a recorded forward pass. */
+    static WorkloadTrace fromForward(const std::string &name,
+                                     const NodeForwardResult &fwd);
+
+    /** Build from a forward pass + its ACA backward statistics. */
+    static WorkloadTrace fromTraining(const std::string &name,
+                                      const NodeForwardResult &fwd,
+                                      const AcaStats &bwd);
+
+    /** Synthetic trace from aggregate statistics (for sweeps). */
+    static WorkloadTrace synthetic(const std::string &name, double layers,
+                                   double eval_points_per_layer,
+                                   double tries_per_point, bool training,
+                                   double work_fraction = 1.0);
+};
+
+} // namespace enode
+
+#endif // ENODE_SIM_TRACE_H

@@ -1,0 +1,334 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/fp16.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace enode {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) : dims_(dims)
+{
+    for (auto d : dims_)
+        ENODE_ASSERT(d > 0, "zero extent in shape");
+    ENODE_ASSERT(dims_.size() <= 4, "rank > 4 unsupported");
+}
+
+Shape::Shape(std::vector<std::size_t> dims) : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        ENODE_ASSERT(d > 0, "zero extent in shape");
+    ENODE_ASSERT(dims_.size() <= 4, "rank > 4 unsupported");
+}
+
+std::size_t
+Shape::dim(std::size_t i) const
+{
+    ENODE_ASSERT(i < dims_.size(), "shape dim ", i, " out of rank ",
+                 dims_.size());
+    return dims_[i];
+}
+
+std::size_t
+Shape::numel() const
+{
+    std::size_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::str() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (std::size_t i = 0; i < dims_.size(); i++)
+        oss << (i ? ", " : "") << dims_[i];
+    oss << "]";
+    return oss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.numel(), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_.numel(), fill)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    ENODE_ASSERT(data_.size() == shape_.numel(), "data size ", data_.size(),
+                 " != shape numel ", shape_.numel());
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    return Tensor(std::move(shape), value);
+}
+
+Tensor
+Tensor::randn(Shape shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::zerosLike(const Tensor &other)
+{
+    return Tensor(other.shape_);
+}
+
+float &
+Tensor::at(std::size_t i)
+{
+    ENODE_ASSERT(i < data_.size(), "flat index ", i, " out of ", data_.size());
+    return data_[i];
+}
+
+float
+Tensor::at(std::size_t i) const
+{
+    ENODE_ASSERT(i < data_.size(), "flat index ", i, " out of ", data_.size());
+    return data_[i];
+}
+
+float &
+Tensor::at(std::size_t c, std::size_t h, std::size_t w)
+{
+    ENODE_ASSERT(shape_.rank() == 3, "rank-3 access on ", shape_.str());
+    const std::size_t H = shape_.dim(1), W = shape_.dim(2);
+    ENODE_ASSERT(c < shape_.dim(0) && h < H && w < W, "chw index out of ",
+                 shape_.str());
+    return data_[(c * H + h) * W + w];
+}
+
+float
+Tensor::at(std::size_t c, std::size_t h, std::size_t w) const
+{
+    return const_cast<Tensor *>(this)->at(c, h, w);
+}
+
+float &
+Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+{
+    ENODE_ASSERT(shape_.rank() == 4, "rank-4 access on ", shape_.str());
+    const std::size_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    ENODE_ASSERT(n < shape_.dim(0) && c < C && h < H && w < W,
+                 "nchw index out of ", shape_.str());
+    return data_[((n * C + c) * H + h) * W + w];
+}
+
+float
+Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const
+{
+    return const_cast<Tensor *>(this)->at(n, c, h, w);
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    ENODE_ASSERT(shape.numel() == numel(), "reshape ", shape_.str(), " -> ",
+                 shape.str(), " changes numel");
+    return Tensor(std::move(shape), data_);
+}
+
+Tensor
+Tensor::sample(std::size_t n) const
+{
+    ENODE_ASSERT(shape_.rank() == 4, "sample() needs rank 4, got ",
+                 shape_.str());
+    const std::size_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    ENODE_ASSERT(n < shape_.dim(0), "sample index out of batch");
+    const std::size_t stride = C * H * W;
+    std::vector<float> chunk(data_.begin() + n * stride,
+                             data_.begin() + (n + 1) * stride);
+    return Tensor(Shape{C, H, W}, std::move(chunk));
+}
+
+void
+Tensor::setSample(std::size_t n, const Tensor &sample)
+{
+    ENODE_ASSERT(shape_.rank() == 4 && sample.shape().rank() == 3,
+                 "setSample needs NCHW target and CHW source");
+    const std::size_t stride =
+        shape_.dim(1) * shape_.dim(2) * shape_.dim(3);
+    ENODE_ASSERT(sample.numel() == stride, "sample numel mismatch");
+    ENODE_ASSERT(n < shape_.dim(0), "sample index out of batch");
+    std::copy(sample.data_.begin(), sample.data_.end(),
+              data_.begin() + n * stride);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::checkSameShape(const Tensor &other, const char *op) const
+{
+    ENODE_ASSERT(shape_ == other.shape_, op, ": shape ", shape_.str(),
+                 " vs ", other.shape_.str());
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    checkSameShape(other, "+=");
+    for (std::size_t i = 0; i < data_.size(); i++)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &other)
+{
+    checkSameShape(other, "-=");
+    for (std::size_t i = 0; i < data_.size(); i++)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+Tensor
+Tensor::operator+(const Tensor &other) const
+{
+    Tensor out = *this;
+    out += other;
+    return out;
+}
+
+Tensor
+Tensor::operator-(const Tensor &other) const
+{
+    Tensor out = *this;
+    out -= other;
+    return out;
+}
+
+Tensor
+Tensor::operator*(float s) const
+{
+    Tensor out = *this;
+    out *= s;
+    return out;
+}
+
+void
+Tensor::axpy(float alpha, const Tensor &x)
+{
+    checkSameShape(x, "axpy");
+    for (std::size_t i = 0; i < data_.size(); i++)
+        data_[i] += alpha * x.data_[i];
+}
+
+void
+Tensor::quantizeFp16()
+{
+    for (auto &v : data_)
+        v = roundToFp16(v);
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (auto v : data_)
+        s += v;
+    return s;
+}
+
+double
+Tensor::mean() const
+{
+    return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+double
+Tensor::l2Norm() const
+{
+    double s = 0.0;
+    for (auto v : data_)
+        s += static_cast<double>(v) * v;
+    return std::sqrt(s);
+}
+
+double
+Tensor::maxAbs() const
+{
+    double m = 0.0;
+    for (auto v : data_)
+        m = std::max(m, std::abs(static_cast<double>(v)));
+    return m;
+}
+
+double
+Tensor::rowWindowL2(std::size_t row_begin, std::size_t row_end) const
+{
+    ENODE_ASSERT(shape_.rank() == 3, "rowWindowL2 needs rank 3");
+    const std::size_t C = shape_.dim(0), H = shape_.dim(1), W = shape_.dim(2);
+    ENODE_ASSERT(row_begin <= row_end && row_end <= H,
+                 "row window [", row_begin, ", ", row_end, ") out of H=", H);
+    double s = 0.0;
+    for (std::size_t c = 0; c < C; c++) {
+        for (std::size_t h = row_begin; h < row_end; h++) {
+            const float *row = data_.data() + (c * H + h) * W;
+            for (std::size_t w = 0; w < W; w++)
+                s += static_cast<double>(row[w]) * row[w];
+        }
+    }
+    return std::sqrt(s);
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    a.checkSameShape(b, "maxAbsDiff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.data_.size(); i++)
+        m = std::max(m, std::abs(static_cast<double>(a.data_[i]) -
+                                 b.data_[i]));
+    return m;
+}
+
+bool
+Tensor::allClose(const Tensor &a, const Tensor &b, double rtol, double atol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    for (std::size_t i = 0; i < a.data_.size(); i++) {
+        const double da = a.data_[i], db = b.data_[i];
+        if (std::abs(da - db) > atol + rtol * std::abs(db))
+            return false;
+    }
+    return true;
+}
+
+} // namespace enode

@@ -1,0 +1,156 @@
+#ifndef ENODE_TENSOR_TENSOR_H
+#define ENODE_TENSOR_TENSOR_H
+
+/**
+ * @file
+ * Dense float tensor, the data type for NODE states and NN activations.
+ *
+ * Layout is row-major over up to four dimensions interpreted as
+ * (N, C, H, W) for images / feature maps, (C, H, W) for a single sample,
+ * or arbitrary 1-2D shapes for vectors and matrices. The ODE solvers
+ * treat a Tensor as a flat state vector; the NN layers interpret it
+ * spatially. Storage is float32; FP16 datapath effects are modelled by
+ * explicit quantization passes (see common/fp16.h) rather than by storing
+ * halves, matching how an accelerator keeps FP32 accumulators with FP16
+ * operands.
+ */
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace enode {
+
+class Rng;
+
+/** Shape of a tensor: up to four extents, all positive. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<std::size_t> dims);
+    explicit Shape(std::vector<std::size_t> dims);
+
+    std::size_t rank() const { return dims_.size(); }
+    std::size_t dim(std::size_t i) const;
+    /** Total element count (1 for a rank-0 shape). */
+    std::size_t numel() const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** "[2, 8, 64, 64]" for diagnostics. */
+    std::string str() const;
+
+    const std::vector<std::size_t> &dims() const { return dims_; }
+
+  private:
+    std::vector<std::size_t> dims_;
+};
+
+/** Dense row-major float tensor with value semantics. */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no storage). */
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Constant-filled tensor. */
+    Tensor(Shape shape, float fill);
+
+    /** Adopt existing data; size must match the shape. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+    static Tensor full(Shape shape, float value);
+    static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+    /** I.i.d. normal entries from an explicit generator. */
+    static Tensor randn(Shape shape, Rng &rng, float stddev = 1.0f);
+    /** I.i.d. uniform entries in [lo, hi). */
+    static Tensor uniform(Shape shape, Rng &rng, float lo, float hi);
+    /** Tensor with the same shape as another, zero filled. */
+    static Tensor zerosLike(const Tensor &other);
+
+    const Shape &shape() const { return shape_; }
+    std::size_t numel() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access with bounds check in debug paths. */
+    float &at(std::size_t i);
+    float at(std::size_t i) const;
+
+    /** (c, h, w) access on a rank-3 tensor. */
+    float &at(std::size_t c, std::size_t h, std::size_t w);
+    float at(std::size_t c, std::size_t h, std::size_t w) const;
+
+    /** (n, c, h, w) access on a rank-4 tensor. */
+    float &at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+    float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+    /** View this storage under a different shape with equal numel. */
+    Tensor reshaped(Shape shape) const;
+
+    /** Extract sample n of a rank-4 tensor as a rank-3 tensor. */
+    Tensor sample(std::size_t n) const;
+
+    /** Overwrite sample n of a rank-4 tensor from a rank-3 tensor. */
+    void setSample(std::size_t n, const Tensor &sample);
+
+    void fill(float value);
+
+    /** In-place elementwise: this += other. Shapes must match. */
+    Tensor &operator+=(const Tensor &other);
+    /** In-place elementwise: this -= other. Shapes must match. */
+    Tensor &operator-=(const Tensor &other);
+    /** In-place scale: this *= s. */
+    Tensor &operator*=(float s);
+
+    Tensor operator+(const Tensor &other) const;
+    Tensor operator-(const Tensor &other) const;
+    Tensor operator*(float s) const;
+
+    /** this += alpha * x (the BLAS axpy, the workhorse of RK updates). */
+    void axpy(float alpha, const Tensor &x);
+
+    /** Round every element through FP16 (models a 16-bit datapath). */
+    void quantizeFp16();
+
+    double sum() const;
+    double mean() const;
+    /** Euclidean norm over all elements. */
+    double l2Norm() const;
+    /** Largest |element|. */
+    double maxAbs() const;
+
+    /**
+     * Euclidean norm restricted to rows [row_begin, row_end) of a rank-3
+     * (C, H, W) tensor, across all channels. This is the primitive behind
+     * priority processing: the error map is scanned row-window by
+     * row-window (Sec. VII.B).
+     */
+    double rowWindowL2(std::size_t row_begin, std::size_t row_end) const;
+
+    /** Largest elementwise |a - b|; shapes must match. */
+    static double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+    /** True when every |a_i - b_i| <= atol + rtol * |b_i|. */
+    static bool allClose(const Tensor &a, const Tensor &b,
+                         double rtol = 1e-5, double atol = 1e-7);
+
+  private:
+    void checkSameShape(const Tensor &other, const char *op) const;
+
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace enode
+
+#endif // ENODE_TENSOR_TENSOR_H

@@ -1,0 +1,164 @@
+#include "workloads/dynamic_systems.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+#include "ode/rk_stepper.h"
+
+namespace enode {
+
+ThreeBodyOde::ThreeBodyOde(double g, std::array<double, 3> masses,
+                           double softening)
+    : g_(g), masses_(masses), softening_(softening)
+{
+    ENODE_ASSERT(g > 0.0 && softening >= 0.0, "bad three-body parameters");
+}
+
+Tensor
+ThreeBodyOde::eval(double /*t*/, const Tensor &h)
+{
+    countEval();
+    ENODE_ASSERT(h.numel() == stateDim, "three-body state must be dim 18");
+    // Layout: [r0(3), r1(3), r2(3), v0(3), v1(3), v2(3)].
+    Tensor dh(h.shape());
+    // dr_i/dt = v_i.
+    for (std::size_t i = 0; i < 9; i++)
+        dh.at(i) = h.at(9 + i);
+    // dv_i/dt = -sum_{j != i} G m_j (r_i - r_j) / (|r_i - r_j|^2 + s^2)^1.5
+    for (std::size_t i = 0; i < 3; i++) {
+        for (std::size_t j = 0; j < 3; j++) {
+            if (i == j)
+                continue;
+            double diff[3];
+            double dist_sq = softening_ * softening_;
+            for (std::size_t d = 0; d < 3; d++) {
+                diff[d] = static_cast<double>(h.at(3 * i + d)) -
+                          h.at(3 * j + d);
+                dist_sq += diff[d] * diff[d];
+            }
+            const double inv_r3 = 1.0 / std::pow(dist_sq, 1.5);
+            for (std::size_t d = 0; d < 3; d++)
+                dh.at(9 + 3 * i + d) -= static_cast<float>(
+                    g_ * masses_[j] * diff[d] * inv_r3);
+        }
+    }
+    return dh;
+}
+
+Tensor
+ThreeBodyOde::randomInitialState(Rng &rng) const
+{
+    Tensor state(Shape{stateDim});
+    // Bodies near the vertices of an equilateral triangle with
+    // tangential velocities (a perturbed stable rotation).
+    const double radius = rng.uniform(0.8, 1.2);
+    const double omega = rng.uniform(0.4, 0.7);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    for (std::size_t i = 0; i < 3; i++) {
+        const double theta =
+            phase + 2.0 * std::numbers::pi * static_cast<double>(i) / 3.0;
+        state.at(3 * i + 0) =
+            static_cast<float>(radius * std::cos(theta) +
+                               rng.normal(0.0, 0.02));
+        state.at(3 * i + 1) =
+            static_cast<float>(radius * std::sin(theta) +
+                               rng.normal(0.0, 0.02));
+        state.at(3 * i + 2) = static_cast<float>(rng.normal(0.0, 0.02));
+        state.at(9 + 3 * i + 0) =
+            static_cast<float>(-omega * radius * std::sin(theta) +
+                               rng.normal(0.0, 0.02));
+        state.at(9 + 3 * i + 1) =
+            static_cast<float>(omega * radius * std::cos(theta) +
+                               rng.normal(0.0, 0.02));
+        state.at(9 + 3 * i + 2) = static_cast<float>(rng.normal(0.0, 0.02));
+    }
+    return state;
+}
+
+double
+ThreeBodyOde::energy(const Tensor &state) const
+{
+    double kinetic = 0.0;
+    for (std::size_t i = 0; i < 3; i++)
+        for (std::size_t d = 0; d < 3; d++) {
+            const double v = state.at(9 + 3 * i + d);
+            kinetic += 0.5 * masses_[i] * v * v;
+        }
+    double potential = 0.0;
+    for (std::size_t i = 0; i < 3; i++) {
+        for (std::size_t j = i + 1; j < 3; j++) {
+            double dist_sq = softening_ * softening_;
+            for (std::size_t d = 0; d < 3; d++) {
+                const double diff = static_cast<double>(state.at(3 * i + d)) -
+                                    state.at(3 * j + d);
+                dist_sq += diff * diff;
+            }
+            potential -= g_ * masses_[i] * masses_[j] / std::sqrt(dist_sq);
+        }
+    }
+    return kinetic + potential;
+}
+
+LotkaVolterraOde::LotkaVolterraOde(double alpha, double beta, double delta,
+                                   double eta)
+    : alpha_(alpha), beta_(beta), delta_(delta), eta_(eta)
+{
+}
+
+Tensor
+LotkaVolterraOde::eval(double /*t*/, const Tensor &h)
+{
+    countEval();
+    ENODE_ASSERT(h.numel() == stateDim, "lotka-volterra state must be dim 2");
+    const double x = h.at(0), y = h.at(1);
+    Tensor dh(h.shape());
+    dh.at(0) = static_cast<float>(alpha_ * x - beta_ * x * y);
+    dh.at(1) = static_cast<float>(delta_ * x * y - eta_ * y);
+    return dh;
+}
+
+Tensor
+LotkaVolterraOde::randomInitialState(Rng &rng) const
+{
+    Tensor state(Shape{stateDim});
+    state.at(0) = static_cast<float>(rng.uniform(1.0, 8.0));  // prey
+    state.at(1) = static_cast<float>(rng.uniform(1.0, 4.0));  // predators
+    return state;
+}
+
+double
+LotkaVolterraOde::invariant(const Tensor &state) const
+{
+    const double x = state.at(0), y = state.at(1);
+    ENODE_ASSERT(x > 0.0 && y > 0.0, "populations must stay positive");
+    return delta_ * x - eta_ * std::log(x) + beta_ * y -
+           alpha_ * std::log(y);
+}
+
+TrajectoryDataset
+generateTrajectoriesImpl(OdeFunction &system,
+                         const std::vector<Tensor> &initial_states,
+                         std::size_t n_train, double horizon)
+{
+    ENODE_ASSERT(n_train <= initial_states.size(),
+                 "n_train exceeds generated states");
+    TrajectoryDataset data;
+    data.horizon = horizon;
+    // Ground truth via fixed-step RK4 at a step far below the horizon —
+    // the "exact" flow the NODE must learn.
+    const double gt_dt = horizon / 256.0;
+    for (std::size_t i = 0; i < initial_states.size(); i++) {
+        TrajectoryPair pair;
+        pair.x0 = initial_states[i];
+        pair.target = integrateFixed(system, ButcherTableau::rk4(), pair.x0,
+                                     0.0, horizon, gt_dt);
+        if (i < n_train)
+            data.train.push_back(std::move(pair));
+        else
+            data.test.push_back(std::move(pair));
+    }
+    return data;
+}
+
+} // namespace enode

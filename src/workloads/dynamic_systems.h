@@ -1,0 +1,143 @@
+#ifndef ENODE_WORKLOADS_DYNAMIC_SYSTEMS_H
+#define ENODE_WORKLOADS_DYNAMIC_SYSTEMS_H
+
+/**
+ * @file
+ * The two dynamic-system benchmarks of Sec. VIII.
+ *
+ * Three-Body (Eq. 6): trajectories of three gravitating bodies. State is
+ * 18-dimensional: position (3) and velocity (3) per body, flattened as
+ * first-order ODEs.
+ *
+ * Lotka-Volterra (Eq. 7): predator-prey dynamics. State is
+ * 2-dimensional: (prey x, predator y).
+ *
+ * Both implement OdeFunction so they can be integrated directly by the
+ * solver library for ground-truth generation, and both come with a
+ * trajectory-dataset generator that samples (state(t), state(t + T))
+ * pairs for NODE training.
+ */
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "ode/ode_function.h"
+
+namespace enode {
+
+/** Eq. 6: three bodies under Newtonian gravity; state dim = 18. */
+class ThreeBodyOde : public OdeFunction
+{
+  public:
+    /**
+     * @param g Gravitational constant (1 in natural units).
+     * @param masses Mass of each of the three bodies.
+     * @param softening Plummer softening added to |r_i - r_j| to keep
+     *        close encounters integrable.
+     */
+    ThreeBodyOde(double g = 1.0,
+                 std::array<double, 3> masses = {1.0, 1.0, 1.0},
+                 double softening = 0.05);
+
+    Tensor eval(double t, const Tensor &h) override;
+
+    static constexpr std::size_t stateDim = 18;
+
+    /**
+     * A random initial condition near the stable "figure-eight" family:
+     * bodies on a circle with tangential velocities plus noise.
+     */
+    Tensor randomInitialState(Rng &rng) const;
+
+    /** Total energy (kinetic + potential); conserved by the true flow. */
+    double energy(const Tensor &state) const;
+
+  private:
+    double g_;
+    std::array<double, 3> masses_;
+    double softening_;
+};
+
+/** Eq. 7: predator-prey dynamics; state dim = 2. */
+class LotkaVolterraOde : public OdeFunction
+{
+  public:
+    LotkaVolterraOde(double alpha = 1.1, double beta = 0.4,
+                     double delta = 0.1, double eta = 0.4);
+
+    Tensor eval(double t, const Tensor &h) override;
+
+    static constexpr std::size_t stateDim = 2;
+
+    /** Random positive populations. */
+    Tensor randomInitialState(Rng &rng) const;
+
+    /**
+     * The conserved quantity V = delta x - eta ln x + beta y - alpha ln y
+     * of the true flow; useful as a model-quality metric.
+     */
+    double invariant(const Tensor &state) const;
+
+  private:
+    double alpha_;
+    double beta_;
+    double delta_;
+    double eta_;
+};
+
+/** One supervised pair: evolve x0 for time horizon -> target. */
+struct TrajectoryPair
+{
+    Tensor x0;
+    Tensor target;
+};
+
+/** A generated dynamic-system dataset. */
+struct TrajectoryDataset
+{
+    std::vector<TrajectoryPair> train;
+    std::vector<TrajectoryPair> test;
+    double horizon; ///< integration time between x0 and target
+};
+
+/**
+ * Sample (state, state-after-horizon) pairs along ground-truth
+ * trajectories integrated with a high-accuracy fixed-step RK4.
+ *
+ * @param system The true dynamics.
+ * @param make_initial Callable producing random initial states.
+ * @param n_train Training pairs.
+ * @param n_test Held-out pairs.
+ * @param horizon Time gap between input and target.
+ * @param rng Seeded generator.
+ */
+template <typename MakeInitial>
+TrajectoryDataset generateTrajectories(OdeFunction &system,
+                                       MakeInitial &&make_initial,
+                                       std::size_t n_train,
+                                       std::size_t n_test, double horizon,
+                                       Rng &rng);
+
+/** Non-template implementation used by the template wrapper. */
+TrajectoryDataset generateTrajectoriesImpl(
+    OdeFunction &system, const std::vector<Tensor> &initial_states,
+    std::size_t n_train, double horizon);
+
+template <typename MakeInitial>
+TrajectoryDataset
+generateTrajectories(OdeFunction &system, MakeInitial &&make_initial,
+                     std::size_t n_train, std::size_t n_test, double horizon,
+                     Rng &rng)
+{
+    std::vector<Tensor> initial_states;
+    initial_states.reserve(n_train + n_test);
+    for (std::size_t i = 0; i < n_train + n_test; i++)
+        initial_states.push_back(make_initial(rng));
+    return generateTrajectoriesImpl(system, initial_states, n_train,
+                                    horizon);
+}
+
+} // namespace enode
+
+#endif // ENODE_WORKLOADS_DYNAMIC_SYSTEMS_H

@@ -1,0 +1,38 @@
+#include "workloads/resnet_model.h"
+
+namespace enode {
+
+ResnetCost
+resnetCost(const ResnetConfig &cfg)
+{
+    ResnetCost out;
+    const double map_elems = static_cast<double>(cfg.channels) * cfg.height *
+                             cfg.width;
+    const double map_bytes = map_elems * cfg.bytesPerElement;
+    const double convs =
+        static_cast<double>(cfg.blocks) * cfg.convsPerBlock;
+
+    out.activationBytes = map_bytes;
+    // One KxK conv, C -> C channels, same spatial size.
+    const double macs_per_conv = map_elems * cfg.channels *
+                                 static_cast<double>(cfg.kernel) *
+                                 cfg.kernel;
+    out.macs = convs * macs_per_conv;
+
+    // Layer-by-layer execution: every conv reads its input map and
+    // writes its output map once.
+    out.inferenceTrafficBytes = convs * 2.0 * map_bytes;
+
+    // Training: forward writes every activation for reuse, backward
+    // reads them and streams a gradient map through each conv (read +
+    // write), plus the weight-gradient pass re-reads the activations.
+    out.trainingTrafficBytes =
+        out.inferenceTrafficBytes + convs * 4.0 * map_bytes;
+
+    out.weightBytes = convs * static_cast<double>(cfg.channels) *
+                      cfg.channels * cfg.kernel * cfg.kernel *
+                      cfg.bytesPerElement;
+    return out;
+}
+
+} // namespace enode

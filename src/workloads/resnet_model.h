@@ -1,0 +1,46 @@
+#ifndef ENODE_WORKLOADS_RESNET_MODEL_H
+#define ENODE_WORKLOADS_RESNET_MODEL_H
+
+/**
+ * @file
+ * Analytical ResNet cost model.
+ *
+ * The paper compares NODE against ResNet-100 (memory profile, Fig. 4b)
+ * and ResNet-200 (energy on MNIST, Fig. 18b), both *mapped on the ASIC
+ * baseline*. Neither comparison needs a trained network — only layer
+ * counts, feature-map geometry and the resulting MAC/memory-traffic
+ * volumes, which this model computes exactly.
+ */
+
+#include <cstddef>
+
+namespace enode {
+
+/** Geometry of the ResNet being modelled. */
+struct ResnetConfig
+{
+    std::size_t blocks = 100;       ///< residual blocks (ResNet-"N" ~ N)
+    std::size_t convsPerBlock = 2;  ///< convs in a residual block
+    std::size_t channels = 64;
+    std::size_t height = 32;
+    std::size_t width = 32;
+    std::size_t kernel = 3;
+    std::size_t bytesPerElement = 2; ///< FP16
+};
+
+/** Compute/memory volumes for one sample. */
+struct ResnetCost
+{
+    double macs = 0.0;            ///< multiply-accumulates
+    double activationBytes = 0.0; ///< one feature map
+    double inferenceTrafficBytes = 0.0; ///< reads+writes, layer by layer
+    double trainingTrafficBytes = 0.0;  ///< incl. stored activations
+    double weightBytes = 0.0;
+};
+
+/** Evaluate the model. */
+ResnetCost resnetCost(const ResnetConfig &cfg);
+
+} // namespace enode
+
+#endif // ENODE_WORKLOADS_RESNET_MODEL_H

@@ -1,0 +1,119 @@
+#include "workloads/synthetic_images.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace enode {
+
+SyntheticImageConfig
+cifarLikeConfig()
+{
+    SyntheticImageConfig cfg;
+    cfg.channels = 3;
+    cfg.height = 32;
+    cfg.width = 32;
+    cfg.numClasses = 10;
+    return cfg;
+}
+
+SyntheticImageConfig
+mnistLikeConfig()
+{
+    SyntheticImageConfig cfg;
+    cfg.channels = 1;
+    cfg.height = 28;
+    cfg.width = 28;
+    cfg.numClasses = 10;
+    cfg.noiseStddev = 0.1f;
+    return cfg;
+}
+
+SyntheticImageDataset::SyntheticImageDataset(SyntheticImageConfig config,
+                                             std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    ENODE_ASSERT(config_.numClasses >= 2, "need at least two classes");
+}
+
+Tensor
+SyntheticImageDataset::basePattern(std::size_t label, float jitter_phase,
+                                   float jitter_scale) const
+{
+    const std::size_t C = config_.channels;
+    const std::size_t H = config_.height;
+    const std::size_t W = config_.width;
+    const double pi = std::numbers::pi;
+
+    // Deterministic per-class parameters: orientation, spatial frequency
+    // and a blob position, spread over the class ids.
+    const double klass = static_cast<double>(label);
+    const double n_cls = static_cast<double>(config_.numClasses);
+    const double angle = pi * klass / n_cls + jitter_phase * 0.3;
+    const double freq =
+        (2.0 + 3.0 * (klass / n_cls)) * (1.0 + 0.2 * jitter_scale);
+    const double blob_h = 0.2 + 0.6 * std::fmod(klass * 0.37, 1.0);
+    const double blob_w = 0.2 + 0.6 * std::fmod(klass * 0.61, 1.0);
+    const double blob_sigma = 0.12 + 0.05 * std::fmod(klass * 0.23, 1.0);
+
+    Tensor img(Shape{C, H, W});
+    for (std::size_t c = 0; c < C; c++) {
+        const double chan_phase = 2.0 * pi * static_cast<double>(c) /
+                                  std::max<std::size_t>(C, 1);
+        for (std::size_t h = 0; h < H; h++) {
+            for (std::size_t w = 0; w < W; w++) {
+                const double u = static_cast<double>(h) / H;
+                const double v = static_cast<double>(w) / W;
+                // Oriented grating.
+                const double axis =
+                    u * std::cos(angle) + v * std::sin(angle);
+                const double grating =
+                    std::sin(2.0 * pi * freq * axis + chan_phase +
+                             jitter_phase);
+                // Localized Gaussian blob (the concentrated structure
+                // that makes priority windows meaningful).
+                const double dh = u - blob_h, dw = v - blob_w;
+                const double blob =
+                    1.5 * std::exp(-(dh * dh + dw * dw) /
+                                   (2.0 * blob_sigma * blob_sigma));
+                img.at(c, h, w) =
+                    static_cast<float>(0.5 * grating + blob);
+            }
+        }
+    }
+    return img;
+}
+
+LabelledImage
+SyntheticImageDataset::sample(std::size_t label)
+{
+    ENODE_ASSERT(label < config_.numClasses, "label out of range");
+    const float jitter_phase =
+        static_cast<float>(rng_.normal(0.0, config_.jitterStddev));
+    const float jitter_scale =
+        static_cast<float>(rng_.normal(0.0, config_.jitterStddev));
+    Tensor img = basePattern(label, jitter_phase, jitter_scale);
+    for (std::size_t i = 0; i < img.numel(); i++)
+        img.at(i) += static_cast<float>(
+            rng_.normal(0.0, config_.noiseStddev));
+    return {std::move(img), label};
+}
+
+LabelledImage
+SyntheticImageDataset::sample()
+{
+    return sample(rng_.nextBelow(config_.numClasses));
+}
+
+std::vector<LabelledImage>
+SyntheticImageDataset::batch(std::size_t n)
+{
+    std::vector<LabelledImage> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; i++)
+        out.push_back(sample());
+    return out;
+}
+
+} // namespace enode

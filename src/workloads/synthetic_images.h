@@ -1,0 +1,82 @@
+#ifndef ENODE_WORKLOADS_SYNTHETIC_IMAGES_H
+#define ENODE_WORKLOADS_SYNTHETIC_IMAGES_H
+
+/**
+ * @file
+ * Synthetic stand-ins for the CIFAR-10 and MNIST datasets.
+ *
+ * The offline environment has no dataset files, so the image workloads
+ * are generated procedurally (documented substitution in DESIGN.md).
+ * Each class is a smooth, class-conditional field (oriented gratings and
+ * Gaussian blobs whose parameters are a deterministic function of the
+ * class id) plus per-sample jitter and pixel noise. The generators
+ * preserve what the hardware results actually depend on:
+ *
+ *  - tensor shapes (3x32x32 "CIFAR-like", 1x28x28 "MNIST-like"),
+ *  - spatially localized structure, so integration error maps have the
+ *    concentrated high-error regions priority processing exploits,
+ *  - a learnable class signal, so training accuracy is a meaningful
+ *    metric for Figs. 11 and 13.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** One labelled image. */
+struct LabelledImage
+{
+    Tensor image; ///< (C, H, W)
+    std::size_t label;
+};
+
+/** Generation parameters for a synthetic image dataset. */
+struct SyntheticImageConfig
+{
+    std::size_t channels = 3;
+    std::size_t height = 32;
+    std::size_t width = 32;
+    std::size_t numClasses = 10;
+    float noiseStddev = 0.15f;   ///< pixel noise
+    float jitterStddev = 0.15f;  ///< per-sample parameter jitter
+};
+
+/** "CIFAR-like": 3x32x32, 10 classes. */
+SyntheticImageConfig cifarLikeConfig();
+
+/** "MNIST-like": 1x28x28, 10 classes. */
+SyntheticImageConfig mnistLikeConfig();
+
+/** Deterministic synthetic class-conditional image generator. */
+class SyntheticImageDataset
+{
+  public:
+    SyntheticImageDataset(SyntheticImageConfig config, std::uint64_t seed);
+
+    /** Generate one sample of the given class. */
+    LabelledImage sample(std::size_t label);
+
+    /** Generate one sample with a random class. */
+    LabelledImage sample();
+
+    /** Generate a batch of n random-class samples. */
+    std::vector<LabelledImage> batch(std::size_t n);
+
+    const SyntheticImageConfig &config() const { return config_; }
+
+  private:
+    /** Class-conditional base pattern (no noise). */
+    Tensor basePattern(std::size_t label, float jitter_phase,
+                       float jitter_scale) const;
+
+    SyntheticImageConfig config_;
+    Rng rng_;
+};
+
+} // namespace enode
+
+#endif // ENODE_WORKLOADS_SYNTHETIC_IMAGES_H

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ACA training: the discrete adjoint must match finite differences.
+ *
+ * This is the strongest correctness property in the library: the
+ * backward pass of Sec. II.C (local forward + adjoint + parameter
+ * gradients) is validated against central finite differences of the
+ * *entire* forward solve, for both MLP and conv embedded networks, and
+ * for several integrators.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "ode/step_control.h"
+
+namespace enode {
+namespace {
+
+/** Forward solve -> MSE loss, used as the scalar objective for FD. */
+double
+lossOf(NodeModel &model, const Tensor &x0, const Tensor &target,
+       const ButcherTableau &tab, const IvpOptions &opts)
+{
+    FixedFactorController ctrl;
+    auto fwd = model.forward(x0, tab, ctrl, opts);
+    return mseLoss(fwd.output, target).value;
+}
+
+struct GradCheck
+{
+    double sumSqDiff = 0.0;
+    double sumSqFd = 0.0;
+    std::size_t checked = 0;
+
+    /** Aggregate relative L2 error, robust to FD noise on tiny entries. */
+    double
+    relErr() const
+    {
+        return std::sqrt(sumSqDiff) / std::max(std::sqrt(sumSqFd), 1e-8);
+    }
+};
+
+/**
+ * Compare ACA gradients with central differences on a subset of
+ * parameters. The forward solve must take *identical* steps for the
+ * perturbed evaluations, so the tolerance is loose enough that the
+ * accepted step sequence is stable under the perturbation.
+ */
+GradCheck
+checkGradients(NodeModel &model, const Tensor &x0, const Tensor &target,
+               const ButcherTableau &tab, const IvpOptions &opts,
+               double fd_eps, std::size_t max_params_per_slot)
+{
+    FixedFactorController ctrl;
+    model.zeroGrad();
+    auto fwd = model.forward(x0, tab, ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+    acaBackward(model, tab, fwd, loss.grad);
+
+    GradCheck check;
+    for (auto &slot : model.paramSlots()) {
+        const std::size_t n =
+            std::min(slot.param->numel(), max_params_per_slot);
+        for (std::size_t i = 0; i < n; i++) {
+            const float saved = slot.param->at(i);
+            slot.param->at(i) = saved + static_cast<float>(fd_eps);
+            const double plus = lossOf(model, x0, target, tab, opts);
+            slot.param->at(i) = saved - static_cast<float>(fd_eps);
+            const double minus = lossOf(model, x0, target, tab, opts);
+            slot.param->at(i) = saved;
+
+            const double fd = (plus - minus) / (2.0 * fd_eps);
+            const double analytic = slot.grad->at(i);
+            check.sumSqDiff += (fd - analytic) * (fd - analytic);
+            check.sumSqFd += fd * fd;
+            check.checked++;
+        }
+    }
+    return check;
+}
+
+IvpOptions
+fixedStepOptions()
+{
+    // A generous tolerance keeps the accepted-step sequence identical
+    // under the finite-difference perturbations.
+    IvpOptions opts;
+    opts.tolerance = 1e-1;
+    opts.initialDt = 0.25;
+    return opts;
+}
+
+TEST(AcaTrainer, MlpGradientsMatchFiniteDifferencesRk23)
+{
+    Rng rng(7);
+    auto model = NodeModel::makeMlp(1, 4, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{4}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{4}, rng, 0.5f);
+
+    auto check = checkGradients(*model, x0, target, ButcherTableau::rk23(),
+                                fixedStepOptions(), 1e-3, 12);
+    EXPECT_GT(check.checked, 30u);
+    EXPECT_LT(check.relErr(), 2e-2) << "adjoint deviates from FD";
+}
+
+TEST(AcaTrainer, MlpGradientsMatchFiniteDifferencesDopri5)
+{
+    Rng rng(11);
+    auto model = NodeModel::makeMlp(1, 3, 6, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+
+    auto check = checkGradients(*model, x0, target,
+                                ButcherTableau::dopri5(), fixedStepOptions(),
+                                1e-3, 10);
+    EXPECT_GT(check.checked, 20u);
+    EXPECT_LT(check.relErr(), 2e-2);
+}
+
+TEST(AcaTrainer, MlpGradientsMatchFiniteDifferencesEuler)
+{
+    Rng rng(13);
+    auto model = NodeModel::makeMlp(1, 3, 6, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+
+    auto check = checkGradients(*model, x0, target, ButcherTableau::euler(),
+                                fixedStepOptions(), 1e-3, 10);
+    EXPECT_LT(check.relErr(), 2e-2);
+}
+
+TEST(AcaTrainer, ConvGradientsMatchFiniteDifferences)
+{
+    Rng rng(3);
+    auto model = NodeModel::makeConv(1, 4, 2, rng);
+    Tensor x0 = Tensor::randn(Shape{4, 6, 6}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{4, 6, 6}, rng, 0.5f);
+
+    auto check = checkGradients(*model, x0, target, ButcherTableau::rk23(),
+                                fixedStepOptions(), 1e-3, 6);
+    EXPECT_GT(check.checked, 20u);
+    EXPECT_LT(check.relErr(), 3e-2);
+}
+
+TEST(AcaTrainer, InputGradientMatchesFiniteDifferences)
+{
+    Rng rng(19);
+    auto model = NodeModel::makeMlp(1, 4, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{4}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{4}, rng, 0.5f);
+    const auto &tab = ButcherTableau::rk23();
+    const auto opts = fixedStepOptions();
+
+    FixedFactorController ctrl;
+    model->zeroGrad();
+    auto fwd = model->forward(x0, tab, ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+    auto aca = acaBackward(*model, tab, fwd, loss.grad);
+
+    const double fd_eps = 1e-3;
+    for (std::size_t i = 0; i < x0.numel(); i++) {
+        Tensor xp = x0, xm = x0;
+        xp.at(i) += static_cast<float>(fd_eps);
+        xm.at(i) -= static_cast<float>(fd_eps);
+        const double plus = lossOf(*model, xp, target, tab, opts);
+        const double minus = lossOf(*model, xm, target, tab, opts);
+        const double fd = (plus - minus) / (2.0 * fd_eps);
+        const double analytic = aca.gradInput.at(i);
+        const double scale =
+            std::max({std::abs(fd), std::abs(analytic), 1e-4});
+        EXPECT_LT(std::abs(fd - analytic) / scale, 2e-2)
+            << "input grad " << i;
+    }
+}
+
+TEST(AcaTrainer, BackwardSkipsFsalStage)
+{
+    // RK23's k4 has b=0 and no downstream consumer: the backward pass
+    // must not evaluate a VJP for it (Sec. IV.B: "only computes the
+    // integral states k1, k2 and k3").
+    Rng rng(5);
+    auto model = NodeModel::makeMlp(1, 3, 6, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+
+    FixedFactorController ctrl;
+    IvpOptions opts = fixedStepOptions();
+    auto fwd = model->forward(x0, ButcherTableau::rk23(), ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+    auto aca = acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad);
+
+    // 3 VJPs per step, not 4.
+    EXPECT_EQ(aca.stats.adjointVjps, 3 * aca.stats.backwardSteps);
+    // Local forward evaluates all 4 stages.
+    EXPECT_EQ(aca.stats.localForwardEvals, 4 * aca.stats.backwardSteps);
+    EXPECT_EQ(aca.stats.backwardSteps, fwd.totalStats.evalPoints);
+}
+
+TEST(AcaTrainer, TrainingReducesRegressionLoss)
+{
+    Rng rng(23);
+    auto model = NodeModel::makeMlp(1, 2, 16, 1, rng);
+    // Learn to rotate a point: target is a fixed linear map of x0.
+    Tensor x0(Shape{2}, {1.0f, 0.0f});
+    Tensor target(Shape{2}, {0.0f, 1.0f});
+
+    Sgd opt(model->paramSlots(), 0.05, 0.9);
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.2;
+
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int iter = 0; iter < 40; iter++) {
+        opt.zeroGrad();
+        auto step = regressionTrainStep(*model, x0, target,
+                                        ButcherTableau::rk23(), ctrl, opts);
+        if (iter == 0)
+            first_loss = step.loss;
+        last_loss = step.loss;
+        opt.step();
+    }
+    EXPECT_LT(last_loss, 0.2 * first_loss)
+        << "training failed to reduce loss: " << first_loss << " -> "
+        << last_loss;
+}
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Rng determinism and distribution sanity; stats package; table
+ * formatter.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace enode {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 20000; i++)
+        acc.add(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, IntRangeInclusiveAndUnbiased)
+{
+    Rng rng(13);
+    int counts[6] = {0};
+    for (int i = 0; i < 12000; i++) {
+        const int v = rng.intRange(0, 5);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 5);
+        counts[v]++;
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(17);
+    auto perm = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (auto v : perm) {
+        ASSERT_LT(v, 50u);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    // The fork must not replay the parent's stream.
+    EXPECT_NE(a.nextU64(), b.nextU64());
+}
+
+TEST(Accumulator, TracksMinMaxMeanVariance)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 6.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_NEAR(acc.variance(), 8.0 / 3.0, 1e-12);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamps)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(9.9);  // bin 4
+    h.add(-3.0); // clamps to bin 0
+    h.add(42.0); // clamps to bin 4
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+}
+
+TEST(StatGroup, SetAddGetDump)
+{
+    StatGroup stats("core0");
+    stats.set("macs", 10.0);
+    stats.add("macs", 5.0);
+    stats.add("hits", 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("macs"), 15.0);
+    EXPECT_TRUE(stats.has("hits"));
+    EXPECT_FALSE(stats.has("misses"));
+    EXPECT_EQ(stats.keys().size(), 2u);
+    EXPECT_NE(stats.dump().find("core0.macs = 15"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", Table::num(1.5, 2)});
+    t.addSeparator();
+    t.addRow({"beta", Table::ratio(2.0)});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("2.00x"), std::string::npos);
+    EXPECT_EQ(Table::percent(0.125), "12.5%");
+    EXPECT_EQ(Table::integer(42), "42");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH({ t.addRow({"only-one"}); }, "width");
+}
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Depth-first integration: DDG structure, buffer analyses, and the
+ * streaming executor's equivalence with the layer-by-layer stepper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/depth_first.h"
+#include "core/node_model.h"
+#include "ode/rk_stepper.h"
+
+namespace enode {
+namespace {
+
+TEST(DepthFirstDdg, Rk23MatchesPaperFigure6)
+{
+    DepthFirstDdg ddg(ButcherTableau::rk23());
+    // Fig. 6(a): p_{i,j} for i in {2,3,4}, j < i -> 6 partial states.
+    EXPECT_EQ(ddg.partialStateCount(), 6u);
+    // e_1..e_3 partial error states (e itself is the terminal node).
+    // RK23's error weights are nonzero at all four stages, so three
+    // partials chain before the final e.
+    EXPECT_EQ(ddg.partialErrorCount(), 3u);
+    ddg.checkAcyclic();
+    EXPECT_GE(ddg.criticalPathLength(), 4u);
+}
+
+TEST(DepthFirstDdg, BuildsForAllRegisteredTableaus)
+{
+    for (const auto &name : ButcherTableau::names()) {
+        const auto &tab = ButcherTableau::byName(name);
+        DepthFirstDdg ddg(tab);
+        ddg.checkAcyclic();
+        const std::size_t s = tab.stages();
+        EXPECT_EQ(ddg.partialStateCount(), s * (s - 1) / 2) << name;
+    }
+}
+
+TEST(ForwardBuffers, Rk23PaperRowCount)
+{
+    // Sec. IV.A: for RK23 with a single 3x3 conv f, the paper counts
+    // 15 rows: 6 partial states + 3 partial errors + 4 integral psum
+    // rows + 2 conv window rows.
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 1;
+    cfg.H = 64;
+    cfg.W = 64;
+    cfg.C = 64;
+    auto analysis = analyzeForwardBuffers(cfg);
+    EXPECT_EQ(analysis.partialStateRows, 6u);
+    EXPECT_EQ(analysis.partialErrorRows, 3u);
+    EXPECT_EQ(analysis.integralPsumRows, 4u);
+    const std::size_t paper_rows = analysis.partialStateRows +
+                                   analysis.partialErrorRows +
+                                   analysis.integralPsumRows +
+                                   cfg.fDepth * (cfg.kernel - 1);
+    EXPECT_EQ(paper_rows, 15u);
+}
+
+TEST(ForwardBuffers, TableIConfigurations)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+
+    // Configuration A: 64x64x64.
+    cfg.H = cfg.W = cfg.C = 64;
+    auto a = analyzeForwardBuffers(cfg);
+    // Baseline integral-state buffer: 4 full maps = 2 MB (Table I).
+    EXPECT_EQ(a.baselineBytes, 4u * 64 * 64 * 64 * 2);
+    // Line buffer: 2 * 4 streams * 4 convs * 2 rows = 64 rows = 0.5 MB.
+    EXPECT_EQ(a.lineBufferRows, 64u);
+    EXPECT_EQ(a.enodeLineBytes, 64u * 64 * 64 * 2);
+    // Integral buffer lands near the prototype's 0.44 MB.
+    EXPECT_NEAR(static_cast<double>(a.enodeIntegralBytes) / (1 << 20), 0.44,
+                0.06);
+
+    // Configuration B: 256x256x64 — eNODE grows ~linearly in W while the
+    // baseline grows with H*W.
+    cfg.H = cfg.W = 256;
+    auto b = analyzeForwardBuffers(cfg);
+    EXPECT_EQ(b.baselineBytes, 4u * 256 * 256 * 64 * 2);
+    EXPECT_GT(b.reductionFactor(), 3.9 * a.reductionFactor());
+}
+
+TEST(ForwardBuffers, ReductionGrowsWithLayerSize)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+    cfg.C = 64;
+    double prev = 0.0;
+    for (std::size_t hw : {32u, 64u, 128u, 256u}) {
+        cfg.H = cfg.W = hw;
+        auto analysis = analyzeForwardBuffers(cfg);
+        EXPECT_GT(analysis.reductionFactor(), prev);
+        prev = analysis.reductionFactor();
+    }
+}
+
+TEST(TrainingBuffers, PaperReductionFactor)
+{
+    // Sec. IV.B: "the memory size is reduced by 4.85 times for layer
+    // size of 64x64" with a 4-layer f.
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+    cfg.H = cfg.W = cfg.C = 64;
+    auto analysis = analyzeTrainingBuffers(cfg);
+    EXPECT_EQ(analysis.trainingStateMaps, 12u); // 3 stages x 4 convs
+    EXPECT_NEAR(analysis.reductionFactor(), 4.85, 0.5);
+    // Total training states: 12 maps = 6 MB (Fig. 15b's baseline knee).
+    EXPECT_EQ(analysis.totalBytes, 12u * 64 * 64 * 64 * 2);
+}
+
+TEST(TrainingBuffers, DramTrafficMatchesFig15b)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+    cfg.H = cfg.W = cfg.C = 64;
+    auto analysis = analyzeTrainingBuffers(cfg);
+
+    const std::size_t mb = 1 << 20;
+    // eNODE: 1 MB buffer -> ~0.48 MB traffic; 1.25 MB -> none.
+    const double enode_1mb =
+        static_cast<double>(analysis.dramTrafficBytes(1 * mb, true)) / mb;
+    EXPECT_NEAR(enode_1mb, 0.48, 0.15);
+    EXPECT_EQ(analysis.dramTrafficBytes(5 * mb / 4, true), 0u);
+    // Baseline: needs ~6 MB to eliminate traffic; at 1 MB it is ~21x
+    // worse than eNODE.
+    EXPECT_EQ(analysis.dramTrafficBytes(6 * mb, false), 0u);
+    const double base_1mb =
+        static_cast<double>(analysis.dramTrafficBytes(1 * mb, false)) / mb;
+    EXPECT_NEAR(base_1mb / enode_1mb, 21.0, 6.0);
+}
+
+TEST(StreamingExecutor, MatchesStepperRk23)
+{
+    Rng rng(31);
+    auto net = EmbeddedNet::makeStreamableConvNet(4, 2, rng);
+    Tensor h = Tensor::randn(Shape{4, 12, 10}, rng, 0.5f);
+
+    EmbeddedNetOde ode(*net);
+    RkStepper stepper(ButcherTableau::rk23());
+    auto ref = stepper.step(ode, 0.3, h, 0.125);
+
+    auto streamed = streamingStep(*net, ButcherTableau::rk23(), 0.3, h,
+                                  0.125);
+    EXPECT_LT(Tensor::maxAbsDiff(streamed.yNext, ref.yNext), 1e-4);
+    ASSERT_FALSE(streamed.errorState.empty());
+    EXPECT_LT(Tensor::maxAbsDiff(streamed.errorState, ref.errorState),
+              1e-4);
+}
+
+TEST(StreamingExecutor, MatchesStepperAcrossTableaus)
+{
+    Rng rng(37);
+    auto net = EmbeddedNet::makeStreamableConvNet(3, 3, rng);
+    Tensor h = Tensor::randn(Shape{3, 10, 8}, rng, 0.5f);
+    EmbeddedNetOde ode(*net);
+
+    for (const auto &name : ButcherTableau::names()) {
+        const auto &tab = ButcherTableau::byName(name);
+        RkStepper stepper(tab);
+        auto ref = stepper.step(ode, 0.0, h, 0.1);
+        auto streamed = streamingStep(*net, tab, 0.0, h, 0.1);
+        EXPECT_LT(Tensor::maxAbsDiff(streamed.yNext, ref.yNext), 1e-4)
+            << name;
+        if (tab.hasEmbedded()) {
+            EXPECT_LT(
+                Tensor::maxAbsDiff(streamed.errorState, ref.errorState),
+                1e-4)
+                << name;
+        }
+    }
+}
+
+TEST(StreamingExecutor, PeakOccupancyIsBounded)
+{
+    // The whole point of depth-first integration: live rows stay O(1) in
+    // H. Run two heights and require (a) far fewer live rows than the
+    // layer-by-layer buffering of (s+1) full maps and (b) no growth
+    // with H.
+    Rng rng(41);
+    auto net = EmbeddedNet::makeStreamableConvNet(2, 2, rng);
+    EmbeddedNetOde ode(*net);
+
+    std::size_t peak_small = 0, peak_large = 0;
+    {
+        Tensor h = Tensor::randn(Shape{2, 16, 8}, rng, 0.5f);
+        auto res = streamingStep(*net, ButcherTableau::rk23(), 0.0, h, 0.1);
+        peak_small = res.peakLiveRows;
+        EXPECT_LT(peak_small, 5u * 16u / 2u)
+            << "streaming should beat full-map buffering";
+    }
+    {
+        Tensor h = Tensor::randn(Shape{2, 48, 8}, rng, 0.5f);
+        auto res = streamingStep(*net, ButcherTableau::rk23(), 0.0, h, 0.1);
+        peak_large = res.peakLiveRows;
+    }
+    // Occupancy must not scale with H (allow a small boundary slack).
+    EXPECT_LE(peak_large, peak_small + 4);
+}
+
+TEST(StreamingExecutor, RejectsNonStreamableNets)
+{
+    Rng rng(43);
+    auto net = EmbeddedNet::makeConvNet(8, 2, rng); // contains GroupNorm
+    Tensor h = Tensor::randn(Shape{8, 8, 8}, rng, 0.5f);
+    EXPECT_DEATH(
+        { streamingStep(*net, ButcherTableau::rk23(), 0.0, h, 0.1); },
+        "Conv2d/ReLU");
+}
+
+} // namespace
+} // namespace enode

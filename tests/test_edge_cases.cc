@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Edge cases and failure injection: non-default kernels, degenerate
+ * shapes, invalid tableaus, solver force-accept behaviour, and
+ * controller misuse.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/node_model.h"
+#include "nn/concat_time.h"
+#include "nn/linear.h"
+#include "nn/conv2d.h"
+#include "ode/ivp.h"
+
+namespace enode {
+namespace {
+
+TEST(ConvEdge, KernelSizeFiveMatchesNumericalGradient)
+{
+    Rng rng(1);
+    Conv2d conv(2, 3, 5, rng);
+    Tensor x = Tensor::randn(Shape{2, 7, 8}, rng, 1.0f);
+    Tensor seed = Tensor::randn(Shape{3, 7, 8}, rng, 1.0f);
+    conv.zeroGrad();
+    conv.forward(x);
+    Tensor grad_in = conv.backward(seed);
+
+    const double eps = 1e-2;
+    double diff_sq = 0.0, fd_sq = 0.0;
+    for (std::size_t i = 0; i < x.numel(); i += 7) {
+        Tensor xp = x, xm = x;
+        xp.at(i) += static_cast<float>(eps);
+        xm.at(i) -= static_cast<float>(eps);
+        auto dot = [&](const Tensor &v) {
+            Tensor y = convForward(v, conv.weight(), conv.bias());
+            double acc = 0.0;
+            for (std::size_t k = 0; k < y.numel(); k++)
+                acc += static_cast<double>(y.at(k)) * seed.at(k);
+            return acc;
+        };
+        const double fd = (dot(xp) - dot(xm)) / (2.0 * eps);
+        diff_sq += (fd - grad_in.at(i)) * (fd - grad_in.at(i));
+        fd_sq += fd * fd;
+    }
+    EXPECT_LT(std::sqrt(diff_sq / fd_sq), 2e-2);
+}
+
+TEST(ConvEdge, OneByOneKernelIsAChannelMix)
+{
+    Rng rng(2);
+    Conv2d conv(3, 2, 1, rng, /*with_bias=*/false);
+    Tensor x = Tensor::randn(Shape{3, 4, 4}, rng, 1.0f);
+    Tensor y = conv.forward(x);
+    // Manually mix channels at one pixel.
+    float expect = 0.0f;
+    for (std::size_t c = 0; c < 3; c++)
+        expect += conv.weight().at(1, c, 0, 0) * x.at(c, 2, 3);
+    EXPECT_NEAR(y.at(1, 2, 3), expect, 1e-5);
+}
+
+TEST(ConvEdge, EvenKernelIsRejected)
+{
+    Rng rng(3);
+    EXPECT_DEATH({ Conv2d conv(2, 2, 4, rng); }, "odd");
+}
+
+TEST(ConvEdge, SinglePixelMap)
+{
+    // Degenerate 1x1 spatial extent: only the center tap contributes.
+    Rng rng(4);
+    Conv2d conv(2, 2, 3, rng, /*with_bias=*/false);
+    Tensor x = Tensor::randn(Shape{2, 1, 1}, rng, 1.0f);
+    Tensor y = conv.forward(x);
+    for (std::size_t m = 0; m < 2; m++) {
+        float expect = 0.0f;
+        for (std::size_t c = 0; c < 2; c++)
+            expect += conv.weight().at(m, c, 1, 1) * x.at(c, 0, 0);
+        EXPECT_NEAR(y.at(m, 0, 0), expect, 1e-5);
+    }
+    // Backward must be shape-consistent too.
+    Tensor grad = conv.backward(Tensor::ones(Shape{2, 1, 1}));
+    EXPECT_EQ(grad.shape(), (Shape{2, 1, 1}));
+}
+
+TEST(TableauValidation, InconsistentRowSumPanics)
+{
+    EXPECT_DEATH(
+        {
+            ButcherTableau bad("bad", 2, {0.0, 0.6}, {{}, {0.5}},
+                               {0.5, 0.5}, {}, false);
+        },
+        "row-sum");
+}
+
+TEST(TableauValidation, WeightsMustSumToOne)
+{
+    EXPECT_DEATH(
+        {
+            ButcherTableau bad("bad", 1, {0.0}, {{}}, {0.9}, {}, false);
+        },
+        "sum to 1");
+}
+
+TEST(TableauValidation, UnknownNameIsFatal)
+{
+    EXPECT_DEATH({ ButcherTableau::byName("rk99"); }, "unknown");
+}
+
+/** An ODE whose error estimate never meets a ridiculous tolerance. */
+class NoisyOde : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double t, const Tensor &h) override
+    {
+        countEval();
+        // Strongly nonlinear: the truncation error cannot vanish.
+        Tensor d(h.shape());
+        for (std::size_t i = 0; i < h.numel(); i++)
+            d.at(i) = std::sin(50.0f * h.at(i)) - 0.3f * h.at(i) +
+                      static_cast<float>(std::sin(20.0 * t));
+        return d;
+    }
+};
+
+TEST(SolverEdge, ForceAcceptTerminatesImpossibleTolerance)
+{
+    // With an unreachable tolerance the driver must not loop forever:
+    // steps at minDt (or the per-point trial cap) are force-accepted
+    // with a warning and the solve completes.
+    setLogLevel(LogLevel::Silent);
+    NoisyOde f;
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-30;
+    opts.initialDt = 0.1;
+    opts.minDt = 1e-3; // high floor -> quick force-accepts
+    opts.maxTrialsPerPoint = 8;
+    auto res = solveIvp(f, Tensor::ones(Shape{2}), 0.0, 0.5,
+                        ButcherTableau::rk23(), ctrl, opts);
+    setLogLevel(LogLevel::Info);
+    EXPECT_GT(res.stats.evalPoints, 0u);
+    EXPECT_LE(res.stats.trials,
+              res.stats.evalPoints * opts.maxTrialsPerPoint);
+}
+
+TEST(SolverEdge, ZeroLengthIntervalRejected)
+{
+    NoisyOde f;
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    EXPECT_DEATH(
+        {
+            solveIvp(f, Tensor::ones(Shape{1}), 1.0, 1.0,
+                     ButcherTableau::rk23(), ctrl, opts);
+        },
+        "t1 > t0");
+}
+
+TEST(SolverEdge, ControllerUsedBeforeResetPanics)
+{
+    FixedFactorController ctrl;
+    EXPECT_DEATH({ ctrl.initialDt(); }, "not reset");
+}
+
+TEST(NodeModelEdge, EmptyLayerListRejected)
+{
+    std::vector<std::unique_ptr<EmbeddedNet>> empty;
+    EXPECT_DEATH({ NodeModel model(std::move(empty)); }, ">= 1");
+}
+
+TEST(NodeModelEdge, ShapePreservationEnforcedAtRun)
+{
+    // An f that does not preserve the state shape breaks the axpy in
+    // the stepper with a shape panic, not silent corruption.
+    Rng rng(5);
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<ConcatTime>());
+    body->add(std::make_unique<Linear>(4, 5, rng)); // 3+1 -> 5 (wrong)
+    auto net = std::make_unique<EmbeddedNet>(std::move(body));
+    std::vector<std::unique_ptr<EmbeddedNet>> nets;
+    nets.push_back(std::move(net));
+    NodeModel model(std::move(nets));
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    Tensor x = Tensor::ones(Shape{3});
+    EXPECT_DEATH(
+        { model.forward(x, ButcherTableau::rk23(), ctrl, opts); },
+        "shape");
+}
+
+} // namespace
+} // namespace enode

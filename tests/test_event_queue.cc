@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Event kernel: ordering, determinism, reset.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace enode {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; i++)
+        q.scheduleAt(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        fired++;
+        if (fired < 10)
+            q.scheduleIn(5, chain);
+    };
+    q.scheduleAt(0, chain);
+    const auto executed = q.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(executed, 10u);
+    EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, RunWithDeadlineStopsAndAdvancesTime)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(10, [&] { fired++; });
+    q.scheduleAt(100, [&] { fired++; });
+    q.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.scheduleAt(10, [] {});
+    q.run();
+    EXPECT_DEATH({ q.scheduleAt(5, [] {}); }, "past");
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue q;
+    q.scheduleAt(10, [] {});
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+    q.scheduleAt(1, [] {});
+    q.run();
+    EXPECT_EQ(q.now(), 1u);
+}
+
+} // namespace
+} // namespace enode

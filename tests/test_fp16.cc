@@ -1,0 +1,109 @@
+/**
+ * @file
+ * IEEE binary16: conversion exactness, rounding, special values.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+
+namespace enode {
+namespace {
+
+TEST(Fp16, ExactSmallIntegers)
+{
+    for (int i = -2048; i <= 2048; i++) {
+        // All integers up to 2^11 are exactly representable.
+        EXPECT_EQ(Fp16(static_cast<float>(i)).toFloat(),
+                  static_cast<float>(i))
+            << i;
+    }
+}
+
+TEST(Fp16, KnownBitPatterns)
+{
+    EXPECT_EQ(Fp16(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Fp16(-1.0f).bits(), 0xbc00);
+    EXPECT_EQ(Fp16(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Fp16(65504.0f).bits(), 0x7bff); // max finite
+    EXPECT_EQ(Fp16(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000);
+}
+
+TEST(Fp16, OverflowSaturatesToInfinity)
+{
+    EXPECT_TRUE(Fp16(65536.0f).isInf());
+    EXPECT_TRUE(Fp16(1e10f).isInf());
+    EXPECT_TRUE(Fp16(-1e10f).isInf());
+    EXPECT_LT(Fp16(-1e10f).toFloat(), 0.0f);
+    // 65519.99 is the last value that rounds down to 65504.
+    EXPECT_FALSE(Fp16(65519.0f).isInf());
+}
+
+TEST(Fp16, SubnormalsRoundTrip)
+{
+    const float min_sub = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Fp16(min_sub).bits(), 0x0001);
+    EXPECT_EQ(Fp16(min_sub).toFloat(), min_sub);
+    EXPECT_TRUE(Fp16(min_sub).isSubnormal());
+    // Halfway below the smallest subnormal underflows to zero
+    // (ties-to-even at bit pattern 0).
+    EXPECT_TRUE(Fp16(min_sub / 4.0f).isZero());
+}
+
+TEST(Fp16, NanPropagates)
+{
+    const Fp16 nan = Fp16(std::nanf(""));
+    EXPECT_TRUE(nan.isNaN());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    EXPECT_FALSE(nan == nan);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 2049 is halfway between 2048 and 2050; even mantissa wins -> 2048.
+    EXPECT_EQ(Fp16(2049.0f).toFloat(), 2048.0f);
+    // 2051 is halfway between 2050 and 2052 -> 2052.
+    EXPECT_EQ(Fp16(2051.0f).toFloat(), 2052.0f);
+}
+
+TEST(Fp16, RoundTripIsIdempotent)
+{
+    Rng rng(99);
+    for (int i = 0; i < 2000; i++) {
+        const float v =
+            static_cast<float>(rng.normal(0.0, 100.0));
+        const float once = roundToFp16(v);
+        EXPECT_EQ(roundToFp16(once), once);
+        // Relative rounding error bounded by 2^-11 in the normal range.
+        if (std::abs(v) > 1e-3f && std::abs(v) < 6e4f) {
+            EXPECT_LE(std::abs(once - v), std::abs(v) * 0x1.0p-10f);
+        }
+    }
+}
+
+TEST(Fp16, ArithmeticRoundsLikeAHalfDatapath)
+{
+    const Fp16 a(1.0f), b(0.0004f);
+    // 1.0 + 0.0004 is below half of the ULP at 1.0 (2^-11): rounds back.
+    EXPECT_EQ((a + b).toFloat(), 1.0f);
+    EXPECT_EQ((Fp16(3.0f) * Fp16(0.5f)).toFloat(), 1.5f);
+    EXPECT_EQ((-Fp16(2.5f)).toFloat(), -2.5f);
+}
+
+TEST(Fp16, ComparisonsAndLimits)
+{
+    EXPECT_LT(Fp16(1.0f), Fp16(2.0f));
+    EXPECT_EQ(Fp16(0.0f), Fp16(-0.0f));
+    EXPECT_EQ(Fp16::max().toFloat(), 65504.0f);
+    EXPECT_EQ(Fp16::minNormal().toFloat(), std::ldexp(1.0f, -14));
+    EXPECT_EQ(Fp16::epsilon().toFloat(), std::ldexp(1.0f, -10));
+    EXPECT_TRUE(Fp16::infinity().isInf());
+    EXPECT_TRUE(Fp16::quietNaN().isNaN());
+}
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Parameterized property sweeps over the hardware models: geometry
+ * scaling of the system simulators, buffer-analysis monotonicity,
+ * DRAM-model invariants across device parameters, and the deeper-f
+ * mapping of Fig. 7(e) (one core hosting several conv layers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area_model.h"
+#include "sim/baseline_system.h"
+#include "sim/dram.h"
+#include "sim/enode_system.h"
+#include "sim/pe_array.h"
+
+namespace enode {
+namespace {
+
+// ---------------------------------------------------------------------
+// Geometry sweep over the two system models.
+// ---------------------------------------------------------------------
+
+struct Geometry
+{
+    std::size_t hw;
+    std::size_t fDepth;
+};
+
+class GeometryTest : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    SystemConfig
+    config() const
+    {
+        SystemConfig cfg = SystemConfig::configA();
+        cfg.layer.H = cfg.layer.W = GetParam().hw;
+        cfg.layer.fDepth = GetParam().fDepth;
+        return cfg;
+    }
+};
+
+TEST_P(GeometryTest, MacParityAcrossDesigns)
+{
+    SystemConfig cfg = config();
+    EnodeSystem enode_sys(cfg);
+    BaselineSystem base(cfg);
+    EXPECT_EQ(enode_sys.forwardTrialCost().activity.macs,
+              base.forwardTrialCost().activity.macs);
+}
+
+TEST_P(GeometryTest, EnodeDramTrafficAlwaysLower)
+{
+    SystemConfig cfg = config();
+    EnodeSystem enode_sys(cfg);
+    BaselineSystem base(cfg);
+    auto trace = WorkloadTrace::synthetic("t", 4, 8, 2.0, true);
+    const auto et = enode_sys.runTraining(trace);
+    const auto bt = base.runTraining(trace);
+    EXPECT_LT(et.activity.dramBytes, bt.activity.dramBytes / 4);
+}
+
+TEST_P(GeometryTest, PipelineUtilizationStaysHigh)
+{
+    // The packetized depth-first pipeline must keep the busiest core
+    // above 80% utilization across geometries — including the Fig. 7(e)
+    // mapping where f is deeper than the core count and cores host
+    // multiple conv layers.
+    SystemConfig cfg = config();
+    EnodeSystem enode_sys(cfg);
+    EXPECT_GT(enode_sys.forwardTrialCost().coreUtilization, 0.8);
+}
+
+TEST_P(GeometryTest, TrialCyclesScaleWithWork)
+{
+    SystemConfig cfg = config();
+    EnodeSystem enode_sys(cfg);
+    const double cycles = enode_sys.forwardTrialCost().cycles;
+    // Lower bound: total conv work over the cores actually used (a
+    // shallow f leaves cores idle; a deep f multiplexes them).
+    const double active_cores = static_cast<double>(
+        std::min(cfg.layer.fDepth, cfg.numCores));
+    const double work =
+        4.0 * cfg.layer.fDepth *
+        PeArray::convCycles(cfg.layer.H, cfg.layer.W, cfg.layer.C,
+                            cfg.layer.C, cfg.peLanes) /
+        active_cores;
+    EXPECT_GE(cycles, work);
+    EXPECT_LE(cycles, 1.6 * work + 1e5); // bounded pipeline overhead
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryTest,
+    ::testing::Values(Geometry{32, 4}, Geometry{64, 4}, Geometry{64, 2},
+                      Geometry{64, 8}, // Fig. 7(e): 2 layers per core
+                      Geometry{128, 4}),
+    [](const auto &info) {
+        return "hw" + std::to_string(info.param.hw) + "_f" +
+               std::to_string(info.param.fDepth);
+    });
+
+// ---------------------------------------------------------------------
+// Buffer-analysis monotonicity over layer sizes.
+// ---------------------------------------------------------------------
+
+class BufferSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BufferSizeTest, EnodeBytesScaleLinearlyInWidth)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+    cfg.C = 64;
+    cfg.H = cfg.W = GetParam();
+    auto analysis = analyzeForwardBuffers(cfg);
+
+    DepthFirstConfig doubled = cfg;
+    doubled.H = doubled.W = 2 * GetParam();
+    auto analysis2 = analyzeForwardBuffers(doubled);
+
+    // eNODE: rows x (W * C) -> exactly 2x when W doubles.
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(analysis2.enodeBytes) / analysis.enodeBytes,
+        2.0);
+    // Baseline: H * W -> exactly 4x.
+    EXPECT_DOUBLE_EQ(static_cast<double>(analysis2.baselineBytes) /
+                         analysis.baselineBytes,
+                     4.0);
+}
+
+TEST_P(BufferSizeTest, TrainingWorkingSetIndependentOfHeightOnceSaturated)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &ButcherTableau::rk23();
+    cfg.fDepth = 4;
+    cfg.C = 64;
+    cfg.H = cfg.W = GetParam();
+    auto analysis = analyzeTrainingBuffers(cfg);
+    // The working set is a row count times W*C; its *row* count must
+    // not exceed the total map rows.
+    EXPECT_LE(analysis.enodeWorkingSetBytes, analysis.totalBytes);
+    EXPECT_GT(analysis.reductionFactor(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BufferSizeTest,
+                         ::testing::Values(32, 48, 64, 96, 128),
+                         [](const auto &info) {
+                             return "hw" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// DRAM-model invariants across device parameters.
+// ---------------------------------------------------------------------
+
+class DramParamTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DramParamTest, BandwidthNeverExceeded)
+{
+    DramParams params;
+    params.banks = GetParam();
+    Dram dram("sweep", params);
+    const std::size_t bytes = 1 << 18;
+    const Tick cycles = dram.access(0, bytes, false);
+    EXPECT_GE(static_cast<double>(cycles),
+              static_cast<double>(bytes) / params.bytesPerCycle);
+}
+
+TEST_P(DramParamTest, HitRateImprovesWithSequentialAccess)
+{
+    DramParams params;
+    params.banks = GetParam();
+    Dram dram("sweep", params);
+    for (int i = 0; i < 64; i++)
+        dram.access(static_cast<std::uint64_t>(i) * 256, 256, false);
+    const auto &stats = dram.stats();
+    // 256-byte accesses within 2-KB rows: at least 7/8 hit.
+    EXPECT_GT(static_cast<double>(stats.rowHits),
+              6.0 * static_cast<double>(stats.rowMisses));
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, DramParamTest,
+                         ::testing::Values(1, 2, 4, 8, 16),
+                         [](const auto &info) {
+                             return "banks" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Area model monotonicity.
+// ---------------------------------------------------------------------
+
+TEST(AreaModelSweep, MonotoneInEveryDimension)
+{
+    auto total = [](std::size_t hw, std::size_t depth) {
+        DepthFirstConfig cfg;
+        cfg.tableau = &ButcherTableau::rk23();
+        cfg.fDepth = depth;
+        cfg.H = cfg.W = hw;
+        cfg.C = 64;
+        return computeAreaBreakdown(cfg).enodeTotalMm2;
+    };
+    EXPECT_LT(total(32, 4), total(64, 4));
+    EXPECT_LT(total(64, 4), total(128, 4));
+    EXPECT_LT(total(64, 2), total(64, 4));
+    EXPECT_LT(total(64, 4), total(64, 8));
+}
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Parameterized property tests over every registered integrator:
+ * convergence order, error-estimator validity, adaptive-solve accuracy,
+ * ACA gradient correctness and DDG structure, each swept across the
+ * tableau registry with TEST_P.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/depth_first.h"
+#include "core/node_model.h"
+#include "nn/loss.h"
+#include "ode/ivp.h"
+
+namespace enode {
+namespace {
+
+/** dh/dt = -h on a small vector. */
+class Decay : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double, const Tensor &h) override
+    {
+        countEval();
+        return h * -1.0f;
+    }
+};
+
+class TableauTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const ButcherTableau &
+    tableau() const
+    {
+        return ButcherTableau::byName(GetParam());
+    }
+};
+
+TEST_P(TableauTest, EmpiricalConvergenceOrderMatchesDeclared)
+{
+    const auto &tab = tableau();
+    Decay f;
+    const Tensor y0 = Tensor::ones(Shape{1});
+    const double exact = std::exp(-1.0);
+
+    // Base step large enough that float32 noise stays negligible even
+    // at order 5.
+    const double dt1 = tab.order() >= 4 ? 0.5 : 0.2;
+    auto error_at = [&](double dt) {
+        const Tensor y = integrateFixed(f, tab, y0, 0.0, 1.0, dt);
+        return std::abs(static_cast<double>(y.at(0)) - exact);
+    };
+    const double e1 = error_at(dt1);
+    const double e2 = error_at(dt1 / 2.0);
+    const double order = std::log2(e1 / e2);
+    // At least the declared order; superconvergence (e.g. Dopri5 on a
+    // linear problem) is allowed within one extra order.
+    EXPECT_GT(order, tab.order() - 0.6) << tab.name();
+    EXPECT_LT(order, tab.order() + 1.5) << tab.name();
+}
+
+TEST_P(TableauTest, ErrorEstimateIsOneOrderBelowSolution)
+{
+    const auto &tab = tableau();
+    if (!tab.hasEmbedded())
+        GTEST_SKIP() << "no embedded estimator";
+    Decay f;
+    RkStepper stepper(tab);
+    const Tensor y0 = Tensor::ones(Shape{1});
+    // The estimate e ~ dt^p with p the *embedded* order + 1; halving dt
+    // must shrink it by at least 2^2 for every registered pair.
+    const double e1 = stepper.step(f, 0.0, y0, 0.2).errorNorm;
+    const double e2 = stepper.step(f, 0.0, y0, 0.1).errorNorm;
+    EXPECT_GT(e1 / e2, 3.5) << tab.name();
+}
+
+TEST_P(TableauTest, AdaptiveSolveMeetsTolerance)
+{
+    const auto &tab = tableau();
+    if (!tab.hasEmbedded())
+        GTEST_SKIP() << "fixed-step only";
+    Decay f;
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-7;
+    opts.initialDt = 0.1;
+    auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0, tab, ctrl,
+                        opts);
+    EXPECT_NEAR(res.yFinal.at(0), std::exp(-1.0), 2e-5) << tab.name();
+    // Work accounting: f evals never exceed stages x trials.
+    EXPECT_LE(res.stats.fEvals, tab.stages() * res.stats.trials);
+}
+
+TEST_P(TableauTest, AcaGradientsMatchFiniteDifferences)
+{
+    const auto &tab = tableau();
+    Rng rng(17);
+    auto model = NodeModel::makeMlp(1, 3, 6, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+
+    IvpOptions opts;
+    opts.tolerance = 1e-1; // keep accepted steps stable under FD probes
+    opts.initialDt = 0.25;
+
+    FixedFactorController ctrl;
+    model->zeroGrad();
+    auto fwd = model->forward(x0, tab, ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+    acaBackward(*model, tab, fwd, loss.grad);
+
+    double diff_sq = 0.0, fd_sq = 0.0;
+    const double eps = 1e-3;
+    for (auto &slot : model->paramSlots()) {
+        const std::size_t n = std::min<std::size_t>(slot.param->numel(), 8);
+        for (std::size_t i = 0; i < n; i++) {
+            const float saved = slot.param->at(i);
+            auto loss_at = [&](float v) {
+                slot.param->at(i) = v;
+                FixedFactorController c2;
+                auto out = model->forward(x0, tab, c2, opts);
+                return mseLoss(out.output, target).value;
+            };
+            const double lp = loss_at(saved + static_cast<float>(eps));
+            const double lm = loss_at(saved - static_cast<float>(eps));
+            slot.param->at(i) = saved;
+            const double fd = (lp - lm) / (2.0 * eps);
+            diff_sq += (fd - slot.grad->at(i)) * (fd - slot.grad->at(i));
+            fd_sq += fd * fd;
+        }
+    }
+    EXPECT_LT(std::sqrt(diff_sq) / std::max(std::sqrt(fd_sq), 1e-8), 3e-2)
+        << tab.name();
+}
+
+TEST_P(TableauTest, DdgStructureScalesWithStages)
+{
+    const auto &tab = tableau();
+    DepthFirstDdg ddg(tab);
+    const std::size_t s = tab.stages();
+    EXPECT_EQ(ddg.partialStateCount(), s * (s - 1) / 2) << tab.name();
+    if (tab.hasEmbedded()) {
+        EXPECT_GE(ddg.partialErrorCount() + 1, 1u);
+    }
+    // The pipeline depth is at least one f evaluation per stage.
+    EXPECT_GE(ddg.criticalPathLength(), s) << tab.name();
+}
+
+TEST_P(TableauTest, ForwardBufferReductionHoldsForAllIntegrators)
+{
+    DepthFirstConfig cfg;
+    cfg.tableau = &tableau();
+    cfg.fDepth = 4;
+    cfg.H = cfg.W = cfg.C = 64;
+    auto analysis = analyzeForwardBuffers(cfg);
+    // Depth-first always beats full-map buffering at this size.
+    EXPECT_LT(analysis.enodeBytes, analysis.baselineBytes)
+        << tableau().name();
+}
+
+TEST_P(TableauTest, StreamingExecutorMatchesStepper)
+{
+    Rng rng(23);
+    auto net = EmbeddedNet::makeStreamableConvNet(3, 2, rng);
+    Tensor h = Tensor::randn(Shape{3, 9, 7}, rng, 0.5f);
+    EmbeddedNetOde ode(*net);
+    RkStepper stepper(tableau());
+    auto ref = stepper.step(ode, 0.1, h, 0.08);
+    auto streamed = streamingStep(*net, tableau(), 0.1, h, 0.08);
+    EXPECT_LT(Tensor::maxAbsDiff(streamed.yNext, ref.yNext), 1e-4)
+        << tableau().name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTableaus, TableauTest,
+                         ::testing::ValuesIn(ButcherTableau::names()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Adaptive IVP driver: tolerance satisfaction, checkpoint recording,
+ * complexity counters (the O(N n_eval n_try s) of Fig. 3), controller
+ * behaviour.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ode/ivp.h"
+
+namespace enode {
+namespace {
+
+/** dh/dt = -h with a smooth burst of fast dynamics in the middle. */
+class StiffishDecay : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double t, const Tensor &h) override
+    {
+        countEval();
+        // Rate rises ~30x around t = 0.5 (smooth, so the error estimate
+        // stays O(dt^3) and the search converges): forces adaptation.
+        const double bump = (t - 0.5) / 0.08;
+        const float rate =
+            static_cast<float>(1.0 + 29.0 * std::exp(-bump * bump));
+        return h * -rate;
+    }
+};
+
+class PlainDecay : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double, const Tensor &h) override
+    {
+        countEval();
+        return h * -1.0f;
+    }
+};
+
+IvpOptions
+options(double tol)
+{
+    IvpOptions opts;
+    opts.tolerance = tol;
+    opts.initialDt = 0.1;
+    return opts;
+}
+
+TEST(SolveIvp, MeetsToleranceOnSmoothProblem)
+{
+    PlainDecay f;
+    FixedFactorController ctrl;
+    auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk23(), ctrl, options(1e-7));
+    EXPECT_NEAR(res.yFinal.at(0), std::exp(-1.0), 1e-5);
+}
+
+TEST(SolveIvp, CheckpointsCoverTheInterval)
+{
+    PlainDecay f;
+    FixedFactorController ctrl;
+    auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk23(), ctrl, options(1e-6));
+    ASSERT_FALSE(res.checkpoints.empty());
+    EXPECT_DOUBLE_EQ(res.checkpoints.front().t, 0.0);
+    double t = 0.0;
+    for (const auto &ck : res.checkpoints) {
+        EXPECT_NEAR(ck.t, t, 1e-12);
+        EXPECT_GT(ck.dt, 0.0);
+        t += ck.dt;
+    }
+    EXPECT_NEAR(t, 1.0, 1e-9); // steps tile [0, 1] exactly
+    EXPECT_EQ(res.checkpoints.size(), res.stats.evalPoints);
+}
+
+TEST(SolveIvp, CountersAreConsistent)
+{
+    StiffishDecay f;
+    FixedFactorController ctrl;
+    auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk23(), ctrl, options(1e-6));
+    EXPECT_EQ(res.stats.trials,
+              res.stats.evalPoints + res.stats.rejected);
+    EXPECT_DOUBLE_EQ(res.stats.equivalentTrials,
+                     static_cast<double>(res.stats.trials));
+    // FSAL: roughly 3 evals/trial + 1 for the first.
+    EXPECT_LE(res.stats.fEvals, 4 * res.stats.trials);
+    EXPECT_GT(res.stats.fEvals, 2 * res.stats.trials);
+    // trialsPerPoint sums to trials.
+    std::uint64_t sum = 0;
+    for (auto n : res.trialsPerPoint)
+        sum += n;
+    EXPECT_EQ(sum, res.stats.trials);
+}
+
+TEST(SolveIvp, TighterToleranceCostsMoreEvalPoints)
+{
+    PlainDecay f;
+    FixedFactorController c1, c2;
+    auto loose = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                          ButcherTableau::rk23(), c1, options(1e-4));
+    auto tight = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                          ButcherTableau::rk23(), c2, options(1e-9));
+    EXPECT_GT(tight.stats.evalPoints, loose.stats.evalPoints);
+}
+
+TEST(SolveIvp, StepsizeShrinksInTheFastRegion)
+{
+    StiffishDecay f;
+    PressTeukolskyController ctrl(3);
+    auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk23(), ctrl, options(1e-6));
+    double dt_slow = 0.0, dt_fast = 1.0;
+    for (const auto &ck : res.checkpoints) {
+        if (ck.t < 0.25)
+            dt_slow = std::max(dt_slow, ck.dt);
+        if (ck.t > 0.45 && ck.t < 0.55)
+            dt_fast = std::min(dt_fast, ck.dt);
+    }
+    EXPECT_LT(dt_fast, 0.3 * dt_slow);
+}
+
+TEST(SolveIvp, NonEmbeddedTableauRunsFixedStep)
+{
+    PlainDecay f;
+    FixedFactorController ctrl;
+    auto res = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk4(), ctrl, options(1e-6));
+    // No estimator -> no rejections; 10 steps of 0.1.
+    EXPECT_EQ(res.stats.rejected, 0u);
+    EXPECT_EQ(res.stats.evalPoints, 10u);
+    EXPECT_NEAR(res.yFinal.at(0), std::exp(-1.0), 1e-6);
+}
+
+TEST(SolveIvp, Fp16QuantizationLimitsAccuracy)
+{
+    PlainDecay f;
+    FixedFactorController c1, c2;
+    IvpOptions opts = options(1e-6);
+    auto fp32 = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                         ButcherTableau::rk23(), c1, opts);
+    opts.quantizeFp16 = true;
+    auto fp16 = solveIvp(f, Tensor::ones(Shape{1}), 0.0, 1.0,
+                         ButcherTableau::rk23(), c2, opts);
+    const double err32 =
+        std::abs(fp32.yFinal.at(0) - std::exp(-1.0));
+    const double err16 =
+        std::abs(fp16.yFinal.at(0) - std::exp(-1.0));
+    EXPECT_GT(err16, err32);
+    EXPECT_LT(err16, 1e-2); // still usable, as on the FP16 prototype
+}
+
+TEST(Controllers, FixedFactorHalvesOnReject)
+{
+    FixedFactorController ctrl;
+    ctrl.reset(0.2);
+    EXPECT_DOUBLE_EQ(ctrl.initialDt(), 0.2);
+    EXPECT_DOUBLE_EQ(ctrl.rejectedDt(0.2, 1.0, 1e-6), 0.1);
+    ctrl.accepted(0.05, 1e-7, 1e-6, false);
+    EXPECT_DOUBLE_EQ(ctrl.initialDt(), 0.05);
+}
+
+TEST(Controllers, PressTeukolskyGrowsAfterCleanAccept)
+{
+    PressTeukolskyController ctrl(3);
+    ctrl.reset(0.1);
+    // Error far below tolerance: next initial dt grows (clamped at 5x).
+    ctrl.accepted(0.1, 1e-12, 1e-6, true);
+    EXPECT_GT(ctrl.initialDt(), 0.1);
+    EXPECT_LE(ctrl.initialDt(), 0.5 + 1e-12);
+    // Rejection shrinks proportionally to the error overshoot.
+    const double dt = ctrl.rejectedDt(0.1, 1e-3, 1e-6);
+    EXPECT_LT(dt, 0.1);
+    EXPECT_GE(dt, 0.01 - 1e-12);
+}
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Losses (value + gradient) and optimizers (descent behaviour).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace enode {
+namespace {
+
+TEST(MseLoss, ValueAndGradient)
+{
+    Tensor pred(Shape{2}, {1.0f, 3.0f});
+    Tensor target(Shape{2}, {0.0f, 1.0f});
+    auto loss = mseLoss(pred, target);
+    EXPECT_DOUBLE_EQ(loss.value, (1.0 + 4.0) / 2.0);
+    EXPECT_FLOAT_EQ(loss.grad.at(0), 1.0f);  // 2 * 1 / 2
+    EXPECT_FLOAT_EQ(loss.grad.at(1), 2.0f);  // 2 * 2 / 2
+}
+
+TEST(MseLoss, GradientMatchesFiniteDifference)
+{
+    Rng rng(1);
+    Tensor pred = Tensor::randn(Shape{10}, rng, 1.0f);
+    Tensor target = Tensor::randn(Shape{10}, rng, 1.0f);
+    auto loss = mseLoss(pred, target);
+    const double eps = 1e-3;
+    for (std::size_t i = 0; i < pred.numel(); i++) {
+        Tensor p = pred;
+        p.at(i) += static_cast<float>(eps);
+        const double lp = mseLoss(p, target).value;
+        p.at(i) -= static_cast<float>(2 * eps);
+        const double lm = mseLoss(p, target).value;
+        EXPECT_NEAR((lp - lm) / (2 * eps), loss.grad.at(i), 1e-3);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogits)
+{
+    Tensor logits(Shape{4});
+    auto loss = softmaxCrossEntropy(logits, 2);
+    EXPECT_NEAR(loss.value, std::log(4.0), 1e-9);
+    EXPECT_NEAR(loss.grad.at(2), 0.25 - 1.0, 1e-6);
+    EXPECT_NEAR(loss.grad.at(0), 0.25, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradSumsToZeroAndIsStable)
+{
+    Tensor logits(Shape{3}, {1000.0f, -1000.0f, 0.0f});
+    auto loss = softmaxCrossEntropy(logits, 0);
+    EXPECT_NEAR(loss.value, 0.0, 1e-6);
+    EXPECT_TRUE(std::isfinite(loss.value));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 3; i++)
+        sum += loss.grad.at(i);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(Argmax, PicksLargest)
+{
+    Tensor logits(Shape{4}, {0.1f, 3.0f, -2.0f, 2.9f});
+    EXPECT_EQ(argmax(logits), 1u);
+}
+
+/** Minimize f(w) = ||w - target||^2 with a given optimizer. */
+template <typename MakeOpt>
+double
+descend(MakeOpt make_opt, int iters)
+{
+    Tensor w(Shape{8}, 5.0f);
+    Tensor grad(Shape{8});
+    std::vector<ParamSlot> slots{{"w", &w, &grad}};
+    auto opt = make_opt(slots);
+    Tensor target(Shape{8}, 1.0f);
+    double loss = 0.0;
+    for (int i = 0; i < iters; i++) {
+        opt->zeroGrad();
+        loss = 0.0;
+        for (std::size_t k = 0; k < w.numel(); k++) {
+            const double d = w.at(k) - target.at(k);
+            grad.at(k) = static_cast<float>(2.0 * d);
+            loss += d * d;
+        }
+        opt->step();
+    }
+    return loss;
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    const double loss = descend(
+        [](std::vector<ParamSlot> s) {
+            return std::make_unique<Sgd>(std::move(s), 0.05, 0.9);
+        },
+        300);
+    EXPECT_LT(loss, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    const double loss = descend(
+        [](std::vector<ParamSlot> s) {
+            return std::make_unique<Adam>(std::move(s), 0.2);
+        },
+        200);
+    EXPECT_LT(loss, 1e-4);
+}
+
+TEST(Optimizer, GradClippingBoundsNorm)
+{
+    Tensor w(Shape{4});
+    Tensor grad(Shape{4}, 10.0f); // norm = 20
+    Sgd opt({{"w", &w, &grad}}, 0.1);
+    const double pre = opt.clipGradNorm(5.0);
+    EXPECT_NEAR(pre, 20.0, 1e-6);
+    EXPECT_NEAR(grad.l2Norm(), 5.0, 1e-5);
+    // Below the bound: untouched.
+    const double pre2 = opt.clipGradNorm(100.0);
+    EXPECT_NEAR(pre2, 5.0, 1e-5);
+    EXPECT_NEAR(grad.l2Norm(), 5.0, 1e-5);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights)
+{
+    Tensor w(Shape{1}, 1.0f);
+    Tensor grad(Shape{1});
+    Sgd opt({{"w", &w, &grad}}, 0.1, 0.0, 0.5);
+    opt.step(); // gradient zero; only decay acts
+    EXPECT_NEAR(w.at(0), 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+} // namespace
+} // namespace enode

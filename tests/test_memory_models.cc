@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SRAM and DRAM models: capacity, timing and stats invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+#include "sim/sram.h"
+
+namespace enode {
+namespace {
+
+TEST(Sram, CapacityIsEnforced)
+{
+    Sram sram("buf", 1000);
+    EXPECT_TRUE(sram.allocate(600));
+    EXPECT_FALSE(sram.allocate(500));
+    EXPECT_EQ(sram.usedBytes(), 600u);
+    EXPECT_TRUE(sram.allocate(400));
+    EXPECT_EQ(sram.freeBytes(), 0u);
+    sram.release(1000);
+    EXPECT_EQ(sram.usedBytes(), 0u);
+    EXPECT_EQ(sram.peakUsedBytes(), 1000u);
+}
+
+TEST(Sram, OverReleasePanics)
+{
+    Sram sram("buf", 100);
+    ASSERT_TRUE(sram.allocate(50));
+    EXPECT_DEATH({ sram.release(60); }, "releasing");
+}
+
+TEST(Sram, AccessCountsAreWordGranular)
+{
+    Sram sram("buf", 100);
+    sram.read(7); // 4 words
+    sram.write(2); // 1 word
+    EXPECT_EQ(sram.readWords(), 4u);
+    EXPECT_EQ(sram.writeWords(), 1u);
+    ActivityCounts activity;
+    sram.addActivity(activity);
+    EXPECT_EQ(activity.sramReads, 4u);
+    EXPECT_EQ(activity.sramWrites, 1u);
+}
+
+TEST(Dram, RowHitIsFasterThanMiss)
+{
+    Dram dram("dram");
+    const Tick miss = dram.serviceLatency(64, false);
+    const Tick hit = dram.serviceLatency(64, true);
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(miss - hit, dram.params().tRcd + dram.params().tRp);
+}
+
+TEST(Dram, SequentialAccessHitsOpenRows)
+{
+    Dram dram("dram");
+    dram.access(0, 256, false);
+    const auto first_misses = dram.stats().rowMisses;
+    // Second access to the same region: rows are open now.
+    dram.access(0, 256, false);
+    EXPECT_EQ(dram.stats().rowMisses, first_misses);
+    EXPECT_GT(dram.stats().rowHits, 0u);
+}
+
+TEST(Dram, StreamingApproachesInterfaceBandwidth)
+{
+    Dram dram("dram");
+    const std::size_t bytes = 1 << 20;
+    const Tick cycles = dram.access(0, bytes, false);
+    const double achieved =
+        static_cast<double>(bytes) / static_cast<double>(cycles);
+    // Within 10% of the peak interface bandwidth for a 1 MB stream.
+    EXPECT_GT(achieved, 0.9 * dram.params().bytesPerCycle);
+}
+
+TEST(Dram, StatsAccumulate)
+{
+    Dram dram("dram");
+    dram.access(0, 100, false);
+    dram.access(4096, 200, true);
+    EXPECT_EQ(dram.stats().requests, 2u);
+    EXPECT_EQ(dram.stats().bytesRead, 100u);
+    EXPECT_EQ(dram.stats().bytesWritten, 200u);
+    ActivityCounts activity;
+    dram.addActivity(activity);
+    EXPECT_EQ(activity.dramBytes, 300u);
+    dram.resetStats();
+    EXPECT_EQ(dram.stats().requests, 0u);
+}
+
+} // namespace
+} // namespace enode

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The composed unified NN core: numerical equivalence of all three
+ * datapath modes, buffer accounting/capacity enforcement, and the
+ * training-state capture/retire protocol of the backward pass. Plus
+ * the FP16-datapath ODE wrapper and the shallow-f layer-splitting
+ * mapping of Sec. V.A.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "ode/ivp.h"
+#include "sim/enode_system.h"
+#include "sim/nn_core.h"
+
+namespace enode {
+namespace {
+
+class NnCoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(9);
+        weight_ = Tensor::randn(Shape{8, 8, 3, 3}, rng, 0.4f);
+        bias_ = Tensor::randn(Shape{8}, rng, 0.4f);
+        x_ = Tensor::randn(Shape{8, 12, 10}, rng, 0.6f);
+        grad_ = Tensor::randn(Shape{8, 12, 10}, rng, 0.6f);
+        core_.loadWeights(weight_);
+    }
+
+    NnCore core_{"core0"};
+    Tensor weight_, bias_, x_, grad_;
+};
+
+TEST_F(NnCoreTest, ForwardMatchesReferenceWithRelu)
+{
+    Tensor out = core_.forward(x_, bias_, /*relu=*/true);
+    Tensor ref = convForward(x_, weight_, bias_);
+    for (std::size_t i = 0; i < ref.numel(); i++)
+        if (ref.at(i) < 0.0f)
+            ref.at(i) = 0.0f;
+    EXPECT_LT(Tensor::maxAbsDiff(out, ref), 1e-4);
+    EXPECT_GT(core_.stats().reluOps, 0u);
+    EXPECT_EQ(core_.stats().packetsCollected, 12u * 10u);
+}
+
+TEST_F(NnCoreTest, BackwardDataMatchesReference)
+{
+    Tensor out = core_.backwardData(grad_);
+    Tensor ref = convBackwardData(grad_, weight_);
+    EXPECT_LT(Tensor::maxAbsDiff(out, ref), 1e-4);
+}
+
+TEST_F(NnCoreTest, WeightGradUsesCapturedTrainingState)
+{
+    core_.forward(x_, bias_, false, /*capture_training_state=*/true);
+    EXPECT_EQ(core_.stats().trainingStatesCaptured, 1u);
+    EXPECT_GT(core_.trainingBuffer().usedBytes(), 0u);
+
+    Tensor grad_w = core_.weightGrad(grad_);
+    Tensor ref = convBackwardWeights(x_, grad_, 3);
+    EXPECT_LT(Tensor::maxAbsDiff(grad_w, ref), 1e-4);
+
+    core_.retireTrainingState();
+    EXPECT_EQ(core_.trainingBuffer().usedBytes(), 0u);
+}
+
+TEST_F(NnCoreTest, WeightGradWithoutCaptureIsABug)
+{
+    EXPECT_DEATH({ core_.weightGrad(grad_); }, "no training state");
+}
+
+TEST_F(NnCoreTest, TrainingBufferCapacityEnforced)
+{
+    NnCoreConfig tiny;
+    tiny.trainingBufferBytes = x_.numel() * 2 + 16; // room for one state
+    NnCore small("tiny", tiny);
+    small.loadWeights(weight_);
+    small.forward(x_, bias_, false, true);
+    EXPECT_DEATH({ small.forward(x_, bias_, false, true); }, "overflow");
+}
+
+TEST_F(NnCoreTest, LineBufferSizedByDepthFirstWindowOnly)
+{
+    // The line buffer must hold K rows of one map regardless of H —
+    // the depth-first property. A buffer sized for exactly that window
+    // must work for any height.
+    NnCoreConfig cfg;
+    cfg.lineBufferBytes = 3 * 10 * 8 * 2; // K x W x lanes x 2B
+    NnCore snug("snug", cfg);
+    snug.loadWeights(weight_);
+    Rng rng(10);
+    Tensor tall = Tensor::randn(Shape{8, 64, 10}, rng, 0.5f);
+    EXPECT_NO_FATAL_FAILURE(snug.forward(tall, bias_, false));
+    EXPECT_EQ(snug.lineBuffer().usedBytes(), 0u); // released after use
+    EXPECT_GT(snug.lineBuffer().peakUsedBytes(), 0u);
+}
+
+TEST_F(NnCoreTest, ActivityAccountingIsComplete)
+{
+    core_.forward(x_, bias_, true, true);
+    core_.backwardData(grad_);
+    ActivityCounts activity;
+    core_.addActivity(activity);
+    EXPECT_EQ(activity.macs, core_.peArray().macCount());
+    EXPECT_GT(activity.regAccesses, 0u);
+    EXPECT_GT(activity.sramReads, 0u);
+    EXPECT_GT(activity.sramWrites, 0u);
+    EXPECT_GT(activity.aluOps, 0u);
+}
+
+TEST(Fp16OdeWrapper, QuantizesDerivativeToHalfGrid)
+{
+    class Plain : public OdeFunction
+    {
+      public:
+        Tensor
+        eval(double, const Tensor &h) override
+        {
+            countEval();
+            return h * 0.333333f;
+        }
+    } inner;
+
+    Fp16Ode wrapped(inner);
+    Tensor h(Shape{2}, {1.0f, 2.0f});
+    Tensor d = wrapped.eval(0.0, h);
+    // Every output must be exactly representable in half precision.
+    for (std::size_t i = 0; i < d.numel(); i++)
+        EXPECT_EQ(d.at(i), roundToFp16(d.at(i)));
+    EXPECT_EQ(wrapped.evalCount(), 1u);
+    EXPECT_EQ(inner.evalCount(), 1u);
+}
+
+TEST(Fp16OdeWrapper, LimitsAchievableAccuracy)
+{
+    class Decay : public OdeFunction
+    {
+      public:
+        Tensor
+        eval(double, const Tensor &h) override
+        {
+            countEval();
+            return h * -1.0f;
+        }
+    };
+    Decay fp32;
+    Decay inner;
+    Fp16Ode fp16(inner);
+
+    FixedFactorController c1, c2;
+    IvpOptions opts;
+    opts.tolerance = 1e-8;
+    opts.initialDt = 0.05;
+    auto exact = std::exp(-1.0);
+    auto r32 = solveIvp(fp32, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk23(), c1, opts);
+    auto r16 = solveIvp(fp16, Tensor::ones(Shape{1}), 0.0, 1.0,
+                        ButcherTableau::rk23(), c2, opts);
+    EXPECT_GT(std::abs(r16.yFinal.at(0) - exact),
+              std::abs(r32.yFinal.at(0) - exact));
+    // Still within half-precision expectations (~1e-3 relative).
+    EXPECT_LT(std::abs(r16.yFinal.at(0) - exact), 5e-3);
+}
+
+TEST(LayerSplitting, ShallowFRecoversUtilization)
+{
+    // fDepth = 2 on 4 cores: without splitting, two cores idle; with
+    // splitting each layer spreads over two cores and the trial
+    // finishes in roughly half the cycles.
+    SystemConfig plain = SystemConfig::configA();
+    plain.layer.fDepth = 2;
+    EnodeSystem without(plain);
+
+    SystemConfig split = plain;
+    split.splitShallowLayers = true;
+    EnodeSystem with(split);
+
+    const double ratio = without.forwardTrialCost().cycles /
+                         with.forwardTrialCost().cycles;
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.2);
+}
+
+TEST(LayerSplitting, NoEffectWhenDepthMatchesCores)
+{
+    SystemConfig plain = SystemConfig::configA(); // fDepth = 4 = cores
+    SystemConfig split = plain;
+    split.splitShallowLayers = true;
+    EnodeSystem a(plain), b(split);
+    EXPECT_DOUBLE_EQ(a.forwardTrialCost().cycles,
+                     b.forwardTrialCost().cycles);
+}
+
+} // namespace
+} // namespace enode

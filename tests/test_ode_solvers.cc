@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ODE library: tableau validity, convergence-order property tests on
+ * closed-form problems, FSAL reuse, error-estimator behaviour.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ode/butcher.h"
+#include "ode/rk_stepper.h"
+
+namespace enode {
+namespace {
+
+/** dh/dt = -h, solution h(t) = h0 exp(-t). */
+class ExpDecay : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double, const Tensor &h) override
+    {
+        countEval();
+        return h * -1.0f;
+    }
+};
+
+/** Harmonic oscillator: (x, v)' = (v, -x); solution rotates. */
+class Oscillator : public OdeFunction
+{
+  public:
+    Tensor
+    eval(double, const Tensor &h) override
+    {
+        countEval();
+        Tensor d(h.shape());
+        d.at(0) = h.at(1);
+        d.at(1) = -h.at(0);
+        return d;
+    }
+};
+
+TEST(Butcher, AllTableausAreConsistent)
+{
+    // Construction validates row sums and weight sums; byName round
+    // trips; stage counts match the literature.
+    EXPECT_EQ(ButcherTableau::euler().stages(), 1u);
+    EXPECT_EQ(ButcherTableau::midpoint().stages(), 2u);
+    EXPECT_EQ(ButcherTableau::rk23().stages(), 4u);
+    EXPECT_EQ(ButcherTableau::rk4().stages(), 4u);
+    EXPECT_EQ(ButcherTableau::rkf45().stages(), 6u);
+    EXPECT_EQ(ButcherTableau::dopri5().stages(), 7u);
+    for (const auto &name : ButcherTableau::names())
+        EXPECT_EQ(ButcherTableau::byName(name).name(), name);
+    EXPECT_TRUE(ButcherTableau::rk23().fsal());
+    EXPECT_TRUE(ButcherTableau::rk23().hasEmbedded());
+    EXPECT_FALSE(ButcherTableau::rk4().hasEmbedded());
+}
+
+TEST(Butcher, ErrorWeightsSumToZero)
+{
+    // sum(b) = sum(bErr) = 1, so the error weights must sum to 0.
+    for (const auto &name : ButcherTableau::names()) {
+        const auto &tab = ButcherTableau::byName(name);
+        if (!tab.hasEmbedded())
+            continue;
+        double sum = 0.0;
+        for (double d : tab.errorWeights())
+            sum += d;
+        EXPECT_NEAR(sum, 0.0, 1e-12) << name;
+    }
+}
+
+/**
+ * Empirical order of convergence on exp decay: halving dt must reduce
+ * the global error by ~2^order.
+ */
+double
+empiricalOrder(const ButcherTableau &tab, double dt)
+{
+    ExpDecay f;
+    const Tensor y0 = Tensor::ones(Shape{1});
+    const double T = 1.0;
+    const double exact = std::exp(-T);
+
+    auto error_at = [&](double step) {
+        const Tensor y = integrateFixed(f, tab, y0, 0.0, T, step);
+        return std::abs(static_cast<double>(y.at(0)) - exact);
+    };
+    const double e1 = error_at(dt);
+    const double e2 = error_at(dt / 2.0);
+    return std::log2(e1 / e2);
+}
+
+TEST(RkStepper, ConvergenceOrders)
+{
+    // Larger base steps for the higher orders keep the error above the
+    // float32 storage noise floor.
+    EXPECT_NEAR(empiricalOrder(ButcherTableau::euler(), 0.1), 1.0, 0.2);
+    EXPECT_NEAR(empiricalOrder(ButcherTableau::midpoint(), 0.1), 2.0, 0.25);
+    EXPECT_NEAR(empiricalOrder(ButcherTableau::rk23(), 0.2), 3.0, 0.35);
+    EXPECT_NEAR(empiricalOrder(ButcherTableau::rk4(), 0.5), 4.0, 0.5);
+}
+
+TEST(RkStepper, OscillatorEnergyDriftSmallAtHighOrder)
+{
+    Oscillator f;
+    Tensor y0(Shape{2}, {1.0f, 0.0f});
+    const Tensor y =
+        integrateFixed(f, ButcherTableau::rk4(), y0, 0.0, 6.2832, 0.01);
+    // One full period: back near the start.
+    EXPECT_NEAR(y.at(0), 1.0, 1e-3);
+    EXPECT_NEAR(y.at(1), 0.0, 1e-3);
+}
+
+TEST(RkStepper, StepExposesStagesAndError)
+{
+    ExpDecay f;
+    RkStepper stepper(ButcherTableau::rk23());
+    const Tensor y0 = Tensor::ones(Shape{1});
+    auto res = stepper.step(f, 0.0, y0, 0.1);
+    EXPECT_EQ(res.stages.size(), 4u);
+    EXPECT_EQ(res.stageInputs.size(), 4u);
+    EXPECT_FALSE(res.errorState.empty());
+    EXPECT_GT(res.errorNorm, 0.0);
+    EXPECT_NEAR(res.errorNorm, res.errorState.l2Norm(), 1e-12);
+    // k1 = f(y0) = -1.
+    EXPECT_FLOAT_EQ(res.stages[0].at(0), -1.0f);
+    // Stage times follow the c coefficients.
+    EXPECT_DOUBLE_EQ(res.stageTimes[1], 0.05);
+}
+
+TEST(RkStepper, FsalReuseSkipsOneEval)
+{
+    ExpDecay f;
+    RkStepper stepper(ButcherTableau::rk23());
+    const Tensor y0 = Tensor::ones(Shape{1});
+    auto first = stepper.step(f, 0.0, y0, 0.1);
+    const auto evals_before = f.evalCount();
+    auto second =
+        stepper.step(f, 0.1, first.yNext, 0.1, &first.stages.back());
+    EXPECT_EQ(f.evalCount() - evals_before, 3u); // 4 stages, 1 reused
+
+    // And the reuse must be *numerically correct*: same as recomputing.
+    auto second_full = stepper.step(f, 0.1, first.yNext, 0.1);
+    EXPECT_LT(Tensor::maxAbsDiff(second.yNext, second_full.yNext), 1e-7);
+}
+
+TEST(RkStepper, ErrorEstimateTracksTrueLocalError)
+{
+    // For RK23 the embedded estimate should be within an order of
+    // magnitude of the true one-step error.
+    ExpDecay f;
+    RkStepper stepper(ButcherTableau::rk23());
+    const Tensor y0 = Tensor::ones(Shape{1});
+    for (double dt : {0.05, 0.1, 0.2}) {
+        auto res = stepper.step(f, 0.0, y0, dt);
+        const double truth =
+            std::abs(static_cast<double>(res.yNext.at(0)) - std::exp(-dt));
+        EXPECT_GT(res.errorNorm, truth * 0.1);
+        EXPECT_LT(res.errorNorm, std::max(truth * 10.0, 1e-12));
+    }
+}
+
+TEST(RkStepper, BackwardIntegrationInvertsForward)
+{
+    Oscillator f;
+    Tensor y0(Shape{2}, {0.3f, -0.7f});
+    const Tensor fwd =
+        integrateFixed(f, ButcherTableau::rk4(), y0, 0.0, 1.0, 0.01);
+    const Tensor back =
+        integrateFixed(f, ButcherTableau::rk4(), fwd, 1.0, 0.0, 0.01);
+    EXPECT_LT(Tensor::maxAbsDiff(back, y0), 1e-4);
+}
+
+} // namespace
+} // namespace enode

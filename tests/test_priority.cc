@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Priority processing + early stop (Sec. VII.B): window detection,
+ * sound early rejection, window-based acceptance, work accounting.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/priority.h"
+#include "ode/ivp.h"
+
+namespace enode {
+namespace {
+
+/**
+ * A CHW ODE whose derivative is large only inside a row band: the error
+ * map concentrates there, exactly the structure priority processing
+ * exploits (Fig. 12).
+ */
+class BandedField : public OdeFunction
+{
+  public:
+    BandedField(std::size_t row_begin, std::size_t row_end)
+        : rowBegin_(row_begin), rowEnd_(row_end)
+    {
+    }
+
+    Tensor
+    eval(double, const Tensor &h) override
+    {
+        countEval();
+        Tensor d(h.shape());
+        const std::size_t C = h.shape().dim(0);
+        const std::size_t H = h.shape().dim(1);
+        const std::size_t W = h.shape().dim(2);
+        for (std::size_t c = 0; c < C; c++)
+            for (std::size_t r = 0; r < H; r++)
+                for (std::size_t w = 0; w < W; w++) {
+                    const bool hot = r >= rowBegin_ && r < rowEnd_;
+                    // Nonlinear in h so the local error is nonzero.
+                    const float x = h.at(c, r, w);
+                    d.at(c, r, w) = (hot ? -8.0f : -0.05f) * x * x * 0.5f -
+                                    (hot ? 4.0f : 0.02f) * x;
+                }
+        return d;
+    }
+
+  private:
+    std::size_t rowBegin_;
+    std::size_t rowEnd_;
+};
+
+IvpOptions
+bandOptions()
+{
+    IvpOptions opts;
+    opts.tolerance = 1e-3;
+    opts.initialDt = 0.25;
+    return opts;
+}
+
+TEST(Priority, WindowLocksOntoTheHighErrorBand)
+{
+    BandedField f(10, 14);
+    Tensor y0 = Tensor::full(Shape{2, 24, 8}, 0.5f);
+    PriorityOptions popts;
+    popts.windowHeight = 6;
+    PriorityTrialEvaluator eval(popts);
+    FixedFactorController ctrl;
+    solveIvp(f, y0, 0.0, 0.5, ButcherTableau::rk23(), ctrl, bandOptions(),
+             &eval);
+    ASSERT_TRUE(eval.hasWindow());
+    // The chosen window must overlap the hot band [10, 14).
+    EXPECT_LT(eval.windowBegin(), 14u);
+    EXPECT_GT(eval.windowEnd(), 10u);
+}
+
+/** Always over-proposes 4x, halves on rejection: maximizes retries. */
+class GreedyController : public StepController
+{
+  public:
+    void reset(double initial_dt) override { dtPrev_ = initial_dt; }
+    double initialDt() override { return 4.0 * dtPrev_; }
+    double
+    rejectedDt(double dt, double, double) override
+    {
+        return 0.5 * dt;
+    }
+    void
+    accepted(double dt, double, double, bool) override
+    {
+        dtPrev_ = dt;
+    }
+    std::string name() const override { return "greedy"; }
+
+  private:
+    double dtPrev_ = 0.0;
+};
+
+TEST(Priority, EarlyStopCutsEquivalentTrials)
+{
+    // A greedy controller keeps proposing optimistic stepsizes, so
+    // every evaluation point has rejected retries — the trials early
+    // stop shortens (Fig. 12(b)).
+    Tensor y0 = Tensor::full(Shape{2, 24, 8}, 0.5f);
+
+    BandedField f1(10, 14);
+    GreedyController c1;
+    auto plain = solveIvp(f1, y0, 0.0, 0.5, ButcherTableau::rk23(), c1,
+                          bandOptions());
+
+    BandedField f2(10, 14);
+    PriorityOptions popts;
+    popts.windowHeight = 6;
+    PriorityTrialEvaluator eval(popts);
+    GreedyController c2;
+    auto ours = solveIvp(f2, y0, 0.0, 0.5, ButcherTableau::rk23(), c2,
+                         bandOptions(), &eval);
+
+    ASSERT_GT(ours.stats.rejected, 0u)
+        << "test needs rejections to exercise early stop";
+    EXPECT_LT(ours.stats.equivalentTrials,
+              0.8 * static_cast<double>(plain.stats.trials))
+        << "early stop should cut the work metric";
+    EXPECT_GT(eval.stats().earlyRejects, 0u);
+}
+
+TEST(Priority, EarlyRejectionIsSound)
+{
+    // A rejection from a partial norm can never contradict the full
+    // norm: partial <= full. Verify the solver takes the *same accepted
+    // steps* with early stop enabled (acceptFromWindow disabled).
+    Tensor y0 = Tensor::full(Shape{1, 16, 6}, 0.5f);
+
+    BandedField f1(4, 8);
+    FixedFactorController c1;
+    auto plain = solveIvp(f1, y0, 0.0, 0.5, ButcherTableau::rk23(), c1,
+                          bandOptions());
+
+    BandedField f2(4, 8);
+    PriorityOptions popts;
+    popts.windowHeight = 4;
+    popts.acceptFromWindow = false; // conservative ablation mode
+    PriorityTrialEvaluator eval(popts);
+    FixedFactorController c2;
+    auto ours = solveIvp(f2, y0, 0.0, 0.5, ButcherTableau::rk23(), c2,
+                         bandOptions(), &eval);
+
+    ASSERT_EQ(ours.checkpoints.size(), plain.checkpoints.size());
+    for (std::size_t i = 0; i < ours.checkpoints.size(); i++)
+        EXPECT_NEAR(ours.checkpoints[i].dt, plain.checkpoints[i].dt,
+                    1e-12);
+    EXPECT_LT(Tensor::maxAbsDiff(ours.yFinal, plain.yFinal), 1e-6);
+}
+
+TEST(Priority, WindowAcceptanceCanDiffer)
+{
+    // Paper mode (acceptFromWindow): acceptance judged on the window
+    // alone may accept steps the full norm would reject — the source of
+    // the accuracy sensitivity in Fig. 13. With a tiny window on a map
+    // whose error lives *outside* it after the first step, accepted
+    // stepsizes can grow beyond the reference.
+    Tensor y0 = Tensor::full(Shape{1, 32, 6}, 0.5f);
+
+    BandedField f1(2, 30); // broad error: window misses most of it
+    FixedFactorController c1;
+    auto plain = solveIvp(f1, y0, 0.0, 0.5, ButcherTableau::rk23(), c1,
+                          bandOptions());
+
+    BandedField f2(2, 30);
+    PriorityOptions popts;
+    popts.windowHeight = 2;
+    PriorityTrialEvaluator eval(popts);
+    FixedFactorController c2;
+    auto ours = solveIvp(f2, y0, 0.0, 0.5, ButcherTableau::rk23(), c2,
+                         bandOptions(), &eval);
+
+    // Fewer or equal evaluation points (bigger accepted steps).
+    EXPECT_LE(ours.stats.evalPoints, plain.stats.evalPoints);
+    EXPECT_GT(eval.stats().windowAccepts, 0u);
+}
+
+TEST(Priority, FullWindowDegeneratesToBaseline)
+{
+    Tensor y0 = Tensor::full(Shape{1, 16, 6}, 0.5f);
+    BandedField f1(4, 8);
+    FixedFactorController c1;
+    auto plain = solveIvp(f1, y0, 0.0, 0.5, ButcherTableau::rk23(), c1,
+                          bandOptions());
+
+    BandedField f2(4, 8);
+    PriorityOptions popts;
+    popts.windowHeight = 1000; // >= H: window covers the whole map
+    PriorityTrialEvaluator eval(popts);
+    FixedFactorController c2;
+    auto ours = solveIvp(f2, y0, 0.0, 0.5, ButcherTableau::rk23(), c2,
+                         bandOptions(), &eval);
+    EXPECT_EQ(ours.stats.evalPoints, plain.stats.evalPoints);
+    EXPECT_LT(Tensor::maxAbsDiff(ours.yFinal, plain.yFinal), 1e-6);
+}
+
+TEST(Priority, WorksOnRank1States)
+{
+    // Dynamic-system states: rows are vector entries.
+    class Decay : public OdeFunction
+    {
+      public:
+        Tensor
+        eval(double, const Tensor &h) override
+        {
+            countEval();
+            return h * -1.0f;
+        }
+    };
+    Decay f;
+    PriorityOptions popts;
+    popts.windowHeight = 4;
+    PriorityTrialEvaluator eval(popts);
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-6;
+    opts.initialDt = 0.1;
+    auto res = solveIvp(f, Tensor::ones(Shape{8}), 0.0, 1.0,
+                        ButcherTableau::rk23(), ctrl, opts, &eval);
+    EXPECT_NEAR(res.yFinal.at(0), std::exp(-1.0), 1e-4);
+}
+
+TEST(Priority, StatsRowAccounting)
+{
+    BandedField f(4, 8);
+    Tensor y0 = Tensor::full(Shape{1, 16, 6}, 0.5f);
+    PriorityTrialEvaluator eval;
+    FixedFactorController ctrl;
+    auto res = solveIvp(f, y0, 0.0, 0.5, ButcherTableau::rk23(), ctrl,
+                        bandOptions(), &eval);
+    EXPECT_EQ(eval.stats().trials, res.stats.trials);
+    EXPECT_LE(eval.stats().rowsScanned, eval.stats().rowsTotal + 1e-9);
+    EXPECT_GT(eval.stats().rowsScanned, 0.0);
+}
+
+} // namespace
+} // namespace enode

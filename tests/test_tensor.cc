@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tensor: shape handling, arithmetic, reductions, row windows.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+namespace {
+
+TEST(Shape, BasicProperties)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numel(), 24u);
+    EXPECT_EQ(s.dim(1), 3u);
+    EXPECT_EQ(s.str(), "[2, 3, 4]");
+    EXPECT_EQ(s, (Shape{2, 3, 4}));
+    EXPECT_NE(s, (Shape{2, 3}));
+}
+
+TEST(Tensor, ConstructionAndFill)
+{
+    Tensor z(Shape{2, 2});
+    EXPECT_EQ(z.sum(), 0.0);
+    Tensor f = Tensor::full(Shape{3}, 2.5f);
+    EXPECT_DOUBLE_EQ(f.sum(), 7.5);
+    f.fill(-1.0f);
+    EXPECT_DOUBLE_EQ(f.sum(), -3.0);
+    EXPECT_TRUE(Tensor().empty());
+}
+
+TEST(Tensor, IndexingRowMajorNchw)
+{
+    Tensor t(Shape{2, 3, 4});
+    t.at(1, 2, 3) = 5.0f;
+    EXPECT_EQ(t.at((1 * 3 + 2) * 4 + 3), 5.0f);
+
+    Tensor b(Shape{2, 2, 3, 4});
+    b.at(1, 1, 2, 3) = 7.0f;
+    EXPECT_EQ(b.at(((1 * 2 + 1) * 3 + 2) * 4 + 3), 7.0f);
+}
+
+TEST(Tensor, ArithmeticAndAxpy)
+{
+    Tensor a(Shape{4}, {1, 2, 3, 4});
+    Tensor b(Shape{4}, {10, 20, 30, 40});
+    Tensor c = a + b;
+    EXPECT_EQ(c.at(2), 33.0f);
+    c -= a;
+    EXPECT_TRUE(Tensor::allClose(c, b));
+    c = a * 2.0f;
+    EXPECT_EQ(c.at(3), 8.0f);
+    c.axpy(0.5f, b);
+    EXPECT_EQ(c.at(0), 2.0f + 5.0f);
+}
+
+TEST(Tensor, ShapeMismatchPanics)
+{
+    Tensor a(Shape{3}), b(Shape{4});
+    EXPECT_DEATH({ a += b; }, "shape");
+}
+
+TEST(Tensor, Reductions)
+{
+    Tensor t(Shape{2, 2}, {3, -4, 0, 0});
+    EXPECT_DOUBLE_EQ(t.l2Norm(), 5.0);
+    EXPECT_DOUBLE_EQ(t.maxAbs(), 4.0);
+    EXPECT_DOUBLE_EQ(t.mean(), -0.25);
+}
+
+TEST(Tensor, RowWindowL2)
+{
+    // 1 channel, 4 rows, 2 cols.
+    Tensor t(Shape{1, 4, 2}, {1, 1, 2, 2, 3, 3, 4, 4});
+    EXPECT_NEAR(t.rowWindowL2(0, 1), std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(t.rowWindowL2(2, 4), std::sqrt(9 + 9 + 16 + 16.0), 1e-12);
+    // Whole-map window equals the tensor norm.
+    EXPECT_NEAR(t.rowWindowL2(0, 4), t.l2Norm(), 1e-12);
+}
+
+TEST(Tensor, RowWindowSumsToFullNormAcrossPartition)
+{
+    Rng rng(3);
+    Tensor t = Tensor::randn(Shape{3, 8, 5}, rng, 1.0f);
+    double sum_sq = 0.0;
+    for (std::size_t r = 0; r < 8; r++) {
+        const double n = t.rowWindowL2(r, r + 1);
+        sum_sq += n * n;
+    }
+    EXPECT_NEAR(std::sqrt(sum_sq), t.l2Norm(), 1e-9);
+}
+
+TEST(Tensor, ReshapeAndSamples)
+{
+    Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped(Shape{3, 2});
+    EXPECT_EQ(r.at(2 * 2 + 1), 6.0f);
+
+    Tensor batch(Shape{2, 1, 2, 2});
+    Tensor s(Shape{1, 2, 2}, {9, 8, 7, 6});
+    batch.setSample(1, s);
+    EXPECT_TRUE(Tensor::allClose(batch.sample(1), s));
+    EXPECT_DOUBLE_EQ(batch.sample(0).sum(), 0.0);
+}
+
+TEST(Tensor, QuantizeFp16)
+{
+    Tensor t(Shape{2}, {1.0f, 1.0002f});
+    t.quantizeFp16();
+    EXPECT_EQ(t.at(0), 1.0f);
+    EXPECT_EQ(t.at(1), 1.0f); // below half precision resolution
+}
+
+TEST(Tensor, AllCloseAndMaxAbsDiff)
+{
+    Tensor a(Shape{2}, {1.0f, 2.0f});
+    Tensor b(Shape{2}, {1.0f, 2.00001f});
+    EXPECT_TRUE(Tensor::allClose(a, b, 1e-4, 1e-4));
+    EXPECT_FALSE(Tensor::allClose(a, b, 1e-7, 1e-9));
+    EXPECT_NEAR(Tensor::maxAbsDiff(a, b), 1e-5, 1e-6);
+    EXPECT_FALSE(Tensor::allClose(a, Tensor(Shape{3})));
+}
+
+TEST(Tensor, RandomFactoriesRespectDistribution)
+{
+    Rng rng(21);
+    Tensor n = Tensor::randn(Shape{4, 32, 32}, rng, 2.0f);
+    const double std_est =
+        n.l2Norm() / std::sqrt(static_cast<double>(n.numel()));
+    EXPECT_NEAR(std_est, 2.0, 0.15);
+    Tensor u = Tensor::uniform(Shape{1024}, rng, -1.0f, 1.0f);
+    EXPECT_LT(u.maxAbs(), 1.0 + 1e-6);
+}
+
+} // namespace
+} // namespace enode

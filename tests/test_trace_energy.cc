@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Workload traces and energy accounting: trace construction from real
+ * solver runs, activity scaling, and stat publication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aca_trainer.h"
+#include "core/node_model.h"
+#include "nn/loss.h"
+#include "sim/enode_system.h"
+#include "sim/trace.h"
+
+namespace enode {
+namespace {
+
+TEST(WorkloadTrace, FromForwardMatchesSolverStats)
+{
+    Rng rng(1);
+    auto model = NodeModel::makeMlp(3, 4, 8, 1, rng);
+    Tensor x = Tensor::randn(Shape{4}, rng, 0.5f);
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.1;
+    auto fwd = model->forward(x, ButcherTableau::rk23(), ctrl, opts);
+
+    auto trace = WorkloadTrace::fromForward("test", fwd);
+    EXPECT_EQ(trace.integrationLayers, 3.0);
+    EXPECT_EQ(trace.evalPoints,
+              static_cast<double>(fwd.totalStats.evalPoints));
+    EXPECT_EQ(trace.trials, static_cast<double>(fwd.totalStats.trials));
+    EXPECT_EQ(trace.backwardSteps, 0.0);
+    EXPECT_GE(trace.triesPerPoint(), 1.0);
+}
+
+TEST(WorkloadTrace, FromTrainingRecordsBackwardSteps)
+{
+    Rng rng(2);
+    auto model = NodeModel::makeMlp(2, 3, 8, 1, rng);
+    Tensor x = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.1;
+
+    model->zeroGrad();
+    auto fwd = model->forward(x, ButcherTableau::rk23(), ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+    auto bwd = acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad);
+
+    auto trace = WorkloadTrace::fromTraining("t", fwd, bwd.stats);
+    EXPECT_EQ(trace.backwardSteps,
+              static_cast<double>(bwd.stats.backwardSteps));
+    // ACA: one backward step per accepted evaluation point.
+    EXPECT_EQ(trace.backwardSteps, trace.evalPoints);
+}
+
+TEST(WorkloadTrace, SyntheticWorkFractionOnlyDiscountsRejections)
+{
+    auto trace = WorkloadTrace::synthetic("s", 2, 10, 1.5, false, 0.2);
+    EXPECT_DOUBLE_EQ(trace.evalPoints, 20.0);
+    EXPECT_DOUBLE_EQ(trace.trials, 30.0);
+    // 20 accepted at full work + 10 rejected at 0.2.
+    EXPECT_DOUBLE_EQ(trace.equivalentTrials, 22.0);
+}
+
+TEST(ActivityCounts, ScaleAndAccumulate)
+{
+    ActivityCounts a;
+    a.macs = 100;
+    a.dramBytes = 10;
+    a.sramReads = 7;
+    a.scale(2.5);
+    EXPECT_EQ(a.macs, 250u);
+    EXPECT_EQ(a.dramBytes, 25u);
+    ActivityCounts b;
+    b.macs = 50;
+    b.accumulate(a);
+    EXPECT_EQ(b.macs, 300u);
+    EXPECT_EQ(b.dramBytes, 25u);
+}
+
+TEST(EnergyModel, PublishesCompleteStatGroup)
+{
+    ActivityCounts activity;
+    activity.macs = 1000000;
+    activity.dramBytes = 4096;
+    EnergyParams params;
+    auto energy = computeEnergy(activity, 1e6, params);
+
+    StatGroup stats("run");
+    publishEnergy(stats, "inference", energy, 1e6, params);
+    for (const char *key :
+         {"inference.computeJ", "inference.sramJ", "inference.nocJ",
+          "inference.dramJ", "inference.staticJ", "inference.totalJ",
+          "inference.cycles", "inference.totalW", "inference.dramW"}) {
+        EXPECT_TRUE(stats.has(key)) << key;
+    }
+    EXPECT_NEAR(stats.get("inference.totalJ"),
+                stats.get("inference.computeJ") +
+                    stats.get("inference.sramJ") +
+                    stats.get("inference.nocJ") +
+                    stats.get("inference.dramJ") +
+                    stats.get("inference.staticJ"),
+                1e-15);
+    // 1e6 MACs at 1 pJ = 1 uJ of compute energy.
+    EXPECT_NEAR(stats.get("inference.computeJ"), 1e-6, 1e-9);
+}
+
+TEST(EnergyModel, PowerIsEnergyOverTime)
+{
+    ActivityCounts activity;
+    activity.macs = 5000000;
+    EnergyParams params;
+    const double cycles = 2e6;
+    auto energy = computeEnergy(activity, cycles, params);
+    const double seconds = cycles / params.clockHz;
+    EXPECT_NEAR(energy.totalW(cycles, params.clockHz),
+                energy.totalJ() / seconds, 1e-9);
+    EXPECT_NEAR(energy.dramW(cycles, params.clockHz),
+                energy.dramJ / seconds, 1e-9);
+}
+
+TEST(EnodeSystem, RealTraceDrivesTheSystemModel)
+{
+    // End to end: a real solver run -> trace -> hardware cost.
+    Rng rng(3);
+    auto model = NodeModel::makeMlp(2, 4, 8, 1, rng);
+    Tensor x = Tensor::randn(Shape{4}, rng, 0.5f);
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.1;
+    auto fwd = model->forward(x, ButcherTableau::rk23(), ctrl, opts);
+    auto trace = WorkloadTrace::fromForward("e2e", fwd);
+
+    EnodeSystem sys(SystemConfig::configA());
+    auto run = sys.runInference(trace);
+    EXPECT_GT(run.cycles, 0.0);
+    EXPECT_GT(run.energyJ, 0.0);
+    // Cycles scale with the trace's equivalent trials.
+    const double per_trial = sys.forwardTrialCost().cycles;
+    EXPECT_GE(run.cycles, trace.equivalentTrials * per_trial);
+}
+
+TEST(RunCost, PublishesFullStatGroup)
+{
+    EnodeSystem sys(SystemConfig::configA());
+    auto run = sys.runInference(
+        WorkloadTrace::synthetic("p", 2, 8, 1.5, false));
+    StatGroup stats("enode");
+    run.publish(stats, "infer", sys.config().energy);
+    for (const char *key :
+         {"infer.totalJ", "infer.totalW", "infer.dramW", "infer.seconds",
+          "infer.macs", "infer.sramReads", "infer.sramWrites",
+          "infer.regAccesses", "infer.nocHopWords", "infer.dramBytes"}) {
+        EXPECT_TRUE(stats.has(key)) << key;
+    }
+    EXPECT_DOUBLE_EQ(stats.get("infer.macs"),
+                     static_cast<double>(run.activity.macs));
+    EXPECT_NE(stats.dump().find("enode.infer.totalW"), std::string::npos);
+}
+
+} // namespace
+} // namespace enode

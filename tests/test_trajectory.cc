@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Trajectory sampling/fitting: multi-observation forward pass, chained
+ * multi-segment adjoints vs finite differences, and end-to-end fitting
+ * of a Lotka-Volterra trajectory.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/trajectory.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "ode/rk_stepper.h"
+#include "workloads/dynamic_systems.h"
+
+namespace enode {
+namespace {
+
+IvpOptions
+quickOptions()
+{
+    IvpOptions opts;
+    opts.tolerance = 1e-1; // stable accepted steps under FD perturbation
+    opts.initialDt = 0.2;
+    return opts;
+}
+
+TEST(Trajectory, SamplingVisitsEveryTimeInOrder)
+{
+    Rng rng(1);
+    auto net = EmbeddedNet::makeMlp(3, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    FixedFactorController ctrl;
+    auto sample = sampleTrajectory(*net, x0, 0.0, {0.4, 1.0, 1.7},
+                                   ButcherTableau::rk23(), ctrl,
+                                   quickOptions());
+    ASSERT_EQ(sample.states.size(), 3u);
+    ASSERT_EQ(sample.segments.size(), 3u);
+    // Segment checkpoints must tile [t_{i-1}, t_i] exactly.
+    double t = 0.0;
+    for (std::size_t i = 0; i < 3; i++) {
+        for (const auto &ck : sample.segments[i].checkpoints) {
+            EXPECT_NEAR(ck.t, t, 1e-9);
+            t += ck.dt;
+        }
+    }
+    EXPECT_NEAR(t, 1.7, 1e-9);
+}
+
+TEST(Trajectory, SegmentedSolveEqualsSingleSolve)
+{
+    // Sampling at intermediate times must not change the final state
+    // beyond the controller's stepping differences at segment
+    // boundaries: check against a single solve at a matching step grid.
+    Rng rng(2);
+    auto net = EmbeddedNet::makeMlp(2, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{2}, rng, 0.5f);
+
+    IvpOptions opts;
+    opts.tolerance = 1e-6;
+    opts.initialDt = 0.05;
+    FixedFactorController c1, c2;
+
+    auto sampled = sampleTrajectory(*net, x0, 0.0, {0.5, 1.0},
+                                    ButcherTableau::rk23(), c1, opts);
+    EmbeddedNetOde ode(*net);
+    auto direct = solveIvp(ode, x0, 0.0, 1.0, ButcherTableau::rk23(), c2,
+                           opts);
+    EXPECT_LT(Tensor::maxAbsDiff(sampled.states.back(), direct.yFinal),
+              1e-4);
+}
+
+TEST(Trajectory, BadTimesAreRejected)
+{
+    Rng rng(3);
+    auto net = EmbeddedNet::makeMlp(2, 4, 1, rng);
+    Tensor x0 = Tensor::ones(Shape{2});
+    FixedFactorController ctrl;
+    IvpOptions opts = quickOptions();
+    EXPECT_DEATH(
+        {
+            sampleTrajectory(*net, x0, 0.0, {0.5, 0.5},
+                             ButcherTableau::rk23(), ctrl, opts);
+        },
+        "strictly increasing");
+}
+
+TEST(Trajectory, MultiObservationGradientsMatchFiniteDifferences)
+{
+    Rng rng(7);
+    auto net = EmbeddedNet::makeMlp(3, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    std::vector<TrajectoryObservation> obs;
+    Rng target_rng(8);
+    for (double t : {0.4, 0.9, 1.5})
+        obs.push_back({t, Tensor::randn(Shape{3}, target_rng, 0.5f)});
+
+    const auto &tab = ButcherTableau::rk23();
+    const IvpOptions opts = quickOptions();
+
+    FixedFactorController ctrl;
+    net->zeroGrad();
+    auto fit = trajectoryTrainStep(*net, x0, 0.0, obs, tab, ctrl, opts);
+    EXPECT_EQ(fit.predictions.size(), 3u);
+    EXPECT_GT(fit.backwardStats.backwardSteps, 0u);
+
+    auto loss_now = [&] {
+        FixedFactorController c2;
+        std::vector<double> times{0.4, 0.9, 1.5};
+        auto sample =
+            sampleTrajectory(*net, x0, 0.0, times, tab, c2, opts);
+        double loss = 0.0;
+        for (std::size_t i = 0; i < obs.size(); i++)
+            loss += mseLoss(sample.states[i], obs[i].target).value /
+                    obs.size();
+        return loss;
+    };
+
+    const double eps = 1e-3;
+    double diff_sq = 0.0, fd_sq = 0.0;
+    std::size_t checked = 0;
+    for (auto &slot : net->paramSlots()) {
+        const std::size_t n = std::min<std::size_t>(slot.param->numel(), 8);
+        for (std::size_t i = 0; i < n; i++) {
+            const float saved = slot.param->at(i);
+            slot.param->at(i) = saved + static_cast<float>(eps);
+            const double plus = loss_now();
+            slot.param->at(i) = saved - static_cast<float>(eps);
+            const double minus = loss_now();
+            slot.param->at(i) = saved;
+            const double fd = (plus - minus) / (2.0 * eps);
+            diff_sq += (fd - slot.grad->at(i)) * (fd - slot.grad->at(i));
+            fd_sq += fd * fd;
+            checked++;
+        }
+    }
+    EXPECT_GT(checked, 20u);
+    EXPECT_LT(std::sqrt(diff_sq) / std::max(std::sqrt(fd_sq), 1e-8), 3e-2)
+        << "multi-segment adjoint deviates from FD";
+}
+
+TEST(Trajectory, FitsALotkaVolterraOrbit)
+{
+    // End to end: observe a true LV trajectory at 4 times and fit.
+    LotkaVolterraOde truth;
+    Tensor x0(Shape{2}, {4.0f, 2.0f});
+    std::vector<TrajectoryObservation> obs;
+    Tensor state = x0;
+    double t = 0.0;
+    for (int i = 0; i < 4; i++) {
+        const double t_next = t + 0.4;
+        state = integrateFixed(truth, ButcherTableau::rk4(), state, t,
+                               t_next, 1e-3);
+        obs.push_back({t_next, state});
+        t = t_next;
+    }
+
+    Rng rng(11);
+    auto net = EmbeddedNet::makeMlp(2, 32, 1, rng);
+    Adam opt(net->paramSlots(), 5e-3);
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.05;
+
+    double first = 0.0, last = 0.0;
+    for (int iter = 0; iter < 80; iter++) {
+        opt.zeroGrad();
+        auto fit = trajectoryTrainStep(*net, x0, 0.0, obs,
+                                       ButcherTableau::rk23(), ctrl, opts);
+        if (iter == 0)
+            first = fit.loss;
+        last = fit.loss;
+        opt.clipGradNorm(10.0);
+        opt.step();
+    }
+    EXPECT_LT(last, 0.1 * first)
+        << "trajectory fitting failed: " << first << " -> " << last;
+}
+
+} // namespace
+} // namespace enode

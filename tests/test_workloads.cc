@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Workloads: physical invariants of the dynamic systems, dataset
+ * generation, synthetic image statistics, ResNet cost model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ode/rk_stepper.h"
+#include "workloads/dynamic_systems.h"
+#include "workloads/resnet_model.h"
+#include "workloads/synthetic_images.h"
+
+namespace enode {
+namespace {
+
+TEST(ThreeBody, EnergyConservedByAccurateIntegration)
+{
+    ThreeBodyOde system;
+    Rng rng(1);
+    const Tensor x0 = system.randomInitialState(rng);
+    const double e0 = system.energy(x0);
+    const Tensor x1 =
+        integrateFixed(system, ButcherTableau::rk4(), x0, 0.0, 2.0, 1e-3);
+    const double e1 = system.energy(x1);
+    EXPECT_NEAR(e1, e0, std::abs(e0) * 1e-3);
+    // And the system actually moved.
+    EXPECT_GT(Tensor::maxAbsDiff(x1, x0), 1e-3);
+}
+
+TEST(ThreeBody, SymmetricConfigurationHasSymmetricForces)
+{
+    ThreeBodyOde system(1.0, {1.0, 1.0, 1.0}, 0.0);
+    // Equilateral triangle at rest: net force points to the centroid
+    // with equal magnitude for each body.
+    Tensor state(Shape{18});
+    const double r = 1.0;
+    for (int i = 0; i < 3; i++) {
+        const double theta = 2.0 * 3.14159265358979 * i / 3.0;
+        state.at(3 * i + 0) = static_cast<float>(r * std::cos(theta));
+        state.at(3 * i + 1) = static_cast<float>(r * std::sin(theta));
+    }
+    Tensor d = system.eval(0.0, state);
+    double mags[3];
+    for (int i = 0; i < 3; i++) {
+        const double ax = d.at(9 + 3 * i + 0);
+        const double ay = d.at(9 + 3 * i + 1);
+        mags[i] = std::sqrt(ax * ax + ay * ay);
+    }
+    EXPECT_NEAR(mags[0], mags[1], 1e-4);
+    EXPECT_NEAR(mags[1], mags[2], 1e-4);
+}
+
+TEST(LotkaVolterra, InvariantConservedAlongTrueFlow)
+{
+    LotkaVolterraOde system;
+    Rng rng(2);
+    const Tensor x0 = system.randomInitialState(rng);
+    const double v0 = system.invariant(x0);
+    const Tensor x1 =
+        integrateFixed(system, ButcherTableau::rk4(), x0, 0.0, 5.0, 1e-3);
+    EXPECT_NEAR(system.invariant(x1), v0, std::abs(v0) * 1e-4);
+    // Populations stay positive.
+    EXPECT_GT(x1.at(0), 0.0f);
+    EXPECT_GT(x1.at(1), 0.0f);
+}
+
+TEST(LotkaVolterra, PredatorsGrowWhenPreyAbound)
+{
+    LotkaVolterraOde system(1.1, 0.4, 0.1, 0.4);
+    Tensor state(Shape{2}, {10.0f, 1.0f});
+    Tensor d = system.eval(0.0, state);
+    EXPECT_GT(d.at(1), 0.0f); // delta*x*y > eta*y
+}
+
+TEST(Trajectories, DatasetSplitsAndHorizon)
+{
+    LotkaVolterraOde system;
+    Rng rng(3);
+    auto data = generateTrajectories(
+        system,
+        [&](Rng &r) { return system.randomInitialState(r); }, 8, 3, 0.5,
+        rng);
+    EXPECT_EQ(data.train.size(), 8u);
+    EXPECT_EQ(data.test.size(), 3u);
+    EXPECT_DOUBLE_EQ(data.horizon, 0.5);
+    for (const auto &pair : data.train) {
+        EXPECT_EQ(pair.x0.shape(), Shape{2});
+        // Target differs from the input (the system evolves).
+        EXPECT_GT(Tensor::maxAbsDiff(pair.target, pair.x0), 1e-5);
+    }
+}
+
+TEST(SyntheticImages, DeterministicGivenSeed)
+{
+    SyntheticImageDataset a(cifarLikeConfig(), 7);
+    SyntheticImageDataset b(cifarLikeConfig(), 7);
+    auto ia = a.sample(3), ib = b.sample(3);
+    EXPECT_EQ(ia.label, ib.label);
+    EXPECT_LT(Tensor::maxAbsDiff(ia.image, ib.image), 1e-12);
+}
+
+TEST(SyntheticImages, ShapesMatchDatasets)
+{
+    SyntheticImageDataset cifar(cifarLikeConfig(), 1);
+    EXPECT_EQ(cifar.sample(0).image.shape(), (Shape{3, 32, 32}));
+    SyntheticImageDataset mnist(mnistLikeConfig(), 1);
+    EXPECT_EQ(mnist.sample(0).image.shape(), (Shape{1, 28, 28}));
+}
+
+TEST(SyntheticImages, ClassesAreSeparable)
+{
+    // Same-class samples must be closer than cross-class samples on
+    // average, otherwise training accuracy is meaningless.
+    SyntheticImageDataset gen(cifarLikeConfig(), 11);
+    double intra = 0.0, inter = 0.0;
+    const int reps = 10;
+    for (int i = 0; i < reps; i++) {
+        auto a0 = gen.sample(0), b0 = gen.sample(0);
+        auto a1 = gen.sample(1);
+        intra += (a0.image - b0.image).l2Norm();
+        inter += (a0.image - a1.image).l2Norm();
+    }
+    EXPECT_LT(intra, 0.8 * inter);
+}
+
+TEST(SyntheticImages, BatchProducesValidLabels)
+{
+    SyntheticImageDataset gen(mnistLikeConfig(), 13);
+    auto batch = gen.batch(32);
+    EXPECT_EQ(batch.size(), 32u);
+    for (const auto &item : batch)
+        EXPECT_LT(item.label, 10u);
+}
+
+TEST(ResnetModel, CostScalesWithDepth)
+{
+    ResnetConfig cfg;
+    cfg.blocks = 100;
+    auto r100 = resnetCost(cfg);
+    cfg.blocks = 200;
+    auto r200 = resnetCost(cfg);
+    EXPECT_NEAR(r200.macs / r100.macs, 2.0, 1e-9);
+    EXPECT_NEAR(r200.trainingTrafficBytes / r100.trainingTrafficBytes, 2.0,
+                1e-9);
+    EXPECT_GT(r100.trainingTrafficBytes, r100.inferenceTrafficBytes);
+}
+
+TEST(ResnetModel, AbsoluteNumbersAreSane)
+{
+    ResnetConfig cfg; // 100 blocks, 2 convs, 64ch, 32x32
+    auto cost = resnetCost(cfg);
+    // 200 convs x (32*32*64) * 64 * 9 MACs.
+    EXPECT_DOUBLE_EQ(cost.macs, 200.0 * 32 * 32 * 64 * 64 * 9);
+    EXPECT_DOUBLE_EQ(cost.activationBytes, 32.0 * 32 * 64 * 2);
+}
+
+} // namespace
+} // namespace enode
