@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_controllers.dir/bench_ablation_controllers.cc.o"
+  "CMakeFiles/bench_ablation_controllers.dir/bench_ablation_controllers.cc.o.d"
+  "bench_ablation_controllers"
+  "bench_ablation_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04a_runtime_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04b_memory_profile.dir/bench_fig04b_memory_profile.cc.o"
+  "CMakeFiles/bench_fig04b_memory_profile.dir/bench_fig04b_memory_profile.cc.o.d"
+  "bench_fig04b_memory_profile"
+  "bench_fig04b_memory_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04b_memory_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

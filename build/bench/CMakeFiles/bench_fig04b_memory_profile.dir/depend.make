@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04b_memory_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_slope_adaptive.dir/bench_fig11_slope_adaptive.cc.o"
+  "CMakeFiles/bench_fig11_slope_adaptive.dir/bench_fig11_slope_adaptive.cc.o.d"
+  "bench_fig11_slope_adaptive"
+  "bench_fig11_slope_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_slope_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_priority_earlystop.dir/bench_fig13_priority_earlystop.cc.o"
+  "CMakeFiles/bench_fig13_priority_earlystop.dir/bench_fig13_priority_earlystop.cc.o.d"
+  "bench_fig13_priority_earlystop"
+  "bench_fig13_priority_earlystop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_priority_earlystop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

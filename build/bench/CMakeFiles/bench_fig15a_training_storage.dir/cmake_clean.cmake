@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15a_training_storage.dir/bench_fig15a_training_storage.cc.o"
+  "CMakeFiles/bench_fig15a_training_storage.dir/bench_fig15a_training_storage.cc.o.d"
+  "bench_fig15a_training_storage"
+  "bench_fig15a_training_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15a_training_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

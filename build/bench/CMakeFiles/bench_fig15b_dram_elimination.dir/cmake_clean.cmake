@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15b_dram_elimination.dir/bench_fig15b_dram_elimination.cc.o"
+  "CMakeFiles/bench_fig15b_dram_elimination.dir/bench_fig15b_dram_elimination.cc.o.d"
+  "bench_fig15b_dram_elimination"
+  "bench_fig15b_dram_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15b_dram_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig15b_dram_elimination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15c_area_scaling.dir/bench_fig15c_area_scaling.cc.o"
+  "CMakeFiles/bench_fig15c_area_scaling.dir/bench_fig15c_area_scaling.cc.o.d"
+  "bench_fig15c_area_scaling"
+  "bench_fig15c_area_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15c_area_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig15c_area_scaling.
+# This may be replaced when dependencies are built.

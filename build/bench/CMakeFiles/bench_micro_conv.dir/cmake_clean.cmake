@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_conv.dir/bench_micro_conv.cc.o"
+  "CMakeFiles/bench_micro_conv.dir/bench_micro_conv.cc.o.d"
+  "bench_micro_conv"
+  "bench_micro_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

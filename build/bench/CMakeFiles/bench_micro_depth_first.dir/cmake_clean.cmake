@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_depth_first.dir/bench_micro_depth_first.cc.o"
+  "CMakeFiles/bench_micro_depth_first.dir/bench_micro_depth_first.cc.o.d"
+  "bench_micro_depth_first"
+  "bench_micro_depth_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_depth_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_integrator.dir/bench_micro_integrator.cc.o"
+  "CMakeFiles/bench_micro_integrator.dir/bench_micro_integrator.cc.o.d"
+  "bench_micro_integrator"
+  "bench_micro_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memory_area.dir/bench_table1_memory_area.cc.o"
+  "CMakeFiles/bench_table1_memory_area.dir/bench_table1_memory_area.cc.o.d"
+  "bench_table1_memory_area"
+  "bench_table1_memory_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memory_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

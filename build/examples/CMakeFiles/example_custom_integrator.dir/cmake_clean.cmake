@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_integrator.dir/custom_integrator.cc.o"
+  "CMakeFiles/example_custom_integrator.dir/custom_integrator.cc.o.d"
+  "example_custom_integrator"
+  "example_custom_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

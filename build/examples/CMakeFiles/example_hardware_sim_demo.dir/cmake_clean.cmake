@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hardware_sim_demo.dir/hardware_sim_demo.cc.o"
+  "CMakeFiles/example_hardware_sim_demo.dir/hardware_sim_demo.cc.o.d"
+  "example_hardware_sim_demo"
+  "example_hardware_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hardware_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hardware_sim_demo.
+# This may be replaced when dependencies are built.

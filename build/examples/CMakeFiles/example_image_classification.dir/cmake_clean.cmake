@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_classification.dir/image_classification.cc.o"
+  "CMakeFiles/example_image_classification.dir/image_classification.cc.o.d"
+  "example_image_classification"
+  "example_image_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_stream.dir/sensor_stream.cc.o"
+  "CMakeFiles/example_sensor_stream.dir/sensor_stream.cc.o.d"
+  "example_sensor_stream"
+  "example_sensor_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

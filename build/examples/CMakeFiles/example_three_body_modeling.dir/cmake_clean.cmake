@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_three_body_modeling.dir/three_body_modeling.cc.o"
+  "CMakeFiles/example_three_body_modeling.dir/three_body_modeling.cc.o.d"
+  "example_three_body_modeling"
+  "example_three_body_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_three_body_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_three_body_modeling.
+# This may be replaced when dependencies are built.

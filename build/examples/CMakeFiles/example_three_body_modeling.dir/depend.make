@@ -1,0 +1,2 @@
+# Empty dependencies file for example_three_body_modeling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_common.dir/fp16.cc.o"
+  "CMakeFiles/enode_common.dir/fp16.cc.o.d"
+  "CMakeFiles/enode_common.dir/logging.cc.o"
+  "CMakeFiles/enode_common.dir/logging.cc.o.d"
+  "CMakeFiles/enode_common.dir/rng.cc.o"
+  "CMakeFiles/enode_common.dir/rng.cc.o.d"
+  "CMakeFiles/enode_common.dir/stats.cc.o"
+  "CMakeFiles/enode_common.dir/stats.cc.o.d"
+  "CMakeFiles/enode_common.dir/table.cc.o"
+  "CMakeFiles/enode_common.dir/table.cc.o.d"
+  "libenode_common.a"
+  "libenode_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

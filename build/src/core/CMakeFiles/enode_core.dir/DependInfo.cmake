@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aca_trainer.cc" "src/core/CMakeFiles/enode_core.dir/aca_trainer.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/aca_trainer.cc.o.d"
+  "/root/repo/src/core/depth_first.cc" "src/core/CMakeFiles/enode_core.dir/depth_first.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/depth_first.cc.o.d"
+  "/root/repo/src/core/memory_profile.cc" "src/core/CMakeFiles/enode_core.dir/memory_profile.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/memory_profile.cc.o.d"
+  "/root/repo/src/core/node_model.cc" "src/core/CMakeFiles/enode_core.dir/node_model.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/node_model.cc.o.d"
+  "/root/repo/src/core/priority.cc" "src/core/CMakeFiles/enode_core.dir/priority.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/priority.cc.o.d"
+  "/root/repo/src/core/slope_adaptive.cc" "src/core/CMakeFiles/enode_core.dir/slope_adaptive.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/slope_adaptive.cc.o.d"
+  "/root/repo/src/core/trajectory.cc" "src/core/CMakeFiles/enode_core.dir/trajectory.cc.o" "gcc" "src/core/CMakeFiles/enode_core.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/enode_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/enode_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

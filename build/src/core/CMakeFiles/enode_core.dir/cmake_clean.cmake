@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_core.dir/aca_trainer.cc.o"
+  "CMakeFiles/enode_core.dir/aca_trainer.cc.o.d"
+  "CMakeFiles/enode_core.dir/depth_first.cc.o"
+  "CMakeFiles/enode_core.dir/depth_first.cc.o.d"
+  "CMakeFiles/enode_core.dir/memory_profile.cc.o"
+  "CMakeFiles/enode_core.dir/memory_profile.cc.o.d"
+  "CMakeFiles/enode_core.dir/node_model.cc.o"
+  "CMakeFiles/enode_core.dir/node_model.cc.o.d"
+  "CMakeFiles/enode_core.dir/priority.cc.o"
+  "CMakeFiles/enode_core.dir/priority.cc.o.d"
+  "CMakeFiles/enode_core.dir/slope_adaptive.cc.o"
+  "CMakeFiles/enode_core.dir/slope_adaptive.cc.o.d"
+  "CMakeFiles/enode_core.dir/trajectory.cc.o"
+  "CMakeFiles/enode_core.dir/trajectory.cc.o.d"
+  "libenode_core.a"
+  "libenode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

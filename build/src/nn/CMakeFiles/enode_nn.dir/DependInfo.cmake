@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/enode_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/concat_time.cc" "src/nn/CMakeFiles/enode_nn.dir/concat_time.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/concat_time.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/enode_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/conv2d_kernels.cc" "src/nn/CMakeFiles/enode_nn.dir/conv2d_kernels.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/conv2d_kernels.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/enode_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/enode_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/enode_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/nn/CMakeFiles/enode_nn.dir/norm.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/norm.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/enode_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/nn/CMakeFiles/enode_nn.dir/pool.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/pool.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/enode_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/enode_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/enode_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/enode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

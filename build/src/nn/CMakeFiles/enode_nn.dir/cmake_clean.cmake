@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_nn.dir/activation.cc.o"
+  "CMakeFiles/enode_nn.dir/activation.cc.o.d"
+  "CMakeFiles/enode_nn.dir/concat_time.cc.o"
+  "CMakeFiles/enode_nn.dir/concat_time.cc.o.d"
+  "CMakeFiles/enode_nn.dir/conv2d.cc.o"
+  "CMakeFiles/enode_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/enode_nn.dir/conv2d_kernels.cc.o"
+  "CMakeFiles/enode_nn.dir/conv2d_kernels.cc.o.d"
+  "CMakeFiles/enode_nn.dir/layer.cc.o"
+  "CMakeFiles/enode_nn.dir/layer.cc.o.d"
+  "CMakeFiles/enode_nn.dir/linear.cc.o"
+  "CMakeFiles/enode_nn.dir/linear.cc.o.d"
+  "CMakeFiles/enode_nn.dir/loss.cc.o"
+  "CMakeFiles/enode_nn.dir/loss.cc.o.d"
+  "CMakeFiles/enode_nn.dir/norm.cc.o"
+  "CMakeFiles/enode_nn.dir/norm.cc.o.d"
+  "CMakeFiles/enode_nn.dir/optimizer.cc.o"
+  "CMakeFiles/enode_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/enode_nn.dir/pool.cc.o"
+  "CMakeFiles/enode_nn.dir/pool.cc.o.d"
+  "CMakeFiles/enode_nn.dir/sequential.cc.o"
+  "CMakeFiles/enode_nn.dir/sequential.cc.o.d"
+  "CMakeFiles/enode_nn.dir/serialize.cc.o"
+  "CMakeFiles/enode_nn.dir/serialize.cc.o.d"
+  "libenode_nn.a"
+  "libenode_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

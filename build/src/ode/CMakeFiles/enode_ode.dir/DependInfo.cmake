@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/butcher.cc" "src/ode/CMakeFiles/enode_ode.dir/butcher.cc.o" "gcc" "src/ode/CMakeFiles/enode_ode.dir/butcher.cc.o.d"
+  "/root/repo/src/ode/ivp.cc" "src/ode/CMakeFiles/enode_ode.dir/ivp.cc.o" "gcc" "src/ode/CMakeFiles/enode_ode.dir/ivp.cc.o.d"
+  "/root/repo/src/ode/rk_stepper.cc" "src/ode/CMakeFiles/enode_ode.dir/rk_stepper.cc.o" "gcc" "src/ode/CMakeFiles/enode_ode.dir/rk_stepper.cc.o.d"
+  "/root/repo/src/ode/step_control.cc" "src/ode/CMakeFiles/enode_ode.dir/step_control.cc.o" "gcc" "src/ode/CMakeFiles/enode_ode.dir/step_control.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/enode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

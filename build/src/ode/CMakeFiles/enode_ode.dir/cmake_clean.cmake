@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_ode.dir/butcher.cc.o"
+  "CMakeFiles/enode_ode.dir/butcher.cc.o.d"
+  "CMakeFiles/enode_ode.dir/ivp.cc.o"
+  "CMakeFiles/enode_ode.dir/ivp.cc.o.d"
+  "CMakeFiles/enode_ode.dir/rk_stepper.cc.o"
+  "CMakeFiles/enode_ode.dir/rk_stepper.cc.o.d"
+  "CMakeFiles/enode_ode.dir/step_control.cc.o"
+  "CMakeFiles/enode_ode.dir/step_control.cc.o.d"
+  "libenode_ode.a"
+  "libenode_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

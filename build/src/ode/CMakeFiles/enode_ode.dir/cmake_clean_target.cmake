@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenode_ode.a"
+)

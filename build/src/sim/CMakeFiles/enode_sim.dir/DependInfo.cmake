@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/area_model.cc" "src/sim/CMakeFiles/enode_sim.dir/area_model.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/area_model.cc.o.d"
+  "/root/repo/src/sim/baseline_system.cc" "src/sim/CMakeFiles/enode_sim.dir/baseline_system.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/baseline_system.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/enode_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/energy_model.cc" "src/sim/CMakeFiles/enode_sim.dir/energy_model.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/energy_model.cc.o.d"
+  "/root/repo/src/sim/enode_system.cc" "src/sim/CMakeFiles/enode_sim.dir/enode_system.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/enode_system.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/enode_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/hub.cc" "src/sim/CMakeFiles/enode_sim.dir/hub.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/hub.cc.o.d"
+  "/root/repo/src/sim/nn_core.cc" "src/sim/CMakeFiles/enode_sim.dir/nn_core.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/nn_core.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/sim/CMakeFiles/enode_sim.dir/noc.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/noc.cc.o.d"
+  "/root/repo/src/sim/pe_array.cc" "src/sim/CMakeFiles/enode_sim.dir/pe_array.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/pe_array.cc.o.d"
+  "/root/repo/src/sim/priority_selector.cc" "src/sim/CMakeFiles/enode_sim.dir/priority_selector.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/priority_selector.cc.o.d"
+  "/root/repo/src/sim/sram.cc" "src/sim/CMakeFiles/enode_sim.dir/sram.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/sram.cc.o.d"
+  "/root/repo/src/sim/system_config.cc" "src/sim/CMakeFiles/enode_sim.dir/system_config.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/system_config.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/enode_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/enode_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/enode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enode_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/enode_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

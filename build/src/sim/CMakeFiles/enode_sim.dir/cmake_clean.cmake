@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_sim.dir/area_model.cc.o"
+  "CMakeFiles/enode_sim.dir/area_model.cc.o.d"
+  "CMakeFiles/enode_sim.dir/baseline_system.cc.o"
+  "CMakeFiles/enode_sim.dir/baseline_system.cc.o.d"
+  "CMakeFiles/enode_sim.dir/dram.cc.o"
+  "CMakeFiles/enode_sim.dir/dram.cc.o.d"
+  "CMakeFiles/enode_sim.dir/energy_model.cc.o"
+  "CMakeFiles/enode_sim.dir/energy_model.cc.o.d"
+  "CMakeFiles/enode_sim.dir/enode_system.cc.o"
+  "CMakeFiles/enode_sim.dir/enode_system.cc.o.d"
+  "CMakeFiles/enode_sim.dir/event_queue.cc.o"
+  "CMakeFiles/enode_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/enode_sim.dir/hub.cc.o"
+  "CMakeFiles/enode_sim.dir/hub.cc.o.d"
+  "CMakeFiles/enode_sim.dir/nn_core.cc.o"
+  "CMakeFiles/enode_sim.dir/nn_core.cc.o.d"
+  "CMakeFiles/enode_sim.dir/noc.cc.o"
+  "CMakeFiles/enode_sim.dir/noc.cc.o.d"
+  "CMakeFiles/enode_sim.dir/pe_array.cc.o"
+  "CMakeFiles/enode_sim.dir/pe_array.cc.o.d"
+  "CMakeFiles/enode_sim.dir/priority_selector.cc.o"
+  "CMakeFiles/enode_sim.dir/priority_selector.cc.o.d"
+  "CMakeFiles/enode_sim.dir/sram.cc.o"
+  "CMakeFiles/enode_sim.dir/sram.cc.o.d"
+  "CMakeFiles/enode_sim.dir/system_config.cc.o"
+  "CMakeFiles/enode_sim.dir/system_config.cc.o.d"
+  "CMakeFiles/enode_sim.dir/trace.cc.o"
+  "CMakeFiles/enode_sim.dir/trace.cc.o.d"
+  "libenode_sim.a"
+  "libenode_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

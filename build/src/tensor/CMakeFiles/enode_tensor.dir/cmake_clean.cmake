@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_tensor.dir/tensor.cc.o"
+  "CMakeFiles/enode_tensor.dir/tensor.cc.o.d"
+  "libenode_tensor.a"
+  "libenode_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enode_workloads.dir/dynamic_systems.cc.o"
+  "CMakeFiles/enode_workloads.dir/dynamic_systems.cc.o.d"
+  "CMakeFiles/enode_workloads.dir/resnet_model.cc.o"
+  "CMakeFiles/enode_workloads.dir/resnet_model.cc.o.d"
+  "CMakeFiles/enode_workloads.dir/synthetic_images.cc.o"
+  "CMakeFiles/enode_workloads.dir/synthetic_images.cc.o.d"
+  "libenode_workloads.a"
+  "libenode_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enode_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

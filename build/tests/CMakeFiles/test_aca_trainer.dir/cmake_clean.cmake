@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aca_trainer.dir/test_aca_trainer.cc.o"
+  "CMakeFiles/test_aca_trainer.dir/test_aca_trainer.cc.o.d"
+  "test_aca_trainer"
+  "test_aca_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aca_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depth_first.dir/test_depth_first.cc.o"
+  "CMakeFiles/test_depth_first.dir/test_depth_first.cc.o.d"
+  "test_depth_first"
+  "test_depth_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depth_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

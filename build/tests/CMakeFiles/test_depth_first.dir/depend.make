@@ -1,0 +1,2 @@
+# Empty dependencies file for test_depth_first.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hardware_properties.cc" "tests/CMakeFiles/test_hardware_properties.dir/test_hardware_properties.cc.o" "gcc" "tests/CMakeFiles/test_hardware_properties.dir/test_hardware_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/enode_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/enode_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enode_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/enode_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardware_properties.dir/test_hardware_properties.cc.o"
+  "CMakeFiles/test_hardware_properties.dir/test_hardware_properties.cc.o.d"
+  "test_hardware_properties"
+  "test_hardware_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardware_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

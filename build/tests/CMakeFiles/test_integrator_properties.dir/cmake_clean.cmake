@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integrator_properties.dir/test_integrator_properties.cc.o"
+  "CMakeFiles/test_integrator_properties.dir/test_integrator_properties.cc.o.d"
+  "test_integrator_properties"
+  "test_integrator_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integrator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

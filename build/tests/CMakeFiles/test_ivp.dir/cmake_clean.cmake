@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ivp.dir/test_ivp.cc.o"
+  "CMakeFiles/test_ivp.dir/test_ivp.cc.o.d"
+  "test_ivp"
+  "test_ivp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ivp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

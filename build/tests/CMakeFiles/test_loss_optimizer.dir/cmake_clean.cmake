@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_optimizer.dir/test_loss_optimizer.cc.o"
+  "CMakeFiles/test_loss_optimizer.dir/test_loss_optimizer.cc.o.d"
+  "test_loss_optimizer"
+  "test_loss_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

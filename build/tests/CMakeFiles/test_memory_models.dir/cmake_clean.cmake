@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_models.dir/test_memory_models.cc.o"
+  "CMakeFiles/test_memory_models.dir/test_memory_models.cc.o.d"
+  "test_memory_models"
+  "test_memory_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_layers.dir/test_nn_layers.cc.o"
+  "CMakeFiles/test_nn_layers.dir/test_nn_layers.cc.o.d"
+  "test_nn_layers"
+  "test_nn_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

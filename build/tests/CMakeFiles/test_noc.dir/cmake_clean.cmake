@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/test_noc.cc.o"
+  "CMakeFiles/test_noc.dir/test_noc.cc.o.d"
+  "test_noc"
+  "test_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_model.dir/test_node_model.cc.o"
+  "CMakeFiles/test_node_model.dir/test_node_model.cc.o.d"
+  "test_node_model"
+  "test_node_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

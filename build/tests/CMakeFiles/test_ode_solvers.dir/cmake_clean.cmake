@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_solvers.dir/test_ode_solvers.cc.o"
+  "CMakeFiles/test_ode_solvers.dir/test_ode_solvers.cc.o.d"
+  "test_ode_solvers"
+  "test_ode_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

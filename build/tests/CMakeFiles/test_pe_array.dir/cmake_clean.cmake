@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pe_array.dir/test_pe_array.cc.o"
+  "CMakeFiles/test_pe_array.dir/test_pe_array.cc.o.d"
+  "test_pe_array"
+  "test_pe_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pe_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

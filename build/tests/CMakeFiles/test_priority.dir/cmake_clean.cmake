@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority.dir/test_priority.cc.o"
+  "CMakeFiles/test_priority.dir/test_priority.cc.o.d"
+  "test_priority"
+  "test_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_selector.dir/test_priority_selector.cc.o"
+  "CMakeFiles/test_priority_selector.dir/test_priority_selector.cc.o.d"
+  "test_priority_selector"
+  "test_priority_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

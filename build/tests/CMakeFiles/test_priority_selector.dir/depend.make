@@ -1,0 +1,2 @@
+# Empty dependencies file for test_priority_selector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slope_adaptive.dir/test_slope_adaptive.cc.o"
+  "CMakeFiles/test_slope_adaptive.dir/test_slope_adaptive.cc.o.d"
+  "test_slope_adaptive"
+  "test_slope_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slope_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systems.dir/test_systems.cc.o"
+  "CMakeFiles/test_systems.dir/test_systems.cc.o.d"
+  "test_systems"
+  "test_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_energy.dir/test_trace_energy.cc.o"
+  "CMakeFiles/test_trace_energy.dir/test_trace_energy.cc.o.d"
+  "test_trace_energy"
+  "test_trace_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

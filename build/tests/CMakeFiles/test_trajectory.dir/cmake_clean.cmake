@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trajectory.dir/test_trajectory.cc.o"
+  "CMakeFiles/test_trajectory.dir/test_trajectory.cc.o.d"
+  "test_trajectory"
+  "test_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_prototype.dir/test_virtual_prototype.cc.o"
+  "CMakeFiles/test_virtual_prototype.dir/test_virtual_prototype.cc.o.d"
+  "test_virtual_prototype"
+  "test_virtual_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

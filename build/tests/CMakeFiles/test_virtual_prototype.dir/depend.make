@@ -1,0 +1,2 @@
+# Empty dependencies file for test_virtual_prototype.
+# This may be replaced when dependencies are built.
