@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Serving-runtime throughput and latency under load.
+ *
+ * Closed loop: a fixed population of synchronous clients (submit, wait,
+ * repeat) drives servers with 1/2/4/8 workers; throughput should scale
+ * with the worker count until the machine runs out of cores.
+ *
+ * Open loop: requests arrive on a Poisson process at a fraction of the
+ * measured closed-loop capacity; reported latency percentiles show the
+ * queueing-delay knee as offered load approaches saturation, plus the
+ * admission rejections once the bounded queue overflows past it.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "runtime/inference_server.h"
+
+using namespace enode;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20230228;
+constexpr std::size_t kDim = 16;
+
+std::unique_ptr<NodeModel>
+makeServedModel()
+{
+    Rng rng(kSeed);
+    return NodeModel::makeMlp(/*num_layers=*/2, kDim, /*hidden=*/64,
+                              /*f_depth=*/2, rng);
+}
+
+ServerOptions
+baseOptions(std::size_t workers)
+{
+    ServerOptions opts;
+    opts.numWorkers = workers;
+    opts.queueCapacity = 4096;
+    opts.ivp.tolerance = 1e-4;
+    opts.ivp.initialDt = 0.05;
+    return opts;
+}
+
+Tensor
+makeInput(Rng &rng)
+{
+    return Tensor::randn(Shape{kDim}, rng, 0.5f);
+}
+
+struct ClosedLoopResult
+{
+    double throughputRps = 0.0;
+    MetricsSummary metrics;
+};
+
+/** Closed loop: `clients` synchronous producers, `total` requests. */
+ClosedLoopResult
+runClosedLoop(std::size_t workers, std::size_t clients, std::size_t total)
+{
+    InferenceServer server(makeServedModel, baseOptions(workers));
+    std::vector<Tensor> inputs;
+    {
+        Rng rng(kSeed + 7);
+        for (std::size_t i = 0; i < 64; i++)
+            inputs.push_back(makeInput(rng));
+    }
+
+    const auto start = RuntimeClock::now();
+    std::vector<std::thread> threads;
+    const std::size_t per_client = total / clients;
+    for (std::size_t c = 0; c < clients; c++) {
+        threads.emplace_back([&, c] {
+            for (std::size_t j = 0; j < per_client; j++) {
+                auto sub = server.submit(
+                    inputs[(c * per_client + j) % inputs.size()],
+                    static_cast<std::uint32_t>(c % 4));
+                if (sub.accepted)
+                    sub.result.get();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(RuntimeClock::now() - start).count();
+    server.stop();
+
+    ClosedLoopResult result;
+    result.metrics = server.metrics().summary();
+    result.throughputRps =
+        static_cast<double>(result.metrics.completed) / seconds;
+    return result;
+}
+
+struct OpenLoopResult
+{
+    double offeredRps = 0.0;
+    MetricsSummary metrics;
+};
+
+/** Open loop: Poisson arrivals at `rate_rps` for `total` requests. */
+OpenLoopResult
+runOpenLoop(std::size_t workers, double rate_rps, std::size_t total)
+{
+    InferenceServer server(makeServedModel, baseOptions(workers));
+    Rng rng(kSeed + 13);
+    std::vector<Tensor> inputs;
+    for (std::size_t i = 0; i < 64; i++)
+        inputs.push_back(makeInput(rng));
+
+    std::vector<std::future<InferResponse>> futures;
+    futures.reserve(total);
+    auto next = RuntimeClock::now();
+    for (std::size_t i = 0; i < total; i++) {
+        // Exponential interarrival: -ln(U)/rate.
+        const double gap =
+            -std::log(1.0 - rng.uniform()) / rate_rps;
+        next += std::chrono::duration_cast<RuntimeClock::duration>(
+            std::chrono::duration<double>(gap));
+        std::this_thread::sleep_until(next);
+        auto sub = server.submit(inputs[i % inputs.size()],
+                                 static_cast<std::uint32_t>(i % 4));
+        if (sub.accepted)
+            futures.push_back(std::move(sub.result));
+    }
+    for (auto &future : futures)
+        future.get();
+    server.stop();
+
+    OpenLoopResult result;
+    result.offeredRps = rate_rps;
+    result.metrics = server.metrics().summary();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    const std::size_t total = 384;
+    const std::size_t clients = 16;
+
+    Table closed("Closed-loop throughput (16 synchronous clients, " +
+                 std::to_string(total) + " requests)");
+    closed.setHeader({"workers", "req/s", "speedup", "p50 ms", "p95 ms",
+                      "p99 ms", "mean f-evals"});
+
+    double base_rps = 0.0;
+    double four_worker_rps = 0.0;
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+        auto r = runClosedLoop(workers, clients, total);
+        if (workers == 1)
+            base_rps = r.throughputRps;
+        if (workers == 4)
+            four_worker_rps = r.throughputRps;
+        closed.addRow({std::to_string(workers),
+                       Table::num(r.throughputRps, 1),
+                       Table::ratio(r.throughputRps / base_rps),
+                       Table::num(r.metrics.totalP50Ms),
+                       Table::num(r.metrics.totalP95Ms),
+                       Table::num(r.metrics.totalP99Ms),
+                       Table::num(r.metrics.meanFEvals, 1)});
+    }
+    closed.print();
+    const unsigned cores = std::thread::hardware_concurrency();
+    const double speedup = four_worker_rps / base_rps;
+    if (cores >= 4) {
+        std::printf("\n4-worker vs 1-worker closed-loop speedup: %.2fx "
+                    "%s\n\n",
+                    speedup, speedup > 2.0 ? "(PASS >2x)" : "(below 2x!)");
+    } else {
+        std::printf("\n4-worker vs 1-worker closed-loop speedup: %.2fx "
+                    "(machine exposes %u core%s; worker scaling is "
+                    "core-bound — run on >=4 cores to observe the >2x "
+                    "target)\n\n",
+                    speedup, cores, cores == 1 ? "" : "s");
+    }
+
+    // Open loop against 4 workers at fractions of measured capacity.
+    Table open("Open-loop latency vs offered load (4 workers, Poisson "
+               "arrivals)");
+    open.setHeader({"load", "offered req/s", "p50 ms", "p95 ms", "p99 ms",
+                    "queue-wait p95 ms", "rejected"});
+    for (double load : {0.3, 0.6, 0.9}) {
+        const double rate = load * four_worker_rps;
+        auto r = runOpenLoop(4, rate, total / 2);
+        open.addRow({Table::percent(load, 0), Table::num(rate, 1),
+                     Table::num(r.metrics.totalP50Ms),
+                     Table::num(r.metrics.totalP95Ms),
+                     Table::num(r.metrics.totalP99Ms),
+                     Table::num(r.metrics.queueWaitP95Ms),
+                     Table::integer(static_cast<long long>(
+                         r.metrics.rejected))});
+    }
+    open.print();
+    return 0;
+}

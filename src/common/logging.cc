@@ -2,12 +2,22 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace enode {
 
 namespace {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+// One process-wide mutex serializes every emitted line so concurrent
+// runtime workers never interleave characters within a message.
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // namespace
 
@@ -28,38 +38,50 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+                  << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+                  << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (logLevel() >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(logMutex());
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (logLevel() >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info) {
+        std::lock_guard<std::mutex> lock(logMutex());
         std::cout << "info: " << msg << std::endl;
+    }
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (logLevel() >= LogLevel::Debug)
+    if (logLevel() >= LogLevel::Debug) {
+        std::lock_guard<std::mutex> lock(logMutex());
         std::cout << "debug: " << msg << std::endl;
+    }
 }
 
 } // namespace detail

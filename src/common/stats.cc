@@ -81,6 +81,102 @@ Histogram::binLow(std::size_t i) const
                      static_cast<double>(counts_.size());
 }
 
+double
+Histogram::percentile(double q) const
+{
+    ENODE_ASSERT(q >= 0.0 && q <= 100.0, "percentile out of range");
+    if (total_ == 0)
+        return 0.0;
+    const double target = q / 100.0 * static_cast<double>(total_);
+    std::uint64_t below = 0;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); i++) {
+        const std::uint64_t in_bin = counts_[i];
+        if (below + static_cast<double>(in_bin) >= target && in_bin > 0) {
+            // Interpolate uniformly within the bin.
+            const double frac = (target - static_cast<double>(below)) /
+                                static_cast<double>(in_bin);
+            return binLow(i) + width * std::clamp(frac, 0.0, 1.0);
+        }
+        below += in_bin;
+    }
+    return hi_;
+}
+
+void
+SampleSeries::add(double sample)
+{
+    samples_.push_back(sample);
+    sorted_ = false;
+}
+
+void
+SampleSeries::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+void
+SampleSeries::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSeries::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+SampleSeries::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+SampleSeries::percentile(double q) const
+{
+    ENODE_ASSERT(q >= 0.0 && q <= 100.0, "percentile out of range");
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_.front();
+    // Linear interpolation between closest order statistics
+    // (the "exclusive" definition degenerates at the ends; use the
+    // standard inclusive rank r = q/100 * (n - 1)).
+    const double rank =
+        q / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo_idx);
+    if (lo_idx + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo_idx] +
+           frac * (samples_[lo_idx + 1] - samples_[lo_idx]);
+}
+
 StatGroup::StatGroup(std::string name) : name_(std::move(name)) {}
 
 void

@@ -76,11 +76,53 @@ class Histogram
     double binLow(std::size_t i) const;
     std::uint64_t total() const { return total_; }
 
+    /**
+     * Approximate q-th percentile (q in [0, 100]) assuming samples are
+     * uniform within their bin. Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
   private:
     double lo_;
     double hi_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+};
+
+/**
+ * Exact-quantile sample series.
+ *
+ * Stores every sample, so percentiles are exact rather than binned —
+ * the right tool for latency summaries (p50/p95/p99) where tail
+ * resolution matters and sample counts are request-scale, not
+ * event-scale. Not internally synchronized; the serving runtime guards
+ * its series with the metrics-registry mutex.
+ */
+class SampleSeries
+{
+  public:
+    SampleSeries() = default;
+
+    void add(double sample);
+    void reset();
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact q-th percentile (q in [0, 100]) with linear interpolation
+     * between order statistics. Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+  private:
+    void ensureSorted() const;
+
+    // Sorted lazily on first quantile query after an insertion.
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include "nn/linear.h"
 #include "nn/norm.h"
 #include "nn/pool.h"
+#include "nn/serialize.h"
 
 namespace enode {
 
@@ -108,6 +109,12 @@ NodeModel::zeroGrad()
 {
     for (auto &net : nets_)
         net->zeroGrad();
+}
+
+void
+NodeModel::syncParametersFrom(NodeModel &master)
+{
+    copyParameters(master.paramSlots(), paramSlots());
 }
 
 std::size_t

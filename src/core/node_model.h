@@ -104,12 +104,25 @@ class NodeModel
 
     std::size_t numLayers() const { return nets_.size(); }
     EmbeddedNet &net(std::size_t layer) { return *nets_.at(layer); }
+    const EmbeddedNet &net(std::size_t layer) const
+    {
+        return *nets_.at(layer);
+    }
     double layerTime() const { return layerTime_; }
 
     /** All parameter slots across layers (for the optimizer). */
     std::vector<ParamSlot> paramSlots();
     void zeroGrad();
     std::size_t paramCount();
+
+    /**
+     * Overwrite this model's parameters with the master's (matched by
+     * slot name and shape; structural mismatch is fatal). The serving
+     * runtime uses this to stamp bit-identical weights into per-worker
+     * replicas: the master is treated as read-only shared state and the
+     * replica becomes the worker's private scratch copy.
+     */
+    void syncParametersFrom(NodeModel &master);
 
   private:
     std::vector<std::unique_ptr<EmbeddedNet>> nets_;

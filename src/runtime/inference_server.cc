@@ -1,0 +1,174 @@
+#include "runtime/inference_server.h"
+
+#include "common/logging.h"
+#include "ode/step_control.h"
+
+namespace enode {
+
+namespace {
+
+double
+toMs(RuntimeClock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+} // namespace
+
+const char *
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::Ok:
+        return "ok";
+      case RequestStatus::Cancelled:
+        return "cancelled";
+    }
+    ENODE_PANIC("unknown RequestStatus");
+}
+
+InferenceServer::InferenceServer(ModelFactory make_model,
+                                 ServerOptions options,
+                                 ControllerFactory make_controller)
+    : options_(options), tableau_(ButcherTableau::rk23()),
+      queue_(options.queueCapacity, options.policy),
+      paused_(options.startPaused)
+{
+    ENODE_ASSERT(options_.numWorkers >= 1, "server needs >= 1 worker");
+    ENODE_ASSERT(static_cast<bool>(make_model), "null model factory");
+
+    // Build the replicas sequentially on this thread: user factories
+    // are free to capture shared state (e.g. one Rng) without locking.
+    workers_.reserve(options_.numWorkers);
+    for (std::size_t i = 0; i < options_.numWorkers; i++) {
+        auto worker = std::make_unique<Worker>();
+        worker->model = make_model();
+        ENODE_ASSERT(worker->model != nullptr,
+                     "model factory returned null");
+        worker->controller =
+            make_controller ? make_controller()
+                            : std::make_unique<FixedFactorController>();
+        ENODE_ASSERT(worker->controller != nullptr,
+                     "controller factory returned null");
+        workers_.push_back(std::move(worker));
+    }
+
+    // Replica 0 is the weight master: stamp its parameters into every
+    // other replica so all workers serve bit-identical weights. The
+    // master is only read; each replica is its worker's private
+    // scratch space from here on.
+    for (std::size_t i = 1; i < workers_.size(); i++)
+        workers_[i]->model->syncParametersFrom(*workers_[0]->model);
+
+    for (std::size_t i = 0; i < workers_.size(); i++)
+        workers_[i]->thread =
+            std::thread([this, i] { workerMain(i); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    stop(true);
+}
+
+InferenceServer::Submission
+InferenceServer::submit(Tensor input, std::uint32_t stream,
+                        RuntimeClock::time_point deadline)
+{
+    Submission sub;
+    if (stopped_.load(std::memory_order_acquire))
+        return sub;
+
+    QueueEntry entry;
+    entry.request.id = nextRequestId_.fetch_add(1);
+    entry.request.stream = stream;
+    entry.request.deadline = deadline;
+    entry.request.input = std::move(input);
+    entry.enqueueTime = RuntimeClock::now();
+
+    const std::uint64_t id = entry.request.id;
+    std::future<InferResponse> future = entry.promise.get_future();
+
+    if (!queue_.tryPush(entry)) {
+        metrics_.recordRejected();
+        return sub; // backpressure: accepted stays false
+    }
+    metrics_.recordAdmitted();
+    sub.accepted = true;
+    sub.id = id;
+    sub.result = std::move(future);
+    return sub;
+}
+
+void
+InferenceServer::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(pauseMutex_);
+        paused_ = false;
+    }
+    pauseCv_.notify_all();
+}
+
+void
+InferenceServer::stop(bool drain)
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    std::vector<QueueEntry> leftovers = queue_.close(drain);
+    resume(); // paused workers must wake to drain or exit
+
+    for (auto &entry : leftovers) {
+        InferResponse response;
+        response.id = entry.request.id;
+        response.status = RequestStatus::Cancelled;
+        metrics_.recordCancelled();
+        entry.promise.set_value(std::move(response));
+    }
+
+    for (auto &worker : workers_)
+        if (worker->thread.joinable())
+            worker->thread.join();
+}
+
+void
+InferenceServer::waitWhilePaused()
+{
+    std::unique_lock<std::mutex> lock(pauseMutex_);
+    pauseCv_.wait(lock, [this] { return !paused_; });
+}
+
+void
+InferenceServer::workerMain(std::size_t worker_id)
+{
+    Worker &worker = *workers_[worker_id];
+    QueueEntry entry;
+    for (;;) {
+        waitWhilePaused();
+        if (!queue_.pop(entry))
+            break; // closed and drained
+
+        const auto start = RuntimeClock::now();
+        NodeForwardResult fwd =
+            worker.model->forward(entry.request.input, tableau_,
+                                  *worker.controller, options_.ivp);
+        const auto end = RuntimeClock::now();
+
+        InferResponse response;
+        response.id = entry.request.id;
+        response.status = RequestStatus::Ok;
+        response.output = std::move(fwd.output);
+        response.stats = fwd.totalStats;
+        response.queueWaitMs = toMs(start - entry.enqueueTime);
+        response.solveMs = toMs(end - start);
+        response.totalMs = toMs(end - entry.enqueueTime);
+        response.deadlineMet = end <= entry.request.deadline;
+        response.workerId = worker_id;
+        response.completionIndex = nextCompletionIndex_.fetch_add(1);
+
+        metrics_.recordCompletion(response);
+        entry.promise.set_value(std::move(response));
+    }
+}
+
+} // namespace enode

@@ -1,0 +1,164 @@
+#ifndef ENODE_RUNTIME_INFERENCE_SERVER_H
+#define ENODE_RUNTIME_INFERENCE_SERVER_H
+
+/**
+ * @file
+ * Concurrent NODE inference server.
+ *
+ * Turns the single-threaded NodeModel library into a servable engine:
+ * a fixed pool of worker threads, each owning a *private replica* of
+ * the embedded nets (weights stamped bit-identically from replica 0 at
+ * startup and treated as read-only thereafter; all scratch state —
+ * layer forward caches, solver controllers, eval counters — is
+ * per-worker), drains a bounded MPMC request queue ordered by the same
+ * SelectPolicy the hardware priority selector uses. Producers are never
+ * blocked: a full queue rejects at admission (backpressure), exactly
+ * like the selector's full state buffers.
+ *
+ * Because solveIvp resets its StepController at every call and each
+ * worker's replica is private, a request's output depends only on the
+ * weights and the input — results are bitwise identical to a
+ * single-threaded NodeModel::forward with the same weights, regardless
+ * of worker count or interleaving (tests/test_runtime.cc proves this).
+ *
+ * Layered deliberately thin so later PRs can add cross-request batching
+ * and sharded multi-instance serving behind the same submit() API.
+ */
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/node_model.h"
+#include "runtime/metrics.h"
+#include "runtime/request_queue.h"
+
+namespace enode {
+
+/** Server construction knobs. */
+struct ServerOptions
+{
+    /** Worker threads (= model replicas). */
+    std::size_t numWorkers = 4;
+
+    /** Bounded queue capacity; admission rejects beyond this. */
+    std::size_t queueCapacity = 256;
+
+    /** Dispatch order, shared with the hardware sim's selector. */
+    SelectPolicy policy = SelectPolicy::LaterStreamFirst;
+
+    /** Solver options every request is served with. */
+    IvpOptions ivp;
+
+    /**
+     * Start with the workers gated: requests queue up but nothing
+     * dispatches until resume(). Tests use this to stage contention
+     * deterministically.
+     */
+    bool startPaused = false;
+};
+
+/** Concurrent inference-serving runtime over NodeModel replicas. */
+class InferenceServer
+{
+  public:
+    /** Builds one structurally identical model replica per call. */
+    using ModelFactory = std::function<std::unique_ptr<NodeModel>()>;
+    /** Builds one stepsize controller per worker. */
+    using ControllerFactory =
+        std::function<std::unique_ptr<StepController>()>;
+
+    /**
+     * @param make_model Called numWorkers times (sequentially, on the
+     *        constructing thread). Replica 0 acts as the weight master:
+     *        every other replica's parameters are overwritten with
+     *        replica 0's, so all workers serve bit-identical weights
+     *        even if the factory is not deterministic.
+     * @param options Pool/queue/solver configuration.
+     * @param make_controller Per-worker stepsize controller; defaults
+     *        to FixedFactorController. Controllers are reset by the
+     *        solver at every request, so the choice affects cost, not
+     *        determinism.
+     */
+    InferenceServer(ModelFactory make_model, ServerOptions options,
+                    ControllerFactory make_controller = {});
+
+    /** Drains and joins (stop(true)) if still running. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /** Outcome of submit(): admission verdict + completion channel. */
+    struct Submission
+    {
+        /** False when the queue was full (backpressure) or the server
+         *  stopped; `result` is invalid in that case. */
+        bool accepted = false;
+        std::uint64_t id = 0;
+        std::future<InferResponse> result;
+    };
+
+    /**
+     * Offer one inference request. Never blocks on a full queue.
+     *
+     * @param input Initial NODE state h(0).
+     * @param stream Priority class (higher = served earlier under
+     *        LaterStreamFirst).
+     * @param deadline Completion target; breaks ties within a stream
+     *        and is checked against the actual completion time.
+     */
+    Submission submit(
+        Tensor input, std::uint32_t stream = 0,
+        RuntimeClock::time_point deadline = RuntimeClock::time_point::max());
+
+    /** Release workers gated by ServerOptions::startPaused. */
+    void resume();
+
+    /**
+     * Stop serving. With drain=true (default) queued requests are
+     * completed first; with drain=false they are failed with status
+     * Cancelled. In-flight requests always run to completion. Safe to
+     * call more than once.
+     */
+    void stop(bool drain = true);
+
+    const MetricsRegistry &metrics() const { return metrics_; }
+    const RequestQueue &queue() const { return queue_; }
+    std::size_t numWorkers() const { return workers_.size(); }
+
+    /** The tableau requests are integrated with (RK23, as the paper). */
+    const ButcherTableau &tableau() const { return tableau_; }
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<NodeModel> model;
+        std::unique_ptr<StepController> controller;
+        std::thread thread;
+    };
+
+    void workerMain(std::size_t worker_id);
+    void waitWhilePaused();
+
+    ServerOptions options_;
+    ButcherTableau tableau_;
+    RequestQueue queue_;
+    MetricsRegistry metrics_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    std::mutex pauseMutex_;
+    std::condition_variable pauseCv_;
+    bool paused_ = false;
+
+    std::atomic<std::uint64_t> nextRequestId_{0};
+    std::atomic<std::uint64_t> nextCompletionIndex_{0};
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_INFERENCE_SERVER_H

@@ -1,0 +1,107 @@
+#include "runtime/metrics.h"
+
+namespace enode {
+
+void
+MetricsRegistry::recordAdmitted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_++;
+}
+
+void
+MetricsRegistry::recordRejected()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rejected_++;
+}
+
+void
+MetricsRegistry::recordCancelled()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_++;
+}
+
+void
+MetricsRegistry::recordCompletion(const InferResponse &response)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    completed_++;
+    if (!response.deadlineMet)
+        deadlineMisses_++;
+    queueWaitMs_.add(response.queueWaitMs);
+    solveMs_.add(response.solveMs);
+    totalMs_.add(response.totalMs);
+    fEvals_.add(static_cast<double>(response.stats.fEvals));
+    trials_.add(static_cast<double>(response.stats.trials));
+}
+
+MetricsSummary
+MetricsRegistry::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSummary s;
+    s.admitted = admitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.cancelled = cancelled_;
+    s.deadlineMisses = deadlineMisses_;
+    s.queueWaitP50Ms = queueWaitMs_.percentile(50.0);
+    s.queueWaitP95Ms = queueWaitMs_.percentile(95.0);
+    s.queueWaitP99Ms = queueWaitMs_.percentile(99.0);
+    s.solveP50Ms = solveMs_.percentile(50.0);
+    s.solveP95Ms = solveMs_.percentile(95.0);
+    s.solveP99Ms = solveMs_.percentile(99.0);
+    s.totalP50Ms = totalMs_.percentile(50.0);
+    s.totalP95Ms = totalMs_.percentile(95.0);
+    s.totalP99Ms = totalMs_.percentile(99.0);
+    s.totalMaxMs = totalMs_.max();
+    s.meanFEvals = fEvals_.mean();
+    s.meanTrials = trials_.mean();
+    return s;
+}
+
+StatGroup
+MetricsRegistry::snapshot(const std::string &group_name) const
+{
+    const MetricsSummary s = summary();
+    StatGroup group(group_name);
+    group.set("requests.admitted", static_cast<double>(s.admitted));
+    group.set("requests.rejected", static_cast<double>(s.rejected));
+    group.set("requests.completed", static_cast<double>(s.completed));
+    group.set("requests.cancelled", static_cast<double>(s.cancelled));
+    group.set("requests.deadline_misses",
+              static_cast<double>(s.deadlineMisses));
+    group.set("latency.queue_wait.p50_ms", s.queueWaitP50Ms);
+    group.set("latency.queue_wait.p95_ms", s.queueWaitP95Ms);
+    group.set("latency.queue_wait.p99_ms", s.queueWaitP99Ms);
+    group.set("latency.solve.p50_ms", s.solveP50Ms);
+    group.set("latency.solve.p95_ms", s.solveP95Ms);
+    group.set("latency.solve.p99_ms", s.solveP99Ms);
+    group.set("latency.total.p50_ms", s.totalP50Ms);
+    group.set("latency.total.p95_ms", s.totalP95Ms);
+    group.set("latency.total.p99_ms", s.totalP99Ms);
+    group.set("latency.total.max_ms", s.totalMaxMs);
+    group.set("solver.mean_f_evals", s.meanFEvals);
+    group.set("solver.mean_trials", s.meanTrials);
+    return group;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_ = 0;
+    rejected_ = 0;
+    completed_ = 0;
+    cancelled_ = 0;
+    deadlineMisses_ = 0;
+    queueWaitMs_.reset();
+    solveMs_.reset();
+    totalMs_.reset();
+    fEvals_.reset();
+    trials_.reset();
+}
+
+} // namespace enode

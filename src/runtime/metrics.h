@@ -1,0 +1,83 @@
+#ifndef ENODE_RUNTIME_METRICS_H
+#define ENODE_RUNTIME_METRICS_H
+
+/**
+ * @file
+ * Thread-safe serving metrics.
+ *
+ * Workers record one completion sample per request (queue wait, solve
+ * latency, end-to-end latency, f-evals, search trials); the registry
+ * summarizes them as p50/p95/p99 percentiles through common/stats
+ * SampleSeries and publishes a StatGroup snapshot benches and the
+ * example server print. All mutators take one internal mutex — request
+ * rates are far below the contention regime where sharded counters
+ * would matter.
+ */
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/stats.h"
+#include "runtime/request.h"
+
+namespace enode {
+
+/** Aggregated view of the serving metrics (one consistent snapshot). */
+struct MetricsSummary
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadlineMisses = 0;
+
+    double queueWaitP50Ms = 0.0, queueWaitP95Ms = 0.0, queueWaitP99Ms = 0.0;
+    double solveP50Ms = 0.0, solveP95Ms = 0.0, solveP99Ms = 0.0;
+    double totalP50Ms = 0.0, totalP95Ms = 0.0, totalP99Ms = 0.0;
+    double totalMaxMs = 0.0;
+
+    double meanFEvals = 0.0;
+    double meanTrials = 0.0;
+};
+
+/** Thread-safe per-request metrics collection. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    void recordAdmitted();
+    void recordRejected();
+    void recordCancelled();
+
+    /** Record a completed request (status Ok). */
+    void recordCompletion(const InferResponse &response);
+
+    /** One consistent summary of everything recorded so far. */
+    MetricsSummary summary() const;
+
+    /**
+     * Flat StatGroup snapshot ("requests.completed",
+     * "latency.total.p99_ms", ...) for table/report plumbing.
+     */
+    StatGroup snapshot(const std::string &group_name = "runtime") const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t deadlineMisses_ = 0;
+    SampleSeries queueWaitMs_;
+    SampleSeries solveMs_;
+    SampleSeries totalMs_;
+    SampleSeries fEvals_;
+    SampleSeries trials_;
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_METRICS_H

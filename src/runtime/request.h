@@ -1,0 +1,91 @@
+#ifndef ENODE_RUNTIME_REQUEST_H
+#define ENODE_RUNTIME_REQUEST_H
+
+/**
+ * @file
+ * Request/response types of the concurrent inference-serving runtime.
+ *
+ * A request is one NODE inference: an initial state, a stream tag (the
+ * runtime analogue of the packet stream of Sec. V.B — higher tags are
+ * favoured by the later-stream-first scheduler), and a deadline the
+ * dispatcher uses to break ties between equal-priority streams. The
+ * response carries the solved state plus the per-request accounting the
+ * metrics registry aggregates into latency percentiles.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+#include "ode/ivp.h"
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** Clock used for all runtime timing (monotonic). */
+using RuntimeClock = std::chrono::steady_clock;
+
+/** One inference request offered to the serving runtime. */
+struct InferRequest
+{
+    /** Assigned by the server at admission; unique per server. */
+    std::uint64_t id = 0;
+
+    /**
+     * Stream tag: the priority class. Under SelectPolicy::
+     * LaterStreamFirst, higher tags dispatch first, mirroring the
+     * hardware priority selector's later-stream-first rule.
+     */
+    std::uint32_t stream = 0;
+
+    /** Tie-breaker within a stream: tighter deadlines dispatch first. */
+    RuntimeClock::time_point deadline = RuntimeClock::time_point::max();
+
+    /** Initial state h(0) of the NODE forward pass. */
+    Tensor input;
+};
+
+/** Terminal state of a request. */
+enum class RequestStatus
+{
+    Ok,        ///< solved; output and stats are valid
+    Cancelled, ///< dropped by a non-draining shutdown before dispatch
+};
+
+/** Human-readable status name. */
+const char *requestStatusName(RequestStatus status);
+
+/** What the runtime returns for one request. */
+struct InferResponse
+{
+    std::uint64_t id = 0;
+    RequestStatus status = RequestStatus::Cancelled;
+
+    /** h(T) after the last integration layer (empty when cancelled). */
+    Tensor output;
+
+    /** Solver accounting aggregated over the layers of this request. */
+    IvpStats stats;
+
+    /** Time spent queued before a worker picked the request up. */
+    double queueWaitMs = 0.0;
+    /** Time the worker spent inside NodeModel::forward. */
+    double solveMs = 0.0;
+    /** End-to-end: admission to completion. */
+    double totalMs = 0.0;
+
+    /** True when the request finished at or before its deadline. */
+    bool deadlineMet = true;
+
+    /** Which worker served the request. */
+    std::size_t workerId = 0;
+
+    /**
+     * Global completion sequence number (0 = first request finished by
+     * any worker). Tests use this to assert priority ordering.
+     */
+    std::uint64_t completionIndex = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_REQUEST_H

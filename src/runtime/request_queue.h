@@ -1,0 +1,101 @@
+#ifndef ENODE_RUNTIME_REQUEST_QUEUE_H
+#define ENODE_RUNTIME_REQUEST_QUEUE_H
+
+/**
+ * @file
+ * Bounded MPMC priority queue for inference requests.
+ *
+ * Admission is non-blocking: when the queue is at capacity tryPush
+ * rejects immediately and the caller reports backpressure to the
+ * client — the producer is never parked indefinitely, matching the
+ * hardware selector's reject-on-full state buffers. Consumers block in
+ * pop until work arrives or the queue is closed.
+ *
+ * Ordering reuses the sim's SelectPolicy so software serving and the
+ * hardware model agree on what priority means:
+ *  - LaterStreamFirst: highest stream tag first (the paper's rule),
+ *    tighter deadline breaking ties, then admission order.
+ *  - Fifo: strict admission order.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "runtime/request.h"
+#include "sim/priority_selector.h"
+
+namespace enode {
+
+/** A queued request plus its completion channel and admission record. */
+struct QueueEntry
+{
+    InferRequest request;
+    std::promise<InferResponse> promise;
+    RuntimeClock::time_point enqueueTime;
+    std::uint64_t seq = 0; ///< admission order, assigned by the queue
+};
+
+/** Bounded multi-producer multi-consumer priority queue. */
+class RequestQueue
+{
+  public:
+    /**
+     * @param capacity Maximum queued (undisbatched) requests.
+     * @param policy Dispatch order (shared with the hardware sim).
+     */
+    RequestQueue(std::size_t capacity, SelectPolicy policy);
+
+    /**
+     * Offer an entry. Never blocks.
+     * @return false when the queue is full or closed; the entry is left
+     *         untouched so the caller can fail it appropriately.
+     */
+    bool tryPush(QueueEntry &entry);
+
+    /**
+     * Take the highest-priority entry, blocking while the queue is open
+     * and empty.
+     * @return false when the queue is closed and fully drained.
+     */
+    bool pop(QueueEntry &out);
+
+    /**
+     * Close the queue: all further pushes fail and blocked consumers
+     * wake. With drain=true queued entries stay poppable; with
+     * drain=false they are removed and returned so the caller can
+     * cancel them.
+     */
+    std::vector<QueueEntry> close(bool drain);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    SelectPolicy policy() const { return policy_; }
+    bool closed() const;
+
+    /** Producers turned away by a full queue since construction. */
+    std::uint64_t rejected() const;
+    /** Peak queue occupancy since construction. */
+    std::size_t peakSize() const;
+
+  private:
+    /** Heap order: true when a dispatches *after* b. */
+    bool dispatchesAfter(const QueueEntry &a, const QueueEntry &b) const;
+
+    const std::size_t capacity_;
+    const SelectPolicy policy_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::vector<QueueEntry> heap_; ///< max-heap under dispatchesAfter
+    bool closed_ = false;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::size_t peakSize_ = 0;
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_REQUEST_QUEUE_H

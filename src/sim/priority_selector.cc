@@ -4,9 +4,22 @@
 
 namespace enode {
 
+const char *
+selectPolicyName(SelectPolicy policy)
+{
+    switch (policy) {
+      case SelectPolicy::LaterStreamFirst:
+        return "later-stream-first";
+      case SelectPolicy::Fifo:
+        return "fifo";
+    }
+    ENODE_PANIC("unknown SelectPolicy");
+}
+
 PrioritySelector::PrioritySelector(std::size_t streams,
-                                   std::size_t buffer_capacity)
-    : capacity_(buffer_capacity), buffers_(streams)
+                                   std::size_t buffer_capacity,
+                                   SelectPolicy policy)
+    : capacity_(buffer_capacity), policy_(policy), buffers_(streams)
 {
     ENODE_ASSERT(streams >= 1 && buffer_capacity >= 1,
                  "bad priority selector geometry");
@@ -22,6 +35,7 @@ PrioritySelector::push(const Packet &packet)
         return false;
     }
     buf.push_back(packet);
+    arrivalOrder_.push_back(packet.stream);
     std::size_t total = 0;
     for (const auto &b : buffers_)
         total += b.size();
@@ -41,14 +55,31 @@ PrioritySelector::anyReady() const
 Packet
 PrioritySelector::pop()
 {
-    // Later streams get priority: they consume the outputs of earlier
-    // streams, freeing buffer space (Sec. V.B).
-    for (std::size_t s = buffers_.size(); s-- > 0;) {
-        if (!buffers_[s].empty()) {
-            Packet p = buffers_[s].front();
-            buffers_[s].pop_front();
-            dispatched_++;
-            return p;
+    auto take = [this](std::size_t s) {
+        Packet p = buffers_[s].front();
+        buffers_[s].pop_front();
+        // Drop the oldest arrival record of this stream; buffers are
+        // FIFO per stream, so the oldest record is the popped packet.
+        for (auto it = arrivalOrder_.begin(); it != arrivalOrder_.end();
+             ++it) {
+            if (*it == s) {
+                arrivalOrder_.erase(it);
+                break;
+            }
+        }
+        dispatched_++;
+        return p;
+    };
+
+    if (policy_ == SelectPolicy::Fifo) {
+        if (!arrivalOrder_.empty())
+            return take(arrivalOrder_.front());
+    } else {
+        // Later streams get priority: they consume the outputs of earlier
+        // streams, freeing buffer space (Sec. V.B).
+        for (std::size_t s = buffers_.size(); s-- > 0;) {
+            if (!buffers_[s].empty())
+                return take(s);
         }
     }
     ENODE_PANIC("pop() on empty priority selector");

@@ -21,6 +21,24 @@
 
 namespace enode {
 
+/**
+ * Dispatch policy shared by the hardware-sim selector and the serving
+ * runtime's request scheduler (src/runtime/request_queue.h), so the two
+ * layers stay in agreement about what "priority" means.
+ *
+ * LaterStreamFirst is the paper's policy: the non-empty stream with the
+ * highest tag wins. Fifo is the ablation baseline: strict arrival order
+ * regardless of stream.
+ */
+enum class SelectPolicy
+{
+    LaterStreamFirst,
+    Fifo,
+};
+
+/** Human-readable policy name for reports. */
+const char *selectPolicyName(SelectPolicy policy);
+
 /** A packetized unit of work: one input packet of one stream. */
 struct Packet
 {
@@ -35,8 +53,11 @@ class PrioritySelector
     /**
      * @param streams Number of concurrent streams (integrator stages).
      * @param buffer_capacity Packets each state buffer can hold.
+     * @param policy Dispatch policy (the paper's later-stream-first by
+     *        default; Fifo as an ablation baseline).
      */
-    PrioritySelector(std::size_t streams, std::size_t buffer_capacity);
+    PrioritySelector(std::size_t streams, std::size_t buffer_capacity,
+                     SelectPolicy policy = SelectPolicy::LaterStreamFirst);
 
     /**
      * Offer a packet to stream s's state buffer.
@@ -48,13 +69,15 @@ class PrioritySelector
     bool anyReady() const;
 
     /**
-     * Dispatch the next packet: the non-empty buffer with the highest
-     * stream index wins (later streams first).
+     * Dispatch the next packet. Under LaterStreamFirst the non-empty
+     * buffer with the highest stream index wins; under Fifo the oldest
+     * buffered packet wins regardless of stream.
      */
     Packet pop();
 
     std::size_t occupancy(std::size_t stream) const;
     std::size_t streams() const { return buffers_.size(); }
+    SelectPolicy policy() const { return policy_; }
 
     std::uint64_t dispatched() const { return dispatched_; }
     std::uint64_t rejectedPushes() const { return rejectedPushes_; }
@@ -63,7 +86,9 @@ class PrioritySelector
 
   private:
     std::size_t capacity_;
+    SelectPolicy policy_;
     std::vector<std::deque<Packet>> buffers_;
+    std::deque<std::uint32_t> arrivalOrder_; ///< stream ids, oldest first
     std::uint64_t dispatched_ = 0;
     std::uint64_t rejectedPushes_ = 0;
     std::size_t peakOccupancy_ = 0;

@@ -116,6 +116,46 @@ TEST(Histogram, BinsAndClamps)
     EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; i++)
+        h.add(i + 0.5); // one sample per bin
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_NEAR(h.percentile(50.0), 5.0, 1.0); // bin resolution
+    EXPECT_NEAR(h.percentile(100.0), 10.0, 1e-12);
+    Histogram empty(0.0, 1.0, 4);
+    EXPECT_EQ(empty.percentile(99.0), 0.0);
+}
+
+TEST(SampleSeries, ExactPercentiles)
+{
+    SampleSeries s;
+    EXPECT_EQ(s.percentile(50.0), 0.0); // empty
+    // Insert 1..100 shuffled; quantiles must not depend on order.
+    Rng rng(3);
+    auto perm = rng.permutation(100);
+    for (std::size_t i : perm)
+        s.add(static_cast<double>(i + 1));
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+    EXPECT_NEAR(s.percentile(50.0), 50.5, 1e-12);
+    EXPECT_NEAR(s.percentile(95.0), 95.05, 1e-12);
+    EXPECT_NEAR(s.percentile(99.0), 99.01, 1e-12);
+    EXPECT_NEAR(s.mean(), 50.5, 1e-12);
+
+    // Adding after a quantile query stays correct (lazy re-sort).
+    s.add(1000.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 1000.0);
+
+    SampleSeries single;
+    single.add(7.0);
+    EXPECT_DOUBLE_EQ(single.percentile(50.0), 7.0);
+}
+
 TEST(StatGroup, SetAddGetDump)
 {
     StatGroup stats("core0");

@@ -42,6 +42,31 @@ TEST(PrioritySelector, CapacityBackpressure)
     EXPECT_TRUE(sel.push({0, 2}));
 }
 
+TEST(PrioritySelector, FifoPolicyDispatchesInArrivalOrder)
+{
+    // The ablation baseline shared with the serving runtime: strict
+    // arrival order regardless of stream tag.
+    PrioritySelector sel(4, 8, SelectPolicy::Fifo);
+    ASSERT_TRUE(sel.push({0, 0}));
+    ASSERT_TRUE(sel.push({3, 0}));
+    ASSERT_TRUE(sel.push({1, 0}));
+    ASSERT_TRUE(sel.push({3, 1}));
+    EXPECT_EQ(sel.pop().stream, 0u);
+    EXPECT_EQ(sel.pop().stream, 3u);
+    EXPECT_EQ(sel.pop().stream, 1u);
+    Packet last = sel.pop();
+    EXPECT_EQ(last.stream, 3u);
+    EXPECT_EQ(last.index, 1u);
+    EXPECT_FALSE(sel.anyReady());
+}
+
+TEST(PrioritySelector, PolicyNamesAreStable)
+{
+    EXPECT_STREQ(selectPolicyName(SelectPolicy::LaterStreamFirst),
+                 "later-stream-first");
+    EXPECT_STREQ(selectPolicyName(SelectPolicy::Fifo), "fifo");
+}
+
 TEST(PrioritySelector, PopOnEmptyPanics)
 {
     PrioritySelector sel(2, 2);

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Concurrent serving runtime: result integrity vs. the single-threaded
+ * reference, priority ordering under contention, admission
+ * backpressure, multi-producer liveness, and clean shutdown. Built and
+ * run under ThreadSanitizer in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "ode/step_control.h"
+#include "runtime/inference_server.h"
+
+namespace enode {
+namespace {
+
+constexpr std::uint64_t kSeed = 424242;
+constexpr std::size_t kDim = 6;
+
+/** Deterministic factory: every call yields bit-identical weights. */
+std::unique_ptr<NodeModel>
+makeReferenceModel()
+{
+    Rng rng(kSeed);
+    return NodeModel::makeMlp(/*num_layers=*/2, kDim, /*hidden=*/24,
+                              /*f_depth=*/1, rng);
+}
+
+IvpOptions
+servingOptions()
+{
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.05;
+    return opts;
+}
+
+Tensor
+makeInput(std::uint64_t salt)
+{
+    Rng rng(kSeed + 1000 + salt);
+    return Tensor::randn(Shape{kDim}, rng, 0.5f);
+}
+
+/** Single-threaded reference output for one input. */
+Tensor
+referenceForward(const Tensor &input)
+{
+    auto model = makeReferenceModel();
+    FixedFactorController controller;
+    return model
+        ->forward(input, ButcherTableau::rk23(), controller,
+                  servingOptions())
+        .output;
+}
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       a.numel() * sizeof(float)) == 0;
+}
+
+ServerOptions
+serverOptions(std::size_t workers, std::size_t capacity,
+              bool paused = false)
+{
+    ServerOptions opts;
+    opts.numWorkers = workers;
+    opts.queueCapacity = capacity;
+    opts.ivp = servingOptions();
+    opts.startPaused = paused;
+    return opts;
+}
+
+TEST(InferenceServer, ResultsBitwiseMatchSingleThreadedReference)
+{
+    const std::size_t n = 24;
+    std::vector<Tensor> inputs, expected;
+    for (std::size_t i = 0; i < n; i++) {
+        inputs.push_back(makeInput(i));
+        expected.push_back(referenceForward(inputs.back()));
+    }
+
+    InferenceServer server(makeReferenceModel, serverOptions(4, 64));
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < n; i++) {
+        auto sub = server.submit(inputs[i]);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    for (std::size_t i = 0; i < n; i++) {
+        InferResponse r = futures[i].get();
+        EXPECT_EQ(r.status, RequestStatus::Ok);
+        EXPECT_TRUE(bitwiseEqual(r.output, expected[i]))
+            << "request " << i << " diverged from the reference";
+        EXPECT_GT(r.stats.fEvals, 0u);
+        EXPECT_GE(r.totalMs, r.solveMs);
+    }
+    server.stop();
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.completed, n);
+    EXPECT_EQ(s.admitted, n);
+    EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST(InferenceServer, PriorityOrderingUnderContention)
+{
+    // One paused worker; queue up mixed-priority work, then release.
+    // Dispatch (and hence completion, with a single worker) must follow
+    // the later-stream-first rule with tighter deadlines breaking ties
+    // — the scheduling discipline of the sim's PrioritySelector.
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(1, 16, /*paused=*/true));
+
+    const auto now = RuntimeClock::now();
+    const auto loose = now + std::chrono::hours(2);
+    const auto tight = now + std::chrono::hours(1);
+
+    struct Spec
+    {
+        std::uint32_t stream;
+        RuntimeClock::time_point deadline;
+    };
+    // Submission order is deliberately adversarial.
+    const std::vector<Spec> specs = {
+        {0, loose}, // last
+        {2, loose}, // second: same stream as the tight-deadline one
+        {1, loose}, // third
+        {2, tight}, // first: highest stream, tighter deadline
+    };
+    const std::vector<std::size_t> want_order = {3, 1, 2, 0};
+
+    std::vector<std::future<InferResponse>> futures;
+    for (const auto &spec : specs) {
+        auto sub = server.submit(makeInput(7), spec.stream, spec.deadline);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+
+    server.resume();
+    std::vector<std::uint64_t> completion(specs.size());
+    for (std::size_t i = 0; i < specs.size(); i++)
+        completion[i] = futures[i].get().completionIndex;
+
+    for (std::size_t rank = 0; rank < want_order.size(); rank++)
+        EXPECT_EQ(completion[want_order[rank]], rank)
+            << "submission " << want_order[rank]
+            << " should have completed " << rank << "th";
+    server.stop();
+}
+
+TEST(InferenceServer, FifoPolicyServesInAdmissionOrder)
+{
+    ServerOptions opts = serverOptions(1, 16, /*paused=*/true);
+    opts.policy = SelectPolicy::Fifo;
+    InferenceServer server(makeReferenceModel, opts);
+
+    std::vector<std::future<InferResponse>> futures;
+    for (std::uint32_t stream : {0u, 3u, 1u, 2u}) {
+        auto sub = server.submit(makeInput(stream), stream);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    server.resume();
+    for (std::size_t i = 0; i < futures.size(); i++)
+        EXPECT_EQ(futures[i].get().completionIndex, i);
+    server.stop();
+}
+
+TEST(InferenceServer, BackpressureRejectsWhenQueueFull)
+{
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(1, 2, /*paused=*/true));
+
+    auto a = server.submit(makeInput(0));
+    auto b = server.submit(makeInput(1));
+    auto c = server.submit(makeInput(2)); // queue full: must reject
+    EXPECT_TRUE(a.accepted);
+    EXPECT_TRUE(b.accepted);
+    EXPECT_FALSE(c.accepted);
+    EXPECT_EQ(server.queue().rejected(), 1u);
+    EXPECT_EQ(server.metrics().summary().rejected, 1u);
+
+    // Draining shutdown completes the admitted requests.
+    server.stop(/*drain=*/true);
+    EXPECT_EQ(a.result.get().status, RequestStatus::Ok);
+    EXPECT_EQ(b.result.get().status, RequestStatus::Ok);
+    EXPECT_EQ(server.metrics().summary().completed, 2u);
+}
+
+TEST(InferenceServer, NonDrainingShutdownCancelsQueuedWork)
+{
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(2, 16, /*paused=*/true));
+
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < 5; i++) {
+        auto sub = server.submit(makeInput(i));
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    server.stop(/*drain=*/false); // workers never ran: all cancelled
+    for (auto &future : futures) {
+        InferResponse r = future.get();
+        EXPECT_EQ(r.status, RequestStatus::Cancelled);
+        EXPECT_TRUE(r.output.empty());
+    }
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.cancelled, 5u);
+    EXPECT_EQ(s.completed, 0u);
+
+    // Submitting after stop is refused without blocking.
+    EXPECT_FALSE(server.submit(makeInput(9)).accepted);
+}
+
+TEST(InferenceServer, DrainingShutdownFinishesQueuedWork)
+{
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(2, 16, /*paused=*/true));
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < 6; i++) {
+        auto sub = server.submit(makeInput(i));
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    server.stop(/*drain=*/true);
+    for (auto &future : futures)
+        EXPECT_EQ(future.get().status, RequestStatus::Ok);
+    EXPECT_EQ(server.metrics().summary().completed, 6u);
+}
+
+TEST(InferenceServer, ManyProducersManyWorkersIntegrity)
+{
+    const std::size_t producers = 6;
+    const std::size_t per_producer = 8;
+
+    // Precompute references single-threaded.
+    std::vector<Tensor> expected(producers * per_producer);
+    for (std::size_t i = 0; i < expected.size(); i++)
+        expected[i] = referenceForward(makeInput(i));
+
+    InferenceServer server(makeReferenceModel, serverOptions(4, 8));
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> completed{0};
+
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; p++) {
+        threads.emplace_back([&, p] {
+            for (std::size_t j = 0; j < per_producer; j++) {
+                const std::size_t idx = p * per_producer + j;
+                // Small queue: spin on backpressure until admitted —
+                // the closed-loop client pattern.
+                InferenceServer::Submission sub;
+                do {
+                    sub = server.submit(makeInput(idx),
+                                        static_cast<std::uint32_t>(p));
+                    if (!sub.accepted)
+                        std::this_thread::yield();
+                } while (!sub.accepted);
+                InferResponse r = sub.result.get();
+                if (r.status != RequestStatus::Ok ||
+                    !bitwiseEqual(r.output, expected[idx]))
+                    mismatches.fetch_add(1);
+                else
+                    completed.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    server.stop();
+
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_EQ(completed.load(), producers * per_producer);
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.completed, producers * per_producer);
+    EXPECT_GE(s.totalP99Ms, s.totalP50Ms);
+    EXPECT_GT(s.meanFEvals, 0.0);
+}
+
+TEST(InferenceServer, DestructorDrainsOutstandingWork)
+{
+    std::future<InferResponse> future;
+    {
+        InferenceServer server(makeReferenceModel, serverOptions(2, 8));
+        auto sub = server.submit(makeInput(3));
+        ASSERT_TRUE(sub.accepted);
+        future = std::move(sub.result);
+        // Server destroyed with the request possibly still queued.
+    }
+    EXPECT_EQ(future.get().status, RequestStatus::Ok);
+}
+
+TEST(InferenceServer, DeadlineAccounting)
+{
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(1, 8, /*paused=*/true));
+    // Already-expired deadline: the request still completes, but is
+    // flagged as a deadline miss.
+    auto sub = server.submit(makeInput(0), 0,
+                             RuntimeClock::now() -
+                                 std::chrono::milliseconds(1));
+    ASSERT_TRUE(sub.accepted);
+    server.resume();
+    InferResponse r = sub.result.get();
+    EXPECT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_FALSE(r.deadlineMet);
+    server.stop();
+    EXPECT_EQ(server.metrics().summary().deadlineMisses, 1u);
+}
+
+TEST(MetricsRegistry, SnapshotPublishesPercentileKeys)
+{
+    MetricsRegistry registry;
+    for (int i = 1; i <= 100; i++) {
+        InferResponse r;
+        r.status = RequestStatus::Ok;
+        r.queueWaitMs = i * 0.1;
+        r.solveMs = i * 1.0;
+        r.totalMs = i * 1.1;
+        r.stats.fEvals = static_cast<std::uint64_t>(i);
+        r.stats.trials = 2;
+        registry.recordAdmitted();
+        registry.recordCompletion(r);
+    }
+    const StatGroup group = registry.snapshot();
+    EXPECT_EQ(group.get("requests.completed"), 100.0);
+    EXPECT_NEAR(group.get("latency.solve.p50_ms"), 50.5, 1.0);
+    EXPECT_NEAR(group.get("latency.solve.p99_ms"), 99.0, 1.1);
+    EXPECT_GT(group.get("latency.total.p95_ms"),
+              group.get("latency.total.p50_ms"));
+    EXPECT_NEAR(group.get("latency.total.max_ms"), 110.0, 1e-9);
+}
+
+} // namespace
+} // namespace enode

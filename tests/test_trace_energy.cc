@@ -68,6 +68,64 @@ TEST(WorkloadTrace, SyntheticWorkFractionOnlyDiscountsRejections)
     EXPECT_DOUBLE_EQ(trace.equivalentTrials, 22.0);
 }
 
+TEST(WorkloadTrace, SyntheticZeroEvalPoints)
+{
+    // Degenerate sweep input: a layer that accepts no evaluation points
+    // must yield an all-zero trace and a well-defined triesPerPoint.
+    auto trace = WorkloadTrace::synthetic("empty", 4, 0.0, 2.0, false);
+    EXPECT_DOUBLE_EQ(trace.evalPoints, 0.0);
+    EXPECT_DOUBLE_EQ(trace.trials, 0.0);
+    EXPECT_DOUBLE_EQ(trace.equivalentTrials, 0.0);
+    EXPECT_DOUBLE_EQ(trace.triesPerPoint(), 0.0); // no divide-by-zero
+    EXPECT_DOUBLE_EQ(trace.backwardSteps, 0.0);
+
+    // Training flag on a zero-point trace adds no backward steps.
+    auto training = WorkloadTrace::synthetic("empty-t", 4, 0.0, 2.0, true);
+    EXPECT_DOUBLE_EQ(training.backwardSteps, 0.0);
+}
+
+TEST(WorkloadTrace, SyntheticZeroEvalPointsComposesIntoRunInference)
+{
+    // A zero-eval-point trace must flow through the full cost
+    // composition without dividing by zero or going negative. Layers
+    // still move their initial state, so only the trial work vanishes.
+    EnodeSystem system{SystemConfig{}};
+    auto cost = system.runInference(
+        WorkloadTrace::synthetic("empty", 4, 0.0, 2.0, false));
+    EXPECT_GT(cost.cycles, 0.0);      // per-layer state movement only
+    EXPECT_EQ(cost.activity.macs, 0u); // no trials => no MACs
+    EXPECT_GE(cost.energyJ, 0.0);
+
+    // A fully empty trace (no layers either) costs exactly nothing.
+    EnodeSystem empty_system{SystemConfig{}};
+    auto empty = empty_system.runInference(
+        WorkloadTrace::synthetic("null", 0, 0.0, 0.0, false));
+    EXPECT_EQ(empty.cycles, 0.0);
+    EXPECT_EQ(empty.activity.dramBytes, 0u);
+}
+
+TEST(WorkloadTrace, SyntheticFractionalWorkBelowOne)
+{
+    // work_fraction < 1 with a fractional tries-per-point: equivalent
+    // trials stay between evalPoints (all-accepted floor) and trials.
+    auto trace = WorkloadTrace::synthetic("frac", 3, 7, 1.25, false, 0.5);
+    EXPECT_DOUBLE_EQ(trace.evalPoints, 21.0);
+    EXPECT_DOUBLE_EQ(trace.trials, 26.25);
+    EXPECT_GT(trace.equivalentTrials, trace.evalPoints);
+    EXPECT_LT(trace.equivalentTrials, trace.trials);
+    EXPECT_DOUBLE_EQ(trace.equivalentTrials, 21.0 + 5.25 * 0.5);
+    EXPECT_DOUBLE_EQ(trace.triesPerPoint(), 1.25);
+
+    // Composition: less work per rejection can only lower the cost.
+    EnodeSystem full{SystemConfig{}};
+    EnodeSystem discounted{SystemConfig{}};
+    auto cost_full = full.runInference(
+        WorkloadTrace::synthetic("f1", 3, 7, 1.25, false, 1.0));
+    auto cost_frac = discounted.runInference(
+        WorkloadTrace::synthetic("f2", 3, 7, 1.25, false, 0.5));
+    EXPECT_LT(cost_frac.cycles, cost_full.cycles);
+}
+
 TEST(ActivityCounts, ScaleAndAccumulate)
 {
     ActivityCounts a;
