@@ -17,10 +17,17 @@
  * mapping. All randomness is seeded: every bench is reproducible.
  */
 
+#include <chrono>
+#include <fstream>
+#include <iomanip>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
+#include "tensor/workspace.h"
 #include "core/aca_trainer.h"
 #include "core/node_model.h"
 #include "core/priority.h"
@@ -314,6 +321,135 @@ runWorkload(const std::string &name, const RunConfig &cfg)
     if (name == "threebody" || name == "lotka")
         return runDynamicSystem(name, cfg);
     return runImageWorkload(name, cfg);
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable kernel report (BENCH_kernels.json)
+//
+// The micro-benches additionally emit a small JSON file so speedups and
+// allocation counts can be checked by scripts rather than read off the
+// console. The file is merged by entry name: each bench binary rewrites
+// its own entries and preserves everyone else's, so running
+// bench_micro_conv and bench_micro_integrator in either order yields one
+// combined report.
+// ---------------------------------------------------------------------
+
+/** One row of the kernel report. Unused metrics stay at 0. */
+struct KernelBenchEntry
+{
+    std::string name;
+    double nsPerOp = 0.0;
+    double gflops = 0.0;           ///< arithmetic throughput, when defined
+    double allocMissesPerOp = 0.0; ///< heap allocations per op (pool misses)
+    double speedupVsRef = 0.0;     ///< fast / reference pairing, when defined
+};
+
+/**
+ * Wall-clock ns per call of fn(), best of `repeats` batches, each batch
+ * sized to run at least `min_time_s`. fn is called a few times first as
+ * warm-up so pool effects and branch predictors settle.
+ */
+template <typename F>
+inline double
+timeNsPerOp(F &&fn, double min_time_s = 0.05, int repeats = 3)
+{
+    using Clock = std::chrono::steady_clock;
+    for (int i = 0; i < 3; i++)
+        fn();
+    double best = 0.0;
+    for (int rep = 0; rep < repeats; rep++) {
+        std::size_t iters = 1;
+        for (;;) {
+            const auto start = Clock::now();
+            for (std::size_t i = 0; i < iters; i++)
+                fn();
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start).count();
+            if (elapsed >= min_time_s) {
+                const double ns = 1e9 * elapsed / static_cast<double>(iters);
+                if (best == 0.0 || ns < best)
+                    best = ns;
+                break;
+            }
+            iters = elapsed <= 0.0
+                        ? iters * 2
+                        : static_cast<std::size_t>(
+                              static_cast<double>(iters) *
+                              std::max(2.0, 1.2 * min_time_s / elapsed));
+        }
+    }
+    return best;
+}
+
+/** Steady-state heap allocations (pool misses) per call of fn(). */
+template <typename F>
+inline double
+allocMissesPerOp(F &&fn, int iters = 8)
+{
+    for (int i = 0; i < 3; i++)
+        fn(); // warm-up: size buffers, fill the pool
+    auto &pool = Workspace::local();
+    pool.resetStats();
+    for (int i = 0; i < iters; i++)
+        fn();
+    return static_cast<double>(pool.stats().misses) / iters;
+}
+
+/**
+ * Merge `entries` into the JSON report at `path` (by name) and rewrite
+ * it. The file is our own single-entry-per-line format; unknown lines
+ * from other tools are not preserved.
+ */
+inline void
+writeKernelReport(const std::vector<KernelBenchEntry> &entries,
+                  const std::string &path = "BENCH_kernels.json")
+{
+    // Load existing entries: one per line, name extracted textually.
+    std::vector<std::pair<std::string, std::string>> rows; // name -> line
+    if (std::ifstream in{path}) {
+        std::string line;
+        while (std::getline(in, line)) {
+            const auto key = line.find("\"name\": \"");
+            if (key == std::string::npos)
+                continue;
+            const auto begin = key + 9;
+            const auto end = line.find('"', begin);
+            if (end == std::string::npos)
+                continue;
+            while (!line.empty() &&
+                   (line.back() == ',' || line.back() == ' '))
+                line.pop_back();
+            rows.emplace_back(line.substr(begin, end - begin), line);
+        }
+    }
+
+    auto format = [](const KernelBenchEntry &e) {
+        std::ostringstream os;
+        os << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": "
+           << std::fixed << std::setprecision(1) << e.nsPerOp
+           << ", \"gflops\": " << std::setprecision(3) << e.gflops
+           << ", \"alloc_misses_per_op\": " << e.allocMissesPerOp
+           << ", \"speedup_vs_ref\": " << e.speedupVsRef << "}";
+        return os.str();
+    };
+    for (const auto &e : entries) {
+        bool replaced = false;
+        for (auto &row : rows) {
+            if (row.first == e.name) {
+                row.second = format(e);
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced)
+            rows.emplace_back(e.name, format(e));
+    }
+
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < rows.size(); i++)
+        out << rows[i].second << (i + 1 < rows.size() ? ",\n" : "\n");
+    out << "  ]\n}\n";
 }
 
 } // namespace bench

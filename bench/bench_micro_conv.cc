@@ -1,19 +1,32 @@
 /**
  * @file
- * Microbenchmarks of the convolution kernels (reference and PE-array
- * routed) in all three unified-core modes.
+ * Microbenchmarks of the convolution kernels in all three unified-core
+ * modes: the retained scalar reference kernels, the blocked/vectorized
+ * fast kernels (direct and im2col+GEMM paths), and the cycle-accurate
+ * PE-array model.
+ *
+ * Besides the google-benchmark console output, the binary writes the
+ * reference-vs-fast pairing (ns/op, GFLOP/s, steady-state heap
+ * allocations per op, speedup) to BENCH_kernels.json in the working
+ * directory, merged with entries from the other micro-benches.
  */
+
+#include <cstdio>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "nn/conv2d.h"
 #include "sim/pe_array.h"
+#include "tensor/workspace.h"
 
 using namespace enode;
 
 namespace {
 
+// The paper's tile shape: 8 in x 8 out channels (one 64-PE diagonal
+// group), 3x3 taps.
 struct ConvFixture
 {
     ConvFixture()
@@ -36,6 +49,9 @@ fixture()
     return f;
 }
 
+// 2 FLOPs (multiply + add) per tap per output element.
+constexpr double kConvFlops = 2.0 * 8 * 8 * 3 * 3 * 32 * 32;
+
 void
 BM_ConvForward(benchmark::State &state)
 {
@@ -45,6 +61,30 @@ BM_ConvForward(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
 }
 BENCHMARK(BM_ConvForward);
+
+void
+BM_ConvForwardReference(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            reference::convForward(f.x, f.weight, f.bias));
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvForwardReference);
+
+void
+BM_ConvForwardIm2col(benchmark::State &state)
+{
+    auto &f = fixture();
+    Tensor out;
+    for (auto _ : state) {
+        conv::forwardIm2colGemm(out, f.x, f.weight, f.bias);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvForwardIm2col);
 
 void
 BM_ConvBackwardData(benchmark::State &state)
@@ -57,6 +97,17 @@ BM_ConvBackwardData(benchmark::State &state)
 BENCHMARK(BM_ConvBackwardData);
 
 void
+BM_ConvBackwardDataReference(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            reference::convBackwardData(f.grad, f.weight));
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvBackwardDataReference);
+
+void
 BM_ConvBackwardWeights(benchmark::State &state)
 {
     auto &f = fixture();
@@ -65,6 +116,17 @@ BM_ConvBackwardWeights(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
 }
 BENCHMARK(BM_ConvBackwardWeights);
+
+void
+BM_ConvBackwardWeightsReference(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            reference::convBackwardWeights(f.x, f.grad, 3));
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 32 * 32 * 9);
+}
+BENCHMARK(BM_ConvBackwardWeightsReference);
 
 void
 BM_PeArrayForward(benchmark::State &state)
@@ -84,6 +146,75 @@ BM_PeArrayBackwardData(benchmark::State &state)
 }
 BENCHMARK(BM_PeArrayBackwardData);
 
+/** Reference-vs-fast pairing emitted to BENCH_kernels.json. */
+void
+emitKernelReport()
+{
+    auto &f = fixture();
+    Tensor out, gx, gw;
+
+    auto entry = [](const char *name, double ns, double miss,
+                    double ref_ns) {
+        bench::KernelBenchEntry e;
+        e.name = name;
+        e.nsPerOp = ns;
+        e.gflops = kConvFlops / ns;
+        e.allocMissesPerOp = miss;
+        e.speedupVsRef = ref_ns > 0.0 ? ref_ns / ns : 0.0;
+        return e;
+    };
+
+    const double fwd_ref_ns = bench::timeNsPerOp(
+        [&] { benchmark::DoNotOptimize(
+                  reference::convForward(f.x, f.weight, f.bias)); });
+    const double fwd_ns = bench::timeNsPerOp(
+        [&] { convForwardInto(out, f.x, f.weight, f.bias); });
+    const double fwd_miss = bench::allocMissesPerOp(
+        [&] { convForwardInto(out, f.x, f.weight, f.bias); });
+
+    const double bwd_ref_ns = bench::timeNsPerOp(
+        [&] { benchmark::DoNotOptimize(
+                  reference::convBackwardData(f.grad, f.weight)); });
+    const double bwd_ns = bench::timeNsPerOp(
+        [&] { convBackwardDataInto(gx, f.grad, f.weight); });
+    const double bwd_miss = bench::allocMissesPerOp(
+        [&] { convBackwardDataInto(gx, f.grad, f.weight); });
+
+    const double wgt_ref_ns = bench::timeNsPerOp(
+        [&] { benchmark::DoNotOptimize(
+                  reference::convBackwardWeights(f.x, f.grad, 3)); });
+    const double wgt_ns = bench::timeNsPerOp(
+        [&] { convBackwardWeightsInto(gw, f.x, f.grad, 3); });
+    const double wgt_miss = bench::allocMissesPerOp(
+        [&] { convBackwardWeightsInto(gw, f.x, f.grad, 3); });
+
+    bench::writeKernelReport({
+        entry("conv_forward_ref_8c8m32x32k3", fwd_ref_ns, 0.0, 0.0),
+        entry("conv_forward_8c8m32x32k3", fwd_ns, fwd_miss, fwd_ref_ns),
+        entry("conv_backward_data_ref_8c8m32x32k3", bwd_ref_ns, 0.0, 0.0),
+        entry("conv_backward_data_8c8m32x32k3", bwd_ns, bwd_miss,
+              bwd_ref_ns),
+        entry("conv_backward_weights_ref_8c8m32x32k3", wgt_ref_ns, 0.0,
+              0.0),
+        entry("conv_backward_weights_8c8m32x32k3", wgt_ns, wgt_miss,
+              wgt_ref_ns),
+    });
+    std::printf("BENCH_kernels.json: forward %.2fx, backward-data %.2fx, "
+                "backward-weights %.2fx vs reference\n",
+                fwd_ref_ns / fwd_ns, bwd_ref_ns / bwd_ns,
+                wgt_ref_ns / wgt_ns);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitKernelReport();
+    return 0;
+}

@@ -2,16 +2,25 @@
  * @file
  * Microbenchmarks of the RK stepper, adaptive IVP driver and the ACA
  * backward pass on MLP embedded nets.
+ *
+ * Besides the google-benchmark console output, the binary measures the
+ * solver's steady-state heap-allocation rate (workspace-pool misses per
+ * accepted RK step — zero after warm-up) and merges the numbers into
+ * BENCH_kernels.json next to the convolution entries.
  */
+
+#include <cstdio>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/aca_trainer.h"
 #include "core/node_model.h"
 #include "core/slope_adaptive.h"
 #include "nn/loss.h"
 #include "ode/ivp.h"
+#include "tensor/workspace.h"
 
 using namespace enode;
 
@@ -90,6 +99,41 @@ BM_TrainingIteration(benchmark::State &state)
 BENCHMARK(BM_TrainingIteration);
 
 void
+BM_RkStepInto(benchmark::State &state)
+{
+    // The allocation-free stepping entry point the adaptive driver uses:
+    // stage tensors, next state, and error state live in the reused
+    // StepResult.
+    auto &f = fixture();
+    EmbeddedNetOde ode(f.model->net(0));
+    RkStepper stepper(ButcherTableau::rk23());
+    StepResult result;
+    for (auto _ : state) {
+        stepper.stepInto(ode, 0.0, f.x0, 0.1, nullptr, result);
+        benchmark::DoNotOptimize(result.yNext.data());
+    }
+}
+BENCHMARK(BM_RkStepInto);
+
+void
+BM_SolveIvpServing(benchmark::State &state)
+{
+    // Inference-style solve: no checkpoint recording, solver workspace
+    // reused across solves — the configuration the serving runtime runs.
+    auto &f = fixture();
+    EmbeddedNetOde ode(f.model->net(0));
+    IvpOptions opts = f.opts;
+    opts.recordCheckpoints = false;
+    IvpWorkspace ws;
+    FixedFactorController ctrl;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveIvp(ode, f.x0, 0.0, 1.0,
+                                          ButcherTableau::rk23(), ctrl,
+                                          opts, nullptr, &ws));
+}
+BENCHMARK(BM_SolveIvpServing);
+
+void
 BM_IntegratorSweep(benchmark::State &state)
 {
     // Cost per tableau (stages drive f evaluations per step).
@@ -106,6 +150,77 @@ BM_IntegratorSweep(benchmark::State &state)
 }
 BENCHMARK(BM_IntegratorSweep)->DenseRange(0, 6);
 
+/** Solver hot-path numbers emitted to BENCH_kernels.json. */
+void
+emitIntegratorReport()
+{
+    auto &f = fixture();
+    EmbeddedNetOde ode(f.model->net(0));
+    RkStepper stepper(ButcherTableau::rk23());
+    StepResult step_result;
+    IvpOptions opts = f.opts;
+    opts.recordCheckpoints = false;
+    IvpWorkspace ws;
+    FixedFactorController ctrl;
+
+    const double step_ns = bench::timeNsPerOp([&] {
+        stepper.stepInto(ode, 0.0, f.x0, 0.1, nullptr, step_result);
+    });
+    const double step_miss = bench::allocMissesPerOp([&] {
+        stepper.stepInto(ode, 0.0, f.x0, 0.1, nullptr, step_result);
+    });
+
+    const double solve_ns = bench::timeNsPerOp([&] {
+        benchmark::DoNotOptimize(solveIvp(ode, f.x0, 0.0, 1.0,
+                                          ButcherTableau::rk23(), ctrl,
+                                          opts, nullptr, &ws));
+    });
+
+    // Heap allocations per *accepted* step at steady state — the
+    // headline zero-allocation metric. Results are dropped immediately
+    // (as the serving loop does), so every buffer recycles.
+    for (int i = 0; i < 3; i++)
+        solveIvp(ode, f.x0, 0.0, 1.0, ButcherTableau::rk23(), ctrl, opts,
+                 nullptr, &ws);
+    auto &pool = Workspace::local();
+    pool.resetStats();
+    std::uint64_t accepted = 0;
+    for (int i = 0; i < 8; i++) {
+        auto res = solveIvp(ode, f.x0, 0.0, 1.0, ButcherTableau::rk23(),
+                            ctrl, opts, nullptr, &ws);
+        accepted += res.stats.evalPoints;
+    }
+    const double miss_per_step =
+        accepted ? static_cast<double>(pool.stats().misses) /
+                       static_cast<double>(accepted)
+                 : 0.0;
+
+    bench::KernelBenchEntry step_entry;
+    step_entry.name = "rk23_step_into_mlp8";
+    step_entry.nsPerOp = step_ns;
+    step_entry.allocMissesPerOp = step_miss;
+
+    bench::KernelBenchEntry solve_entry;
+    solve_entry.name = "solve_ivp_serving_mlp8";
+    solve_entry.nsPerOp = solve_ns;
+    solve_entry.allocMissesPerOp = miss_per_step;
+
+    bench::writeKernelReport({step_entry, solve_entry});
+    std::printf("BENCH_kernels.json: %.3f heap allocations per accepted "
+                "RK step after warm-up (%llu steps sampled)\n",
+                miss_per_step, static_cast<unsigned long long>(accepted));
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitIntegratorReport();
+    return 0;
+}

@@ -97,4 +97,14 @@ Fp16::toFloatImpl(std::uint16_t bits)
     return bitsFloat(sign | ((exp + 112) << 23) | (mant << 13));
 }
 
+void
+quantizeFp16Buffer(float *data, std::size_t n)
+{
+    // Same translation unit as fromFloat/toFloatImpl, so the round trip
+    // inlines into this loop: one branch-light pass over raw memory
+    // instead of n out-of-line calls.
+    for (std::size_t i = 0; i < n; i++)
+        data[i] = Fp16(data[i]).toFloat();
+}
+
 } // namespace enode

@@ -16,6 +16,7 @@
  * the boundaries.
  */
 
+#include <cstddef>
 #include <cstdint>
 
 namespace enode {
@@ -123,6 +124,16 @@ roundToFp16(float value)
 {
     return Fp16(value).toFloat();
 }
+
+/**
+ * Round a whole buffer through half precision in one tight pass.
+ *
+ * This is the quantization kernel behind Tensor::quantizeFp16 and the
+ * FP16 datapath wrapper (Fp16Ode): a flat loop over raw pointers whose
+ * conversion logic inlines into the loop body — no per-element function
+ * call, no virtual dispatch.
+ */
+void quantizeFp16Buffer(float *data, std::size_t n);
 
 } // namespace enode
 

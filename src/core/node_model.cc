@@ -82,7 +82,8 @@ NodeModel::forward(const Tensor &x, const ButcherTableau &tableau,
     for (auto &net : nets_) {
         EmbeddedNetOde ode(*net);
         IvpResult layer = solveIvp(ode, h, 0.0, layerTime_, tableau,
-                                   controller, opts, evaluator);
+                                   controller, opts, evaluator,
+                                   &ivpWorkspace_);
         h = layer.yFinal;
         result.totalStats.accumulate(layer.stats);
         result.layers.push_back(std::move(layer));

@@ -127,6 +127,14 @@ class NodeModel
   private:
     std::vector<std::unique_ptr<EmbeddedNet>> nets_;
     double layerTime_;
+    /**
+     * Solver workspace threaded through every layer solve: the RK stage
+     * buffers, walking state, and FSAL stage persist across layers and
+     * forward calls, so repeated inference on same-shaped inputs
+     * allocates nothing. Makes forward() non-reentrant — concurrent
+     * serving uses per-worker model replicas (see runtime/).
+     */
+    IvpWorkspace ivpWorkspace_;
 };
 
 /** Lift a rank-1 state with `aug` zero-initialized extra dimensions. */

@@ -41,24 +41,24 @@ PriorityTrialEvaluator::rowEnergy(const Tensor &e, std::size_t r)
     return v * v;
 }
 
-TrialEvaluator::Trial
+void
 PriorityTrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper,
                                  double t, const Tensor &y, double dt,
-                                 double eps, const Tensor *k1_reuse)
+                                 double eps, const Tensor *k1_reuse,
+                                 Trial &trial)
 {
-    Trial trial;
     // Numerically the step is always fully computed; the *hardware* cost
     // of the trial is the scanned-row fraction recorded below. This keeps
     // the algorithm's decisions bit-identical to a streaming
     // implementation, which decides from the same error values.
-    trial.step = stepper.step(f, t, y, dt, k1_reuse);
+    stepper.stepInto(f, t, y, dt, k1_reuse, trial.step);
     stats_.trials++;
 
     if (!stepper.tableau().hasEmbedded()) {
         trial.accepted = true;
         trial.decisionNorm = 0.0;
         trial.workFraction = 1.0;
-        return trial;
+        return;
     }
 
     const Tensor &e = trial.step.errorState;
@@ -69,7 +69,8 @@ PriorityTrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper,
     if (!haveWindow_ || !opts_.acceptFromWindow) {
         // Full scan. The first trial doubles as the initialization that
         // locates the high-error region for the rest of this point.
-        std::vector<double> energy(rows);
+        std::vector<double> &energy = energy_;
+        energy.resize(rows);
         for (std::size_t r = 0; r < rows; r++)
             energy[r] = rowEnergy(e, r);
 
@@ -114,7 +115,7 @@ PriorityTrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper,
         winBegin_ = best_begin;
         winEnd_ = best_begin + win;
         haveWindow_ = true;
-        return trial;
+        return;
     }
 
     // Subsequent trials: scan the priority window first, early-stopping
@@ -148,7 +149,6 @@ PriorityTrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper,
         stats_.windowAccepts++;
     }
     stats_.rowsScanned += trial.workFraction * rows;
-    return trial;
 }
 
 } // namespace enode

@@ -67,9 +67,9 @@ class PriorityTrialEvaluator : public TrialEvaluator
 
     void pointStart() override;
 
-    Trial evaluate(OdeFunction &f, const RkStepper &stepper, double t,
-                   const Tensor &y, double dt, double eps,
-                   const Tensor *k1_reuse) override;
+    void evaluate(OdeFunction &f, const RkStepper &stepper, double t,
+                  const Tensor &y, double dt, double eps,
+                  const Tensor *k1_reuse, Trial &trial) override;
 
     const PriorityStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
@@ -90,6 +90,7 @@ class PriorityTrialEvaluator : public TrialEvaluator
     bool haveWindow_ = false;
     std::size_t winBegin_ = 0;
     std::size_t winEnd_ = 0;
+    std::vector<double> energy_; ///< per-row energies, reused per trial
 };
 
 } // namespace enode

@@ -12,14 +12,14 @@ convBackwardBias(const Tensor &grad_out)
 {
     ENODE_ASSERT(grad_out.shape().rank() == 3, "grad_out must be MHW");
     const std::size_t M = grad_out.shape().dim(0);
-    const std::size_t H = grad_out.shape().dim(1);
-    const std::size_t W = grad_out.shape().dim(2);
+    const std::size_t HW = grad_out.shape().dim(1) * grad_out.shape().dim(2);
     Tensor grad_b(Shape{M});
+    const float *gd = grad_out.data();
     for (std::size_t m = 0; m < M; m++) {
+        const float *g_map = gd + m * HW;
         float acc = 0.0f;
-        for (std::size_t h = 0; h < H; h++)
-            for (std::size_t w = 0; w < W; w++)
-                acc += grad_out.at(m, h, w);
+        for (std::size_t i = 0; i < HW; i++)
+            acc += g_map[i];
         grad_b.at(m) = acc;
     }
     return grad_b;

@@ -71,6 +71,56 @@ Tensor convBackwardWeights(const Tensor &x, const Tensor &grad_out,
  */
 Tensor convBackwardBias(const Tensor &grad_out);
 
+/**
+ * In-place variants: write into a caller-owned output tensor, which is
+ * resized (storage reused when the element count matches) — the
+ * zero-allocation entry points the solver workspaces use.
+ */
+void convForwardInto(Tensor &out, const Tensor &x, const Tensor &weight,
+                     const Tensor &bias);
+void convBackwardDataInto(Tensor &grad_x, const Tensor &grad_out,
+                          const Tensor &weight);
+void convBackwardWeightsInto(Tensor &grad_w, const Tensor &x,
+                             const Tensor &grad_out, std::size_t kernel);
+
+namespace conv {
+
+/** Forward implementation selected by the shape heuristic. */
+enum class Path
+{
+    Direct,     ///< register-tiled direct convolution (fused taps)
+    Im2colGemm, ///< im2col lowering + blocked GEMM
+};
+
+/** The path convForward would take for these shapes. */
+Path forwardPathFor(std::size_t in_channels, std::size_t out_channels,
+                    std::size_t height, std::size_t width,
+                    std::size_t kernel);
+
+/** Force the direct path (exposed for equivalence tests and benches). */
+void forwardDirect(Tensor &out, const Tensor &x, const Tensor &weight,
+                   const Tensor &bias);
+
+/** Force the im2col+GEMM path (exposed for tests and benches). */
+void forwardIm2colGemm(Tensor &out, const Tensor &x, const Tensor &weight,
+                       const Tensor &bias);
+
+} // namespace conv
+
+/**
+ * The original scalar kernels, retained verbatim as the ground truth
+ * for equivalence testing of the blocked/vectorized kernels above (and
+ * as the baseline the micro-benchmarks report speedups against).
+ */
+namespace reference {
+
+Tensor convForward(const Tensor &x, const Tensor &weight, const Tensor &bias);
+Tensor convBackwardData(const Tensor &grad_out, const Tensor &weight);
+Tensor convBackwardWeights(const Tensor &x, const Tensor &grad_out,
+                           std::size_t kernel);
+
+} // namespace reference
+
 /** 3x3 (or KxK) same convolution layer with learned weight and bias. */
 class Conv2d : public Layer
 {

@@ -17,26 +17,25 @@ IvpStats::accumulate(const IvpStats &other)
     equivalentTrials += other.equivalentTrials;
 }
 
-TrialEvaluator::Trial
+void
 TrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper, double t,
                          const Tensor &y, double dt, double eps,
-                         const Tensor *k1_reuse)
+                         const Tensor *k1_reuse, Trial &trial)
 {
-    Trial trial;
-    trial.step = stepper.step(f, t, y, dt, k1_reuse);
+    stepper.stepInto(f, t, y, dt, k1_reuse, trial.step);
     trial.decisionNorm = trial.step.errorNorm;
     // Integrators without an embedded estimator cannot reject; they run
     // at whatever stepsize the controller proposes (fixed-step mode).
     trial.accepted = !stepper.tableau().hasEmbedded() ||
                      trial.decisionNorm <= eps;
     trial.workFraction = 1.0;
-    return trial;
 }
 
 IvpResult
 solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
          const ButcherTableau &tableau, StepController &controller,
-         const IvpOptions &opts, TrialEvaluator *evaluator)
+         const IvpOptions &opts, TrialEvaluator *evaluator,
+         IvpWorkspace *workspace)
 {
     ENODE_ASSERT(t1 > t0, "solveIvp needs t1 > t0");
     ENODE_ASSERT(opts.tolerance > 0.0 && opts.initialDt > 0.0,
@@ -49,12 +48,19 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
     controller.reset(opts.initialDt);
 
     IvpResult result;
-    Tensor y = y0;
+    // All per-step buffers live in the workspace (a local one if the
+    // caller did not pass theirs — still allocation-free per step, the
+    // buffers just return to the thread pool when the solve ends).
+    IvpWorkspace local_ws;
+    IvpWorkspace &ws = workspace ? *workspace : local_ws;
+    TrialEvaluator::Trial &trial = ws.trial;
+    ws.y.copyFrom(y0);
+    Tensor &y = ws.y;
     double t = t0;
     // FSAL: the last stage of the previous accepted step. Only valid when
     // the previous step was accepted at the time the new k1 is needed and
     // the stage was evaluated at (t, y) — true for FSAL tableaus.
-    Tensor fsal_stage;
+    Tensor &fsal_stage = ws.fsalStage;
     bool have_fsal = false;
 
     const std::uint64_t f_evals_at_start = f.evalCount();
@@ -80,8 +86,8 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
             const Tensor *k1 =
                 (have_fsal && tableau.fsal()) ? &fsal_stage : nullptr;
 
-            auto trial = eval.evaluate(f, stepper, t, y, dt_effective,
-                                       opts.tolerance, k1);
+            eval.evaluate(f, stepper, t, y, dt_effective, opts.tolerance,
+                          k1, trial);
             n_try++;
             result.stats.trials++;
             result.stats.equivalentTrials += trial.workFraction;
@@ -96,17 +102,21 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
                 accepted = true;
                 controller.accepted(dt_effective, trial.decisionNorm,
                                     opts.tolerance, n_try == 1);
-                result.checkpoints.push_back({t, dt_effective, y});
+                if (opts.recordCheckpoints) {
+                    result.checkpoints.push_back({t, dt_effective, y});
+                    result.trialsPerPoint.push_back(n_try);
+                }
+                // Swap rather than copy: trial.step.yNext inherits the
+                // outgoing state's buffer and reuses it next step.
                 y = std::move(trial.step.yNext);
                 if (opts.quantizeFp16)
                     y.quantizeFp16();
                 if (tableau.fsal() && !trial.step.stages.empty()) {
-                    fsal_stage = trial.step.stages.back();
+                    fsal_stage.copyFrom(trial.step.stages.back());
                     have_fsal = true;
                 }
                 t += dt_effective;
                 result.stats.evalPoints++;
-                result.trialsPerPoint.push_back(n_try);
             } else {
                 result.stats.rejected++;
                 dt_try = controller.rejectedDt(dt_effective,

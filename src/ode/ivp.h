@@ -72,6 +72,14 @@ struct IvpOptions
     std::uint32_t maxTrialsPerPoint = 60;
     std::uint64_t maxEvalPoints = 1u << 20;
     bool quantizeFp16 = false; ///< round accepted states through FP16
+    /**
+     * Record per-point diagnostics (checkpoints and trialsPerPoint).
+     * Training needs the checkpoints — they are the states the ACA
+     * backward pass replays — but inference-only serving does not, and
+     * disabling them removes the state copy and vector growth per
+     * accepted step (the allocation-free hot path).
+     */
+    bool recordCheckpoints = true;
 };
 
 /**
@@ -99,10 +107,29 @@ class TrialEvaluator
     /** A new evaluation point begins (priority windows reset here). */
     virtual void pointStart() {}
 
-    /** Perform one trial at stepsize dt. */
-    virtual Trial evaluate(OdeFunction &f, const RkStepper &stepper,
-                           double t, const Tensor &y, double dt, double eps,
-                           const Tensor *k1_reuse);
+    /**
+     * Perform one trial at stepsize dt into a caller-owned Trial whose
+     * step buffers are reused across trials (every field of `trial` is
+     * overwritten; nothing from the previous trial is read).
+     */
+    virtual void evaluate(OdeFunction &f, const RkStepper &stepper,
+                          double t, const Tensor &y, double dt, double eps,
+                          const Tensor *k1_reuse, Trial &trial);
+};
+
+/**
+ * Reusable state of the adaptive solve: the trial (with its RK stage
+ * buffers), the walking state, and the FSAL stage. Pass the same
+ * workspace to successive solveIvp calls on same-shaped problems and
+ * the solver performs no heap allocation after the first solve; the
+ * caller must not touch the members while a solve is running. NodeModel
+ * holds one per model and threads it through every layer solve.
+ */
+struct IvpWorkspace
+{
+    TrialEvaluator::Trial trial;
+    Tensor y;         ///< the walking state h(t)
+    Tensor fsalStage; ///< last stage of the previous accepted step
 };
 
 /**
@@ -115,11 +142,14 @@ class TrialEvaluator
  *        slope-adaptive).
  * @param opts Tolerances and limits.
  * @param evaluator Optional trial evaluator (null = full evaluation).
+ * @param workspace Optional reusable solve state; pass the same one to
+ *        successive solves to make the hot path allocation-free.
  */
 IvpResult solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
                    const ButcherTableau &tableau, StepController &controller,
                    const IvpOptions &opts,
-                   TrialEvaluator *evaluator = nullptr);
+                   TrialEvaluator *evaluator = nullptr,
+                   IvpWorkspace *workspace = nullptr);
 
 } // namespace enode
 

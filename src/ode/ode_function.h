@@ -24,6 +24,20 @@ class OdeFunction
     /** Evaluate the derivative at time t and state h. */
     virtual Tensor eval(double t, const Tensor &h) = 0;
 
+    /**
+     * Evaluate into a caller-owned tensor, reusing its storage. The
+     * allocation-free entry point the RK stepper drives its stage
+     * evaluations through. The default forwards to eval(); the
+     * move-assignment recycles out's previous buffer through the
+     * workspace pool, so even un-overridden implementations are
+     * heap-free at steady state.
+     */
+    virtual void
+    evalInto(double t, const Tensor &h, Tensor &out)
+    {
+        out = eval(t, h);
+    }
+
     /** Total evaluations performed (complexity metering, Fig. 3). */
     std::uint64_t evalCount() const { return evalCount_; }
     void resetEvalCount() { evalCount_ = 0; }
@@ -51,16 +65,26 @@ class Fp16Ode : public OdeFunction
     Tensor
     eval(double t, const Tensor &h) override
     {
-        countEval();
-        Tensor h16 = h;
-        h16.quantizeFp16();
-        Tensor d = inner_.eval(t, h16);
-        d.quantizeFp16();
+        Tensor d;
+        evalInto(t, h, d);
         return d;
+    }
+
+    void
+    evalInto(double t, const Tensor &h, Tensor &out) override
+    {
+        countEval();
+        // Quantize into a reused scratch state rather than copying the
+        // full state per evaluation: copyFrom keeps h16_'s buffer.
+        h16_.copyFrom(h);
+        h16_.quantizeFp16();
+        inner_.evalInto(t, h16_, out);
+        out.quantizeFp16();
     }
 
   private:
     OdeFunction &inner_;
+    Tensor h16_; ///< reused FP16-rounded copy of the state
 };
 
 } // namespace enode

@@ -52,6 +52,17 @@ class RkStepper
     StepResult step(OdeFunction &f, double t, const Tensor &y, double dt,
                     const Tensor *k1_reuse = nullptr) const;
 
+    /**
+     * Take one full step into a caller-owned StepResult, reusing its
+     * stage tensors, stage inputs, next state, and error state. After
+     * the first call has sized the buffers (and the workspace pool has
+     * warmed up), a step performs no heap allocation. `result` may be
+     * the output of a previous step; `y` must not alias any tensor
+     * inside it.
+     */
+    void stepInto(OdeFunction &f, double t, const Tensor &y, double dt,
+                  const Tensor *k1_reuse, StepResult &result) const;
+
     const ButcherTableau &tableau() const { return tableau_; }
 
   private:

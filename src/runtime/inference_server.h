@@ -38,6 +38,19 @@
 
 namespace enode {
 
+/** Serving solver defaults: inference-only, so per-point checkpoint
+ *  recording is off — responses carry only the output and stats, and
+ *  skipping the checkpoint state copies keeps each worker's solve
+ *  allocation-free at steady state (per-worker model replicas hold the
+ *  solver workspace; the thread-local tensor pool does the rest). */
+inline IvpOptions
+servingIvpDefaults()
+{
+    IvpOptions opts;
+    opts.recordCheckpoints = false;
+    return opts;
+}
+
 /** Server construction knobs. */
 struct ServerOptions
 {
@@ -51,7 +64,7 @@ struct ServerOptions
     SelectPolicy policy = SelectPolicy::LaterStreamFirst;
 
     /** Solver options every request is served with. */
-    IvpOptions ivp;
+    IvpOptions ivp = servingIvpDefaults();
 
     /**
      * Start with the workers gated: requests queue up but nothing

@@ -1,11 +1,14 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/fp16.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "tensor/workspace.h"
 
 namespace enode {
 
@@ -52,13 +55,17 @@ Shape::str() const
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_.numel(), 0.0f)
+    : shape_(std::move(shape)),
+      data_(detail::acquireBuffer(shape_.numel()))
 {
+    std::fill(data_.begin(), data_.end(), 0.0f);
 }
 
 Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)), data_(shape_.numel(), fill)
+    : shape_(std::move(shape)),
+      data_(detail::acquireBuffer(shape_.numel()))
 {
+    std::fill(data_.begin(), data_.end(), fill);
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
@@ -66,6 +73,78 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
 {
     ENODE_ASSERT(data_.size() == shape_.numel(), "data size ", data_.size(),
                  " != shape numel ", shape_.numel());
+}
+
+Tensor::~Tensor()
+{
+    detail::releaseBuffer(std::move(data_));
+}
+
+Tensor::Tensor(const Tensor &other)
+    : shape_(other.shape_),
+      data_(detail::acquireBuffer(other.data_.size()))
+{
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this != &other)
+        copyFrom(other);
+    return *this;
+}
+
+Tensor::Tensor(Tensor &&other) noexcept
+    : shape_(std::move(other.shape_)), data_(std::move(other.data_))
+{
+    other.shape_ = Shape();
+    other.data_.clear();
+}
+
+Tensor &
+Tensor::operator=(Tensor &&other) noexcept
+{
+    if (this != &other) {
+        // Swap rather than destroy: the moved-from tensor carries our
+        // old buffer back to the pool (or gets it recycled in place by
+        // a later copyFrom, the stepper workspace pattern).
+        std::swap(shape_, other.shape_);
+        std::swap(data_, other.data_);
+    }
+    return *this;
+}
+
+void
+Tensor::resize(const Shape &shape)
+{
+    if (shape.numel() != data_.size()) {
+        detail::releaseBuffer(std::move(data_));
+        data_ = detail::acquireBuffer(shape.numel());
+    }
+    shape_ = shape;
+}
+
+void
+Tensor::copyFrom(const Tensor &src)
+{
+    ENODE_ASSERT(this != &src, "copyFrom self");
+    // Match src's exact storage size (an empty tensor has no buffer even
+    // though a rank-0 shape reports numel() == 1).
+    if (src.data_.size() != data_.size()) {
+        detail::releaseBuffer(std::move(data_));
+        data_ = detail::acquireBuffer(src.data_.size());
+    }
+    shape_ = src.shape_;
+    std::copy(src.data_.begin(), src.data_.end(), data_.begin());
+}
+
+void
+Tensor::reset()
+{
+    detail::releaseBuffer(std::move(data_));
+    data_.clear();
+    shape_ = Shape();
 }
 
 Tensor
@@ -149,7 +228,9 @@ Tensor::reshaped(Shape shape) const
 {
     ENODE_ASSERT(shape.numel() == numel(), "reshape ", shape_.str(), " -> ",
                  shape.str(), " changes numel");
-    return Tensor(std::move(shape), data_);
+    Tensor out(*this); // pooled copy
+    out.shape_ = std::move(shape);
+    return out;
 }
 
 Tensor
@@ -160,9 +241,11 @@ Tensor::sample(std::size_t n) const
     const std::size_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
     ENODE_ASSERT(n < shape_.dim(0), "sample index out of batch");
     const std::size_t stride = C * H * W;
-    std::vector<float> chunk(data_.begin() + n * stride,
-                             data_.begin() + (n + 1) * stride);
-    return Tensor(Shape{C, H, W}, std::move(chunk));
+    Tensor out;
+    out.resize(Shape{C, H, W});
+    std::copy(data_.begin() + n * stride, data_.begin() + (n + 1) * stride,
+              out.data_.begin());
+    return out;
 }
 
 void
@@ -252,8 +335,7 @@ Tensor::axpy(float alpha, const Tensor &x)
 void
 Tensor::quantizeFp16()
 {
-    for (auto &v : data_)
-        v = roundToFp16(v);
+    quantizeFp16Buffer(data_.data(), data_.size());
 }
 
 double

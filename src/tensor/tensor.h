@@ -49,12 +49,27 @@ class Shape
     std::vector<std::size_t> dims_;
 };
 
-/** Dense row-major float tensor with value semantics. */
+/**
+ * Dense row-major float tensor with value semantics.
+ *
+ * Storage is drawn from the thread-local Workspace arena
+ * (tensor/workspace.h): construction reuses a recycled buffer of the
+ * same size when one is available and destruction returns the buffer to
+ * the pool, so steady-state solver loops allocate nothing from the
+ * heap. Copy assignment into a tensor of equal element count reuses the
+ * existing storage outright.
+ */
 class Tensor
 {
   public:
     /** Empty tensor (rank 0, no storage). */
     Tensor() = default;
+
+    ~Tensor();
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept;
+    Tensor &operator=(Tensor &&other) noexcept;
 
     /** Zero-filled tensor of the given shape. */
     explicit Tensor(Shape shape);
@@ -104,6 +119,23 @@ class Tensor
     void setSample(std::size_t n, const Tensor &sample);
 
     void fill(float value);
+
+    /** In-place scale by a scalar (alias of *=, named for workspaces). */
+    void scale(float s) { *this *= s; }
+
+    /**
+     * Re-shape this tensor in place, reusing the existing storage when
+     * the element count is unchanged and re-acquiring from the
+     * workspace pool otherwise. Contents are unspecified after a
+     * numel-changing resize.
+     */
+    void resize(const Shape &shape);
+
+    /** Become an elementwise copy of src, reusing storage when possible. */
+    void copyFrom(const Tensor &src);
+
+    /** Release storage (back to the workspace pool); rank 0 afterwards. */
+    void reset();
 
     /** In-place elementwise: this += other. Shapes must match. */
     Tensor &operator+=(const Tensor &other);

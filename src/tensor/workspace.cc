@@ -1,0 +1,101 @@
+#include "tensor/workspace.h"
+
+namespace enode {
+
+namespace {
+
+/**
+ * Lifetime phase of the calling thread's arena. The flag itself is
+ * trivially destructible, so it stays readable during static/thread
+ * teardown after the Workspace object is gone.
+ */
+enum class TlsPhase : unsigned char
+{
+    Unborn, ///< arena not constructed yet — construct on demand
+    Alive,  ///< arena usable
+    Dead,   ///< arena destroyed — fall back to the heap
+};
+
+thread_local TlsPhase tls_phase = TlsPhase::Unborn;
+
+} // namespace
+
+Workspace::Workspace()
+{
+    tls_phase = TlsPhase::Alive;
+}
+
+Workspace::~Workspace()
+{
+    tls_phase = TlsPhase::Dead;
+}
+
+Workspace &
+Workspace::local()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
+std::vector<float>
+Workspace::acquire(std::size_t n)
+{
+    if (n > 0) {
+        auto it = buckets_.find(n);
+        if (it != buckets_.end() && !it->second.empty()) {
+            std::vector<float> buf = std::move(it->second.back());
+            it->second.pop_back();
+            bytesHeld_ -= n * sizeof(float);
+            stats_.hits++;
+            return buf;
+        }
+    }
+    stats_.misses++;
+    return std::vector<float>(n);
+}
+
+void
+Workspace::release(std::vector<float> &&buf)
+{
+    const std::size_t n = buf.size();
+    if (n == 0)
+        return;
+    auto &bucket = buckets_[n];
+    if (bucket.size() >= kMaxPerBucket ||
+        bytesHeld_ + n * sizeof(float) > kMaxBytesHeld) {
+        stats_.dropped++;
+        return; // buf frees on scope exit
+    }
+    bytesHeld_ += n * sizeof(float);
+    bucket.push_back(std::move(buf));
+    stats_.releases++;
+}
+
+void
+Workspace::trim()
+{
+    buckets_.clear();
+    bytesHeld_ = 0;
+}
+
+namespace detail {
+
+std::vector<float>
+acquireBuffer(std::size_t n)
+{
+    if (tls_phase == TlsPhase::Dead)
+        return std::vector<float>(n);
+    return Workspace::local().acquire(n);
+}
+
+void
+releaseBuffer(std::vector<float> &&buf)
+{
+    if (tls_phase != TlsPhase::Alive)
+        return; // frees normally
+    Workspace::local().release(std::move(buf));
+}
+
+} // namespace detail
+
+} // namespace enode

@@ -1,0 +1,103 @@
+#ifndef ENODE_TENSOR_WORKSPACE_H
+#define ENODE_TENSOR_WORKSPACE_H
+
+/**
+ * @file
+ * Thread-local recycling arena for Tensor storage.
+ *
+ * Every f evaluation of every integration trial creates and destroys a
+ * handful of activation-sized tensors; with a plain allocator a single
+ * adaptive solve performs thousands of heap round trips. The Workspace
+ * keeps returned buffers in exact-size buckets and hands them back on
+ * the next acquire, so after one warm-up pass the entire solver hot
+ * path (stage states, f activations, error maps, checkpoints) runs
+ * without touching the heap — the software analogue of the paper's
+ * depth-first buffer reuse (Sec. IV.A), where intermediate states live
+ * in fixed on-chip SRAM instead of being re-allocated from DRAM.
+ *
+ * The pool is thread-local: workers of the serving runtime each own a
+ * private arena, so no locks are taken on the hot path and the TSan job
+ * stays clean. Buffers released on a different thread than they were
+ * acquired on simply migrate to the releasing thread's pool.
+ *
+ * Capacity is bounded (per-bucket count and total bytes); beyond the
+ * caps a released buffer is genuinely freed. `Workspace::stats()`
+ * exposes hit/miss counters — a *miss* is a real heap allocation, which
+ * is what the zero-allocation tests and benches assert on.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace enode {
+
+/** Thread-local size-bucketed pool of float buffers. */
+class Workspace
+{
+  public:
+    /** Allocation accounting. A miss is an actual heap allocation. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;     ///< acquires served from the pool
+        std::uint64_t misses = 0;   ///< acquires that hit the heap
+        std::uint64_t releases = 0; ///< buffers returned to the pool
+        std::uint64_t dropped = 0;  ///< releases freed due to caps
+    };
+
+    /** The calling thread's arena (constructed on first use). */
+    static Workspace &local();
+
+    /**
+     * Take a buffer of exactly `n` floats. Contents are unspecified on a
+     * pool hit; callers initialize explicitly (Tensor constructors do).
+     */
+    std::vector<float> acquire(std::size_t n);
+
+    /** Return a buffer to the pool (or free it when over the caps). */
+    void release(std::vector<float> &&buf);
+
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+    /** Bytes currently held in the pool (free buffers only). */
+    std::size_t bytesHeld() const { return bytesHeld_; }
+
+    /** Free every pooled buffer (stats are kept). */
+    void trim();
+
+    /** Max buffers retained per size bucket. */
+    static constexpr std::size_t kMaxPerBucket = 64;
+    /** Max total bytes retained per thread. */
+    static constexpr std::size_t kMaxBytesHeld = std::size_t{256} << 20;
+
+    ~Workspace();
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+  private:
+    Workspace();
+
+    std::unordered_map<std::size_t, std::vector<std::vector<float>>>
+        buckets_;
+    std::size_t bytesHeld_ = 0;
+    Stats stats_;
+};
+
+namespace detail {
+
+/**
+ * Pool-aware storage helpers used by Tensor. They are safe at any point
+ * of the thread's lifetime: before the thread-local arena exists they
+ * create it, and after it has been destroyed (static-destruction order)
+ * they fall back to the plain heap.
+ */
+std::vector<float> acquireBuffer(std::size_t n);
+void releaseBuffer(std::vector<float> &&buf);
+
+} // namespace detail
+
+} // namespace enode
+
+#endif // ENODE_TENSOR_WORKSPACE_H

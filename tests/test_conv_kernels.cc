@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Exhaustive equivalence of the blocked/vectorized convolution kernels
+ * (and the im2col+GEMM path) against the retained reference kernels in
+ * enode::reference, across odd/even map shapes, degenerate maps
+ * narrower than the kernel, and 1x1/3x3/5x5/7x7/9x9 taps. All kernels
+ * are stride-1 same-(zero)-padding by contract; the shape sweep covers
+ * every padding regime that contract produces (interior-only maps,
+ * edge-dominated maps, maps narrower than the kernel).
+ *
+ * Where the fast kernel preserves the reference accumulation order
+ * (single-tap 1x1 forward/adjoint) the match is required to be
+ * bitwise; everywhere else a <= 1e-5 relative tolerance applies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "tensor/workspace.h"
+
+namespace enode {
+namespace {
+
+struct ConvCase
+{
+    std::size_t C, M, H, W, K;
+};
+
+std::vector<ConvCase>
+sweepCases()
+{
+    std::vector<ConvCase> cases;
+    const std::size_t channels[] = {1, 2, 3, 5, 8, 9};
+    const std::pair<std::size_t, std::size_t> maps[] = {
+        {1, 1}, {2, 3}, {4, 7}, {5, 5}, {7, 4}, {12, 12}};
+    const std::size_t kernels[] = {1, 3, 5};
+    for (auto c : channels)
+        for (auto m : channels)
+            for (auto [h, w] : maps)
+                for (auto k : kernels)
+                    cases.push_back({c, m, h, w, k});
+    // Large taps: the >kMaxFusedK fallbacks (im2col forward, reference
+    // weight-grad) and maps narrower than the kernel.
+    cases.push_back({3, 4, 9, 9, 7});
+    cases.push_back({2, 3, 5, 5, 9});
+    cases.push_back({4, 4, 3, 2, 5});
+    cases.push_back({8, 8, 2, 2, 7});
+    return cases;
+}
+
+/**
+ * |a - b| <= atol + rtol * |b| elementwise, with context on failure.
+ * Inputs are unit-scale, so atol = 1e-5 is 1e-5 relative to the data
+ * magnitude; the reordered accumulation (fused taps, channel tiles)
+ * legitimately differs from the reference by a few float ulps of the
+ * partial sums, which exceeds the final value's ulp where taps cancel.
+ */
+void
+expectClose(const Tensor &fast, const Tensor &ref, const ConvCase &cs,
+            const char *kernel_name)
+{
+    ASSERT_EQ(fast.shape().dims(), ref.shape().dims());
+    EXPECT_TRUE(Tensor::allClose(fast, ref, 1e-5, 1e-5))
+        << kernel_name << " C=" << cs.C << " M=" << cs.M << " H=" << cs.H
+        << " W=" << cs.W << " K=" << cs.K
+        << " maxAbsDiff=" << Tensor::maxAbsDiff(fast, ref);
+}
+
+TEST(ConvKernelEquivalence, ForwardMatchesReferenceAcrossShapes)
+{
+    Rng rng(42);
+    for (const auto &cs : sweepCases()) {
+        const Tensor x = Tensor::randn(Shape{cs.C, cs.H, cs.W}, rng, 1.0f);
+        const Tensor w =
+            Tensor::randn(Shape{cs.M, cs.C, cs.K, cs.K}, rng, 0.5f);
+        const Tensor b = Tensor::randn(Shape{cs.M}, rng, 0.5f);
+        expectClose(convForward(x, w, b), reference::convForward(x, w, b),
+                    cs, "forward");
+        // Bias-less variant exercises the zero-init path.
+        expectClose(convForward(x, w, Tensor()),
+                    reference::convForward(x, w, Tensor()), cs,
+                    "forward-nobias");
+    }
+}
+
+TEST(ConvKernelEquivalence, BackwardDataMatchesReferenceAcrossShapes)
+{
+    Rng rng(43);
+    for (const auto &cs : sweepCases()) {
+        const Tensor g = Tensor::randn(Shape{cs.M, cs.H, cs.W}, rng, 1.0f);
+        const Tensor w =
+            Tensor::randn(Shape{cs.M, cs.C, cs.K, cs.K}, rng, 0.5f);
+        expectClose(convBackwardData(g, w),
+                    reference::convBackwardData(g, w), cs, "backward-data");
+    }
+}
+
+TEST(ConvKernelEquivalence, BackwardWeightsMatchesReferenceAcrossShapes)
+{
+    Rng rng(44);
+    for (const auto &cs : sweepCases()) {
+        const Tensor x = Tensor::randn(Shape{cs.C, cs.H, cs.W}, rng, 1.0f);
+        const Tensor g = Tensor::randn(Shape{cs.M, cs.H, cs.W}, rng, 1.0f);
+        expectClose(convBackwardWeights(x, g, cs.K),
+                    reference::convBackwardWeights(x, g, cs.K), cs,
+                    "backward-weights");
+    }
+}
+
+TEST(ConvKernelEquivalence, BothForwardPathsMatchReference)
+{
+    // The heuristic picks one path; equivalence must hold for both on
+    // every shape (each path also serves shapes the heuristic would
+    // route to the other).
+    Rng rng(45);
+    for (const auto &cs : sweepCases()) {
+        const Tensor x = Tensor::randn(Shape{cs.C, cs.H, cs.W}, rng, 1.0f);
+        const Tensor w =
+            Tensor::randn(Shape{cs.M, cs.C, cs.K, cs.K}, rng, 0.5f);
+        const Tensor b = Tensor::randn(Shape{cs.M}, rng, 0.5f);
+        const Tensor ref = reference::convForward(x, w, b);
+        Tensor out;
+        conv::forwardDirect(out, x, w, b);
+        expectClose(out, ref, cs, "forward-direct");
+        conv::forwardIm2colGemm(out, x, w, b);
+        expectClose(out, ref, cs, "forward-im2col");
+    }
+}
+
+TEST(ConvKernelEquivalence, SingleTapKernelsAreBitwiseIdentical)
+{
+    // 1x1 kernels preserve the reference accumulation order (one tap,
+    // channels accumulated in the same sequence), so the fast forward
+    // and adjoint must match bit for bit.
+    Rng rng(46);
+    for (std::size_t c : {1u, 3u, 8u}) {
+        for (std::size_t m : {1u, 5u, 8u}) {
+            const Tensor x = Tensor::randn(Shape{c, 6, 11}, rng, 1.0f);
+            const Tensor g = Tensor::randn(Shape{m, 6, 11}, rng, 1.0f);
+            const Tensor w = Tensor::randn(Shape{m, c, 1, 1}, rng, 0.5f);
+            const Tensor b = Tensor::randn(Shape{m}, rng, 0.5f);
+
+            const Tensor fwd = convForward(x, w, b);
+            const Tensor fwd_ref = reference::convForward(x, w, b);
+            ASSERT_EQ(fwd.numel(), fwd_ref.numel());
+            for (std::size_t i = 0; i < fwd.numel(); i++)
+                ASSERT_EQ(fwd.at(i), fwd_ref.at(i)) << "forward elem " << i;
+
+            const Tensor bwd = convBackwardData(g, w);
+            const Tensor bwd_ref = reference::convBackwardData(g, w);
+            for (std::size_t i = 0; i < bwd.numel(); i++)
+                ASSERT_EQ(bwd.at(i), bwd_ref.at(i)) << "adjoint elem " << i;
+        }
+    }
+}
+
+TEST(ConvKernelEquivalence, ZeroWeightsSkipMatchesReference)
+{
+    // Sparse kernels exercise the zero-tap skip branches.
+    Rng rng(47);
+    Tensor x = Tensor::randn(Shape{4, 9, 9}, rng, 1.0f);
+    Tensor w(Shape{4, 4, 3, 3});
+    // Only the center taps of half the (m, c) pairs are nonzero.
+    for (std::size_t m = 0; m < 4; m++)
+        for (std::size_t c = m % 2; c < 4; c += 2)
+            w.at((((m * 4) + c) * 3 + 1) * 3 + 1) = 1.5f;
+    const ConvCase cs{4, 4, 9, 9, 3};
+    expectClose(convForward(x, w, Tensor()),
+                reference::convForward(x, w, Tensor()), cs, "sparse-fwd");
+    expectClose(convBackwardData(x, w), reference::convBackwardData(x, w),
+                cs, "sparse-bwd");
+}
+
+TEST(ConvKernelEquivalence, IntoVariantsReuseStorageWithoutAllocating)
+{
+    Rng rng(48);
+    const Tensor x = Tensor::randn(Shape{8, 16, 16}, rng, 1.0f);
+    const Tensor w = Tensor::randn(Shape{8, 8, 3, 3}, rng, 0.5f);
+    const Tensor b = Tensor::randn(Shape{8}, rng, 0.5f);
+
+    Tensor out, gx, gw;
+    // Two warm-up rounds: the first sizes the outputs (gw's buffer can
+    // claim a pooled size-class a scratch released moments earlier),
+    // the second repopulates every scratch bucket, after which the
+    // working set is closed.
+    for (int i = 0; i < 2; i++) {
+        convForwardInto(out, x, w, b);
+        convBackwardDataInto(gx, out, w);
+        convBackwardWeightsInto(gw, x, out, 3);
+    }
+    const Tensor first = out;
+
+    // Steady state: repeated calls into the same outputs must be
+    // pool-hit only (a miss is a real heap allocation).
+    auto &ws = Workspace::local();
+    ws.resetStats();
+    for (int i = 0; i < 3; i++) {
+        convForwardInto(out, x, w, b);
+        convBackwardDataInto(gx, out, w);
+        convBackwardWeightsInto(gw, x, out, 3);
+    }
+    EXPECT_EQ(ws.stats().misses, 0u);
+    for (std::size_t i = 0; i < out.numel(); i++)
+        ASSERT_EQ(out.at(i), first.at(i));
+}
+
+TEST(ConvKernelHeuristic, LargeTapsRouteToGemm)
+{
+    EXPECT_EQ(conv::forwardPathFor(8, 8, 32, 32, 3), conv::Path::Direct);
+    EXPECT_EQ(conv::forwardPathFor(8, 8, 32, 32, 9),
+              conv::Path::Im2colGemm);
+    EXPECT_EQ(conv::forwardPathFor(8, 8, 2, 2, 5), conv::Path::Im2colGemm);
+    EXPECT_EQ(conv::forwardPathFor(1, 1, 2, 2, 3), conv::Path::Direct);
+}
+
+} // namespace
+} // namespace enode
