@@ -342,6 +342,7 @@ struct KernelBenchEntry
     double gflops = 0.0;           ///< arithmetic throughput, when defined
     double allocMissesPerOp = 0.0; ///< heap allocations per op (pool misses)
     double speedupVsRef = 0.0;     ///< fast / reference pairing, when defined
+    double parallelEfficiency = 0.0; ///< speedup / threads, when parallel
 };
 
 /**
@@ -429,7 +430,8 @@ writeKernelReport(const std::vector<KernelBenchEntry> &entries,
            << std::fixed << std::setprecision(1) << e.nsPerOp
            << ", \"gflops\": " << std::setprecision(3) << e.gflops
            << ", \"alloc_misses_per_op\": " << e.allocMissesPerOp
-           << ", \"speedup_vs_ref\": " << e.speedupVsRef << "}";
+           << ", \"speedup_vs_ref\": " << e.speedupVsRef
+           << ", \"parallel_efficiency\": " << e.parallelEfficiency << "}";
         return os.str();
     };
     for (const auto &e : entries) {

@@ -1,0 +1,229 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+/** Set for the lifetime of every pool worker thread (any pool). */
+thread_local bool tls_on_worker = false;
+
+/** The calling thread's intra-op execution scope. */
+thread_local TaskPool *tls_scope_pool = nullptr;
+thread_local std::size_t tls_scope_width = 1;
+
+/** Balanced static partition: bounds of chunk c of `ways` over `range`. */
+inline std::pair<std::size_t, std::size_t>
+chunkBounds(std::size_t range, std::size_t ways, std::size_t c)
+{
+    const std::size_t base = range / ways;
+    const std::size_t rem = range % ways;
+    const std::size_t begin = c * base + std::min(c, rem);
+    const std::size_t size = base + (c < rem ? 1 : 0);
+    return {begin, begin + size};
+}
+
+} // namespace
+
+TaskPool::TaskPool(std::size_t workers) : workerTarget_(workers)
+{
+    mailbox_.resize(workers);
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+TaskPool::ensureStarted()
+{
+    // Caller holds mutex_. Spawn the ring on first use only: a pool
+    // constructed but never exercised costs nothing.
+    if (started_ || workerTarget_ == 0)
+        return;
+    started_ = true;
+    threads_.reserve(workerTarget_);
+    for (std::size_t i = 0; i < workerTarget_; i++)
+        threads_.emplace_back([this, i] { workerMain(i); });
+}
+
+bool
+TaskPool::onWorkerThread()
+{
+    return tls_on_worker;
+}
+
+TaskPool &
+TaskPool::global()
+{
+    static TaskPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 1 ? static_cast<std::size_t>(hw - 1) : std::size_t{0};
+    }());
+    return pool;
+}
+
+void
+TaskPool::runChunk(const Batch &batch, std::size_t chunk)
+{
+    const auto [begin, end] = chunkBounds(batch.range, batch.ways, chunk);
+    (*batch.fn)(begin, end);
+}
+
+void
+TaskPool::parallelFor(std::size_t grain, std::size_t range, const ChunkFn &fn,
+                      std::size_t maxWays)
+{
+    ENODE_ASSERT(grain >= 1, "parallelFor grain must be >= 1");
+    if (range == 0)
+        return;
+
+    // Static split: never more chunks than full grains, workers + the
+    // caller, or the requested width. Nested calls (from inside a pool
+    // worker) degenerate to serial: the ring is one level deep, like
+    // the hardware's single layer of cores.
+    std::size_t ways = std::min(range / grain, workerTarget_ + 1);
+    if (maxWays > 0)
+        ways = std::min(ways, maxWays);
+    if (ways <= 1 || tls_on_worker) {
+        fn(0, range);
+        return;
+    }
+
+    Batch batch;
+    batch.fn = &fn;
+    batch.range = range;
+    batch.ways = ways;
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ensureStarted();
+        // Rotate the chunk->worker mapping per call so concurrent
+        // callers spread across the ring and every worker sees every
+        // chunk shape within a few calls (arena warm-up coverage).
+        const std::size_t offset = nextOffset_;
+        nextOffset_ = (nextOffset_ + ways - 1) % workerTarget_;
+        for (std::size_t c = 1; c < ways; c++) {
+            Job job;
+            job.batch = &batch;
+            job.chunk = c;
+            mailbox_[(offset + c - 1) % workerTarget_].push_back(job);
+        }
+    }
+    wake_.notify_all();
+
+    runChunk(batch, 0); // the caller is core 0 of the ring
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch.cv.wait(lock, [&] { return batch.done == batch.ways - 1; });
+}
+
+void
+TaskPool::runOnWorkers(const std::function<void()> &fn)
+{
+    if (workerTarget_ == 0)
+        return;
+    std::size_t done = 0;
+    std::condition_variable cv;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ensureStarted();
+        for (std::size_t w = 0; w < workerTarget_; w++) {
+            Job job;
+            job.plain = &fn;
+            job.plainDone = &done;
+            job.plainCv = &cv;
+            mailbox_[w].push_back(job);
+        }
+    }
+    wake_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv.wait(lock, [&] { return done == workerTarget_; });
+}
+
+void
+TaskPool::workerMain(std::size_t worker_id)
+{
+    tls_on_worker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return shutdown_ || !mailbox_[worker_id].empty();
+        });
+        if (mailbox_[worker_id].empty()) {
+            if (shutdown_)
+                return;
+            continue;
+        }
+        Job job = mailbox_[worker_id].front();
+        mailbox_[worker_id].pop_front();
+        lock.unlock();
+
+        if (job.batch != nullptr)
+            runChunk(*job.batch, job.chunk);
+        else
+            (*job.plain)();
+
+        lock.lock();
+        if (job.batch != nullptr) {
+            job.batch->done++;
+            if (job.batch->done == job.batch->ways - 1)
+                job.batch->cv.notify_one();
+        } else {
+            (*job.plainDone)++;
+            if (*job.plainDone == workerTarget_)
+                job.plainCv->notify_one();
+        }
+    }
+}
+
+IntraOpScope::IntraOpScope(TaskPool *pool, std::size_t width)
+    : prevPool_(tls_scope_pool), prevWidth_(tls_scope_width)
+{
+    tls_scope_pool = width > 1 ? pool : nullptr;
+    tls_scope_width = tls_scope_pool != nullptr ? width : 1;
+}
+
+IntraOpScope::~IntraOpScope()
+{
+    tls_scope_pool = prevPool_;
+    tls_scope_width = prevWidth_;
+}
+
+TaskPool *
+IntraOpScope::currentPool()
+{
+    return tls_scope_pool;
+}
+
+std::size_t
+IntraOpScope::currentWidth()
+{
+    return tls_scope_width;
+}
+
+void
+intraOpParallelFor(std::size_t grain, std::size_t range,
+                   const TaskPool::ChunkFn &fn)
+{
+    TaskPool *pool = tls_scope_pool;
+    if (pool == nullptr || tls_scope_width <= 1) {
+        if (range > 0)
+            fn(0, range);
+        return;
+    }
+    pool->parallelFor(grain, range, fn, tls_scope_width);
+}
+
+} // namespace enode

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "nn/activation.h"
 #include "nn/concat_time.h"
 #include "nn/conv2d.h"
@@ -355,176 +356,231 @@ convRow(const Tensor &in, const Conv2d &conv, std::size_t row,
     }
 }
 
-} // namespace
-
-StreamingResult
-streamingStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
-              const Tensor &h, double dt)
+/**
+ * Per-run state and row producers of one RK step, shared by the serial
+ * depth-first scheduler and the packetized pipeline. Compute methods
+ * take an explicit row and never touch the progress counters, so a wave
+ * of packets can run them concurrently (each packet writes only its own
+ * row) and bump the counters afterwards — the serial path interleaves
+ * the same calls one row at a time.
+ */
+class StreamEngine
 {
-    ENODE_ASSERT(h.shape().rank() == 3, "streamingStep needs a CHW state");
-    const ConvStack stack = extractConvStack(net);
-    const std::size_t s = tableau.stages();
-    const std::size_t depth = stack.convs.size();
-    const std::size_t C = h.shape().dim(0);
-    const std::size_t H = h.shape().dim(1);
-    const std::size_t W = h.shape().dim(2);
-    const auto &a = tableau.a();
-    const auto &b = tableau.b();
-    const auto &c = tableau.c();
-    const bool emb = tableau.hasEmbedded();
-    const auto d = emb ? tableau.errorWeights() : std::vector<double>();
-    const std::size_t pad_rows = stack.convs.front()->kernel() / 2;
-
-    // Maps: the source h, per-stage inputs (stage 0 aliases h), the conv
-    // chains z[j][l] (z[j][depth-1] is k_j), and the streamed outputs.
-    // h itself *streams in* row by row: rows are fetched on demand (the
-    // lowest-priority producer), so its live window stays bounded like
-    // every other buffer.
-    StreamMap h_map{"h", h, 0, 0, true};
-    std::vector<StreamMap> stage_in(s);  // [j]; j = 0 unused (alias of h)
-    std::vector<std::vector<StreamMap>> z(s);
-    for (std::size_t j = 0; j < s; j++) {
-        if (j > 0)
-            stage_in[j] = {"y" + std::to_string(j + 1),
-                           Tensor(Shape{C, H, W}), 0, 0, true};
-        z[j].resize(depth);
-        for (std::size_t l = 0; l < depth; l++)
-            z[j][l] = {"z" + std::to_string(j + 1) + "." +
-                           std::to_string(l + 1),
-                       Tensor(Shape{C, H, W}), 0, 0, true};
+  public:
+    StreamEngine(EmbeddedNet &net, const ButcherTableau &tableau, double t,
+                 const Tensor &h, double dt)
+        : stack_(extractConvStack(net)), s_(tableau.stages()),
+          depth_(stack_.convs.size()), C_(h.shape().dim(0)),
+          H_(h.shape().dim(1)), W_(h.shape().dim(2)), a_(tableau.a()),
+          b_(tableau.b()), c_(tableau.c()), emb_(tableau.hasEmbedded()),
+          d_(emb_ ? tableau.errorWeights() : std::vector<double>()),
+          pad_rows_(stack_.convs.front()->kernel() / 2), t_(t), dt_(dt),
+          h_(h)
+    {
+        ENODE_ASSERT(h.shape().rank() == 3,
+                     "streaming executor needs a CHW state");
+        // Maps: the source h, per-stage inputs (stage 0 aliases h), the
+        // conv chains z[j][l] (z[j][depth-1] is k_j), and the streamed
+        // outputs. h itself *streams in* row by row: rows are fetched on
+        // demand (the lowest-priority producer), so its live window
+        // stays bounded like every other buffer.
+        h_map_ = {"h", h, 0, 0, true};
+        stage_in_.resize(s_); // [j]; j = 0 unused (alias of h)
+        z_.resize(s_);
+        for (std::size_t j = 0; j < s_; j++) {
+            if (j > 0)
+                stage_in_[j] = {"y" + std::to_string(j + 1),
+                                Tensor(Shape{C_, H_, W_}), 0, 0, true};
+            z_[j].resize(depth_);
+            for (std::size_t l = 0; l < depth_; l++)
+                z_[j][l] = {"z" + std::to_string(j + 1) + "." +
+                                std::to_string(l + 1),
+                            Tensor(Shape{C_, H_, W_}), 0, 0, true};
+        }
+        y_next_ = {"h'", h, 0, 0, false}; // starts as a copy of h
+        e_map_ = {"e", Tensor(Shape{C_, H_, W_}), 0, 0, false};
     }
-    StreamMap y_next{"h'", h, 0, 0, false}; // starts as a copy of h
-    StreamMap e_map{"e", Tensor(Shape{C, H, W}), 0, 0, false};
 
-    StreamingResult result{};
-    result.peakLiveRows = 0;
-    result.totalRowsComputed = 0;
+    StreamingResult runSerial();
+    StreamingResult runPipelined(TaskPool &pool, std::size_t width);
 
-    auto inputOf = [&](std::size_t j) -> StreamMap & {
-        return j == 0 ? h_map : stage_in[j];
+  private:
+    /** One schedulable row of work: {stream j, layer l, row r}. */
+    struct Packet
+    {
+        enum class Kind : unsigned char
+        {
+            Error,   ///< e row (most downstream)
+            Final,   ///< h' row
+            Conv,    ///< z[j][l] row
+            StageIn, ///< stage-input combine row
+        };
+        Kind kind;
+        std::size_t j;
+        std::size_t l;
+        std::size_t r;
     };
-    auto kMap = [&](std::size_t j) -> StreamMap & {
-        return z[j][depth - 1];
-    };
 
-    // --- Row producers -----------------------------------------------------
-    auto canStageIn = [&](std::size_t j) {
-        const std::size_t r = stage_in[j].rowsComputed;
-        if (r >= H || h_map.rowsComputed <= r)
-            return false;
+    StreamMap &inputOf(std::size_t j)
+    {
+        return j == 0 ? h_map_ : stage_in_[j];
+    }
+    StreamMap &kMap(std::size_t j) { return z_[j][depth_ - 1]; }
+
+    // --- Readiness ---------------------------------------------------------
+    // Each producer's ready range is [rowsComputed, limit): the limit is
+    // the first row whose inputs are not all complete under the current
+    // counters. The serial scheduler asks for one row (rowsComputed <
+    // limit); the pipeline takes the whole range, so a wave's packets
+    // only ever read rows finished in earlier waves.
+    std::size_t stageInLimit(std::size_t j)
+    {
+        std::size_t lim = std::min(H_, h_map_.rowsComputed);
         for (std::size_t l = 0; l < j; l++)
-            if (a[j][l] != 0.0 && kMap(l).rowsComputed <= r)
-                return false;
-        return true;
-    };
-    auto doStageIn = [&](std::size_t j) {
-        const std::size_t r = stage_in[j].rowsComputed;
-        for (std::size_t cc = 0; cc < C; cc++) {
-            for (std::size_t w = 0; w < W; w++) {
-                float acc = h.at(cc, r, w);
+            if (a_[j][l] != 0.0)
+                lim = std::min(lim, kMap(l).rowsComputed);
+        return lim;
+    }
+    std::size_t convLimit(std::size_t j, std::size_t l)
+    {
+        // Row r needs source rows through min(r + pad, H - 1): the
+        // producer's limit trails its source by the halo until the
+        // source is complete.
+        const StreamMap &src = l == 0 ? inputOf(j) : z_[j][l - 1];
+        if (src.rowsComputed >= H_)
+            return H_;
+        return src.rowsComputed > pad_rows_ ? src.rowsComputed - pad_rows_
+                                            : 0;
+    }
+    std::size_t outputLimit(bool use_b)
+    {
+        std::size_t lim = H_;
+        if (use_b)
+            lim = std::min(lim, h_map_.rowsComputed);
+        for (std::size_t j = 0; j < s_; j++) {
+            const double coeff = use_b ? b_[j] : d_[j];
+            if (coeff != 0.0)
+                lim = std::min(lim, kMap(j).rowsComputed);
+        }
+        return lim;
+    }
+
+    // --- Row computations (explicit row, no counter updates) ---------------
+    void computeStageIn(std::size_t j, std::size_t r)
+    {
+        for (std::size_t cc = 0; cc < C_; cc++) {
+            for (std::size_t w = 0; w < W_; w++) {
+                float acc = h_.at(cc, r, w);
                 for (std::size_t l = 0; l < j; l++) {
-                    if (a[j][l] != 0.0)
-                        acc += static_cast<float>(dt * a[j][l]) *
+                    if (a_[j][l] != 0.0)
+                        acc += static_cast<float>(dt_ * a_[j][l]) *
                                kMap(l).data.at(cc, r, w);
                 }
-                stage_in[j].data.at(cc, r, w) = acc;
+                stage_in_[j].data.at(cc, r, w) = acc;
             }
         }
-        stage_in[j].rowsComputed++;
-    };
-
-    auto canConv = [&](std::size_t j, std::size_t l) {
-        const std::size_t r = z[j][l].rowsComputed;
-        if (r >= H)
-            return false;
-        const StreamMap &src = l == 0 ? inputOf(j) : z[j][l - 1];
-        const std::size_t need = std::min(r + pad_rows + 1, H);
-        return src.rowsComputed >= need;
-    };
-    auto doConv = [&](std::size_t j, std::size_t l) {
-        const std::size_t r = z[j][l].rowsComputed;
-        const StreamMap &src = l == 0 ? inputOf(j) : z[j][l - 1];
-        convRow(src.data, *stack.convs[l], r, /*time_channel=*/l == 0,
-                t + c[j] * dt, stack.reluAfter[l], z[j][l].data);
-        z[j][l].rowsComputed++;
-    };
-
-    auto canOutput = [&](const StreamMap &map, bool use_b) {
-        const std::size_t r = map.rowsComputed;
-        if (r >= H)
-            return false;
-        if (use_b && h_map.rowsComputed <= r)
-            return false;
-        for (std::size_t j = 0; j < s; j++) {
-            const double coeff = use_b ? b[j] : d[j];
-            if (coeff != 0.0 && kMap(j).rowsComputed <= r)
-                return false;
-        }
-        return true;
-    };
-    auto doOutput = [&](StreamMap &map, bool use_b) {
-        const std::size_t r = map.rowsComputed;
-        for (std::size_t cc = 0; cc < C; cc++) {
-            for (std::size_t w = 0; w < W; w++) {
-                float acc = use_b ? h.at(cc, r, w) : 0.0f;
-                for (std::size_t j = 0; j < s; j++) {
-                    const double coeff = use_b ? b[j] : d[j];
+    }
+    void computeConv(std::size_t j, std::size_t l, std::size_t r)
+    {
+        const StreamMap &src = l == 0 ? inputOf(j) : z_[j][l - 1];
+        convRow(src.data, *stack_.convs[l], r, /*time_channel=*/l == 0,
+                t_ + c_[j] * dt_, stack_.reluAfter[l], z_[j][l].data);
+    }
+    void computeOutput(StreamMap &map, bool use_b, std::size_t r)
+    {
+        for (std::size_t cc = 0; cc < C_; cc++) {
+            for (std::size_t w = 0; w < W_; w++) {
+                float acc = use_b ? h_.at(cc, r, w) : 0.0f;
+                for (std::size_t j = 0; j < s_; j++) {
+                    const double coeff = use_b ? b_[j] : d_[j];
                     if (coeff != 0.0)
-                        acc += static_cast<float>(dt * coeff) *
+                        acc += static_cast<float>(dt_ * coeff) *
                                kMap(j).data.at(cc, r, w);
                 }
                 map.data.at(cc, r, w) = acc;
             }
         }
-        map.rowsComputed++;
-    };
+    }
+    void execute(const Packet &p)
+    {
+        switch (p.kind) {
+        case Packet::Kind::Error:
+            computeOutput(e_map_, false, p.r);
+            break;
+        case Packet::Kind::Final:
+            computeOutput(y_next_, true, p.r);
+            break;
+        case Packet::Kind::Conv:
+            computeConv(p.j, p.l, p.r);
+            break;
+        case Packet::Kind::StageIn:
+            computeStageIn(p.j, p.r);
+            break;
+        }
+    }
+    StreamMap &mapOf(const Packet &p)
+    {
+        switch (p.kind) {
+        case Packet::Kind::Error:
+            return e_map_;
+        case Packet::Kind::Final:
+            return y_next_;
+        case Packet::Kind::Conv:
+            return z_[p.j][p.l];
+        case Packet::Kind::StageIn:
+        default:
+            return stage_in_[p.j];
+        }
+    }
 
     // --- Retirement --------------------------------------------------------
     // A row retires once every consumer that reads it has produced the
     // rows that need it. The conv halo means row r of a conv input is
     // last read when the consumer produces row r + pad.
-    auto retireSweep = [&] {
+    void retireSweep()
+    {
         // h: read by every stage-input combine at row r, by stage 0's
         // first conv up to row r + pad, and by h' at row r.
-        while (h_map.rowsRetired < H) {
-            const std::size_t r = h_map.rowsRetired;
-            bool dead = y_next.rowsComputed > r &&
-                        z[0][0].rowsComputed >= std::min(r + pad_rows + 1, H);
-            for (std::size_t j = 1; j < s && dead; j++)
-                dead = stage_in[j].rowsComputed > r;
+        while (h_map_.rowsRetired < H_) {
+            const std::size_t r = h_map_.rowsRetired;
+            bool dead =
+                y_next_.rowsComputed > r &&
+                z_[0][0].rowsComputed >= std::min(r + pad_rows_ + 1, H_);
+            for (std::size_t j = 1; j < s_ && dead; j++)
+                dead = stage_in_[j].rowsComputed > r;
             if (!dead)
                 break;
-            h_map.rowsRetired++;
+            h_map_.rowsRetired++;
         }
         // Stage inputs: consumed by the stage's first conv.
-        for (std::size_t j = 1; j < s; j++) {
-            while (stage_in[j].rowsRetired < H) {
-                const std::size_t r = stage_in[j].rowsRetired;
-                if (z[j][0].rowsComputed < std::min(r + pad_rows + 1, H))
+        for (std::size_t j = 1; j < s_; j++) {
+            while (stage_in_[j].rowsRetired < H_) {
+                const std::size_t r = stage_in_[j].rowsRetired;
+                if (z_[j][0].rowsComputed < std::min(r + pad_rows_ + 1, H_))
                     break;
-                stage_in[j].rowsRetired++;
+                stage_in_[j].rowsRetired++;
             }
         }
         // Conv intermediates: consumed by the next conv in the chain;
         // k_j (the last conv) is consumed by later stage inputs and the
         // two outputs.
-        for (std::size_t j = 0; j < s; j++) {
-            for (std::size_t l = 0; l < depth; l++) {
-                StreamMap &map = z[j][l];
-                while (map.rowsRetired < H) {
+        for (std::size_t j = 0; j < s_; j++) {
+            for (std::size_t l = 0; l < depth_; l++) {
+                StreamMap &map = z_[j][l];
+                while (map.rowsRetired < H_) {
                     const std::size_t r = map.rowsRetired;
                     bool dead = true;
-                    if (l + 1 < depth) {
-                        dead = z[j][l + 1].rowsComputed >=
-                               std::min(r + pad_rows + 1, H);
+                    if (l + 1 < depth_) {
+                        dead = z_[j][l + 1].rowsComputed >=
+                               std::min(r + pad_rows_ + 1, H_);
                     } else {
-                        for (std::size_t m = j + 1; m < s && dead; m++)
-                            if (a[m][j] != 0.0)
-                                dead = stage_in[m].rowsComputed > r;
-                        if (dead && b[j] != 0.0)
-                            dead = y_next.rowsComputed > r;
-                        if (dead && emb && d[j] != 0.0)
-                            dead = e_map.rowsComputed > r;
+                        for (std::size_t m = j + 1; m < s_ && dead; m++)
+                            if (a_[m][j] != 0.0)
+                                dead = stage_in_[m].rowsComputed > r;
+                        if (dead && b_[j] != 0.0)
+                            dead = y_next_.rowsComputed > r;
+                        if (dead && emb_ && d_[j] != 0.0)
+                            dead = e_map_.rowsComputed > r;
                     }
                     if (!dead)
                         break;
@@ -532,49 +588,91 @@ streamingStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
                 }
             }
         }
-    };
+    }
 
-    auto liveRows = [&] {
-        std::size_t live = h_map.liveRows();
-        for (std::size_t j = 1; j < s; j++)
-            live += stage_in[j].liveRows();
-        for (std::size_t j = 0; j < s; j++)
-            for (std::size_t l = 0; l < depth; l++)
-                live += z[j][l].liveRows();
+    std::size_t liveRows() const
+    {
+        std::size_t live = h_map_.liveRows();
+        for (std::size_t j = 1; j < s_; j++)
+            live += stage_in_[j].liveRows();
+        for (std::size_t j = 0; j < s_; j++)
+            for (std::size_t l = 0; l < depth_; l++)
+                live += z_[j][l].liveRows();
         return live;
-    };
+    }
+
+    bool finished() const
+    {
+        return y_next_.rowsComputed >= H_ &&
+               (!emb_ || e_map_.rowsComputed >= H_);
+    }
+
+    StreamingResult takeResult(StreamingResult result)
+    {
+        result.yNext = std::move(y_next_.data);
+        if (emb_)
+            result.errorState = std::move(e_map_.data);
+        return result;
+    }
+
+    const ConvStack stack_;
+    const std::size_t s_, depth_, C_, H_, W_;
+    const std::vector<std::vector<double>> &a_;
+    const std::vector<double> &b_, &c_;
+    const bool emb_;
+    const std::vector<double> d_;
+    const std::size_t pad_rows_;
+    const double t_, dt_;
+    const Tensor &h_;
+
+    StreamMap h_map_;
+    std::vector<StreamMap> stage_in_;
+    std::vector<std::vector<StreamMap>> z_;
+    StreamMap y_next_;
+    StreamMap e_map_;
+};
+
+StreamingResult
+StreamEngine::runSerial()
+{
+    StreamingResult result{};
 
     // --- Depth-first scheduler ---------------------------------------------
     // Always advance the most downstream computable row first: outputs,
     // then the latest streams (highest stage) deepest-conv-first — the
     // hardware's priority-selector policy ("a later stream is given a
     // higher priority", Sec. V.B).
-    while (y_next.rowsComputed < H || (emb && e_map.rowsComputed < H)) {
+    while (!finished()) {
         bool progressed = false;
-        if (emb && canOutput(e_map, false)) {
-            doOutput(e_map, false);
+        if (emb_ && e_map_.rowsComputed < outputLimit(false)) {
+            computeOutput(e_map_, false, e_map_.rowsComputed);
+            e_map_.rowsComputed++;
             progressed = true;
-        } else if (canOutput(y_next, true)) {
-            doOutput(y_next, true);
+        } else if (y_next_.rowsComputed < outputLimit(true)) {
+            computeOutput(y_next_, true, y_next_.rowsComputed);
+            y_next_.rowsComputed++;
             progressed = true;
         } else {
-            for (std::size_t jj = s; jj-- > 0 && !progressed;) {
-                for (std::size_t ll = depth; ll-- > 0 && !progressed;) {
-                    if (canConv(jj, ll)) {
-                        doConv(jj, ll);
+            for (std::size_t jj = s_; jj-- > 0 && !progressed;) {
+                for (std::size_t ll = depth_; ll-- > 0 && !progressed;) {
+                    if (z_[jj][ll].rowsComputed < convLimit(jj, ll)) {
+                        computeConv(jj, ll, z_[jj][ll].rowsComputed);
+                        z_[jj][ll].rowsComputed++;
                         progressed = true;
                     }
                 }
-                if (!progressed && jj > 0 && canStageIn(jj)) {
-                    doStageIn(jj);
+                if (!progressed && jj > 0 &&
+                    stage_in_[jj].rowsComputed < stageInLimit(jj)) {
+                    computeStageIn(jj, stage_in_[jj].rowsComputed);
+                    stage_in_[jj].rowsComputed++;
                     progressed = true;
                 }
             }
         }
-        if (!progressed && h_map.rowsComputed < H) {
+        if (!progressed && h_map_.rowsComputed < H_) {
             // Nothing downstream can run: fetch the next input row (the
             // demand-driven arrival of h from the producer/DRAM).
-            h_map.rowsComputed++;
+            h_map_.rowsComputed++;
             progressed = true;
         }
         ENODE_ASSERT(progressed, "streaming schedule deadlocked");
@@ -583,10 +681,114 @@ streamingStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
         result.peakLiveRows = std::max(result.peakLiveRows, liveRows());
     }
 
-    result.yNext = std::move(y_next.data);
-    if (emb)
-        result.errorState = std::move(e_map.data);
-    return result;
+    return takeResult(std::move(result));
+}
+
+StreamingResult
+StreamEngine::runPipelined(TaskPool &pool, std::size_t width)
+{
+    ENODE_ASSERT(width >= 1, "pipeline width must be at least 1");
+    StreamingResult result{};
+
+    // --- Wavefront scheduler -----------------------------------------------
+    // Each wave fills up to `width` ring slots with ready row packets in
+    // the same most-downstream-first priority the serial scheduler uses,
+    // runs them concurrently on the pool, then commits the progress
+    // counters. Readiness is evaluated against the wave-*start* counters
+    // only, so every packet reads rows finished in earlier waves and
+    // writes its own row — value-wise the schedule cannot matter, which
+    // is what makes the pipelined output bitwise equal to the serial
+    // one at any width. Leftover slots are filled with input-row
+    // fetches (the hub streaming h in alongside the compute).
+    std::vector<Packet> wave;
+    wave.reserve(width);
+    while (!finished()) {
+        wave.clear();
+        auto take = [&](Packet::Kind kind, std::size_t j, std::size_t l,
+                        const StreamMap &map, std::size_t limit) {
+            for (std::size_t r = map.rowsComputed;
+                 r < limit && wave.size() < width; r++)
+                wave.push_back({kind, j, l, r});
+        };
+        if (emb_)
+            take(Packet::Kind::Error, 0, 0, e_map_, outputLimit(false));
+        take(Packet::Kind::Final, 0, 0, y_next_, outputLimit(true));
+        for (std::size_t jj = s_; jj-- > 0;) {
+            for (std::size_t ll = depth_; ll-- > 0;)
+                take(Packet::Kind::Conv, jj, ll, z_[jj][ll],
+                     convLimit(jj, ll));
+            if (jj > 0)
+                take(Packet::Kind::StageIn, jj, 0, stage_in_[jj],
+                     stageInLimit(jj));
+        }
+        const std::size_t packets = wave.size();
+        const std::size_t fetches =
+            std::min(width - packets, H_ - h_map_.rowsComputed);
+        ENODE_ASSERT(packets + fetches > 0,
+                     "streaming pipeline deadlocked");
+
+        if (packets > 0) {
+            pool.parallelFor(
+                1, packets,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; i++)
+                        execute(wave[i]);
+                },
+                width);
+            // Commit: each producer's packets are contiguous rows, so
+            // bumping once per packet reproduces the serial counters.
+            for (const Packet &p : wave)
+                mapOf(p).rowsComputed++;
+        }
+        h_map_.rowsComputed += fetches;
+
+        result.pipelineWaves++;
+        result.pipelinePackets += packets;
+        result.totalRowsComputed += packets + fetches;
+        retireSweep();
+        result.peakLiveRows = std::max(result.peakLiveRows, liveRows());
+    }
+
+    result.pipelineOccupancy =
+        result.pipelineWaves == 0
+            ? 0.0
+            : static_cast<double>(result.pipelinePackets) /
+                  (static_cast<double>(result.pipelineWaves) *
+                   static_cast<double>(width));
+    return takeResult(std::move(result));
+}
+
+} // namespace
+
+StreamingExecutor::StreamingExecutor(EmbeddedNet &net,
+                                     const ButcherTableau &tableau)
+    : net_(net), tableau_(tableau)
+{
+}
+
+StreamingResult
+StreamingExecutor::run(double t, const Tensor &h, double dt)
+{
+    StreamEngine engine(net_, tableau_, t, h, dt);
+    return engine.runSerial();
+}
+
+StreamingResult
+StreamingExecutor::runPipelined(double t, const Tensor &h, double dt,
+                                const PipelineOptions &opts)
+{
+    TaskPool &pool = opts.pool != nullptr ? *opts.pool : TaskPool::global();
+    const std::size_t width =
+        opts.width != 0 ? opts.width : std::max<std::size_t>(1, pool.width());
+    StreamEngine engine(net_, tableau_, t, h, dt);
+    return engine.runPipelined(pool, width);
+}
+
+StreamingResult
+streamingStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
+              const Tensor &h, double dt)
+{
+    return StreamingExecutor(net, tableau).run(t, h, dt);
 }
 
 } // namespace enode

@@ -25,6 +25,16 @@
  *    of concurrently live rows. Its numerical output is validated
  *    against the layer-by-layer RkStepper, and its measured peak
  *    occupancy validates the closed-form analysis.
+ *
+ *    Beyond the serial depth-first walk, the executor has a *packetized
+ *    pipeline mode* (Sec. V, Fig. 8): row packets tagged
+ *    {stream j, layer l, row r} are dispatched wave by wave across the
+ *    task-pool workers, most-downstream-first — the software analogue
+ *    of the core ring, where one RK step pipelines across the f layers
+ *    of all live streams. Packet values are schedule-independent, so
+ *    the pipelined output is bitwise identical to the serial executor
+ *    at every thread count; the wave trace additionally measures
+ *    pipeline occupancy (packets per wave-slot).
  */
 
 #include <cstdint>
@@ -175,6 +185,8 @@ TrainingBufferAnalysis analyzeTrainingBuffers(const DepthFirstConfig &cfg);
  */
 std::size_t backwardStageCount(const ButcherTableau &tableau);
 
+class TaskPool;
+
 /** Result of a streaming execution of one RK step. */
 struct StreamingResult
 {
@@ -182,6 +194,60 @@ struct StreamingResult
     Tensor errorState;         ///< empty if no embedded estimator
     std::size_t peakLiveRows;  ///< max concurrently buffered rows
     std::size_t totalRowsComputed;
+
+    // Pipeline-mode trace (all zero after a serial run):
+    std::size_t pipelineWaves = 0;   ///< parallel dispatch rounds
+    std::size_t pipelinePackets = 0; ///< row packets issued across waves
+    /** pipelinePackets / (pipelineWaves * width): the fraction of
+     *  core-ring slots that carried a packet — 1.0 is a full ring. */
+    double pipelineOccupancy = 0.0;
+};
+
+/** Knobs for the packetized pipeline mode. */
+struct PipelineOptions
+{
+    /** Worker pool carrying the waves; null = TaskPool::global(). */
+    TaskPool *pool = nullptr;
+    /**
+     * Packets per wave — the ring size. 0 = the pool's width. Output
+     * bits do not depend on this; occupancy and wall-clock do.
+     */
+    std::size_t width = 0;
+};
+
+/**
+ * Row-streaming executor for one RK step over a streamable conv net,
+ * in either the serial depth-first order or the packetized parallel
+ * pipeline. Holds no state between runs; both entry points may be
+ * called repeatedly and from different threads (each run's state is
+ * local to the call).
+ */
+class StreamingExecutor
+{
+  public:
+    /**
+     * @param net A *streamable* embedded net: ConcatTime followed by
+     *        Conv2d (+ ReLU) layers only.
+     * @param tableau Integrator (referenced, not copied).
+     */
+    StreamingExecutor(EmbeddedNet &net, const ButcherTableau &tableau);
+
+    /** Serial depth-first execution (one row advanced per scheduler
+     *  visit, most-downstream-first). */
+    StreamingResult run(double t, const Tensor &h, double dt);
+
+    /**
+     * Packetized pipeline execution: each wave gathers up to `width`
+     * ready row packets in most-downstream-first priority order and
+     * runs them concurrently on the pool. Bitwise identical to run()
+     * at every width / thread count.
+     */
+    StreamingResult runPipelined(double t, const Tensor &h, double dt,
+                                 const PipelineOptions &opts = {});
+
+  private:
+    EmbeddedNet &net_;
+    const ButcherTableau &tableau_;
 };
 
 /**

@@ -29,9 +29,22 @@
  *    matrix-multiply (saxpy-panel GEMM) and is selected by a shape
  *    heuristic for large-tap/wide-channel shapes.
  *
- * Scratch buffers come from the thread-local Workspace arena, so the
- * kernels allocate nothing from the heap in steady state. The original
- * scalar kernels are retained in conv2d_reference.cc as ground truth.
+ * All three kernels are tiled for intra-op parallelism on the task
+ * pool (common/task_pool.h), mirroring the paper's core ring splitting
+ * one f evaluation across NN cores: the direct path over
+ * (out-channel-tile x output-row) work items, the weight-grad over
+ * (m, c) kernel-plane pairs, and the im2col+GEMM path over im2col
+ * panels and GEMM output rows. Every output element's accumulation
+ * order is contained entirely within one work item, and the partition
+ * only groups whole items, so results are bitwise identical to the
+ * serial kernels at every thread count. Without an IntraOpScope the
+ * tiles run inline on the caller — the serial path is the same code.
+ *
+ * Scratch buffers come from the executing thread's Workspace arena
+ * (PooledScratch: each chunk acquires on the worker that runs it and
+ * releases to the same worker), so the kernels allocate nothing from
+ * the heap in steady state at any thread count. The original scalar
+ * kernels are retained in conv2d_reference.cc as ground truth.
  */
 
 #include "nn/conv2d.h"
@@ -40,6 +53,7 @@
 #include <cstddef>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "tensor/workspace.h"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -58,17 +72,13 @@ constexpr std::size_t kTileM = 8;
 /** Max kernel extent served by the fused-tap register kernels. */
 constexpr std::size_t kMaxFusedK = 7;
 
-/** RAII pool scratch buffer. */
-class Scratch
-{
-  public:
-    explicit Scratch(std::size_t n) : buf_(detail::acquireBuffer(n)) {}
-    ~Scratch() { detail::releaseBuffer(std::move(buf_)); }
-    float *data() { return buf_.data(); }
-
-  private:
-    std::vector<float> buf_;
-};
+/**
+ * Minimum work items per parallel chunk. One item of the direct core
+ * is one output row of an 8-channel tile (~W * Ci * K^2 FMAs); four
+ * per chunk keeps dispatch overhead under ~1% at the paper's 8x8x3x3
+ * shapes while still splitting 32-row maps eight ways.
+ */
+constexpr std::size_t kRowGrain = 4;
 
 /**
  * Copies a CHW map into @p dst with a zero halo of @p pad on all four
@@ -165,53 +175,65 @@ directConvCore(float *od, const float *xd, const float *wd,
     const std::size_t pad = K / 2;
     const std::size_t Hp = H + 2 * pad;
     const std::size_t Wp = W + 2 * pad;
-    Scratch padded(Ci * Hp * Wp);
+    PooledScratch padded(Ci * Hp * Wp);
     float *pin = padded.data();
     padInput(pin, xd, Ci, H, W, pad);
 
-    Scratch scratch(kTileM * W);
-    float *acc = scratch.data();
     const std::size_t wstride = Ci * K * K;
+    const std::size_t m_tiles = (Mo + kTileM - 1) / kTileM;
 
-    for (std::size_t m0 = 0; m0 < Mo; m0 += kTileM) {
-        const std::size_t mt = std::min(kTileM, Mo - m0);
-        for (std::size_t h = 0; h < H; h++) {
-            for (std::size_t mi = 0; mi < mt; mi++) {
-                const float b = bias ? bias[m0 + mi] : 0.0f;
-                std::fill(acc + mi * W, acc + (mi + 1) * W, b);
-            }
-            for (std::size_t ci = 0; ci < Ci; ci++) {
-                // Padded row h+kh holds input row h+kh-pad (zeros when
-                // that row is outside the map).
-                const float *in_rows = pin + ci * Hp * Wp + h * Wp;
-                const float *wr0 = wd + (m0 * Ci + ci) * K * K;
-                for (std::size_t kh = 0; kh < K; kh++) {
-                    const float *irow = in_rows + kh * Wp;
-                    const float *wrow = wr0 + kh * K;
-                    std::size_t mi = 0;
-                    if (K == 3) {
-                        for (; mi + 4 <= mt; mi += 4) {
-                            const float *wr = wrow + mi * wstride;
-                            addRowTaps3x4(acc + mi * W, irow, wr,
-                                          wr + wstride, wr + 2 * wstride,
-                                          wr + 3 * wstride, W);
+    // Work items mirror the 8x8 diagonal PE grouping: one item is one
+    // output row of one 8-out-channel tile. Consecutive items walk rows
+    // of the same tile, so a chunk keeps its weight tile hot; the row
+    // accumulator is per-chunk scratch from the executing worker's
+    // arena. Every output element is written by exactly one item with
+    // the serial accumulation order, so the split is bitwise invisible.
+    intraOpParallelFor(
+        kRowGrain, m_tiles * H, [&](std::size_t begin, std::size_t end) {
+            PooledScratch scratch(kTileM * W);
+            float *acc = scratch.data();
+            for (std::size_t item = begin; item < end; item++) {
+                const std::size_t m0 = (item / H) * kTileM;
+                const std::size_t h = item % H;
+                const std::size_t mt = std::min(kTileM, Mo - m0);
+                for (std::size_t mi = 0; mi < mt; mi++) {
+                    const float b = bias ? bias[m0 + mi] : 0.0f;
+                    std::fill(acc + mi * W, acc + (mi + 1) * W, b);
+                }
+                for (std::size_t ci = 0; ci < Ci; ci++) {
+                    // Padded row h+kh holds input row h+kh-pad (zeros
+                    // when that row is outside the map).
+                    const float *in_rows = pin + ci * Hp * Wp + h * Wp;
+                    const float *wr0 = wd + (m0 * Ci + ci) * K * K;
+                    for (std::size_t kh = 0; kh < K; kh++) {
+                        const float *irow = in_rows + kh * Wp;
+                        const float *wrow = wr0 + kh * K;
+                        std::size_t mi = 0;
+                        if (K == 3) {
+                            for (; mi + 4 <= mt; mi += 4) {
+                                const float *wr = wrow + mi * wstride;
+                                addRowTaps3x4(acc + mi * W, irow, wr,
+                                              wr + wstride,
+                                              wr + 2 * wstride,
+                                              wr + 3 * wstride, W);
+                            }
+                            for (; mi < mt; mi++)
+                                addRowTaps3(acc + mi * W, irow,
+                                            wrow + mi * wstride, W);
+                        } else {
+                            for (; mi < mt; mi++)
+                                addRowTapsGeneric(acc + mi * W, irow,
+                                                  wrow + mi * wstride, W,
+                                                  K);
                         }
-                        for (; mi < mt; mi++)
-                            addRowTaps3(acc + mi * W, irow,
-                                        wrow + mi * wstride, W);
-                    } else {
-                        for (; mi < mt; mi++)
-                            addRowTapsGeneric(acc + mi * W, irow,
-                                              wrow + mi * wstride, W, K);
                     }
                 }
+                for (std::size_t mi = 0; mi < mt; mi++) {
+                    float *orow = od + (m0 + mi) * H * W + h * W;
+                    std::copy(acc + mi * W, acc + (mi + 1) * W, orow);
+                }
             }
-            for (std::size_t mi = 0; mi < mt; mi++) {
-                float *orow = od + (m0 + mi) * H * W + h * W;
-                std::copy(acc + mi * W, acc + (mi + 1) * W, orow);
-            }
-        }
-    }
+        });
 }
 
 /**
@@ -233,9 +255,15 @@ backwardWeightsCore(float *ENODE_RESTRICT wd, const float *ENODE_RESTRICT pin,
     const std::size_t Hp = H + 2 * pad;
     const std::size_t Wp = W + 2 * pad;
 
-    for (std::size_t m = 0; m < M; m++) {
-        const float *g_map = gd + m * H * W;
-        for (std::size_t c = 0; c < C; c++) {
+    // One work item per (m, c) kernel plane: K*K independent full-map
+    // reductions, each computed start to finish inside its item (the
+    // 16-lane partial accumulators reduce in the fixed lane order), so
+    // the parallel gradient is bitwise identical to the serial one.
+    intraOpParallelFor(1, M * C, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t mc = begin; mc < end; mc++) {
+            const std::size_t m = mc / C;
+            const std::size_t c = mc % C;
+            const float *g_map = gd + m * H * W;
             const float *in_map = pin + c * Hp * Wp;
             float *w_base = wd + (m * C + c) * K * K;
             for (std::size_t kh = 0; kh < K; kh++)
@@ -259,12 +287,14 @@ backwardWeightsCore(float *ENODE_RESTRICT wd, const float *ENODE_RESTRICT pin,
                     w_base[kh * K + kw] = s;
                 }
         }
-    }
+    });
 }
 
 /**
  * im2col lowering: B[p][j] with p = (ci*K + kh)*K + kw and j = h*W + w
- * holding in[ci][h+kh-pad][w+kw-pad] (zero outside the map).
+ * holding in[ci][h+kh-pad][w+kw-pad] (zero outside the map). Each
+ * panel p is an independent row of B, built in parallel (one item per
+ * panel; every byte of B has exactly one writer).
  */
 void
 buildIm2col(float *B, const float *xd, std::size_t Ci, std::size_t H,
@@ -272,16 +302,21 @@ buildIm2col(float *B, const float *xd, std::size_t Ci, std::size_t H,
 {
     const std::size_t pad = K / 2;
     const std::size_t HW = H * W;
-    for (std::size_t ci = 0; ci < Ci; ci++) {
-        const float *in_map = xd + ci * H * W;
-        for (std::size_t kh = 0; kh < K; kh++) {
-            const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(kh) -
-                                      static_cast<std::ptrdiff_t>(pad);
-            for (std::size_t kw = 0; kw < K; kw++) {
+    const std::size_t KK = K * K;
+    intraOpParallelFor(
+        KK, Ci * KK, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t p = begin; p < end; p++) {
+                const std::size_t ci = p / KK;
+                const std::size_t kh = (p % KK) / K;
+                const std::size_t kw = p % K;
+                const float *in_map = xd + ci * H * W;
+                const std::ptrdiff_t dh =
+                    static_cast<std::ptrdiff_t>(kh) -
+                    static_cast<std::ptrdiff_t>(pad);
                 const std::ptrdiff_t dw =
                     static_cast<std::ptrdiff_t>(kw) -
                     static_cast<std::ptrdiff_t>(pad);
-                float *brow = B + ((ci * K + kh) * K + kw) * HW;
+                float *brow = B + p * HW;
                 const std::size_t w_lo =
                     dw < 0 ? static_cast<std::size_t>(-dw) : 0;
                 const std::size_t w_hi =
@@ -306,8 +341,7 @@ buildIm2col(float *B, const float *xd, std::size_t Ci, std::size_t H,
                         std::fill(dst + w_hi, dst + W, 0.0f);
                 }
             }
-        }
-    }
+        });
 }
 
 } // namespace
@@ -358,29 +392,33 @@ forwardIm2colGemm(Tensor &out, const Tensor &x, const Tensor &weight,
     const std::size_t P = C * K * K;
     out.resize(Shape{M, H, W});
 
-    Scratch scratch(P * HW);
+    PooledScratch scratch(P * HW);
     float *B = scratch.data();
     buildIm2col(B, x.data(), C, H, W, K);
 
     // out[m] = bias[m] + A[m] . B, as P saxpy passes over an L1-resident
     // output panel. The weight matrix A is the conv weight viewed as
-    // (M, C*K*K) — no repacking needed.
+    // (M, C*K*K) — no repacking needed. Output rows are independent
+    // (each reads all of B, writes only its own panel), so the GEMM
+    // splits over row panels with the saxpy order per row unchanged.
     const float *A = weight.data();
     float *od = out.data();
     const float *bd = bias.empty() ? nullptr : bias.data();
-    for (std::size_t m = 0; m < M; m++) {
-        float *orow = od + m * HW;
-        std::fill(orow, orow + HW, bd ? bd[m] : 0.0f);
-        const float *arow = A + m * P;
-        for (std::size_t p = 0; p < P; p++) {
-            const float a = arow[p];
-            if (a == 0.0f)
-                continue;
-            const float *brow = B + p * HW;
-            for (std::size_t j = 0; j < HW; j++)
-                orow[j] += a * brow[j];
+    intraOpParallelFor(1, M, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t m = begin; m < end; m++) {
+            float *orow = od + m * HW;
+            std::fill(orow, orow + HW, bd ? bd[m] : 0.0f);
+            const float *arow = A + m * P;
+            for (std::size_t p = 0; p < P; p++) {
+                const float a = arow[p];
+                if (a == 0.0f)
+                    continue;
+                const float *brow = B + p * HW;
+                for (std::size_t j = 0; j < HW; j++)
+                    orow[j] += a * brow[j];
+            }
         }
-    }
+    });
 }
 
 } // namespace conv
@@ -429,7 +467,7 @@ convBackwardDataInto(Tensor &grad_x, const Tensor &grad_out,
     // Pack the weights spatially flipped with C/M swapped, then run the
     // forward core: grad_x = conv(grad_out, pack). Packing is O(M*C*K*K)
     // — negligible next to the O(M*C*K*K*H*W) convolution.
-    Scratch packed(M * C * K * K);
+    PooledScratch packed(M * C * K * K);
     float *pk = packed.data();
     const float *wd = weight.data();
     for (std::size_t c = 0; c < C; c++)
@@ -477,7 +515,7 @@ convBackwardWeightsInto(Tensor &grad_w, const Tensor &x,
         return;
     }
 
-    Scratch padded(C * (H + 2 * pad) * (W + 2 * pad));
+    PooledScratch padded(C * (H + 2 * pad) * (W + 2 * pad));
     padInput(padded.data(), x.data(), C, H, W, pad);
     backwardWeightsCore(grad_w.data(), padded.data(), grad_out.data(), M, C,
                         H, W, K);

@@ -1,5 +1,7 @@
 #include "runtime/inference_server.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "ode/step_control.h"
 
@@ -14,6 +16,19 @@ toMs(RuntimeClock::duration d)
 }
 
 } // namespace
+
+std::size_t
+clampIntraOpThreads(std::size_t workers, std::size_t requested,
+                    std::size_t hwThreads)
+{
+    if (requested <= 1)
+        return 1;
+    if (hwThreads == 0 || workers == 0)
+        return requested; // unknown hardware: trust the caller
+    // Largest width that keeps workers * width within the machine.
+    const std::size_t budget = hwThreads / workers;
+    return std::max<std::size_t>(1, std::min(requested, budget));
+}
 
 const char *
 requestStatusName(RequestStatus status)
@@ -36,6 +51,27 @@ InferenceServer::InferenceServer(ModelFactory make_model,
 {
     ENODE_ASSERT(options_.numWorkers >= 1, "server needs >= 1 worker");
     ENODE_ASSERT(static_cast<bool>(make_model), "null model factory");
+
+    // Intra-op width: clamp workers * width to the machine, then build
+    // one shared tile pool for all workers. Each worker contributes
+    // itself plus (width - 1) borrowed pool threads, so the pool needs
+    // numWorkers * (width - 1) threads for the ring to run full even
+    // when every worker computes at once.
+    const std::size_t requested = std::max<std::size_t>(
+        1, options_.intraOpThreads);
+    intraOpWidth_ = clampIntraOpThreads(
+        options_.numWorkers, requested, std::thread::hardware_concurrency());
+    if (intraOpWidth_ < requested) {
+        ENODE_WARN("intraOpThreads clamped from ", requested, " to ",
+                   intraOpWidth_, ": ", options_.numWorkers, " workers x ",
+                   requested, " exceeds ",
+                   std::thread::hardware_concurrency(),
+                   " hardware threads");
+    }
+    if (intraOpWidth_ > 1) {
+        intraOpPool_ = std::make_unique<TaskPool>(
+            options_.numWorkers * (intraOpWidth_ - 1));
+    }
 
     // Build the replicas sequentially on this thread: user factories
     // are free to capture shared state (e.g. one Rng) without locking.
@@ -142,6 +178,9 @@ void
 InferenceServer::workerMain(std::size_t worker_id)
 {
     Worker &worker = *workers_[worker_id];
+    // Kernel tiles split on the shared pool for this thread's lifetime;
+    // with width 1 the scope is inert and kernels run serial inline.
+    IntraOpScope intra_op(intraOpPool_.get(), intraOpWidth_);
     QueueEntry entry;
     for (;;) {
         waitWhilePaused();

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/task_pool.h"
 #include "core/node_model.h"
 #include "runtime/metrics.h"
 #include "runtime/request_queue.h"
@@ -67,12 +68,33 @@ struct ServerOptions
     IvpOptions ivp = servingIvpDefaults();
 
     /**
+     * Intra-op parallelism per request: each worker's conv kernels
+     * split their work this many ways on a TaskPool shared by all
+     * workers (the software core ring — see common/task_pool.h). 1 =
+     * serial kernels (the default). The server clamps the product
+     * numWorkers * intraOpThreads to the hardware thread count so the
+     * two parallelism levels never oversubscribe the machine; kernel
+     * results are bitwise identical at any setting.
+     */
+    std::size_t intraOpThreads = 1;
+
+    /**
      * Start with the workers gated: requests queue up but nothing
      * dispatches until resume(). Tests use this to stage contention
      * deterministically.
      */
     bool startPaused = false;
 };
+
+/**
+ * Largest intra-op width w <= requested with workers * w <= hwThreads
+ * (never below 1). Pure so the oversubscription policy is testable with
+ * injected hardware counts; hwThreads == 0 means "unknown" (the
+ * std::thread::hardware_concurrency failure value) and disables the
+ * clamp.
+ */
+std::size_t clampIntraOpThreads(std::size_t workers, std::size_t requested,
+                                std::size_t hwThreads);
 
 /** Concurrent inference-serving runtime over NodeModel replicas. */
 class InferenceServer
@@ -143,6 +165,9 @@ class InferenceServer
     const RequestQueue &queue() const { return queue_; }
     std::size_t numWorkers() const { return workers_.size(); }
 
+    /** Effective intra-op width after the oversubscription clamp. */
+    std::size_t intraOpThreads() const { return intraOpWidth_; }
+
     /** The tableau requests are integrated with (RK23, as the paper). */
     const ButcherTableau &tableau() const { return tableau_; }
 
@@ -162,6 +187,12 @@ class InferenceServer
     RequestQueue queue_;
     MetricsRegistry metrics_;
     std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Post-clamp kernel split width every worker runs at. */
+    std::size_t intraOpWidth_ = 1;
+    /** Shared kernel-tile pool: numWorkers * (width - 1) threads, so
+     *  running threads stay bounded even when all workers compute. */
+    std::unique_ptr<TaskPool> intraOpPool_;
 
     std::mutex pauseMutex_;
     std::condition_variable pauseCv_;

@@ -1,5 +1,7 @@
 #include "tensor/workspace.h"
 
+#include "common/logging.h"
+
 namespace enode {
 
 namespace {
@@ -96,6 +98,27 @@ releaseBuffer(std::vector<float> &&buf)
     Workspace::local().release(std::move(buf));
 }
 
+Workspace *
+currentArena()
+{
+    if (tls_phase == TlsPhase::Dead)
+        return nullptr;
+    return &Workspace::local();
+}
+
 } // namespace detail
+
+PooledScratch::PooledScratch(std::size_t n)
+    : buf_(detail::acquireBuffer(n)), owner_(detail::currentArena())
+{
+}
+
+PooledScratch::~PooledScratch()
+{
+    ENODE_ASSERT(owner_ == detail::currentArena(),
+                 "PooledScratch released on a different thread than it "
+                 "was acquired on: scratch must stay on its worker");
+    detail::releaseBuffer(std::move(buf_));
+}
 
 } // namespace enode

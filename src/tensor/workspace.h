@@ -17,8 +17,16 @@
  *
  * The pool is thread-local: workers of the serving runtime each own a
  * private arena, so no locks are taken on the hot path and the TSan job
- * stays clean. Buffers released on a different thread than they were
- * acquired on simply migrate to the releasing thread's pool.
+ * stays clean. Tensor buffers released on a different thread than they
+ * were acquired on migrate to the releasing thread's pool — legitimate
+ * for long-lived values that cross threads by design (a request's input
+ * tensor dying on the serving worker that consumed it). Kernel
+ * *scratch* must never migrate: a scratch buffer drifting from the pool
+ * that minted it turns every later acquire on the origin thread into a
+ * fresh heap miss, silently breaking the zero-allocation property the
+ * moment kernels run tiled across the task pool. PooledScratch is the
+ * pool-aware scratch path: it acquires from the executing thread's
+ * arena, releases to the same arena, and asserts ownership on release.
  *
  * Capacity is bounded (per-bucket count and total bytes); beyond the
  * caps a released buffer is genuinely freed. `Workspace::stats()`
@@ -96,7 +104,39 @@ namespace detail {
 std::vector<float> acquireBuffer(std::size_t n);
 void releaseBuffer(std::vector<float> &&buf);
 
+/** The calling thread's arena, or nullptr outside its lifetime. */
+Workspace *currentArena();
+
 } // namespace detail
+
+/**
+ * RAII scratch buffer bound to the arena of the thread that constructs
+ * it. The parallel kernels construct one inside each work chunk, so a
+ * chunk's scratch always comes from — and returns to — the *executing*
+ * worker's pool, keeping every arena's working set closed.
+ *
+ * Destruction on a different thread than construction is a bug (it
+ * would leak buffers across arenas); the destructor asserts the owner.
+ * Scratch handles are intentionally neither copyable nor movable so
+ * they cannot outlive their chunk.
+ */
+class PooledScratch
+{
+  public:
+    explicit PooledScratch(std::size_t n);
+    ~PooledScratch();
+
+    PooledScratch(const PooledScratch &) = delete;
+    PooledScratch &operator=(const PooledScratch &) = delete;
+
+    float *data() { return buf_.data(); }
+    const float *data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<float> buf_;
+    Workspace *owner_; ///< arena of the constructing thread
+};
 
 } // namespace enode
 

@@ -13,9 +13,12 @@
  * bitwise; everywhere else a <= 1e-5 relative tolerance applies.
  */
 
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/task_pool.h"
 #include "nn/conv2d.h"
 #include "tensor/workspace.h"
 
@@ -203,6 +206,105 @@ TEST(ConvKernelEquivalence, IntoVariantsReuseStorageWithoutAllocating)
     EXPECT_EQ(ws.stats().misses, 0u);
     for (std::size_t i = 0; i < out.numel(); i++)
         ASSERT_EQ(out.at(i), first.at(i));
+}
+
+/** a == b bit for bit, with shape context on failure. */
+void
+expectBitwise(const Tensor &par, const Tensor &ser, const ConvCase &cs,
+              const char *kernel_name)
+{
+    ASSERT_EQ(par.shape().dims(), ser.shape().dims());
+    for (std::size_t i = 0; i < par.numel(); i++)
+        ASSERT_EQ(par.at(i), ser.at(i))
+            << kernel_name << " elem " << i << " C=" << cs.C
+            << " M=" << cs.M << " H=" << cs.H << " W=" << cs.W
+            << " K=" << cs.K;
+}
+
+TEST(ConvKernelParallel, AllKernelsBitwiseEqualSerialAcrossShapes)
+{
+    // The tiled kernels keep each output element's accumulation order
+    // inside one work item, so splitting across the pool must not move
+    // a single bit relative to the serial run — on every shape of the
+    // sweep, for all three kernels and both forward paths.
+    Rng rng(49);
+    TaskPool pool(3);
+    for (const auto &cs : sweepCases()) {
+        const Tensor x = Tensor::randn(Shape{cs.C, cs.H, cs.W}, rng, 1.0f);
+        const Tensor g = Tensor::randn(Shape{cs.M, cs.H, cs.W}, rng, 1.0f);
+        const Tensor w =
+            Tensor::randn(Shape{cs.M, cs.C, cs.K, cs.K}, rng, 0.5f);
+        const Tensor b = Tensor::randn(Shape{cs.M}, rng, 0.5f);
+
+        Tensor ser_fwd, ser_gemm, ser_gx, ser_gw;
+        conv::forwardDirect(ser_fwd, x, w, b);
+        conv::forwardIm2colGemm(ser_gemm, x, w, b);
+        convBackwardDataInto(ser_gx, g, w);
+        convBackwardWeightsInto(ser_gw, x, g, cs.K);
+
+        IntraOpScope scope(&pool, 4);
+        Tensor out;
+        conv::forwardDirect(out, x, w, b);
+        expectBitwise(out, ser_fwd, cs, "parallel-direct");
+        conv::forwardIm2colGemm(out, x, w, b);
+        expectBitwise(out, ser_gemm, cs, "parallel-im2col");
+        convBackwardDataInto(out, g, w);
+        expectBitwise(out, ser_gx, cs, "parallel-backward-data");
+        convBackwardWeightsInto(out, x, g, cs.K);
+        expectBitwise(out, ser_gw, cs, "parallel-backward-weights");
+    }
+}
+
+TEST(ConvKernelParallel, SameBitsAtEveryWidth)
+{
+    // Width 1 vs 2 vs 4 vs 8 (more ways than there are map rows, too):
+    // identical outputs, not merely close.
+    Rng rng(50);
+    const ConvCase cs{8, 8, 12, 12, 3};
+    const Tensor x = Tensor::randn(Shape{cs.C, cs.H, cs.W}, rng, 1.0f);
+    const Tensor w = Tensor::randn(Shape{cs.M, cs.C, cs.K, cs.K}, rng, 0.5f);
+    const Tensor b = Tensor::randn(Shape{cs.M}, rng, 0.5f);
+
+    Tensor baseline;
+    conv::forwardDirect(baseline, x, w, b);
+    for (std::size_t width : {1u, 2u, 4u, 8u}) {
+        TaskPool pool(width - 1);
+        IntraOpScope scope(&pool, width);
+        Tensor out;
+        conv::forwardDirect(out, x, w, b);
+        expectBitwise(out, baseline, cs, "width-sweep");
+    }
+}
+
+TEST(ConvKernelParallel, ZeroAllocAtSteadyStateOnEveryArena)
+{
+    // Chunk scratch is acquired on the executing worker; after the
+    // rotating assignment has warmed every worker's arena, repeated
+    // kernel calls must not allocate on *any* thread.
+    Rng rng(51);
+    const Tensor x = Tensor::randn(Shape{8, 16, 16}, rng, 1.0f);
+    const Tensor w = Tensor::randn(Shape{8, 8, 3, 3}, rng, 0.5f);
+    const Tensor b = Tensor::randn(Shape{8}, rng, 0.5f);
+
+    TaskPool pool(3);
+    IntraOpScope scope(&pool, 4);
+    Tensor out, gx, gw;
+    for (int i = 0; i < 16; i++) { // warm-up covers all workers
+        convForwardInto(out, x, w, b);
+        convBackwardDataInto(gx, out, w);
+        convBackwardWeightsInto(gw, x, out, 3);
+    }
+
+    Workspace::local().resetStats();
+    pool.runOnWorkers([] { Workspace::local().resetStats(); });
+    for (int i = 0; i < 8; i++) {
+        convForwardInto(out, x, w, b);
+        convBackwardDataInto(gx, out, w);
+        convBackwardWeightsInto(gw, x, out, 3);
+    }
+    std::atomic<std::uint64_t> misses{Workspace::local().stats().misses};
+    pool.runOnWorkers([&] { misses += Workspace::local().stats().misses; });
+    EXPECT_EQ(misses.load(), 0u);
 }
 
 TEST(ConvKernelHeuristic, LargeTapsRouteToGemm)

@@ -1,12 +1,15 @@
 /**
  * @file
  * Depth-first integration: DDG structure, buffer analyses, and the
- * streaming executor's equivalence with the layer-by-layer stepper.
+ * streaming executor's equivalence with the layer-by-layer stepper —
+ * in both the serial depth-first order and the packetized pipeline
+ * (which must match the serial outputs bit for bit at every width).
  */
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/task_pool.h"
 #include "core/depth_first.h"
 #include "core/node_model.h"
 #include "ode/rk_stepper.h"
@@ -204,6 +207,112 @@ TEST(StreamingExecutor, PeakOccupancyIsBounded)
     }
     // Occupancy must not scale with H (allow a small boundary slack).
     EXPECT_LE(peak_large, peak_small + 4);
+}
+
+TEST(StreamingPipeline, MatchesStepperRk23)
+{
+    Rng rng(31);
+    auto net = EmbeddedNet::makeStreamableConvNet(4, 2, rng);
+    Tensor h = Tensor::randn(Shape{4, 12, 10}, rng, 0.5f);
+
+    EmbeddedNetOde ode(*net);
+    RkStepper stepper(ButcherTableau::rk23());
+    auto ref = stepper.step(ode, 0.3, h, 0.125);
+
+    TaskPool pool(3);
+    PipelineOptions opts;
+    opts.pool = &pool;
+    StreamingExecutor exec(*net, ButcherTableau::rk23());
+    auto piped = exec.runPipelined(0.3, h, 0.125, opts);
+    EXPECT_LT(Tensor::maxAbsDiff(piped.yNext, ref.yNext), 1e-4);
+    ASSERT_FALSE(piped.errorState.empty());
+    EXPECT_LT(Tensor::maxAbsDiff(piped.errorState, ref.errorState), 1e-4);
+}
+
+TEST(StreamingPipeline, BitwiseEqualsSerialAtEveryWidth)
+{
+    // Wave packets only read rows finished in earlier waves and each
+    // writes its own row, so the schedule cannot move a bit: serial,
+    // width 1, 2, 4 and 8 must produce identical outputs — and this
+    // must hold for every registered tableau, embedded or not.
+    Rng rng(53);
+    auto net = EmbeddedNet::makeStreamableConvNet(3, 2, rng);
+    Tensor h = Tensor::randn(Shape{3, 11, 9}, rng, 0.5f);
+
+    for (const auto &name : ButcherTableau::names()) {
+        const auto &tab = ButcherTableau::byName(name);
+        StreamingExecutor exec(*net, tab);
+        auto serial = exec.run(0.1, h, 0.07);
+        for (std::size_t width : {1u, 2u, 4u, 8u}) {
+            TaskPool pool(width - 1);
+            PipelineOptions opts;
+            opts.pool = &pool;
+            opts.width = width;
+            auto piped = exec.runPipelined(0.1, h, 0.07, opts);
+            ASSERT_EQ(piped.yNext.numel(), serial.yNext.numel());
+            for (std::size_t i = 0; i < serial.yNext.numel(); i++)
+                ASSERT_EQ(piped.yNext.at(i), serial.yNext.at(i))
+                    << name << " width " << width << " elem " << i;
+            if (tab.hasEmbedded()) {
+                for (std::size_t i = 0; i < serial.errorState.numel(); i++)
+                    ASSERT_EQ(piped.errorState.at(i),
+                              serial.errorState.at(i))
+                        << name << " width " << width << " err elem " << i;
+            }
+        }
+    }
+}
+
+TEST(StreamingPipeline, ReportsOccupancy)
+{
+    Rng rng(57);
+    auto net = EmbeddedNet::makeStreamableConvNet(2, 2, rng);
+    Tensor h = Tensor::randn(Shape{2, 24, 8}, rng, 0.5f);
+
+    TaskPool pool(3);
+    PipelineOptions opts;
+    opts.pool = &pool;
+    opts.width = 4;
+    StreamingExecutor exec(*net, ButcherTableau::rk23());
+    auto piped = exec.runPipelined(0.0, h, 0.1, opts);
+
+    // Serial runs leave the pipeline trace empty.
+    auto serial = exec.run(0.0, h, 0.1);
+    EXPECT_EQ(serial.pipelineWaves, 0u);
+    EXPECT_EQ(serial.pipelinePackets, 0u);
+    EXPECT_EQ(serial.pipelineOccupancy, 0.0);
+
+    // Pipelined runs account every compute packet exactly once: the
+    // packet count equals the serial row total minus the H fetch rows
+    // (fetches fill leftover ring slots and are not compute).
+    ASSERT_GT(piped.pipelineWaves, 0u);
+    EXPECT_EQ(piped.pipelinePackets + 24u, piped.totalRowsComputed);
+    EXPECT_EQ(piped.totalRowsComputed, serial.totalRowsComputed);
+    EXPECT_GT(piped.pipelineOccupancy, 0.0);
+    EXPECT_LE(piped.pipelineOccupancy, 1.0);
+    // Packetization must actually pipeline: far fewer waves than the
+    // one-row-per-visit serial schedule.
+    EXPECT_LT(piped.pipelineWaves, serial.totalRowsComputed / 2);
+}
+
+TEST(StreamingPipeline, WidthOneMatchesSerialRowTotal)
+{
+    // A width-1 pipeline is the serial scheduler with the same fetch
+    // policy: one packet (or one fetch) per wave.
+    Rng rng(59);
+    auto net = EmbeddedNet::makeStreamableConvNet(2, 2, rng);
+    Tensor h = Tensor::randn(Shape{2, 10, 6}, rng, 0.5f);
+
+    TaskPool pool(0);
+    PipelineOptions opts;
+    opts.pool = &pool;
+    opts.width = 1;
+    StreamingExecutor exec(*net, ButcherTableau::rk23());
+    auto piped = exec.runPipelined(0.0, h, 0.1, opts);
+    auto serial = exec.run(0.0, h, 0.1);
+    EXPECT_EQ(piped.pipelineWaves, serial.totalRowsComputed);
+    EXPECT_EQ(piped.totalRowsComputed, serial.totalRowsComputed);
+    EXPECT_EQ(piped.peakLiveRows, serial.peakLiveRows);
 }
 
 TEST(StreamingExecutor, RejectsNonStreamableNets)

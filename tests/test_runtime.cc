@@ -111,6 +111,75 @@ TEST(InferenceServer, ResultsBitwiseMatchSingleThreadedReference)
     EXPECT_EQ(s.rejected, 0u);
 }
 
+TEST(IntraOpClamp, KeepsWorkerTimesWidthWithinHardware)
+{
+    // Pure policy function, testable with injected hardware counts
+    // (this machine's own core count must not matter here).
+    EXPECT_EQ(clampIntraOpThreads(4, 4, 16), 4u);  // fits exactly
+    EXPECT_EQ(clampIntraOpThreads(4, 8, 16), 4u);  // clamped to budget
+    EXPECT_EQ(clampIntraOpThreads(8, 4, 16), 2u);
+    EXPECT_EQ(clampIntraOpThreads(16, 4, 16), 1u); // workers fill the box
+    EXPECT_EQ(clampIntraOpThreads(3, 4, 16), 4u);  // 3*4 < 16
+    EXPECT_EQ(clampIntraOpThreads(5, 2, 4), 1u);   // budget rounds to 0
+    EXPECT_EQ(clampIntraOpThreads(4, 1, 2), 1u);   // serial stays serial
+    EXPECT_EQ(clampIntraOpThreads(1, 1, 0), 1u);
+    EXPECT_EQ(clampIntraOpThreads(4, 6, 0), 6u);   // unknown hw: no clamp
+}
+
+TEST(InferenceServer, IntraOpParallelismKeepsResultsBitwise)
+{
+    // A conv NODE server at intraOpThreads=4: the tiled conv kernels
+    // split across the shared pool inside each worker, and every
+    // response must still match the single-threaded reference bit for
+    // bit. (On small machines the clamp may reduce the effective
+    // width — the bitwise guarantee is width-independent, which is
+    // exactly what this asserts.)
+    auto make_conv_model = [] {
+        Rng rng(kSeed + 7);
+        return NodeModel::makeConv(/*num_layers=*/1, /*channels=*/4,
+                                   /*f_depth=*/2, rng);
+    };
+    auto conv_input = [](std::uint64_t salt) {
+        Rng rng(kSeed + 2000 + salt);
+        return Tensor::randn(Shape{4, 8, 8}, rng, 0.5f);
+    };
+
+    const std::size_t n = 6;
+    std::vector<Tensor> inputs, expected;
+    for (std::size_t i = 0; i < n; i++) {
+        inputs.push_back(conv_input(i));
+        auto model = make_conv_model();
+        FixedFactorController controller;
+        expected.push_back(model
+                               ->forward(inputs.back(),
+                                         ButcherTableau::rk23(), controller,
+                                         servingOptions())
+                               .output);
+    }
+
+    ServerOptions opts = serverOptions(2, 32);
+    opts.intraOpThreads = 4;
+    InferenceServer server(make_conv_model, opts);
+    EXPECT_GE(server.intraOpThreads(), 1u);
+    EXPECT_LE(server.intraOpThreads(), 4u);
+
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < n; i++) {
+        auto sub = server.submit(inputs[i]);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    for (std::size_t i = 0; i < n; i++) {
+        InferResponse r = futures[i].get();
+        EXPECT_EQ(r.status, RequestStatus::Ok);
+        EXPECT_TRUE(bitwiseEqual(r.output, expected[i]))
+            << "request " << i
+            << " diverged under intra-op parallelism (width "
+            << server.intraOpThreads() << ")";
+    }
+    server.stop();
+}
+
 TEST(InferenceServer, PriorityOrderingUnderContention)
 {
     // One paused worker; queue up mixed-priority work, then release.

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * TaskPool / IntraOpScope / PooledScratch unit tests: exact-once
+ * coverage, static-partition determinism, inline degradation (small
+ * ranges, nested calls, no scope), per-worker execution, the
+ * zero-allocation warm-up property, and the cross-thread scratch
+ * ownership check.
+ */
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/task_pool.h"
+#include "tensor/workspace.h"
+
+using namespace enode;
+
+namespace {
+
+TEST(TaskPool, CoversRangeExactlyOnce)
+{
+    TaskPool pool(3);
+    const std::size_t range = 1003;
+    std::vector<int> hits(range, 0);
+    pool.parallelFor(1, range, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; i++)
+            hits[i]++;
+    });
+    for (std::size_t i = 0; i < range; i++)
+        EXPECT_EQ(hits[i], 1) << "item " << i;
+}
+
+TEST(TaskPool, PartitionIsDeterministic)
+{
+    // The chunk boundaries must be a pure function of (grain, range,
+    // width) — never of timing. Two runs must see identical chunks.
+    TaskPool pool(3);
+    auto boundaries = [&] {
+        std::mutex mu;
+        std::set<std::pair<std::size_t, std::size_t>> chunks;
+        pool.parallelFor(4, 103, [&](std::size_t begin, std::size_t end) {
+            std::lock_guard<std::mutex> lock(mu);
+            chunks.insert({begin, end});
+        });
+        return chunks;
+    };
+    const auto first = boundaries();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(boundaries(), first);
+    // Balanced split: 4 ways over 103 items = sizes {26, 26, 26, 25}.
+    EXPECT_EQ(first.size(), 4u);
+    EXPECT_EQ(first.begin()->first, 0u);
+    EXPECT_EQ(first.rbegin()->second, 103u);
+}
+
+TEST(TaskPool, SmallRangeRunsInlineOnCaller)
+{
+    TaskPool pool(3);
+    const auto caller = std::this_thread::get_id();
+    std::size_t calls = 0;
+    // range / grain < 2 ways: must run as one inline chunk.
+    pool.parallelFor(64, 100, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 100u);
+        calls++;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(TaskPool, ZeroWorkerPoolRunsInline)
+{
+    TaskPool pool(0);
+    const auto caller = std::this_thread::get_id();
+    std::atomic<std::size_t> covered{0};
+    pool.parallelFor(1, 64, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        covered += end - begin;
+    });
+    EXPECT_EQ(covered.load(), 64u);
+}
+
+TEST(TaskPool, MaxWaysCapsTheSplit)
+{
+    TaskPool pool(7);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallelFor(
+        1, 1000,
+        [&](std::size_t begin, std::size_t end) {
+            std::lock_guard<std::mutex> lock(mu);
+            chunks.insert({begin, end});
+        },
+        /*maxWays=*/2);
+    EXPECT_EQ(chunks.size(), 2u);
+}
+
+TEST(TaskPool, NestedParallelForDegeneratesToSerial)
+{
+    // A parallelFor issued *from a pool worker* must not split again
+    // (that could deadlock the ring); it runs inline on that worker.
+    // The caller's own chunk is exempt: a non-worker thread inside a
+    // chunk body is an ordinary concurrent caller.
+    TaskPool pool(3);
+    std::atomic<std::size_t> inner_total{0};
+    std::atomic<std::size_t> worker_chunks{0};
+    pool.parallelFor(1, 8, [&](std::size_t begin, std::size_t end) {
+        const bool on_worker = TaskPool::onWorkerThread();
+        const auto outer_thread = std::this_thread::get_id();
+        for (std::size_t i = begin; i < end; i++) {
+            pool.parallelFor(1, 16, [&](std::size_t b, std::size_t e) {
+                if (on_worker) { // nested on a worker: must stay inline
+                    EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+                }
+                inner_total += e - b;
+            });
+        }
+        if (on_worker)
+            worker_chunks++;
+    });
+    EXPECT_EQ(inner_total.load(), 8u * 16u);
+    EXPECT_GT(worker_chunks.load(), 0u); // the guarantee was exercised
+}
+
+TEST(TaskPool, RunOnWorkersRunsOncePerWorker)
+{
+    TaskPool pool(4);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    std::size_t runs = 0;
+    pool.runOnWorkers([&] {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+        runs++;
+    });
+    EXPECT_EQ(runs, 4u);
+    EXPECT_EQ(ids.size(), 4u);                      // distinct threads
+    EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u); // not the caller
+}
+
+TEST(TaskPool, OnWorkerThreadFlag)
+{
+    EXPECT_FALSE(TaskPool::onWorkerThread());
+    TaskPool pool(2);
+    pool.runOnWorkers([] { EXPECT_TRUE(TaskPool::onWorkerThread()); });
+    EXPECT_FALSE(TaskPool::onWorkerThread());
+}
+
+TEST(IntraOpScope, DefaultsToSerial)
+{
+    EXPECT_EQ(IntraOpScope::currentPool(), nullptr);
+    EXPECT_EQ(IntraOpScope::currentWidth(), 1u);
+    // Without a scope, intraOpParallelFor runs inline on the caller.
+    const auto caller = std::this_thread::get_id();
+    std::size_t calls = 0;
+    intraOpParallelFor(1, 256, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 256u);
+        calls++;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(IntraOpScope, InstallsAndRestores)
+{
+    TaskPool pool(2);
+    {
+        IntraOpScope scope(&pool, 3);
+        EXPECT_EQ(IntraOpScope::currentPool(), &pool);
+        EXPECT_EQ(IntraOpScope::currentWidth(), 3u);
+        {
+            IntraOpScope inner(nullptr, 1); // nested override
+            EXPECT_EQ(IntraOpScope::currentPool(), nullptr);
+            EXPECT_EQ(IntraOpScope::currentWidth(), 1u);
+        }
+        EXPECT_EQ(IntraOpScope::currentPool(), &pool);
+    }
+    EXPECT_EQ(IntraOpScope::currentPool(), nullptr);
+    EXPECT_EQ(IntraOpScope::currentWidth(), 1u);
+}
+
+TEST(IntraOpScope, WidthCapsPoolSplit)
+{
+    TaskPool pool(7);
+    IntraOpScope scope(&pool, 2);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    intraOpParallelFor(1, 1000, [&](std::size_t begin, std::size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.insert({begin, end});
+    });
+    EXPECT_EQ(chunks.size(), 2u);
+}
+
+TEST(TaskPool, PooledScratchZeroMissAfterWarmUp)
+{
+    // The rotating chunk->worker offset guarantees every worker sees
+    // every chunk shape within a few calls; once every arena is warm,
+    // chunk-local PooledScratch must never hit the heap again.
+    TaskPool pool(3);
+    constexpr std::size_t kScratch = 512;
+    auto body = [&] {
+        pool.parallelFor(1, pool.width(),
+                         [&](std::size_t begin, std::size_t end) {
+                             PooledScratch scratch(kScratch);
+                             for (std::size_t i = begin; i < end; i++)
+                                 scratch.data()[i % kScratch] += 1.0f;
+                         });
+    };
+    for (int i = 0; i < 16; i++)
+        body(); // warm-up: rotation covers every worker
+    Workspace::local().resetStats();
+    pool.runOnWorkers([] { Workspace::local().resetStats(); });
+    for (int i = 0; i < 32; i++)
+        body();
+    std::atomic<std::uint64_t> misses{Workspace::local().stats().misses};
+    pool.runOnWorkers([&] { misses += Workspace::local().stats().misses; });
+    EXPECT_EQ(misses.load(), 0u);
+}
+
+TEST(PooledScratchDeathTest, ReleasingOnAnotherThreadAsserts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            // Construct on this thread, destroy on another: the scratch
+            // would leak into the wrong worker's arena.
+            auto scratch = std::make_optional<PooledScratch>(64);
+            std::thread mover([&] { scratch.reset(); });
+            mover.join();
+        },
+        "different thread");
+}
+
+} // namespace
