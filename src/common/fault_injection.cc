@@ -1,0 +1,163 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+/** splitmix64: cheap, well-mixed hash for deterministic index choice. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CorruptNaN:
+        return "corrupt-nan";
+      case FaultKind::CorruptInf:
+        return "corrupt-inf";
+      case FaultKind::Stall:
+        return "stall";
+      case FaultKind::Reject:
+        return "reject";
+    }
+    ENODE_PANIC("unknown FaultKind");
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(FaultPlan plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = std::move(plan);
+    hits_.clear();
+    fired_ = 0;
+    armed_.store(!plan_.faults.empty(), std::memory_order_release);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(false, std::memory_order_release);
+    plan_ = FaultPlan{};
+    hits_.clear();
+}
+
+const FaultSpec *
+FaultInjector::match(const std::string &site, std::uint64_t hit,
+                     std::initializer_list<FaultKind> kinds) const
+{
+    for (const FaultSpec &spec : plan_.faults) {
+        if (spec.site != site)
+            continue;
+        bool kind_ok = false;
+        for (FaultKind k : kinds)
+            kind_ok = kind_ok || spec.kind == k;
+        if (!kind_ok)
+            continue;
+        if (hit < spec.firstHit)
+            continue;
+        const std::uint64_t offset = hit - spec.firstHit;
+        if (spec.count != std::numeric_limits<std::uint64_t>::max() &&
+            offset >= spec.count)
+            continue;
+        return &spec;
+    }
+    return nullptr;
+}
+
+bool
+FaultInjector::shouldFail(const char *site)
+{
+    if (!armed_.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit = hits_[site]++;
+    const FaultSpec *spec = match(site, hit, {FaultKind::Reject});
+    if (spec == nullptr)
+        return false;
+    fired_++;
+    return true;
+}
+
+double
+FaultInjector::maybeStall(const char *site)
+{
+    if (!armed_.load(std::memory_order_acquire))
+        return 0.0;
+    double stall_ms = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::uint64_t hit = hits_[site]++;
+        const FaultSpec *spec = match(site, hit, {FaultKind::Stall});
+        if (spec == nullptr)
+            return 0.0;
+        fired_++;
+        stall_ms = spec->stallMs;
+    }
+    // Sleep outside the lock so concurrent probes are not serialized
+    // behind a stalled thread.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(stall_ms));
+    return stall_ms;
+}
+
+bool
+FaultInjector::maybeCorrupt(const char *site, float *data, std::size_t n)
+{
+    if (!armed_.load(std::memory_order_acquire))
+        return false;
+    if (data == nullptr || n == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit = hits_[site]++;
+    const FaultSpec *spec =
+        match(site, hit, {FaultKind::CorruptNaN, FaultKind::CorruptInf});
+    if (spec == nullptr)
+        return false;
+    fired_++;
+    const std::size_t index =
+        static_cast<std::size_t>(mix64(plan_.seed ^ mix64(hit)) % n);
+    data[index] = spec->kind == FaultKind::CorruptNaN
+                      ? std::numeric_limits<float>::quiet_NaN()
+                      : std::numeric_limits<float>::infinity();
+    return true;
+}
+
+std::uint64_t
+FaultInjector::hits(const char *site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = hits_.find(site);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+FaultInjector::fired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_;
+}
+
+} // namespace enode

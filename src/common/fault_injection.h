@@ -1,0 +1,150 @@
+#ifndef ENODE_COMMON_FAULT_INJECTION_H
+#define ENODE_COMMON_FAULT_INJECTION_H
+
+/**
+ * @file
+ * Deterministic, seeded fault injection for chaos testing.
+ *
+ * Production code paths carry named *probes* (a layer-output corruption
+ * hook in the embedded-net evaluation, a stall hook in the serving
+ * worker, a rejection hook at queue admission). A test or chaos run
+ * arms a FaultPlan; each probe then counts its hits and fires the
+ * matching faults at exactly the planned hit indices. Everything is
+ * derived from the plan (site, hit index, seed), so a fixed plan
+ * reproduces the same faults — and hence the same degraded responses —
+ * bit for bit.
+ *
+ * The injector is compiled in always so chaos runs exercise the exact
+ * binaries that serve production traffic. When no plan is armed every
+ * probe is a single relaxed atomic load — zero cost on the hot path.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace enode {
+
+/** What an armed fault does at its probe site. */
+enum class FaultKind : std::uint8_t
+{
+    CorruptNaN, ///< overwrite one payload element with a quiet NaN
+    CorruptInf, ///< overwrite one payload element with +infinity
+    Stall,      ///< sleep the probing thread for stallMs
+    Reject,     ///< make a boolean probe report failure (queue-full etc.)
+};
+
+/** Human-readable fault kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One planned fault: which site, which hits, what to do. */
+struct FaultSpec
+{
+    /** Probe site name, e.g. "node.feval", "worker.stall", "queue.push". */
+    std::string site;
+
+    FaultKind kind = FaultKind::CorruptNaN;
+
+    /** 0-based index of the first matching probe hit that fires. */
+    std::uint64_t firstHit = 0;
+
+    /** Consecutive hits that fire (UINT64_MAX = every hit from firstHit). */
+    std::uint64_t count = 1;
+
+    /** Sleep duration for FaultKind::Stall. */
+    double stallMs = 0.0;
+};
+
+/** A full chaos scenario: a seed plus the faults it fires. */
+struct FaultPlan
+{
+    /** Drives the choice of corrupted element per hit (deterministic). */
+    std::uint64_t seed = 0;
+
+    std::vector<FaultSpec> faults;
+};
+
+/**
+ * Process-wide fault injector. Probes live in production code; plans
+ * are armed by tests and chaos drivers. Thread-safe: hit counting and
+ * fault matching are serialized on an internal mutex, entered only
+ * when a plan is armed.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Install a plan and reset all hit counters. */
+    void arm(FaultPlan plan);
+
+    /** Remove the plan; every probe reverts to its zero-cost path. */
+    void disarm();
+
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Boolean probe (FaultKind::Reject): should this site fail now?
+     * Counts one hit per call while armed.
+     */
+    bool shouldFail(const char *site);
+
+    /**
+     * Stall probe (FaultKind::Stall): sleeps when an armed stall fault
+     * matches this hit.
+     * @return The milliseconds slept (0 when nothing fired).
+     */
+    double maybeStall(const char *site);
+
+    /**
+     * Corruption probe (CorruptNaN / CorruptInf): overwrites one
+     * element of the payload, chosen deterministically from the plan
+     * seed and the hit index.
+     * @return True when the payload was corrupted.
+     */
+    bool maybeCorrupt(const char *site, float *data, std::size_t n);
+
+    /** Hits recorded at a site since the last arm(). */
+    std::uint64_t hits(const char *site) const;
+
+    /** Total faults fired since the last arm(). */
+    std::uint64_t fired() const;
+
+  private:
+    FaultInjector() = default;
+
+    /** Find the armed spec matching (site, hit, kinds); null if none. */
+    const FaultSpec *match(const std::string &site, std::uint64_t hit,
+                           std::initializer_list<FaultKind> kinds) const;
+
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mutex_;
+    FaultPlan plan_;
+    std::unordered_map<std::string, std::uint64_t> hits_;
+    std::uint64_t fired_ = 0;
+};
+
+/** RAII plan installer for tests: arms on construction, disarms on exit. */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(FaultPlan plan)
+    {
+        FaultInjector::instance().arm(std::move(plan));
+    }
+    ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace enode
+
+#endif // ENODE_COMMON_FAULT_INJECTION_H

@@ -74,7 +74,7 @@ truncateState(const Tensor &x, std::size_t dim)
 NodeForwardResult
 NodeModel::forward(const Tensor &x, const ButcherTableau &tableau,
                    StepController &controller, const IvpOptions &opts,
-                   TrialEvaluator *evaluator)
+                   TrialEvaluator *evaluator, SolveGuard *guard)
 {
     NodeForwardResult result;
     result.layers.reserve(nets_.size());
@@ -83,10 +83,17 @@ NodeModel::forward(const Tensor &x, const ButcherTableau &tableau,
         EmbeddedNetOde ode(*net);
         IvpResult layer = solveIvp(ode, h, 0.0, layerTime_, tableau,
                                    controller, opts, evaluator,
-                                   &ivpWorkspace_);
+                                   &ivpWorkspace_, guard);
         h = layer.yFinal;
+        const SolveStatus status = layer.status;
         result.totalStats.accumulate(layer.stats);
         result.layers.push_back(std::move(layer));
+        if (status != SolveStatus::Ok) {
+            // A poisoned or aborted layer must not feed the next one:
+            // stop here and surface the structured status.
+            result.status = status;
+            break;
+        }
     }
     result.output = std::move(h);
     return result;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "nn/loss.h"
 #include "nn/sequential.h"
 #include "ode/ivp.h"
@@ -32,7 +33,15 @@ class EmbeddedNetOde : public OdeFunction
     eval(double t, const Tensor &h) override
     {
         countEval();
-        return net_.eval(t, h);
+        Tensor d = net_.eval(t, h);
+        // Chaos probe: an armed fault plan can corrupt this layer
+        // output with NaN/Inf at a chosen evaluation index (a single
+        // relaxed atomic load when disarmed). This is the exact tensor
+        // the RK stepper consumes, so injected corruption flows through
+        // the production trial/accept path.
+        FaultInjector::instance().maybeCorrupt("node.feval", d.data(),
+                                               d.numel());
+        return d;
     }
 
     EmbeddedNet &net() { return net_; }
@@ -47,6 +56,13 @@ struct NodeForwardResult
     Tensor output;                    ///< h after the last layer
     std::vector<IvpResult> layers;    ///< per-layer checkpoints and stats
     IvpStats totalStats;              ///< aggregated over layers
+    /**
+     * First non-Ok layer status, or Ok. A failing layer ends the
+     * forward pass immediately — its (untrustworthy) final state is
+     * still returned as `output` for diagnostics, but callers must
+     * treat any non-Ok forward as unusable.
+     */
+    SolveStatus status = SolveStatus::Ok;
 };
 
 /** A stack of integration layers sharing solver configuration. */
@@ -96,11 +112,14 @@ class NodeModel
      * @param controller Stepsize-search policy; reset per layer.
      * @param opts Solver options (tolerance epsilon etc.).
      * @param evaluator Optional priority/early-stop trial evaluator.
+     * @param guard Optional per-accepted-step abort check threaded into
+     *        every layer solve (request deadlines, f-eval budgets).
      */
     NodeForwardResult forward(const Tensor &x, const ButcherTableau &tableau,
                               StepController &controller,
                               const IvpOptions &opts,
-                              TrialEvaluator *evaluator = nullptr);
+                              TrialEvaluator *evaluator = nullptr,
+                              SolveGuard *guard = nullptr);
 
     std::size_t numLayers() const { return nets_.size(); }
     EmbeddedNet &net(std::size_t layer) { return *nets_.at(layer); }

@@ -1,11 +1,66 @@
 #include "ode/ivp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
 
 namespace enode {
+
+namespace {
+
+/**
+ * Rate-limited force-accept warning: exponential backoff on a
+ * process-wide counter (warns on the 1st, 2nd, 4th, 8th... occurrence),
+ * so a pathological stream of underflowing solves cannot flood the log.
+ */
+void
+warnForcedAccept(double t, double dt, double err_norm)
+{
+    static std::atomic<std::uint64_t> occurrences{0};
+    const std::uint64_t n =
+        occurrences.fetch_add(1, std::memory_order_relaxed);
+    if ((n & (n + 1)) != 0)
+        return; // not a 2^k - 1 boundary: suppressed
+    ENODE_WARN("force-accepting step at t=", t, " dt=", dt, " err=",
+               err_norm, " (occurrence ", n + 1,
+               "; further warnings rate-limited)");
+}
+
+} // namespace
+
+const char *
+solveStatusName(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Ok:
+        return "ok";
+      case SolveStatus::NonFinite:
+        return "non-finite";
+      case SolveStatus::StepUnderflow:
+        return "step-underflow";
+      case SolveStatus::TrialBudgetExhausted:
+        return "trial-budget-exhausted";
+      case SolveStatus::EvalBudgetExhausted:
+        return "eval-budget-exhausted";
+      case SolveStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    ENODE_PANIC("unknown SolveStatus");
+}
+
+SolveStatus
+DeadlineGuard::check(const IvpStats &stats)
+{
+    if (abortFlag != nullptr && abortFlag->load(std::memory_order_acquire))
+        return SolveStatus::DeadlineExceeded;
+    if (maxFEvals != 0 && stats.fEvals > maxFEvals)
+        return SolveStatus::DeadlineExceeded;
+    if (deadline != Clock::time_point::max() && Clock::now() > deadline)
+        return SolveStatus::DeadlineExceeded;
+    return SolveStatus::Ok;
+}
 
 void
 IvpStats::accumulate(const IvpStats &other)
@@ -14,6 +69,7 @@ IvpStats::accumulate(const IvpStats &other)
     trials += other.trials;
     rejected += other.rejected;
     fEvals += other.fEvals;
+    forcedAccepts += other.forcedAccepts;
     equivalentTrials += other.equivalentTrials;
 }
 
@@ -26,8 +82,13 @@ TrialEvaluator::evaluate(OdeFunction &f, const RkStepper &stepper, double t,
     trial.decisionNorm = trial.step.errorNorm;
     // Integrators without an embedded estimator cannot reject; they run
     // at whatever stepsize the controller proposes (fixed-step mode).
+    // A non-finite error norm always rejects: the trial state has been
+    // poisoned by NaN/Inf and retrying at a smaller dt re-evaluates f
+    // fresh, so transient corruption heals here (persistent corruption
+    // is caught by the accepted-state screen in solveIvp).
     trial.accepted = !stepper.tableau().hasEmbedded() ||
-                     trial.decisionNorm <= eps;
+                     (std::isfinite(trial.decisionNorm) &&
+                      trial.decisionNorm <= eps);
     trial.workFraction = 1.0;
 }
 
@@ -35,7 +96,7 @@ IvpResult
 solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
          const ButcherTableau &tableau, StepController &controller,
          const IvpOptions &opts, TrialEvaluator *evaluator,
-         IvpWorkspace *workspace)
+         IvpWorkspace *workspace, SolveGuard *guard)
 {
     ENODE_ASSERT(t1 > t0, "solveIvp needs t1 > t0");
     ENODE_ASSERT(opts.tolerance > 0.0 && opts.initialDt > 0.0,
@@ -64,11 +125,16 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
     bool have_fsal = false;
 
     const std::uint64_t f_evals_at_start = f.evalCount();
+    // Forced accepts split by cause; the larger class names the final
+    // status when forcing dominated the solve.
+    std::uint64_t underflow_forced = 0;
+    std::uint64_t trial_budget_forced = 0;
 
     while (t1 - t > 1e-12 * std::max(1.0, std::abs(t1))) {
-        ENODE_ASSERT(result.stats.evalPoints < opts.maxEvalPoints,
-                     "evaluation point budget exhausted; tolerance ",
-                     opts.tolerance, " may be unreachable");
+        if (result.stats.evalPoints >= opts.maxEvalPoints) {
+            result.status = SolveStatus::EvalBudgetExhausted;
+            break;
+        }
         eval.pointStart();
         double dt_try = controller.initialDt();
         std::uint32_t n_try = 0;
@@ -92,11 +158,17 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
             result.stats.trials++;
             result.stats.equivalentTrials += trial.workFraction;
 
-            const bool force = dt_effective <= opts.minDt ||
-                               n_try >= opts.maxTrialsPerPoint;
-            if (force && !trial.accepted) {
-                ENODE_WARN("force-accepting step at t=", t, " dt=",
-                           dt_effective, " err=", trial.decisionNorm);
+            const bool underflow = dt_effective <= opts.minDt;
+            const bool trial_budget = n_try >= opts.maxTrialsPerPoint;
+            const bool force =
+                !trial.accepted && (underflow || trial_budget);
+            if (force) {
+                result.stats.forcedAccepts++;
+                if (underflow)
+                    underflow_forced++;
+                else
+                    trial_budget_forced++;
+                warnForcedAccept(t, dt_effective, trial.decisionNorm);
             }
             if (trial.accepted || force) {
                 accepted = true;
@@ -117,6 +189,24 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
                 }
                 t += dt_effective;
                 result.stats.evalPoints++;
+                // Cheap post-accept screening: a NaN/Inf accepted state
+                // (FP16 overflow, corrupted f output force-accepted at
+                // minDt) ends the solve with a structured status
+                // instead of propagating garbage to the next layer.
+                if (!y.isFinite()) {
+                    result.status = SolveStatus::NonFinite;
+                    break;
+                }
+                if (guard != nullptr) {
+                    result.stats.fEvals =
+                        f.evalCount() - f_evals_at_start;
+                    const SolveStatus verdict =
+                        guard->check(result.stats);
+                    if (verdict != SolveStatus::Ok) {
+                        result.status = verdict;
+                        break;
+                    }
+                }
             } else {
                 result.stats.rejected++;
                 dt_try = controller.rejectedDt(dt_effective,
@@ -125,6 +215,18 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
                 ENODE_ASSERT(dt_try > 0.0, "controller proposed dt <= 0");
             }
         }
+        if (result.status != SolveStatus::Ok)
+            break;
+    }
+
+    // A solve that limped to the end on force-accepted steps did not
+    // actually meet its tolerance: surface the dominant cause instead
+    // of silently returning the wrong answer.
+    if (result.status == SolveStatus::Ok &&
+        result.stats.forcedAccepts * 2 > result.stats.evalPoints) {
+        result.status = underflow_forced >= trial_budget_forced
+                            ? SolveStatus::StepUnderflow
+                            : SolveStatus::TrialBudgetExhausted;
     }
 
     result.yFinal = std::move(y);

@@ -19,6 +19,8 @@
  * state the ACA backward pass (Sec. II.C) replays.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -28,6 +30,29 @@
 
 namespace enode {
 
+/**
+ * How a solve ended. Anything but Ok means the returned state must not
+ * be trusted as a converged solution: the caller (e.g. the serving
+ * runtime's degradation ladder) decides whether to retry, fall back, or
+ * fail the request. The driver stops at the first NonFinite or guard
+ * failure; budget statuses classify solves that ran to a budget wall.
+ */
+enum class SolveStatus : std::uint8_t
+{
+    Ok = 0,               ///< converged within tolerance and budgets
+    NonFinite,            ///< an accepted state contained NaN/Inf
+    StepUnderflow,        ///< minDt force-accepts dominated the solve
+    TrialBudgetExhausted, ///< per-point trial-cap force-accepts dominated
+    EvalBudgetExhausted,  ///< maxEvalPoints reached before t1
+    DeadlineExceeded,     ///< a SolveGuard aborted the solve mid-flight
+};
+
+/** Number of SolveStatus values (for exhaustive test matrices). */
+constexpr std::size_t kNumSolveStatuses = 6;
+
+/** Human-readable status name. */
+const char *solveStatusName(SolveStatus status);
+
 /** Per-solve accounting that backs the complexity analysis of Fig. 3. */
 struct IvpStats
 {
@@ -35,6 +60,13 @@ struct IvpStats
     std::uint64_t trials = 0;     ///< total search trials (n_eval * n_try)
     std::uint64_t rejected = 0;   ///< rejected trials
     std::uint64_t fEvals = 0;     ///< embedded-NN evaluations
+    /**
+     * Steps accepted *despite* failing the tolerance test, because the
+     * stepsize hit the minDt floor or the per-point trial cap. A solve
+     * dominated by forced accepts is reported as StepUnderflow /
+     * TrialBudgetExhausted rather than silently returning garbage.
+     */
+    std::uint64_t forcedAccepts = 0;
     /**
      * Work actually performed, in units of full-feature-map trials.
      * Without early stop this equals trials; with priority processing a
@@ -61,6 +93,48 @@ struct IvpResult
     std::vector<Checkpoint> checkpoints; ///< accepted points, first at t0
     IvpStats stats;
     std::vector<std::uint32_t> trialsPerPoint; ///< n_try at each point
+    /** How the solve ended; yFinal is trustworthy only when Ok. */
+    SolveStatus status = SolveStatus::Ok;
+};
+
+/**
+ * Per-accepted-step abort check evaluated by the IVP driver. Returning
+ * anything but Ok stops the solve immediately with that status, so a
+ * request-level runtime deadline can abort a runaway integration
+ * mid-flight instead of waiting for it to exhaust its budgets.
+ */
+class SolveGuard
+{
+  public:
+    virtual ~SolveGuard() = default;
+
+    /**
+     * Called once after every accepted step with the solve's running
+     * statistics (fEvals is kept current). Return Ok to continue.
+     */
+    virtual SolveStatus check(const IvpStats &stats) = 0;
+};
+
+/**
+ * The serving runtime's guard: aborts with DeadlineExceeded when the
+ * wall-clock deadline passes, the f-evaluation budget is spent, or an
+ * external abort flag (the watchdog's) is raised.
+ */
+class DeadlineGuard : public SolveGuard
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Wall-clock completion target; max() = no deadline. */
+    Clock::time_point deadline = Clock::time_point::max();
+
+    /** Per-solve f-evaluation budget; 0 = unlimited. */
+    std::uint64_t maxFEvals = 0;
+
+    /** External abort request (set by the serving watchdog); optional. */
+    const std::atomic<bool> *abortFlag = nullptr;
+
+    SolveStatus check(const IvpStats &stats) override;
 };
 
 /** Options for the adaptive solve. */
@@ -144,12 +218,16 @@ struct IvpWorkspace
  * @param evaluator Optional trial evaluator (null = full evaluation).
  * @param workspace Optional reusable solve state; pass the same one to
  *        successive solves to make the hot path allocation-free.
+ * @param guard Optional per-accepted-step abort check (deadline /
+ *        f-eval budget); a non-Ok verdict ends the solve with that
+ *        status.
  */
 IvpResult solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
                    const ButcherTableau &tableau, StepController &controller,
                    const IvpOptions &opts,
                    TrialEvaluator *evaluator = nullptr,
-                   IvpWorkspace *workspace = nullptr);
+                   IvpWorkspace *workspace = nullptr,
+                   SolveGuard *guard = nullptr);
 
 } // namespace enode
 

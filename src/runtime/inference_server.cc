@@ -1,7 +1,9 @@
 #include "runtime/inference_server.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "ode/step_control.h"
 
@@ -38,6 +40,10 @@ requestStatusName(RequestStatus status)
         return "ok";
       case RequestStatus::Cancelled:
         return "cancelled";
+      case RequestStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+      case RequestStatus::Failed:
+        return "failed";
     }
     ENODE_PANIC("unknown RequestStatus");
 }
@@ -51,6 +57,10 @@ InferenceServer::InferenceServer(ModelFactory make_model,
 {
     ENODE_ASSERT(options_.numWorkers >= 1, "server needs >= 1 worker");
     ENODE_ASSERT(static_cast<bool>(make_model), "null model factory");
+    ENODE_ASSERT(options_.degrade.retryToleranceFactor >= 1.0,
+                 "retryToleranceFactor must be >= 1");
+    ENODE_ASSERT(options_.degrade.fallbackSteps >= 1,
+                 "fallbackSteps must be >= 1");
 
     // Intra-op width: clamp workers * width to the machine, then build
     // one shared tile pool for all workers. Each worker contributes
@@ -76,6 +86,7 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     // Build the replicas sequentially on this thread: user factories
     // are free to capture shared state (e.g. one Rng) without locking.
     workers_.reserve(options_.numWorkers);
+    inflight_.reserve(options_.numWorkers);
     for (std::size_t i = 0; i < options_.numWorkers; i++) {
         auto worker = std::make_unique<Worker>();
         worker->model = make_model();
@@ -87,6 +98,7 @@ InferenceServer::InferenceServer(ModelFactory make_model,
         ENODE_ASSERT(worker->controller != nullptr,
                      "controller factory returned null");
         workers_.push_back(std::move(worker));
+        inflight_.push_back(std::make_unique<InFlight>());
     }
 
     // Replica 0 is the weight master: stamp its parameters into every
@@ -99,6 +111,9 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     for (std::size_t i = 0; i < workers_.size(); i++)
         workers_[i]->thread =
             std::thread([this, i] { workerMain(i); });
+
+    if (options_.degrade.watchdogMs > 0.0)
+        watchdog_ = std::thread([this] { watchdogMain(); });
 }
 
 InferenceServer::~InferenceServer()
@@ -113,6 +128,13 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
     Submission sub;
     if (stopped_.load(std::memory_order_acquire))
         return sub;
+
+    // Chaos probe: an armed fault plan can force queue-full rejections
+    // to exercise client backpressure handling.
+    if (FaultInjector::instance().shouldFail("queue.push")) {
+        metrics_.recordRejected();
+        return sub;
+    }
 
     QueueEntry entry;
     entry.request.id = nextRequestId_.fetch_add(1);
@@ -165,6 +187,17 @@ InferenceServer::stop(bool drain)
     for (auto &worker : workers_)
         if (worker->thread.joinable())
             worker->thread.join();
+
+    // The watchdog outlives the workers so draining solves stay
+    // protected; only after the last worker exits is it retired.
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMutex_);
+            watchdogStop_ = true;
+        }
+        watchdogCv_.notify_all();
+        watchdog_.join();
+    }
 }
 
 void
@@ -177,7 +210,6 @@ InferenceServer::waitWhilePaused()
 void
 InferenceServer::workerMain(std::size_t worker_id)
 {
-    Worker &worker = *workers_[worker_id];
     // Kernel tiles split on the shared pool for this thread's lifetime;
     // with width 1 the scope is inert and kernels run serial inline.
     IntraOpScope intra_op(intraOpPool_.get(), intraOpWidth_);
@@ -186,27 +218,218 @@ InferenceServer::workerMain(std::size_t worker_id)
         waitWhilePaused();
         if (!queue_.pop(entry))
             break; // closed and drained
+        serveOne(worker_id, entry);
+    }
+}
 
-        const auto start = RuntimeClock::now();
-        NodeForwardResult fwd =
-            worker.model->forward(entry.request.input, tableau_,
-                                  *worker.controller, options_.ivp);
-        const auto end = RuntimeClock::now();
+NodeForwardResult
+InferenceServer::fallbackForward(Worker &worker, const Tensor &input)
+{
+    NodeModel &model = *worker.model;
+    const double T = model.layerTime();
+    const double dt =
+        T / static_cast<double>(std::max<std::size_t>(
+                1, options_.degrade.fallbackSteps));
+    NodeForwardResult result;
+    Tensor h = input;
+    for (std::size_t i = 0; i < model.numLayers(); i++) {
+        EmbeddedNetOde ode(model.net(i));
+        h = integrateFixed(ode, tableau_, h, 0.0, T, dt);
+        result.totalStats.fEvals += ode.evalCount();
+        if (!h.isFinite()) {
+            // Even the coarse fallback is poisoned: the request fails
+            // rather than shipping a non-finite payload.
+            result.status = SolveStatus::NonFinite;
+            break;
+        }
+    }
+    result.output = std::move(h);
+    return result;
+}
 
+void
+InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
+{
+    Worker &worker = *workers_[worker_id];
+    InFlight &flight = *inflight_[worker_id];
+    const auto start = RuntimeClock::now();
+    const double queue_wait_ms = toMs(start - entry.enqueueTime);
+
+    // A request that has already missed its deadline gets a structured
+    // failure now instead of a full solve whose response could only
+    // arrive late.
+    if (start > entry.request.deadline) {
         InferResponse response;
         response.id = entry.request.id;
-        response.status = RequestStatus::Ok;
-        response.output = std::move(fwd.output);
-        response.stats = fwd.totalStats;
-        response.queueWaitMs = toMs(start - entry.enqueueTime);
-        response.solveMs = toMs(end - start);
-        response.totalMs = toMs(end - entry.enqueueTime);
-        response.deadlineMet = end <= entry.request.deadline;
+        response.status = RequestStatus::DeadlineExceeded;
+        response.queueWaitMs = queue_wait_ms;
+        response.totalMs = queue_wait_ms;
+        response.deadlineMet = false;
         response.workerId = worker_id;
         response.completionIndex = nextCompletionIndex_.fetch_add(1);
-
         metrics_.recordCompletion(response);
         entry.promise.set_value(std::move(response));
+        return;
+    }
+
+    // Publish the in-flight record so the watchdog can see (and if
+    // needed, take over) this request while the solve runs.
+    {
+        std::lock_guard<std::mutex> lock(flight.mutex);
+        flight.promise = std::move(entry.promise);
+        flight.active = true;
+        flight.delivered = false;
+        flight.id = entry.request.id;
+        flight.start = start;
+        flight.deadline = entry.request.deadline;
+        flight.queueWaitMs = queue_wait_ms;
+        flight.abort.store(false, std::memory_order_relaxed);
+    }
+
+    // Chaos probe: a stall here models a solve wedging inside the
+    // worker — the watchdog must fail the request while this thread
+    // sleeps, and the worker must recover afterwards.
+    FaultInjector::instance().maybeStall("worker.stall");
+
+    DeadlineGuard guard;
+    guard.deadline = entry.request.deadline;
+    guard.maxFEvals = options_.degrade.maxFEvalsPerRequest;
+    guard.abortFlag = &flight.abort;
+
+    // Attempt the configured solve, then walk the degradation ladder.
+    IvpStats aggregate;
+    std::uint32_t retries = 0;
+    NodeForwardResult fwd =
+        worker.model->forward(entry.request.input, tableau_,
+                              *worker.controller, options_.ivp, nullptr,
+                              &guard);
+    aggregate.accumulate(fwd.totalStats);
+    const SolveStatus origin = fwd.status;
+
+    if (fwd.status != SolveStatus::Ok && options_.degrade.enabled &&
+        !flight.abort.load(std::memory_order_acquire)) {
+        if (fwd.status == SolveStatus::NonFinite ||
+            fwd.status == SolveStatus::StepUnderflow) {
+            // Rung 1: one retry at relaxed tolerance — FP16 overflow
+            // and minDt underflow are frequently tolerance-induced.
+            IvpOptions relaxed = options_.ivp;
+            relaxed.tolerance *= options_.degrade.retryToleranceFactor;
+            retries = 1;
+            fwd = worker.model->forward(entry.request.input, tableau_,
+                                        *worker.controller, relaxed,
+                                        nullptr, &guard);
+            aggregate.accumulate(fwd.totalStats);
+        }
+        if (fwd.status != SolveStatus::Ok &&
+            !flight.abort.load(std::memory_order_acquire)) {
+            // Rung 2: fixed-step coarse integration. Deterministic
+            // cost, no stepsize search to diverge.
+            fwd = fallbackForward(worker, entry.request.input);
+            aggregate.accumulate(fwd.totalStats);
+        }
+    }
+
+    const auto end = RuntimeClock::now();
+    InferResponse response;
+    response.id = entry.request.id;
+    response.stats = aggregate;
+    response.queueWaitMs = queue_wait_ms;
+    response.solveMs = toMs(end - start);
+    response.totalMs = toMs(end - entry.enqueueTime);
+    response.deadlineMet = end <= entry.request.deadline;
+    response.workerId = worker_id;
+    response.retries = retries;
+    // The final screen: no response ever carries a non-finite value.
+    if (fwd.status == SolveStatus::Ok && fwd.output.isFinite()) {
+        response.status = RequestStatus::Ok;
+        response.degraded = origin != SolveStatus::Ok;
+        response.solveStatus = origin;
+        response.output = std::move(fwd.output);
+    } else {
+        response.status = RequestStatus::Failed;
+        // Every failure carries a non-Ok class; a non-finite payload
+        // behind an Ok status (cannot happen today — the solver screens
+        // accepted states — but this screen is the last line) counts as
+        // NonFinite.
+        response.solveStatus = origin != SolveStatus::Ok ? origin
+                               : fwd.status != SolveStatus::Ok
+                                   ? fwd.status
+                                   : SolveStatus::NonFinite;
+    }
+    response.completionIndex = nextCompletionIndex_.fetch_add(1);
+
+    // Deliver unless the watchdog already failed this request while we
+    // were solving (its response wins; ours is discarded).
+    std::promise<InferResponse> to_deliver;
+    bool deliver = false;
+    {
+        std::lock_guard<std::mutex> lock(flight.mutex);
+        flight.active = false;
+        if (!flight.delivered) {
+            flight.delivered = true;
+            to_deliver = std::move(flight.promise);
+            deliver = true;
+        }
+    }
+    if (deliver) {
+        metrics_.recordCompletion(response);
+        to_deliver.set_value(std::move(response));
+    }
+}
+
+void
+InferenceServer::watchdogMain()
+{
+    const auto threshold = std::chrono::duration<double, std::milli>(
+        options_.degrade.watchdogMs);
+    // Poll a few times per threshold, bounded so tiny thresholds do
+    // not busy-spin and huge ones still notice shutdown promptly.
+    const auto poll = std::chrono::milliseconds(std::min<std::int64_t>(
+        20, std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(options_.degrade.watchdogMs /
+                                             4.0))));
+    std::unique_lock<std::mutex> lock(watchdogMutex_);
+    while (!watchdogCv_.wait_for(lock, poll,
+                                 [this] { return watchdogStop_; })) {
+        const auto now = RuntimeClock::now();
+        for (std::size_t i = 0; i < inflight_.size(); i++) {
+            InFlight &flight = *inflight_[i];
+            std::promise<InferResponse> to_fail;
+            InferResponse response;
+            bool tripped = false;
+            {
+                std::lock_guard<std::mutex> slot(flight.mutex);
+                if (flight.active && !flight.delivered &&
+                    now - flight.start > threshold) {
+                    flight.delivered = true;
+                    // Cooperative kill: the solve guard sees this at
+                    // its next accepted step and aborts.
+                    flight.abort.store(true, std::memory_order_release);
+                    to_fail = std::move(flight.promise);
+                    response.id = flight.id;
+                    response.queueWaitMs = flight.queueWaitMs;
+                    response.solveMs = toMs(now - flight.start);
+                    response.totalMs =
+                        flight.queueWaitMs + response.solveMs;
+                    response.deadlineMet = now <= flight.deadline;
+                    tripped = true;
+                }
+            }
+            if (tripped) {
+                response.status = RequestStatus::Failed;
+                response.solveStatus = SolveStatus::DeadlineExceeded;
+                response.workerId = i;
+                response.completionIndex =
+                    nextCompletionIndex_.fetch_add(1);
+                ENODE_WARN("watchdog failing request ", response.id,
+                           " on worker ", i, " after ", response.solveMs,
+                           " ms (threshold ", options_.degrade.watchdogMs,
+                           " ms)");
+                metrics_.recordWatchdogTrip();
+                metrics_.recordCompletion(response);
+                to_fail.set_value(std::move(response));
+            }
+        }
     }
 }
 

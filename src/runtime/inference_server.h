@@ -52,6 +52,49 @@ servingIvpDefaults()
     return opts;
 }
 
+/**
+ * Graceful-degradation policy: what the server does when a solve comes
+ * back with a non-Ok SolveStatus (see DESIGN.md "Failure model &
+ * degradation ladder").
+ *
+ * Rung 1 — NonFinite / StepUnderflow: retry once with the tolerance
+ * relaxed by retryToleranceFactor (FP16 overflow and minDt underflow
+ * are frequently tolerance-induced).
+ * Rung 2 — any remaining failure (budgets, deadline, failed retry):
+ * fixed-step coarse integration with fallbackSteps steps per layer.
+ * Responses recovered by either rung are marked `degraded` with the
+ * originating status; if the fallback also fails the request is Failed
+ * with an empty output — a non-finite value never leaves the server.
+ */
+struct DegradePolicy
+{
+    /** Master switch; disabled means any solve failure is terminal. */
+    bool enabled = true;
+
+    /** Rung 1 tolerance multiplier for the single retry. */
+    double retryToleranceFactor = 100.0;
+
+    /** Rung 2 fixed-step fallback: steps per integration layer. */
+    std::size_t fallbackSteps = 8;
+
+    /**
+     * Per-request f-evaluation budget enforced by the per-step solve
+     * guard (0 = unlimited). A runaway stepsize search aborts with
+     * DeadlineExceeded once the budget is spent.
+     */
+    std::uint64_t maxFEvalsPerRequest = 0;
+
+    /**
+     * Hang threshold in milliseconds (0 = watchdog off). A watchdog
+     * thread monitors every worker's in-flight solve; one exceeding
+     * the threshold is failed immediately (status Failed, counted in
+     * watchdog.trips) and its solve is flagged to abort at the next
+     * accepted step, so a wedged solve costs one request, not a
+     * worker.
+     */
+    double watchdogMs = 0.0;
+};
+
 /** Server construction knobs. */
 struct ServerOptions
 {
@@ -84,6 +127,9 @@ struct ServerOptions
      * deterministically.
      */
     bool startPaused = false;
+
+    /** Failure handling: retry/fallback ladder and watchdog. */
+    DegradePolicy degrade;
 };
 
 /**
@@ -179,7 +225,30 @@ class InferenceServer
         std::thread thread;
     };
 
+    /**
+     * Per-worker in-flight request slot, shared between the worker and
+     * the watchdog. Exactly one of them delivers the response: the
+     * first to flip `delivered` under the slot mutex owns the promise.
+     * `abort` is the cooperative kill switch the solve guard polls.
+     */
+    struct InFlight
+    {
+        std::mutex mutex;
+        std::promise<InferResponse> promise;
+        bool active = false;    ///< a request is being served right now
+        bool delivered = false; ///< its response has been set
+        std::uint64_t id = 0;
+        RuntimeClock::time_point start{};
+        RuntimeClock::time_point deadline{};
+        double queueWaitMs = 0.0;
+        std::atomic<bool> abort{false};
+    };
+
     void workerMain(std::size_t worker_id);
+    void serveOne(std::size_t worker_id, QueueEntry &entry);
+    /** Rung 2: fixed-step coarse integration of every layer. */
+    NodeForwardResult fallbackForward(Worker &worker, const Tensor &input);
+    void watchdogMain();
     void waitWhilePaused();
 
     ServerOptions options_;
@@ -193,6 +262,13 @@ class InferenceServer
     /** Shared kernel-tile pool: numWorkers * (width - 1) threads, so
      *  running threads stay bounded even when all workers compute. */
     std::unique_ptr<TaskPool> intraOpPool_;
+
+    /** One slot per worker; index-aligned with workers_. */
+    std::vector<std::unique_ptr<InFlight>> inflight_;
+    std::thread watchdog_;
+    std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;
 
     std::mutex pauseMutex_;
     std::condition_variable pauseCv_;

@@ -1,5 +1,7 @@
 #include "runtime/metrics.h"
 
+#include "common/logging.h"
+
 namespace enode {
 
 void
@@ -24,17 +26,71 @@ MetricsRegistry::recordCancelled()
 }
 
 void
+MetricsRegistry::recordWatchdogTrip()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    watchdogTrips_++;
+}
+
+void
+MetricsRegistry::countFailureClassLocked(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Ok:
+        return;
+      case SolveStatus::NonFinite:
+        solveNonFinite_++;
+        return;
+      case SolveStatus::StepUnderflow:
+        solveStepUnderflow_++;
+        return;
+      case SolveStatus::TrialBudgetExhausted:
+        solveTrialBudget_++;
+        return;
+      case SolveStatus::EvalBudgetExhausted:
+        solveEvalBudget_++;
+        return;
+      case SolveStatus::DeadlineExceeded:
+        solveDeadline_++;
+        return;
+    }
+    ENODE_PANIC("unknown SolveStatus");
+}
+
+void
 MetricsRegistry::recordCompletion(const InferResponse &response)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    completed_++;
     if (!response.deadlineMet)
         deadlineMisses_++;
-    queueWaitMs_.add(response.queueWaitMs);
-    solveMs_.add(response.solveMs);
-    totalMs_.add(response.totalMs);
-    fEvals_.add(static_cast<double>(response.stats.fEvals));
-    trials_.add(static_cast<double>(response.stats.trials));
+    retries_ += response.retries;
+    switch (response.status) {
+      case RequestStatus::Ok:
+        completed_++;
+        queueWaitMs_.add(response.queueWaitMs);
+        solveMs_.add(response.solveMs);
+        totalMs_.add(response.totalMs);
+        fEvals_.add(static_cast<double>(response.stats.fEvals));
+        trials_.add(static_cast<double>(response.stats.trials));
+        if (response.degraded) {
+            degraded_++;
+            degradedMs_.add(response.totalMs);
+            countFailureClassLocked(response.solveStatus);
+        }
+        return;
+      case RequestStatus::DeadlineExceeded:
+        expired_++;
+        return;
+      case RequestStatus::Failed:
+        failed_++;
+        countFailureClassLocked(response.solveStatus);
+        return;
+      case RequestStatus::Cancelled:
+        // Cancellations are recorded via recordCancelled at shutdown.
+        cancelled_++;
+        return;
+    }
+    ENODE_PANIC("unknown RequestStatus");
 }
 
 MetricsSummary
@@ -47,6 +103,16 @@ MetricsRegistry::summary() const
     s.completed = completed_;
     s.cancelled = cancelled_;
     s.deadlineMisses = deadlineMisses_;
+    s.expired = expired_;
+    s.failed = failed_;
+    s.degraded = degraded_;
+    s.retries = retries_;
+    s.watchdogTrips = watchdogTrips_;
+    s.solveNonFinite = solveNonFinite_;
+    s.solveStepUnderflow = solveStepUnderflow_;
+    s.solveTrialBudget = solveTrialBudget_;
+    s.solveEvalBudget = solveEvalBudget_;
+    s.solveDeadline = solveDeadline_;
     s.queueWaitP50Ms = queueWaitMs_.percentile(50.0);
     s.queueWaitP95Ms = queueWaitMs_.percentile(95.0);
     s.queueWaitP99Ms = queueWaitMs_.percentile(99.0);
@@ -57,6 +123,9 @@ MetricsRegistry::summary() const
     s.totalP95Ms = totalMs_.percentile(95.0);
     s.totalP99Ms = totalMs_.percentile(99.0);
     s.totalMaxMs = totalMs_.max();
+    s.degradedP50Ms = degradedMs_.percentile(50.0);
+    s.degradedP95Ms = degradedMs_.percentile(95.0);
+    s.degradedP99Ms = degradedMs_.percentile(99.0);
     s.meanFEvals = fEvals_.mean();
     s.meanTrials = trials_.mean();
     return s;
@@ -71,8 +140,21 @@ MetricsRegistry::snapshot(const std::string &group_name) const
     group.set("requests.rejected", static_cast<double>(s.rejected));
     group.set("requests.completed", static_cast<double>(s.completed));
     group.set("requests.cancelled", static_cast<double>(s.cancelled));
+    group.set("requests.expired", static_cast<double>(s.expired));
+    group.set("requests.failed", static_cast<double>(s.failed));
     group.set("requests.deadline_misses",
               static_cast<double>(s.deadlineMisses));
+    group.set("solve.non_finite", static_cast<double>(s.solveNonFinite));
+    group.set("solve.step_underflow",
+              static_cast<double>(s.solveStepUnderflow));
+    group.set("solve.trial_budget",
+              static_cast<double>(s.solveTrialBudget));
+    group.set("solve.eval_budget", static_cast<double>(s.solveEvalBudget));
+    group.set("solve.deadline_exceeded",
+              static_cast<double>(s.solveDeadline));
+    group.set("solve.degraded", static_cast<double>(s.degraded));
+    group.set("solve.retries", static_cast<double>(s.retries));
+    group.set("watchdog.trips", static_cast<double>(s.watchdogTrips));
     group.set("latency.queue_wait.p50_ms", s.queueWaitP50Ms);
     group.set("latency.queue_wait.p95_ms", s.queueWaitP95Ms);
     group.set("latency.queue_wait.p99_ms", s.queueWaitP99Ms);
@@ -83,6 +165,9 @@ MetricsRegistry::snapshot(const std::string &group_name) const
     group.set("latency.total.p95_ms", s.totalP95Ms);
     group.set("latency.total.p99_ms", s.totalP99Ms);
     group.set("latency.total.max_ms", s.totalMaxMs);
+    group.set("latency.degraded.p50_ms", s.degradedP50Ms);
+    group.set("latency.degraded.p95_ms", s.degradedP95Ms);
+    group.set("latency.degraded.p99_ms", s.degradedP99Ms);
     group.set("solver.mean_f_evals", s.meanFEvals);
     group.set("solver.mean_trials", s.meanTrials);
     return group;
@@ -97,9 +182,20 @@ MetricsRegistry::reset()
     completed_ = 0;
     cancelled_ = 0;
     deadlineMisses_ = 0;
+    expired_ = 0;
+    failed_ = 0;
+    degraded_ = 0;
+    retries_ = 0;
+    watchdogTrips_ = 0;
+    solveNonFinite_ = 0;
+    solveStepUnderflow_ = 0;
+    solveTrialBudget_ = 0;
+    solveEvalBudget_ = 0;
+    solveDeadline_ = 0;
     queueWaitMs_.reset();
     solveMs_.reset();
     totalMs_.reset();
+    degradedMs_.reset();
     fEvals_.reset();
     trials_.reset();
 }

@@ -31,10 +31,31 @@ struct MetricsSummary
     std::uint64_t cancelled = 0;
     std::uint64_t deadlineMisses = 0;
 
+    /** Failed at dequeue: deadline already missed (never solved). */
+    std::uint64_t expired = 0;
+    /** Terminal failures (ladder exhausted or watchdog trip). */
+    std::uint64_t failed = 0;
+    /** Ok responses produced by the degradation ladder. */
+    std::uint64_t degraded = 0;
+    /** Relaxed-tolerance retry attempts across all requests. */
+    std::uint64_t retries = 0;
+    /** Watchdog hang-threshold trips. */
+    std::uint64_t watchdogTrips = 0;
+
+    /** Per-failure-class counters (originating SolveStatus of every
+     *  degraded or failed response). */
+    std::uint64_t solveNonFinite = 0;
+    std::uint64_t solveStepUnderflow = 0;
+    std::uint64_t solveTrialBudget = 0;
+    std::uint64_t solveEvalBudget = 0;
+    std::uint64_t solveDeadline = 0;
+
     double queueWaitP50Ms = 0.0, queueWaitP95Ms = 0.0, queueWaitP99Ms = 0.0;
     double solveP50Ms = 0.0, solveP95Ms = 0.0, solveP99Ms = 0.0;
     double totalP50Ms = 0.0, totalP95Ms = 0.0, totalP99Ms = 0.0;
     double totalMaxMs = 0.0;
+    /** End-to-end latency of degraded (retried / fallback) responses. */
+    double degradedP50Ms = 0.0, degradedP95Ms = 0.0, degradedP99Ms = 0.0;
 
     double meanFEvals = 0.0;
     double meanTrials = 0.0;
@@ -49,8 +70,14 @@ class MetricsRegistry
     void recordAdmitted();
     void recordRejected();
     void recordCancelled();
+    void recordWatchdogTrip();
 
-    /** Record a completed request (status Ok). */
+    /**
+     * Record a terminal response from the serving path (any status but
+     * Cancelled): counts it by status, classifies degraded/failed
+     * responses by their originating SolveStatus, and feeds the
+     * latency series for Ok responses.
+     */
     void recordCompletion(const InferResponse &response);
 
     /** One consistent summary of everything recorded so far. */
@@ -65,15 +92,29 @@ class MetricsRegistry
     void reset();
 
   private:
+    /** Bump the counter of the response's originating failure class. */
+    void countFailureClassLocked(SolveStatus status);
+
     mutable std::mutex mutex_;
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t cancelled_ = 0;
     std::uint64_t deadlineMisses_ = 0;
+    std::uint64_t expired_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t degraded_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t watchdogTrips_ = 0;
+    std::uint64_t solveNonFinite_ = 0;
+    std::uint64_t solveStepUnderflow_ = 0;
+    std::uint64_t solveTrialBudget_ = 0;
+    std::uint64_t solveEvalBudget_ = 0;
+    std::uint64_t solveDeadline_ = 0;
     SampleSeries queueWaitMs_;
     SampleSeries solveMs_;
     SampleSeries totalMs_;
+    SampleSeries degradedMs_;
     SampleSeries fEvals_;
     SampleSeries trials_;
 };

@@ -47,9 +47,19 @@ struct InferRequest
 /** Terminal state of a request. */
 enum class RequestStatus
 {
-    Ok,        ///< solved; output and stats are valid
+    Ok,        ///< solved; output and stats are valid (see `degraded`)
     Cancelled, ///< dropped by a non-draining shutdown before dispatch
+    /** Already past its deadline when a worker dequeued it; failed
+     *  without spending a solve on a response that could only miss. */
+    DeadlineExceeded,
+    /** The solve failed beyond what the degradation ladder could
+     *  recover (every rung failed, or the watchdog tripped). The
+     *  output is empty — a failed request never carries a payload. */
+    Failed,
 };
+
+/** Number of RequestStatus values (for exhaustive test matrices). */
+constexpr std::size_t kNumRequestStatuses = 4;
 
 /** Human-readable status name. */
 const char *requestStatusName(RequestStatus status);
@@ -75,6 +85,23 @@ struct InferResponse
 
     /** True when the request finished at or before its deadline. */
     bool deadlineMet = true;
+
+    /**
+     * True when the response was produced by the degradation ladder
+     * (relaxed-tolerance retry or fixed-step fallback) rather than the
+     * configured solve. `solveStatus` carries the originating failure.
+     */
+    bool degraded = false;
+
+    /**
+     * The solver status that triggered degradation or failure; Ok for
+     * a clean first-attempt solve. For watchdog trips this reports
+     * DeadlineExceeded (the hang budget is a runtime deadline).
+     */
+    SolveStatus solveStatus = SolveStatus::Ok;
+
+    /** Relaxed-tolerance retry attempts spent on this request (0 or 1). */
+    std::uint32_t retries = 0;
 
     /** Which worker served the request. */
     std::size_t workerId = 0;

@@ -371,6 +371,17 @@ Tensor::maxAbs() const
     return m;
 }
 
+bool
+Tensor::isFinite() const
+{
+    // Accumulate with bitwise-and rather than early-exit: the common
+    // case is all-finite, and a branch-free scan vectorizes.
+    bool finite = true;
+    for (auto v : data_)
+        finite &= std::isfinite(v);
+    return finite;
+}
+
 double
 Tensor::rowWindowL2(std::size_t row_begin, std::size_t row_end) const
 {

@@ -162,6 +162,13 @@ class Tensor
     double maxAbs() const;
 
     /**
+     * True when no element is NaN or infinite (vacuously true when
+     * empty). The cheap screen the solver runs on accepted states and
+     * the serving runtime runs on every response payload.
+     */
+    bool isFinite() const;
+
+    /**
      * Euclidean norm restricted to rows [row_begin, row_end) of a rank-3
      * (C, H, W) tensor, across all channels. This is the primitive behind
      * priority processing: the error map is scanned row-window by

@@ -10,9 +10,12 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "ode/step_control.h"
 #include "runtime/inference_server.h"
@@ -368,22 +371,364 @@ TEST(InferenceServer, DestructorDrainsOutstandingWork)
     EXPECT_EQ(future.get().status, RequestStatus::Ok);
 }
 
-TEST(InferenceServer, DeadlineAccounting)
+TEST(InferenceServer, ExpiredRequestFailsAtDequeue)
 {
     InferenceServer server(makeReferenceModel,
                            serverOptions(1, 8, /*paused=*/true));
-    // Already-expired deadline: the request still completes, but is
-    // flagged as a deadline miss.
+    // Already-expired deadline: the worker fails it the moment it is
+    // dequeued — a full solve could only produce a late answer.
     auto sub = server.submit(makeInput(0), 0,
                              RuntimeClock::now() -
                                  std::chrono::milliseconds(1));
     ASSERT_TRUE(sub.accepted);
     server.resume();
     InferResponse r = sub.result.get();
-    EXPECT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_EQ(r.status, RequestStatus::DeadlineExceeded);
     EXPECT_FALSE(r.deadlineMet);
+    EXPECT_TRUE(r.output.empty());
     server.stop();
-    EXPECT_EQ(server.metrics().summary().deadlineMisses, 1u);
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(s.deadlineMisses, 1u);
+    EXPECT_EQ(s.completed, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault matrix and graceful degradation
+// ---------------------------------------------------------------------
+
+/** Outcome of serving exactly one request on a fresh 1-worker server. */
+struct SingleShot
+{
+    InferResponse response;
+    MetricsSummary summary;
+};
+
+SingleShot
+serveSingle(ServerOptions opts,
+            RuntimeClock::time_point deadline =
+                RuntimeClock::time_point::max(),
+            InferenceServer::ControllerFactory make_controller = {})
+{
+    opts.numWorkers = 1;
+    InferenceServer server(makeReferenceModel, opts,
+                           std::move(make_controller));
+    auto sub = server.submit(makeInput(0), 0, deadline);
+    EXPECT_TRUE(sub.accepted);
+    SingleShot shot;
+    shot.response = sub.result.get();
+    server.stop();
+    shot.summary = server.metrics().summary();
+    return shot;
+}
+
+/** Solver options no solve can satisfy: minDt floor hit immediately. */
+ServerOptions
+underflowOptions()
+{
+    ServerOptions opts = serverOptions(1, 8);
+    opts.ivp.tolerance = 1e-30;
+    opts.ivp.initialDt = 0.05;
+    opts.ivp.minDt = 0.04; // one halving lands under the floor
+    return opts;
+}
+
+TEST(DegradationLadder, RungOneRelaxedRetryRecovers)
+{
+    setLogLevel(LogLevel::Silent);
+    ServerOptions opts = underflowOptions();
+    // Relaxed tolerance 1e-30 * 1e28 = 1e-2: trivially satisfiable.
+    opts.degrade.retryToleranceFactor = 1e28;
+    SingleShot a = serveSingle(opts);
+    SingleShot b = serveSingle(opts); // degraded paths are deterministic
+    setLogLevel(LogLevel::Info);
+
+    EXPECT_EQ(a.response.status, RequestStatus::Ok);
+    EXPECT_TRUE(a.response.degraded);
+    EXPECT_EQ(a.response.solveStatus, SolveStatus::StepUnderflow);
+    EXPECT_EQ(a.response.retries, 1u);
+    EXPECT_TRUE(a.response.output.isFinite());
+    EXPECT_EQ(a.summary.completed, 1u);
+    EXPECT_EQ(a.summary.degraded, 1u);
+    EXPECT_EQ(a.summary.retries, 1u);
+    EXPECT_EQ(a.summary.solveStepUnderflow, 1u);
+    EXPECT_EQ(a.summary.failed, 0u);
+    EXPECT_TRUE(bitwiseEqual(a.response.output, b.response.output))
+        << "degraded response must be bit-reproducible";
+}
+
+TEST(DegradationLadder, RungTwoFallsBackToFixedStep)
+{
+    // An eval-budget failure skips the tolerance retry (rung 1 only
+    // handles NonFinite/StepUnderflow) and lands on the fixed-step
+    // fallback, whose output must equal a hand-rolled integrateFixed
+    // pass bit for bit.
+    ServerOptions opts = serverOptions(1, 8);
+    opts.ivp.maxEvalPoints = 2; // nowhere near t1
+    SingleShot shot = serveSingle(opts);
+
+    EXPECT_EQ(shot.response.status, RequestStatus::Ok);
+    EXPECT_TRUE(shot.response.degraded);
+    EXPECT_EQ(shot.response.solveStatus, SolveStatus::EvalBudgetExhausted);
+    EXPECT_EQ(shot.response.retries, 0u);
+    EXPECT_EQ(shot.summary.degraded, 1u);
+    EXPECT_EQ(shot.summary.solveEvalBudget, 1u);
+    EXPECT_EQ(shot.summary.retries, 0u);
+
+    auto model = makeReferenceModel();
+    const double T = model->layerTime();
+    const double dt =
+        T / static_cast<double>(opts.degrade.fallbackSteps);
+    Tensor h = makeInput(0);
+    for (std::size_t i = 0; i < model->numLayers(); i++) {
+        EmbeddedNetOde ode(model->net(i));
+        h = integrateFixed(ode, ButcherTableau::rk23(), h, 0.0, T, dt);
+    }
+    EXPECT_TRUE(bitwiseEqual(shot.response.output, h))
+        << "fallback output must match a manual fixed-step pass";
+}
+
+TEST(DegradationLadder, FEvalBudgetDegradesViaGuard)
+{
+    ServerOptions opts = serverOptions(1, 8);
+    opts.degrade.maxFEvalsPerRequest = 1; // spent at the first step
+    SingleShot shot = serveSingle(opts);
+    EXPECT_EQ(shot.response.status, RequestStatus::Ok);
+    EXPECT_TRUE(shot.response.degraded);
+    EXPECT_EQ(shot.response.solveStatus, SolveStatus::DeadlineExceeded);
+    EXPECT_EQ(shot.summary.solveDeadline, 1u);
+    EXPECT_EQ(shot.summary.degraded, 1u);
+}
+
+TEST(DegradationLadder, DisabledMeansFailuresAreTerminal)
+{
+    setLogLevel(LogLevel::Silent);
+    ServerOptions opts = underflowOptions();
+    opts.degrade.enabled = false;
+    SingleShot shot = serveSingle(opts);
+    setLogLevel(LogLevel::Info);
+
+    EXPECT_EQ(shot.response.status, RequestStatus::Failed);
+    EXPECT_TRUE(shot.response.output.empty());
+    EXPECT_EQ(shot.response.solveStatus, SolveStatus::StepUnderflow);
+    EXPECT_EQ(shot.response.retries, 0u);
+    EXPECT_EQ(shot.summary.failed, 1u);
+    EXPECT_EQ(shot.summary.solveStepUnderflow, 1u);
+    EXPECT_EQ(shot.summary.degraded, 0u);
+    EXPECT_EQ(shot.summary.completed, 0u);
+}
+
+TEST(DegradationLadder, PersistentCorruptionExhaustsEveryRung)
+{
+    // NaN corruption on every f evaluation poisons the first attempt,
+    // the relaxed retry, and the fixed-step fallback alike: the ladder
+    // runs out and the request fails — with an empty payload, never a
+    // NaN one.
+    setLogLevel(LogLevel::Silent);
+    FaultPlan plan;
+    plan.seed = 11;
+    FaultSpec spec;
+    spec.site = "node.feval";
+    spec.kind = FaultKind::CorruptNaN;
+    spec.firstHit = 0;
+    spec.count = std::numeric_limits<std::uint64_t>::max();
+    plan.faults.push_back(spec);
+    ScopedFaultPlan scoped(plan);
+
+    ServerOptions opts = serverOptions(1, 8);
+    opts.ivp.maxTrialsPerPoint = 4; // poisoned points fail fast
+    SingleShot shot = serveSingle(opts);
+    setLogLevel(LogLevel::Info);
+
+    EXPECT_EQ(shot.response.status, RequestStatus::Failed);
+    EXPECT_TRUE(shot.response.output.empty());
+    EXPECT_EQ(shot.response.solveStatus, SolveStatus::NonFinite);
+    EXPECT_EQ(shot.response.retries, 1u);
+    EXPECT_EQ(shot.summary.failed, 1u);
+    EXPECT_EQ(shot.summary.solveNonFinite, 1u);
+    EXPECT_EQ(shot.summary.retries, 1u);
+    EXPECT_EQ(shot.summary.degraded, 0u);
+}
+
+TEST(FaultMatrix, EveryStatusReachableWithMatchingCounters)
+{
+    setLogLevel(LogLevel::Silent);
+    bool seen_request[kNumRequestStatuses] = {};
+    bool seen_solve[kNumSolveStatuses] = {};
+    auto see = [&](const InferResponse &r) {
+        seen_request[static_cast<std::size_t>(r.status)] = true;
+        seen_solve[static_cast<std::size_t>(r.solveStatus)] = true;
+        // The acceptance bar: no response, however it ended, ever
+        // carries a non-finite value.
+        if (!r.output.empty())
+            EXPECT_TRUE(r.output.isFinite());
+        else
+            EXPECT_NE(r.status, RequestStatus::Ok);
+    };
+
+    { // RequestStatus::Ok + SolveStatus::Ok: the clean path.
+        SingleShot s = serveSingle(serverOptions(1, 8));
+        EXPECT_EQ(s.response.status, RequestStatus::Ok);
+        EXPECT_FALSE(s.response.degraded);
+        EXPECT_EQ(s.summary.completed, 1u);
+        EXPECT_EQ(s.summary.degraded + s.summary.failed +
+                      s.summary.expired,
+                  0u);
+        see(s.response);
+    }
+    { // SolveStatus::StepUnderflow, recovered by rung 1.
+        ServerOptions opts = underflowOptions();
+        opts.degrade.retryToleranceFactor = 1e28;
+        SingleShot s = serveSingle(opts);
+        EXPECT_EQ(s.summary.solveStepUnderflow, 1u);
+        see(s.response);
+    }
+    { // SolveStatus::TrialBudgetExhausted, recovered by rung 2. The
+      // constant-init controller restarts every point from C, so the
+      // trial cap (not the minDt floor) is what forces each accept.
+        ServerOptions opts = serverOptions(1, 8);
+        opts.ivp.tolerance = 1e-30;
+        opts.ivp.minDt = 1e-12; // the floor is never the binding limit
+        opts.ivp.maxTrialsPerPoint = 3;
+        SingleShot s = serveSingle(
+            opts, RuntimeClock::time_point::max(),
+            [] { return std::make_unique<ConstantInitController>(); });
+        EXPECT_EQ(s.response.status, RequestStatus::Ok);
+        EXPECT_TRUE(s.response.degraded);
+        EXPECT_EQ(s.summary.solveTrialBudget, 1u);
+        see(s.response);
+    }
+    { // SolveStatus::EvalBudgetExhausted, recovered by rung 2.
+        ServerOptions opts = serverOptions(1, 8);
+        opts.ivp.maxEvalPoints = 2;
+        SingleShot s = serveSingle(opts);
+        EXPECT_EQ(s.summary.solveEvalBudget, 1u);
+        see(s.response);
+    }
+    { // SolveStatus::DeadlineExceeded via the f-eval budget guard.
+        ServerOptions opts = serverOptions(1, 8);
+        opts.degrade.maxFEvalsPerRequest = 1;
+        SingleShot s = serveSingle(opts);
+        EXPECT_EQ(s.summary.solveDeadline, 1u);
+        see(s.response);
+    }
+    { // SolveStatus::NonFinite + RequestStatus::Failed: the ladder
+      // cannot outrun persistent corruption.
+        FaultPlan plan;
+        plan.seed = 12;
+        FaultSpec spec;
+        spec.site = "node.feval";
+        spec.kind = FaultKind::CorruptInf;
+        spec.firstHit = 0;
+        spec.count = std::numeric_limits<std::uint64_t>::max();
+        plan.faults.push_back(spec);
+        ScopedFaultPlan scoped(plan);
+        ServerOptions opts = serverOptions(1, 8);
+        opts.ivp.maxTrialsPerPoint = 4;
+        SingleShot s = serveSingle(opts);
+        EXPECT_EQ(s.response.status, RequestStatus::Failed);
+        EXPECT_EQ(s.summary.failed, 1u);
+        EXPECT_EQ(s.summary.solveNonFinite, 1u);
+        see(s.response);
+    }
+    { // RequestStatus::DeadlineExceeded: expired before dequeue.
+        SingleShot s = serveSingle(serverOptions(1, 8),
+                                   RuntimeClock::now() -
+                                       std::chrono::milliseconds(1));
+        EXPECT_EQ(s.response.status, RequestStatus::DeadlineExceeded);
+        EXPECT_EQ(s.summary.expired, 1u);
+        see(s.response);
+    }
+    { // RequestStatus::Cancelled: non-draining shutdown.
+        InferenceServer server(makeReferenceModel,
+                               serverOptions(1, 8, /*paused=*/true));
+        auto sub = server.submit(makeInput(0));
+        ASSERT_TRUE(sub.accepted);
+        server.stop(/*drain=*/false);
+        InferResponse r = sub.result.get();
+        EXPECT_EQ(r.status, RequestStatus::Cancelled);
+        EXPECT_EQ(server.metrics().summary().cancelled, 1u);
+        see(r);
+    }
+    setLogLevel(LogLevel::Info);
+
+    for (std::size_t i = 0; i < kNumRequestStatuses; i++)
+        EXPECT_TRUE(seen_request[i])
+            << "unreached RequestStatus: "
+            << requestStatusName(static_cast<RequestStatus>(i));
+    for (std::size_t i = 0; i < kNumSolveStatuses; i++)
+        EXPECT_TRUE(seen_solve[i])
+            << "unreached SolveStatus: "
+            << solveStatusName(static_cast<SolveStatus>(i));
+}
+
+TEST(Watchdog, TripsOnHungSolveAndWorkerRecovers)
+{
+    setLogLevel(LogLevel::Silent);
+    // Wedge the first solve for 300 ms against a 40 ms hang budget: the
+    // watchdog must fail the request long before the worker wakes, and
+    // the worker must serve the next request normally afterwards.
+    FaultPlan plan;
+    FaultSpec stall;
+    stall.site = "worker.stall";
+    stall.kind = FaultKind::Stall;
+    stall.firstHit = 0;
+    stall.count = 1;
+    stall.stallMs = 300.0;
+    plan.faults.push_back(stall);
+    ScopedFaultPlan scoped(plan);
+
+    ServerOptions opts = serverOptions(1, 8);
+    opts.degrade.watchdogMs = 40.0;
+    InferenceServer server(makeReferenceModel, opts);
+
+    auto first = server.submit(makeInput(0));
+    ASSERT_TRUE(first.accepted);
+    InferResponse r1 = first.result.get();
+    EXPECT_EQ(r1.status, RequestStatus::Failed);
+    EXPECT_EQ(r1.solveStatus, SolveStatus::DeadlineExceeded);
+    EXPECT_TRUE(r1.output.empty());
+    EXPECT_GE(r1.solveMs, opts.degrade.watchdogMs);
+
+    auto second = server.submit(makeInput(1));
+    ASSERT_TRUE(second.accepted);
+    EXPECT_EQ(second.result.get().status, RequestStatus::Ok);
+    server.stop();
+    setLogLevel(LogLevel::Info);
+
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.watchdogTrips, 1u);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.solveDeadline, 1u);
+    EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(InferenceServer, InjectedAdmissionRejection)
+{
+    // A forced queue-full rejection at the second submit: the client
+    // sees ordinary backpressure, the other requests are unaffected.
+    FaultPlan plan;
+    FaultSpec reject;
+    reject.site = "queue.push";
+    reject.kind = FaultKind::Reject;
+    reject.firstHit = 1;
+    reject.count = 1;
+    plan.faults.push_back(reject);
+    ScopedFaultPlan scoped(plan);
+
+    InferenceServer server(makeReferenceModel, serverOptions(1, 8));
+    auto a = server.submit(makeInput(0));
+    auto b = server.submit(makeInput(1));
+    auto c = server.submit(makeInput(2));
+    EXPECT_TRUE(a.accepted);
+    EXPECT_FALSE(b.accepted);
+    EXPECT_TRUE(c.accepted);
+    EXPECT_EQ(a.result.get().status, RequestStatus::Ok);
+    EXPECT_EQ(c.result.get().status, RequestStatus::Ok);
+    server.stop();
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.completed, 2u);
 }
 
 TEST(MetricsRegistry, SnapshotPublishesPercentileKeys)
