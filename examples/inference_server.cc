@@ -1,6 +1,6 @@
 /**
  * @file
- * Minimal edge-inference serving demo.
+ * Edge-inference serving demo with full observability.
  *
  * Spins up the concurrent serving runtime over a small MLP NODE, plays
  * two traffic classes against it — a background telemetry stream
@@ -11,28 +11,38 @@
  * uses for integrator streams (Sec. V.B), applied at request
  * granularity.
  *
- * Build & run:  ./build/examples/example_inference_server
+ * With `--trace <file>` the demo also records a span trace across
+ * three phases — the priority burst, a deliberately degraded burst
+ * (every solve climbs the retry/fallback ladder), and a packetized
+ * pipeline step — and writes Chrome trace-event JSON you can load
+ * directly in chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Build & run:
+ *   ./build/examples/example_inference_server --trace trace.json
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/task_pool.h"
+#include "common/trace_span.h"
+#include "core/depth_first.h"
 #include "runtime/inference_server.h"
 
 using namespace enode;
 
-int
-main()
-{
-    setLogLevel(LogLevel::Warn);
+namespace {
 
-    // The served model: built once per worker by the factory; the
-    // server stamps replica 0's weights into every replica so all
-    // workers answer identically.
+/** Phase 1: the two-class priority burst against a healthy server. */
+MetricsSummary
+runPriorityDemo(std::string &exposition)
+{
     auto factory = [] {
         Rng rng(99);
         return NodeModel::makeMlp(/*num_layers=*/2, /*dim=*/8,
@@ -44,6 +54,7 @@ main()
     options.queueCapacity = 64;
     options.ivp.tolerance = 1e-4;
     options.ivp.initialDt = 0.05;
+    options.publishPeriodMs = 2.0; // background gauge sampling
 
     InferenceServer server(factory, options);
     std::printf("serving with %zu workers, queue capacity %zu, policy "
@@ -103,7 +114,102 @@ main()
                     control_wait / control_n,
                     telemetry_wait / telemetry_n);
 
-    const MetricsSummary s = server.metrics().summary();
+    exposition = server.metricsText();
+    return server.metrics().summary();
+}
+
+/**
+ * Phase 2: a burst nothing can solve at the configured tolerance, so
+ * every request climbs the degradation ladder (relaxed retry, then
+ * fixed-step fallback) — the trace shows request.retry and
+ * request.fallback rungs under each request.serve span.
+ */
+void
+runDegradedBurst()
+{
+    auto factory = [] {
+        Rng rng(99);
+        return NodeModel::makeMlp(/*num_layers=*/2, /*dim=*/8,
+                                  /*hidden=*/32, /*f_depth=*/1, rng);
+    };
+    ServerOptions options;
+    options.numWorkers = 1;
+    options.queueCapacity = 16;
+    options.ivp.tolerance = 1e-30; // unsatisfiable: forces the ladder
+    options.ivp.initialDt = 0.05;
+    options.ivp.minDt = 0.04; // one halving lands under the floor
+
+    setLogLevel(LogLevel::Silent); // forced-accept warnings expected
+    InferenceServer server(factory, options);
+    Rng rng(17);
+    std::vector<std::future<InferResponse>> results;
+    for (int i = 0; i < 4; i++) {
+        auto sub = server.submit(Tensor::randn(Shape{8}, rng, 0.5f));
+        if (sub.accepted)
+            results.push_back(std::move(sub.result));
+    }
+    int degraded = 0, retried = 0;
+    for (auto &future : results) {
+        InferResponse r = future.get();
+        degraded += r.status == RequestStatus::Ok && r.degraded;
+        retried += r.retries;
+    }
+    server.stop();
+    setLogLevel(LogLevel::Warn);
+    std::printf("degraded burst: %d/%zu recovered by the ladder "
+                "(%d relaxed retries)\n",
+                degraded, results.size(), retried);
+}
+
+/** Phase 3: one packetized pipeline step for pipeline.wave spans. */
+void
+runPipelineDemo()
+{
+    Rng rng(31);
+    auto net = EmbeddedNet::makeStreamableConvNet(/*channels=*/4,
+                                                  /*depth=*/2, rng);
+    Tensor h = Tensor::randn(Shape{4, 16, 12}, rng, 0.5f);
+    TaskPool pool(3);
+    PipelineOptions opts;
+    opts.pool = &pool;
+    StreamingExecutor exec(*net, ButcherTableau::rk23());
+    auto step = exec.runPipelined(0.0, h, 0.1, opts);
+    std::printf("pipeline step: %llu waves, %llu packets over %llu rows "
+                "(ring occupancy %.2f)\n",
+                static_cast<unsigned long long>(step.pipelineWaves),
+                static_cast<unsigned long long>(step.pipelinePackets),
+                static_cast<unsigned long long>(step.totalRowsComputed),
+                step.pipelineOccupancy);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Warn);
+
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+    }
+
+    // One arming spans all three phases, so the exported trace shows
+    // the healthy burst, the degraded burst, and the pipeline step on
+    // one timeline. (A server with ServerOptions::traceEnabled arms
+    // and disarms the tracer itself — handy when it is the only traced
+    // component, but re-arming would discard earlier phases here.)
+    if (trace_path != nullptr) {
+        Tracer::instance().arm(std::size_t{1} << 14);
+        Tracer::instance().setThreadName("main");
+    }
+
+    std::string exposition;
+    const MetricsSummary s = runPriorityDemo(exposition);
+    runDegradedBurst();
+    runPipelineDemo();
+
     Table table("Serving metrics");
     table.setHeader({"metric", "value"});
     table.addRow({"requests completed",
@@ -116,5 +222,26 @@ main()
     table.addRow({"queue wait p95 (ms)", Table::num(s.queueWaitP95Ms)});
     table.addRow({"mean f-evals / request", Table::num(s.meanFEvals, 1)});
     table.print();
+
+    std::printf("\nPrometheus exposition (healthy-burst server):\n%s",
+                exposition.c_str());
+
+    if (trace_path != nullptr) {
+        Tracer &tracer = Tracer::instance();
+        tracer.disarm();
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", trace_path);
+            return 1;
+        }
+        tracer.exportChromeTrace(out);
+        std::printf("\nwrote %zu trace events from %zu threads to %s "
+                    "(%llu dropped)\n"
+                    "load it in chrome://tracing or "
+                    "https://ui.perfetto.dev\n",
+                    tracer.snapshot().size(), tracer.threadCount(),
+                    trace_path,
+                    static_cast<unsigned long long>(tracer.dropped()));
+    }
     return 0;
 }

@@ -88,19 +88,28 @@ Histogram::percentile(double q) const
     if (total_ == 0)
         return 0.0;
     const double target = q / 100.0 * static_cast<double>(total_);
-    std::uint64_t below = 0;
     const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    std::uint64_t below = 0;
+    std::size_t last_nonempty = 0;
     for (std::size_t i = 0; i < counts_.size(); i++) {
         const std::uint64_t in_bin = counts_[i];
-        if (below + static_cast<double>(in_bin) >= target && in_bin > 0) {
-            // Interpolate uniformly within the bin.
+        if (in_bin == 0)
+            continue;
+        last_nonempty = i;
+        if (static_cast<double>(below + in_bin) >= target) {
+            // Interpolate uniformly within the bin. q = 0 lands here
+            // with frac 0 (low edge of the first occupied bin);
+            // q = 100 with frac 1 (high edge of the last).
             const double frac = (target - static_cast<double>(below)) /
                                 static_cast<double>(in_bin);
             return binLow(i) + width * std::clamp(frac, 0.0, 1.0);
         }
         below += in_bin;
     }
-    return hi_;
+    // Rounding pushed target past the final cumulative count. Answer
+    // with the top of the *occupied* range — returning hi_ here would
+    // jump past trailing empty bins and break monotonicity in q.
+    return binLow(last_nonempty) + width;
 }
 
 void

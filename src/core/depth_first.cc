@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/task_pool.h"
+#include "common/trace_span.h"
 #include "nn/activation.h"
 #include "nn/concat_time.h"
 #include "nn/conv2d.h"
@@ -703,6 +704,7 @@ StreamEngine::runPipelined(TaskPool &pool, std::size_t width)
     std::vector<Packet> wave;
     wave.reserve(width);
     while (!finished()) {
+        TraceSpan wave_span("pipeline.wave", "pipeline");
         wave.clear();
         auto take = [&](Packet::Kind kind, std::size_t j, std::size_t l,
                         const StreamMap &map, std::size_t limit) {
@@ -731,8 +733,23 @@ StreamEngine::runPipelined(TaskPool &pool, std::size_t width)
             pool.parallelFor(
                 1, packets,
                 [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; i++)
+                    for (std::size_t i = begin; i < end; i++) {
+                        // Packet spans land in each pool thread's own
+                        // ring: the trace shows the {stream, layer,
+                        // row} tiling across the core ring.
+                        TraceSpan packet_span("pipeline.packet",
+                                              "pipeline");
+                        packet_span.arg(
+                            "kind",
+                            static_cast<double>(wave[i].kind));
+                        packet_span.arg(
+                            "stream", static_cast<double>(wave[i].j));
+                        packet_span.arg(
+                            "layer", static_cast<double>(wave[i].l));
+                        packet_span.arg(
+                            "row", static_cast<double>(wave[i].r));
                         execute(wave[i]);
+                    }
                 },
                 width);
             // Commit: each producer's packets are contiguous rows, so
@@ -742,6 +759,10 @@ StreamEngine::runPipelined(TaskPool &pool, std::size_t width)
         }
         h_map_.rowsComputed += fetches;
 
+        wave_span.arg("packets", static_cast<double>(packets));
+        wave_span.arg("fetches", static_cast<double>(fetches));
+        wave_span.arg("wave",
+                      static_cast<double>(result.pipelineWaves));
         result.pipelineWaves++;
         result.pipelinePackets += packets;
         result.totalRowsComputed += packets + fetches;

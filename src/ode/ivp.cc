@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/trace_span.h"
 
 namespace enode {
 
@@ -105,6 +106,8 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
     TrialEvaluator default_evaluator;
     TrialEvaluator &eval = evaluator ? *evaluator : default_evaluator;
 
+    TraceSpan solve_span("solve.ivp", "solver");
+
     RkStepper stepper(tableau);
     controller.reset(opts.initialDt);
 
@@ -141,6 +144,11 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
         bool accepted = false;
 
         while (!accepted) {
+            // One span per stepsize-search trial: the accept/reject
+            // dynamics of Fig. 2(d), time-resolved. Disarmed cost is a
+            // single relaxed atomic load.
+            TraceSpan trial_span("solve.trial", "solver");
+
             // Clamp the final step to land exactly on t1. The clamped
             // value is what gets tried and recorded.
             const bool clamped = dt_try > t1 - t;
@@ -162,6 +170,12 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
             const bool trial_budget = n_try >= opts.maxTrialsPerPoint;
             const bool force =
                 !trial.accepted && (underflow || trial_budget);
+            trial_span.arg("dt", dt_effective);
+            trial_span.arg("err_norm", trial.decisionNorm);
+            trial_span.arg("accept",
+                           (trial.accepted || force) ? 1.0 : 0.0);
+            if (force)
+                trial_span.arg("forced", 1.0);
             if (force) {
                 result.stats.forcedAccepts++;
                 if (underflow)
@@ -231,6 +245,11 @@ solveIvp(OdeFunction &f, const Tensor &y0, double t0, double t1,
 
     result.yFinal = std::move(y);
     result.stats.fEvals = f.evalCount() - f_evals_at_start;
+    solve_span.arg("eval_points",
+                   static_cast<double>(result.stats.evalPoints));
+    solve_span.arg("trials", static_cast<double>(result.stats.trials));
+    solve_span.arg("f_evals", static_cast<double>(result.stats.fEvals));
+    solve_span.arg("status", static_cast<double>(result.status));
     return result;
 }
 

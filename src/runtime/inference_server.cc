@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/trace_span.h"
 #include "ode/step_control.h"
+#include "runtime/exposition.h"
 
 namespace enode {
 
@@ -108,12 +111,34 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     for (std::size_t i = 1; i < workers_.size(); i++)
         workers_[i]->model->syncParametersFrom(*workers_[0]->model);
 
+    // Arm tracing before the first worker spawns so every worker's
+    // first event registers its ring against this server's generation.
+    if (options_.traceEnabled)
+        Tracer::instance().arm(options_.traceRingCapacity);
+
     for (std::size_t i = 0; i < workers_.size(); i++)
         workers_[i]->thread =
             std::thread([this, i] { workerMain(i); });
 
     if (options_.degrade.watchdogMs > 0.0)
         watchdog_ = std::thread([this] { watchdogMain(); });
+
+    if (options_.publishPeriodMs > 0.0) {
+        publisher_ = std::make_unique<MetricsPublisher>();
+        publisher_->addGauge("queue.depth", [this] {
+            return static_cast<double>(queue_.size());
+        });
+        publisher_->addGauge("workers.in_flight", [this] {
+            return static_cast<double>(activeWorkers());
+        });
+        publisher_->addGauge("workers.occupancy", [this] {
+            return workers_.empty()
+                       ? 0.0
+                       : static_cast<double>(activeWorkers()) /
+                             static_cast<double>(workers_.size());
+        });
+        publisher_->start(options_.publishPeriodMs);
+    }
 }
 
 InferenceServer::~InferenceServer()
@@ -177,10 +202,16 @@ InferenceServer::stop(bool drain)
     resume(); // paused workers must wake to drain or exit
 
     for (auto &entry : leftovers) {
+        // A full Cancelled response through recordCompletion — the
+        // single terminal-state accounting path — so admitted ==
+        // completed + expired + failed + cancelled holds exactly.
         InferResponse response;
         response.id = entry.request.id;
         response.status = RequestStatus::Cancelled;
-        metrics_.recordCancelled();
+        response.queueWaitMs = toMs(RuntimeClock::now() - entry.enqueueTime);
+        response.totalMs = response.queueWaitMs;
+        response.completionIndex = nextCompletionIndex_.fetch_add(1);
+        metrics_.recordCompletion(response);
         entry.promise.set_value(std::move(response));
     }
 
@@ -198,6 +229,32 @@ InferenceServer::stop(bool drain)
         watchdogCv_.notify_all();
         watchdog_.join();
     }
+
+    // Final gauge sample after the drain, then disarm. Disarming keeps
+    // every recorded event exportable (Tracer::exportChromeTrace); the
+    // next armed server discards them.
+    if (publisher_ != nullptr)
+        publisher_->stop();
+    if (options_.traceEnabled)
+        Tracer::instance().disarm();
+}
+
+std::string
+InferenceServer::metricsText() const
+{
+    std::string text = prometheusText(metrics_.snapshot());
+    StatGroup queue_stats("queue");
+    queue_stats.set("queue.depth", static_cast<double>(queue_.size()));
+    queue_stats.set("queue.peak_depth",
+                    static_cast<double>(queue_.peakSize()));
+    queue_stats.set("queue.rejected",
+                    static_cast<double>(queue_.rejected()));
+    queue_stats.set("queue.closed_rejected",
+                    static_cast<double>(queue_.closedRejected()));
+    text += prometheusText(queue_stats);
+    if (publisher_ != nullptr)
+        text += prometheusText(publisher_->snapshot());
+    return text;
 }
 
 void
@@ -210,6 +267,8 @@ InferenceServer::waitWhilePaused()
 void
 InferenceServer::workerMain(std::size_t worker_id)
 {
+    Tracer::instance().setThreadName("worker-" +
+                                     std::to_string(worker_id));
     // Kernel tiles split on the shared pool for this thread's lifetime;
     // with width 1 the scope is inert and kernels run serial inline.
     IntraOpScope intra_op(intraOpPool_.get(), intraOpWidth_);
@@ -255,6 +314,28 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     const auto start = RuntimeClock::now();
     const double queue_wait_ms = toMs(start - entry.enqueueTime);
 
+    // The queue-wait span is retroactive: only at dequeue do we know
+    // how long the request sat, so the event is stamped backwards from
+    // the admission timestamp.
+    Tracer &tracer = Tracer::instance();
+    if (tracer.armed()) {
+        TraceEvent wait;
+        wait.name = "request.queue_wait";
+        wait.category = "serve";
+        wait.startNs = tracer.toNs(entry.enqueueTime);
+        wait.durNs =
+            std::max<std::int64_t>(0, tracer.toNs(start) - wait.startNs);
+        wait.numArgs = 2;
+        wait.args[0] = {"id", static_cast<double>(entry.request.id)};
+        wait.args[1] = {"stream",
+                        static_cast<double>(entry.request.stream)};
+        tracer.record(wait);
+    }
+    TraceSpan serve_span("request.serve", "serve");
+    serve_span.arg("id", static_cast<double>(entry.request.id));
+    serve_span.arg("stream", static_cast<double>(entry.request.stream));
+    serve_span.arg("worker", static_cast<double>(worker_id));
+
     // A request that has already missed its deadline gets a structured
     // failure now instead of a full solve whose response could only
     // arrive late.
@@ -267,10 +348,14 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
         response.deadlineMet = false;
         response.workerId = worker_id;
         response.completionIndex = nextCompletionIndex_.fetch_add(1);
+        serve_span.arg("status",
+                       static_cast<double>(RequestStatus::DeadlineExceeded));
         metrics_.recordCompletion(response);
         entry.promise.set_value(std::move(response));
         return;
     }
+
+    activeWorkers_.fetch_add(1, std::memory_order_relaxed);
 
     // Publish the in-flight record so the watchdog can see (and if
     // needed, take over) this request while the solve runs.
@@ -297,12 +382,19 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     guard.abortFlag = &flight.abort;
 
     // Attempt the configured solve, then walk the degradation ladder.
+    // One span per rung taken, so a trace shows exactly which rungs a
+    // request climbed and what each returned.
     IvpStats aggregate;
     std::uint32_t retries = 0;
-    NodeForwardResult fwd =
-        worker.model->forward(entry.request.input, tableau_,
-                              *worker.controller, options_.ivp, nullptr,
-                              &guard);
+    NodeForwardResult fwd;
+    {
+        TraceSpan rung_span("request.solve", "serve");
+        rung_span.arg("rung", 0.0);
+        fwd = worker.model->forward(entry.request.input, tableau_,
+                                    *worker.controller, options_.ivp,
+                                    nullptr, &guard);
+        rung_span.arg("status", static_cast<double>(fwd.status));
+    }
     aggregate.accumulate(fwd.totalStats);
     const SolveStatus origin = fwd.status;
 
@@ -312,6 +404,8 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
             fwd.status == SolveStatus::StepUnderflow) {
             // Rung 1: one retry at relaxed tolerance — FP16 overflow
             // and minDt underflow are frequently tolerance-induced.
+            TraceSpan rung_span("request.retry", "serve");
+            rung_span.arg("rung", 1.0);
             IvpOptions relaxed = options_.ivp;
             relaxed.tolerance *= options_.degrade.retryToleranceFactor;
             retries = 1;
@@ -319,13 +413,17 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
                                         *worker.controller, relaxed,
                                         nullptr, &guard);
             aggregate.accumulate(fwd.totalStats);
+            rung_span.arg("status", static_cast<double>(fwd.status));
         }
         if (fwd.status != SolveStatus::Ok &&
             !flight.abort.load(std::memory_order_acquire)) {
             // Rung 2: fixed-step coarse integration. Deterministic
             // cost, no stepsize search to diverge.
+            TraceSpan rung_span("request.fallback", "serve");
+            rung_span.arg("rung", 2.0);
             fwd = fallbackForward(worker, entry.request.input);
             aggregate.accumulate(fwd.totalStats);
+            rung_span.arg("status", static_cast<double>(fwd.status));
         }
     }
 
@@ -358,6 +456,12 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     }
     response.completionIndex = nextCompletionIndex_.fetch_add(1);
 
+    serve_span.arg("status", static_cast<double>(response.status));
+    if (response.retries > 0 || response.degraded)
+        serve_span.arg("rungs", response.degraded ? 2.0 : 1.0);
+
+    activeWorkers_.fetch_sub(1, std::memory_order_relaxed);
+
     // Deliver unless the watchdog already failed this request while we
     // were solving (its response wins; ours is discarded).
     std::promise<InferResponse> to_deliver;
@@ -380,6 +484,7 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
 void
 InferenceServer::watchdogMain()
 {
+    Tracer::instance().setThreadName("watchdog");
     const auto threshold = std::chrono::duration<double, std::milli>(
         options_.degrade.watchdogMs);
     // Poll a few times per threshold, bounded so tiny thresholds do
@@ -425,6 +530,11 @@ InferenceServer::watchdogMain()
                            " on worker ", i, " after ", response.solveMs,
                            " ms (threshold ", options_.degrade.watchdogMs,
                            " ms)");
+                Tracer::instance().instant(
+                    "watchdog.trip", "serve",
+                    {{"id", static_cast<double>(response.id)},
+                     {"worker", static_cast<double>(i)},
+                     {"solve_ms", response.solveMs}});
                 metrics_.recordWatchdogTrip();
                 metrics_.recordCompletion(response);
                 to_fail.set_value(std::move(response));

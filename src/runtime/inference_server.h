@@ -35,6 +35,7 @@
 #include "common/task_pool.h"
 #include "core/node_model.h"
 #include "runtime/metrics.h"
+#include "runtime/metrics_publisher.h"
 #include "runtime/request_queue.h"
 
 namespace enode {
@@ -130,6 +131,26 @@ struct ServerOptions
 
     /** Failure handling: retry/fallback ladder and watchdog. */
     DegradePolicy degrade;
+
+    /**
+     * Arm the process-wide span tracer (common/trace_span.h) for this
+     * server's lifetime: request, ladder-rung, solver-trial and
+     * pipeline spans are recorded into per-thread rings and stay
+     * exportable (Tracer::exportChromeTrace) after stop(). Disarmed
+     * tracing costs one relaxed atomic load per probe.
+     */
+    bool traceEnabled = false;
+
+    /** Per-thread trace ring capacity (events); oldest are dropped. */
+    std::size_t traceRingCapacity = std::size_t{1} << 13;
+
+    /**
+     * Gauge-publisher period in milliseconds; 0 disables the
+     * background publisher. When enabled, queue depth, in-flight
+     * count and worker occupancy are sampled on this clock and
+     * published through publisher() and metricsText().
+     */
+    double publishPeriodMs = 0.0;
 };
 
 /**
@@ -211,6 +232,22 @@ class InferenceServer
     const RequestQueue &queue() const { return queue_; }
     std::size_t numWorkers() const { return workers_.size(); }
 
+    /** Background gauge sampler; null unless publishPeriodMs > 0. */
+    const MetricsPublisher *publisher() const { return publisher_.get(); }
+
+    /** Workers inside serveOne right now (publisher gauge source). */
+    std::size_t activeWorkers() const
+    {
+        return activeWorkers_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Prometheus text exposition of the full observable state: the
+     * metrics registry snapshot, queue counters, and (when the
+     * publisher runs) sampled gauges.
+     */
+    std::string metricsText() const;
+
     /** Effective intra-op width after the oversubscription clamp. */
     std::size_t intraOpThreads() const { return intraOpWidth_; }
 
@@ -239,7 +276,14 @@ class InferenceServer
         bool delivered = false; ///< its response has been set
         std::uint64_t id = 0;
         RuntimeClock::time_point start{};
-        RuntimeClock::time_point deadline{};
+        /**
+         * Must default to "no deadline" exactly like
+         * InferRequest::deadline. A value-initialized time_point is the
+         * clock epoch, which made the watchdog's deadlineMet check read
+         * a stale epoch deadline as "missed" for any slot that tripped
+         * before its first publish.
+         */
+        RuntimeClock::time_point deadline = RuntimeClock::time_point::max();
         double queueWaitMs = 0.0;
         std::atomic<bool> abort{false};
     };
@@ -265,6 +309,8 @@ class InferenceServer
 
     /** One slot per worker; index-aligned with workers_. */
     std::vector<std::unique_ptr<InFlight>> inflight_;
+    std::unique_ptr<MetricsPublisher> publisher_;
+    std::atomic<std::size_t> activeWorkers_{0};
     std::thread watchdog_;
     std::mutex watchdogMutex_;
     std::condition_variable watchdogCv_;

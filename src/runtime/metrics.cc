@@ -19,13 +19,6 @@ MetricsRegistry::recordRejected()
 }
 
 void
-MetricsRegistry::recordCancelled()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    cancelled_++;
-}
-
-void
 MetricsRegistry::recordWatchdogTrip()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -86,7 +79,8 @@ MetricsRegistry::recordCompletion(const InferResponse &response)
         countFailureClassLocked(response.solveStatus);
         return;
       case RequestStatus::Cancelled:
-        // Cancellations are recorded via recordCancelled at shutdown.
+        // Shutdown routes each undrained request here exactly once;
+        // this is the only place cancellations are counted.
         cancelled_++;
         return;
     }

@@ -69,14 +69,17 @@ class MetricsRegistry
 
     void recordAdmitted();
     void recordRejected();
-    void recordCancelled();
     void recordWatchdogTrip();
 
     /**
-     * Record a terminal response from the serving path (any status but
-     * Cancelled): counts it by status, classifies degraded/failed
-     * responses by their originating SolveStatus, and feeds the
-     * latency series for Ok responses.
+     * Record a terminal response — the single source of truth for
+     * every terminal state, Cancelled included (shutdown builds a
+     * Cancelled response per undrained request and routes it here, so
+     * nothing is ever double-counted). Counts the response by status,
+     * classifies degraded/failed responses by their originating
+     * SolveStatus, and feeds the latency series for Ok responses.
+     * Invariant: admitted == completed + expired + failed + cancelled
+     * once the server has stopped.
      */
     void recordCompletion(const InferResponse &response);
 

@@ -1,0 +1,95 @@
+#ifndef ENODE_RUNTIME_METRICS_PUBLISHER_H
+#define ENODE_RUNTIME_METRICS_PUBLISHER_H
+
+/**
+ * @file
+ * Background gauge sampler for the serving runtime.
+ *
+ * Counters and latency series are recorded at request edges, but
+ * *instantaneous* state — queue depth, in-flight solves, worker
+ * occupancy — is only meaningful when sampled on a clock. The publisher
+ * owns that clock: registered gauges are polled by a background thread
+ * every period, each sample feeding a last-value register and a
+ * min/mean/max accumulator, and the whole set publishes as a StatGroup
+ * that the Prometheus exposition (runtime/exposition.h) renders
+ * alongside the request counters.
+ *
+ * Samplers must be safe to call from the publisher thread for the
+ * publisher's whole lifetime (the server's gauges read atomics and the
+ * queue's mutex-guarded size).
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace enode {
+
+/** Periodic sampler of named gauges on a background thread. */
+class MetricsPublisher
+{
+  public:
+    /** Reads one gauge's current value; called on the publisher thread. */
+    using Sampler = std::function<double()>;
+
+    MetricsPublisher() = default;
+
+    /** Joins the thread (stop()) if still running. */
+    ~MetricsPublisher();
+
+    MetricsPublisher(const MetricsPublisher &) = delete;
+    MetricsPublisher &operator=(const MetricsPublisher &) = delete;
+
+    /** Register a gauge. Must be called before start(). */
+    void addGauge(std::string name, Sampler sampler);
+
+    /**
+     * Start sampling every period_ms milliseconds. One sample of every
+     * gauge is taken synchronously here, so even a server that stops
+     * immediately publishes a consistent set.
+     */
+    void start(double period_ms);
+
+    /** Take one final sample and join the thread. Safe to call twice. */
+    void stop();
+
+    /** Samples taken so far (per gauge). */
+    std::uint64_t samples() const;
+
+    /**
+     * Snapshot: "<gauge>.last", "<gauge>.mean", "<gauge>.min",
+     * "<gauge>.max" per gauge plus "publisher.samples".
+     */
+    StatGroup snapshot(const std::string &group_name = "gauges") const;
+
+  private:
+    struct Gauge
+    {
+        std::string name;
+        Sampler sampler;
+        double last = 0.0;
+        Accumulator series;
+    };
+
+    void sampleAllLocked();
+    void publisherMain();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Gauge> gauges_;
+    std::uint64_t samples_ = 0;
+    double periodMs_ = 0.0;
+    bool running_ = false;
+    bool stopRequested_ = false;
+    std::thread thread_;
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_METRICS_PUBLISHER_H

@@ -30,9 +30,16 @@ RequestQueue::tryPush(QueueEntry &entry)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (closed_ || heap_.size() >= capacity_) {
-            if (!closed_)
-                rejected_++;
+        // Closed-queue and full-queue rejections are different events
+        // and must be counted apart: a push racing shutdown used to
+        // vanish from the books entirely, leaving rejected() short of
+        // the producers actually turned away.
+        if (closed_) {
+            closedRejected_++;
+            return false;
+        }
+        if (heap_.size() >= capacity_) {
+            rejected_++;
             return false;
         }
         entry.seq = nextSeq_++;
@@ -104,6 +111,13 @@ RequestQueue::rejected() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return rejected_;
+}
+
+std::uint64_t
+RequestQueue::closedRejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closedRejected_;
 }
 
 std::size_t

@@ -77,6 +77,11 @@ class RequestQueue
 
     /** Producers turned away by a full queue since construction. */
     std::uint64_t rejected() const;
+    /** Producers turned away because the queue was closed. Kept apart
+     *  from rejected(): backpressure is a capacity signal, a closed
+     *  queue is lifecycle — conflating them (or dropping the count, as
+     *  an earlier version did) breaks counter reconciliation. */
+    std::uint64_t closedRejected() const;
     /** Peak queue occupancy since construction. */
     std::size_t peakSize() const;
 
@@ -93,6 +98,7 @@ class RequestQueue
     bool closed_ = false;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t closedRejected_ = 0;
     std::size_t peakSize_ = 0;
 };
 

@@ -6,10 +6,13 @@
  * (which must match the serial outputs bit for bit at every width).
  */
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "common/task_pool.h"
+#include "common/trace_span.h"
 #include "core/depth_first.h"
 #include "core/node_model.h"
 #include "ode/rk_stepper.h"
@@ -323,6 +326,38 @@ TEST(StreamingExecutor, RejectsNonStreamableNets)
     EXPECT_DEATH(
         { streamingStep(*net, ButcherTableau::rk23(), 0.0, h, 0.1); },
         "Conv2d/ReLU");
+}
+
+TEST(StreamingPipeline, EmitsWaveAndPacketSpansWhenTraced)
+{
+    Rng rng(67);
+    auto net = EmbeddedNet::makeStreamableConvNet(2, 2, rng);
+    Tensor h = Tensor::randn(Shape{2, 10, 6}, rng, 0.5f);
+
+    Tracer::instance().arm(std::size_t{1} << 12);
+    TaskPool pool(3);
+    PipelineOptions opts;
+    opts.pool = &pool;
+    StreamingExecutor exec(*net, ButcherTableau::rk23());
+    auto piped = exec.runPipelined(0.0, h, 0.1, opts);
+    Tracer::instance().disarm();
+
+    const auto events = Tracer::instance().snapshot();
+    std::size_t waves = 0, packets = 0;
+    for (const TraceEvent &e : events) {
+        if (e.name == nullptr)
+            continue;
+        if (std::string(e.name) == "pipeline.wave")
+            waves++;
+        else if (std::string(e.name) == "pipeline.packet")
+            packets++;
+    }
+    // One span per scheduler wave and one per dispatched packet.
+    EXPECT_EQ(waves, piped.pipelineWaves);
+    EXPECT_EQ(packets, piped.pipelinePackets);
+    EXPECT_GT(packets, 0u);
+    Tracer::instance().arm(1); // flush this test's events
+    Tracer::instance().disarm();
 }
 
 } // namespace

@@ -9,15 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/trace_span.h"
 #include "ode/step_control.h"
+#include "runtime/exposition.h"
 #include "runtime/inference_server.h"
 
 namespace enode {
@@ -286,8 +290,13 @@ TEST(InferenceServer, NonDrainingShutdownCancelsQueuedWork)
         EXPECT_TRUE(r.output.empty());
     }
     const MetricsSummary s = server.metrics().summary();
+    // Exactly once per request: shutdown now routes cancellations
+    // through recordCompletion, the single terminal-state path
+    // (regression: a second accounting path used to double-count).
     EXPECT_EQ(s.cancelled, 5u);
     EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.completed + s.expired + s.failed + s.cancelled,
+              s.admitted);
 
     // Submitting after stop is refused without blocking.
     EXPECT_FALSE(server.submit(makeInput(9)).accepted);
@@ -689,6 +698,10 @@ TEST(Watchdog, TripsOnHungSolveAndWorkerRecovers)
     EXPECT_EQ(r1.solveStatus, SolveStatus::DeadlineExceeded);
     EXPECT_TRUE(r1.output.empty());
     EXPECT_GE(r1.solveMs, opts.degrade.watchdogMs);
+    // The request carried no deadline: a watchdog trip must not invent
+    // a miss (regression: the in-flight slot's deadline used to
+    // value-initialize to the clock epoch instead of "none").
+    EXPECT_TRUE(r1.deadlineMet);
 
     auto second = server.submit(makeInput(1));
     ASSERT_TRUE(second.accepted);
@@ -701,6 +714,7 @@ TEST(Watchdog, TripsOnHungSolveAndWorkerRecovers)
     EXPECT_EQ(s.failed, 1u);
     EXPECT_EQ(s.solveDeadline, 1u);
     EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.deadlineMisses, 0u);
 }
 
 TEST(InferenceServer, InjectedAdmissionRejection)
@@ -752,6 +766,204 @@ TEST(MetricsRegistry, SnapshotPublishesPercentileKeys)
     EXPECT_GT(group.get("latency.total.p95_ms"),
               group.get("latency.total.p50_ms"));
     EXPECT_NEAR(group.get("latency.total.max_ms"), 110.0, 1e-9);
+}
+
+TEST(MetricsRegistry, TerminalStatesReconcileWithMixedOutcomes)
+{
+    // Two normal requests plus one admitted with an already-expired
+    // deadline; after a draining stop every admitted request must be in
+    // exactly one terminal state.
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(1, 8, /*paused=*/true));
+    auto a = server.submit(makeInput(0));
+    auto b = server.submit(makeInput(1));
+    auto c = server.submit(makeInput(2), /*stream=*/0,
+                           RuntimeClock::now() -
+                               std::chrono::milliseconds(5));
+    ASSERT_TRUE(a.accepted && b.accepted && c.accepted);
+    server.resume();
+    EXPECT_EQ(a.result.get().status, RequestStatus::Ok);
+    EXPECT_EQ(b.result.get().status, RequestStatus::Ok);
+    EXPECT_EQ(c.result.get().status, RequestStatus::DeadlineExceeded);
+    server.stop();
+
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.admitted, 3u);
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.expired, 1u);
+    EXPECT_EQ(s.completed + s.expired + s.failed + s.cancelled,
+              s.admitted);
+}
+
+TEST(RequestQueue, ClosedRejectsAreCountedSeparately)
+{
+    RequestQueue queue(2, SelectPolicy::Fifo);
+    QueueEntry e1, e2;
+    EXPECT_TRUE(queue.tryPush(e1));
+    EXPECT_TRUE(queue.tryPush(e2));
+    QueueEntry full;
+    EXPECT_FALSE(queue.tryPush(full)); // capacity: a backpressure event
+    EXPECT_EQ(queue.rejected(), 1u);
+    EXPECT_EQ(queue.closedRejected(), 0u);
+
+    queue.close(/*drain=*/true);
+    QueueEntry late;
+    EXPECT_FALSE(queue.tryPush(late));
+    EXPECT_FALSE(queue.tryPush(late));
+    // A push racing shutdown is a lifecycle event, not backpressure —
+    // and it must be *counted* (regression: it used to vanish).
+    EXPECT_EQ(queue.rejected(), 1u);
+    EXPECT_EQ(queue.closedRejected(), 2u);
+}
+
+TEST(InferenceServer, QueueAndRegistryRejectCountersReconcile)
+{
+    // One real capacity rejection: paused single worker, capacity 2.
+    InferenceServer server(makeReferenceModel,
+                           serverOptions(1, 2, /*paused=*/true));
+    auto a = server.submit(makeInput(0));
+    auto b = server.submit(makeInput(1));
+    auto c = server.submit(makeInput(2)); // queue full
+    EXPECT_TRUE(a.accepted && b.accepted);
+    EXPECT_FALSE(c.accepted);
+    server.resume();
+    server.stop(/*drain=*/true);
+
+    const MetricsSummary s = server.metrics().summary();
+    // Every registry-level rejection is a queue-level capacity
+    // rejection here (no fault injection in play), and closed-queue
+    // turnaways stayed at zero because submit() gates on stopped_
+    // before touching the queue.
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(server.queue().rejected(), 1u);
+    EXPECT_EQ(server.queue().closedRejected(), 0u);
+    EXPECT_EQ(s.admitted, 2u);
+    EXPECT_EQ(s.completed + s.expired + s.failed + s.cancelled,
+              s.admitted);
+}
+
+TEST(Tracing, ServerEmitsRequestLadderAndSolverSpans)
+{
+    ServerOptions opts = serverOptions(2, 16);
+    opts.traceEnabled = true;
+    opts.traceRingCapacity = std::size_t{1} << 12;
+    const std::size_t n = 6;
+    {
+        InferenceServer server(makeReferenceModel, opts);
+        std::vector<std::future<InferResponse>> futures;
+        for (std::size_t i = 0; i < n; i++) {
+            auto sub = server.submit(makeInput(i));
+            ASSERT_TRUE(sub.accepted);
+            futures.push_back(std::move(sub.result));
+        }
+        for (auto &future : futures)
+            EXPECT_EQ(future.get().status, RequestStatus::Ok);
+        server.stop();
+    }
+    // stop() disarms but keeps the events for export.
+    EXPECT_FALSE(Tracer::instance().armed());
+    const auto events = Tracer::instance().snapshot();
+    const auto count = [&events](const char *name) {
+        std::size_t matches = 0;
+        for (const TraceEvent &e : events)
+            if (e.name != nullptr && std::string(e.name) == name)
+                matches++;
+        return matches;
+    };
+    EXPECT_EQ(count("request.serve"), n);
+    EXPECT_EQ(count("request.queue_wait"), n);
+    EXPECT_EQ(count("request.solve"), n);
+    // One solve.ivp per integration layer per request, many trials each.
+    EXPECT_GE(count("solve.ivp"), n);
+    EXPECT_GT(count("solve.trial"), count("solve.ivp"));
+
+    const std::string json = Tracer::instance().chromeTraceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("request.serve"), std::string::npos);
+    EXPECT_NE(json.find("worker-0"), std::string::npos);
+    Tracer::instance().arm(1); // flush this test's events
+    Tracer::instance().disarm();
+}
+
+TEST(MetricsPublisher, SamplesGaugesIntoLastAndSeriesStats)
+{
+    MetricsPublisher publisher;
+    std::atomic<int> value{1};
+    publisher.addGauge("test.value", [&value] {
+        return static_cast<double>(value.load());
+    });
+    publisher.start(2.0);
+    value.store(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    publisher.stop();
+
+    // At least the synchronous start and stop samples.
+    EXPECT_GE(publisher.samples(), 2u);
+    const StatGroup group = publisher.snapshot();
+    EXPECT_DOUBLE_EQ(group.get("test.value.last"), 5.0);
+    EXPECT_DOUBLE_EQ(group.get("test.value.min"), 1.0);
+    EXPECT_DOUBLE_EQ(group.get("test.value.max"), 5.0);
+    EXPECT_EQ(group.get("publisher.samples"),
+              static_cast<double>(publisher.samples()));
+    publisher.stop(); // idempotent
+}
+
+TEST(Exposition, RendersPrometheusTextWithTypesAndSanitizedNames)
+{
+    StatGroup group("runtime");
+    group.set("requests.admitted", 12.0);
+    group.set("latency.total.p99_ms", 4.25);
+    group.set("broken.value", std::numeric_limits<double>::quiet_NaN());
+    const std::string text = prometheusText(group);
+
+    EXPECT_NE(text.find("# HELP enode_requests_admitted"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE enode_requests_admitted counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("enode_requests_admitted 12"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE enode_latency_total_p99_ms gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("enode_latency_total_p99_ms 4.25"),
+              std::string::npos);
+    // Non-finite values are unrepresentable in the text format and
+    // must be skipped, not rendered as "nan".
+    EXPECT_EQ(text.find("broken"), std::string::npos);
+
+    EXPECT_EQ(prometheusMetricName("latency.total.p99_ms"),
+              "enode_latency_total_p99_ms");
+    EXPECT_EQ(prometheusMetricName("9lives", ""), "_9lives");
+}
+
+TEST(InferenceServer, PublisherGaugesAppearInMetricsText)
+{
+    ServerOptions opts = serverOptions(2, 16);
+    opts.publishPeriodMs = 5.0;
+    InferenceServer server(makeReferenceModel, opts);
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < 4; i++) {
+        auto sub = server.submit(makeInput(i));
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    for (auto &future : futures)
+        EXPECT_EQ(future.get().status, RequestStatus::Ok);
+    server.stop();
+
+    ASSERT_NE(server.publisher(), nullptr);
+    EXPECT_GE(server.publisher()->samples(), 2u);
+    EXPECT_EQ(server.activeWorkers(), 0u);
+
+    const std::string text = server.metricsText();
+    EXPECT_NE(text.find("enode_requests_admitted 4"), std::string::npos);
+    EXPECT_NE(text.find("enode_queue_depth"), std::string::npos);
+    EXPECT_NE(text.find("enode_queue_closed_rejected"),
+              std::string::npos);
+    EXPECT_NE(text.find("enode_workers_in_flight_last"),
+              std::string::npos);
+    EXPECT_NE(text.find("enode_workers_occupancy_max"),
+              std::string::npos);
+    EXPECT_NE(text.find("enode_publisher_samples"), std::string::npos);
 }
 
 } // namespace

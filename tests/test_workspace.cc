@@ -9,16 +9,48 @@
  * working set is sized, an adaptive solve touches no allocator.
  */
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/trace_span.h"
 #include "ode/ivp.h"
 #include "ode/ode_function.h"
 #include "ode/step_control.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
+
+/**
+ * Process-wide allocation counter: every operator new in this test
+ * binary bumps it. The workspace pool's miss counter only sees pool
+ * traffic; this sees *everything*, which is what the disarmed-tracer
+ * overhead contract is stated against.
+ */
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+static void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *operator new(std::size_t size) { return countedAlloc(size); }
+void *operator new[](std::size_t size) { return countedAlloc(size); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
 
 namespace enode {
 namespace {
@@ -190,6 +222,79 @@ TEST(Workspace, SolveIvpAllocatesNothingAfterWarmup)
     EXPECT_EQ(recorded.checkpoints.size(), recorded.stats.evalPoints);
     EXPECT_EQ(recorded.trialsPerPoint.size(), recorded.stats.evalPoints);
     EXPECT_TRUE(Tensor::allClose(recorded.yFinal, expected, 0.0, 0.0));
+}
+
+TEST(Workspace, DisarmedTraceProbesAllocateNothing)
+{
+    // The observability contract, measured directly: a disarmed span
+    // or instant probe is one relaxed atomic load — no allocation at
+    // any rate of probing.
+    ASSERT_FALSE(Tracer::instance().armed());
+    const std::uint64_t allocs_before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < 10000; i++) {
+        TraceSpan span("probe", "test");
+        span.arg("i", static_cast<double>(i));
+        Tracer::instance().instant("probe.instant", "test",
+                                   {{"i", static_cast<double>(i)}});
+    }
+    const std::uint64_t allocs_after =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(allocs_after - allocs_before, 0u)
+        << "disarmed trace probes touched the heap";
+}
+
+TEST(Workspace, TracerAddsZeroAllocationsToSolveHotPath)
+{
+    // The instrumented solver (solve.ivp / solve.trial spans) must
+    // allocate exactly as much per solve with the tracer armed at
+    // steady state as disarmed — i.e. tracing adds nothing on top of
+    // the solver's own (pool-hit, shape-metadata) footprint.
+    ASSERT_FALSE(Tracer::instance().armed());
+
+    Rng rng(21);
+    const Tensor y0 = Tensor::randn(Shape{4, 16, 16}, rng, 0.5f);
+    DecayOde f;
+    FixedFactorController ctrl;
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.recordCheckpoints = false;
+    IvpWorkspace solver_ws;
+
+    const auto solveOnce = [&] {
+        solveIvp(f, y0, 0.0, 1.0, ButcherTableau::rk23(), ctrl, opts,
+                 nullptr, &solver_ws);
+    };
+    const auto allocsPerSolve = [&] {
+        const std::uint64_t before =
+            g_heap_allocs.load(std::memory_order_relaxed);
+        solveOnce();
+        return g_heap_allocs.load(std::memory_order_relaxed) - before;
+    };
+
+    // Warm-ups size the buffers; the working set is steady after two.
+    solveOnce();
+    solveOnce();
+
+    auto &pool = Workspace::local();
+    pool.resetStats();
+    const std::uint64_t disarmed_allocs = allocsPerSolve();
+    EXPECT_EQ(pool.stats().misses, 0u);
+    // Disarmed steady state is itself stable solve-to-solve.
+    EXPECT_EQ(allocsPerSolve(), disarmed_allocs);
+
+    // Armed: the first traced solve registers this thread's ring (a
+    // one-time allocation); every solve after that must match the
+    // disarmed footprint exactly.
+    Tracer::instance().arm(1 << 10);
+    solveOnce(); // ring registration happens here
+    const std::uint64_t armed_allocs = allocsPerSolve();
+    Tracer::instance().disarm();
+    EXPECT_EQ(armed_allocs, disarmed_allocs)
+        << "armed steady-state tracing allocated on the solve hot path";
+    EXPECT_FALSE(Tracer::instance().snapshot().empty());
+    Tracer::instance().arm(1); // flush this test's events
+    Tracer::instance().disarm();
 }
 
 TEST(Workspace, Fp16OdeQuantizesWithoutCopyAllocations)
