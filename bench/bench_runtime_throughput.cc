@@ -10,11 +10,20 @@
  * measured closed-loop capacity; reported latency percentiles show the
  * queueing-delay knee as offered load approaches saturation, plus the
  * admission rejections once the bounded queue overflows past it.
+ *
+ * Batch sweep: the same closed-loop population against a single worker
+ * with ServerOptions::maxBatch swept over 1/2/4/8/16. One worker
+ * isolates the coalescing win — extra throughput can only come from the
+ * batched solve sharing f-evaluation weight traversals, not from more
+ * cores. Results land in BENCH_serving.json for scripted checks.
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -141,6 +150,90 @@ runOpenLoop(std::size_t workers, double rate_rps, std::size_t total)
     return result;
 }
 
+struct ServingPoint
+{
+    std::size_t maxBatch = 1;
+    double requestsPerSec = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanOccupancy = 1.0;
+};
+
+/**
+ * Closed loop against one worker with micro-batching at `max_batch`.
+ * The client population stays fixed across the sweep, so every point
+ * sees the same offered load; only the coalescing changes.
+ */
+ServingPoint
+runBatchSweepPoint(std::size_t max_batch, std::size_t clients,
+                   std::size_t total)
+{
+    ServerOptions opts = baseOptions(/*workers=*/1);
+    opts.maxBatch = max_batch;
+    opts.batchWaitUs = 2000.0;
+    InferenceServer server(makeServedModel, opts);
+
+    std::vector<Tensor> inputs;
+    {
+        Rng rng(kSeed + 7);
+        for (std::size_t i = 0; i < 64; i++)
+            inputs.push_back(makeInput(rng));
+    }
+
+    const auto start = RuntimeClock::now();
+    std::vector<std::thread> threads;
+    const std::size_t per_client = total / clients;
+    for (std::size_t c = 0; c < clients; c++) {
+        threads.emplace_back([&, c] {
+            for (std::size_t j = 0; j < per_client; j++) {
+                auto sub = server.submit(
+                    inputs[(c * per_client + j) % inputs.size()],
+                    static_cast<std::uint32_t>(c % 4));
+                if (sub.accepted)
+                    sub.result.get();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(RuntimeClock::now() - start).count();
+    server.stop();
+
+    const MetricsSummary m = server.metrics().summary();
+    ServingPoint point;
+    point.maxBatch = max_batch;
+    point.requestsPerSec = static_cast<double>(m.completed) / seconds;
+    point.p50Ms = m.totalP50Ms;
+    point.p99Ms = m.totalP99Ms;
+    // maxBatch 1 bypasses the batcher entirely (the solo path), so the
+    // occupancy gauge never ticks; a solo request is a batch of one.
+    point.meanOccupancy =
+        m.batchesDispatched > 0 ? m.batchOccupancyMean : 1.0;
+    return point;
+}
+
+void
+writeServingReport(const std::vector<ServingPoint> &points,
+                   const std::string &path = "BENCH_serving.json")
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n  \"serving\": [\n";
+    for (std::size_t i = 0; i < points.size(); i++) {
+        const ServingPoint &p = points[i];
+        out << "    {\"name\": \"serving/batch=" << p.maxBatch
+            << "\", \"max_batch\": " << p.maxBatch << ", "
+            << std::fixed << std::setprecision(2)
+            << "\"requests_per_sec\": " << p.requestsPerSec
+            << ", \"p50_ms\": " << std::setprecision(3) << p.p50Ms
+            << ", \"p99_ms\": " << p.p99Ms
+            << ", \"mean_batch_occupancy\": " << std::setprecision(2)
+            << p.meanOccupancy << "}"
+            << (i + 1 < points.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+}
+
 } // namespace
 
 int
@@ -204,5 +297,39 @@ main()
                          r.metrics.rejected))});
     }
     open.print();
+
+    // Batch sweep: one worker, fixed closed-loop population, maxBatch
+    // swept. Throughput gains isolate the batched-solve coalescing win.
+    const std::size_t sweep_clients = 32;
+    const std::size_t sweep_total = 256;
+    Table sweep("Micro-batching sweep (1 worker, " +
+                std::to_string(sweep_clients) + " closed-loop clients, " +
+                std::to_string(sweep_total) + " requests)");
+    sweep.setHeader({"max batch", "req/s", "speedup", "p50 ms", "p99 ms",
+                     "mean occupancy"});
+    std::vector<ServingPoint> points;
+    double batch1_rps = 0.0;
+    double batch8_rps = 0.0;
+    for (std::size_t max_batch : {1u, 2u, 4u, 8u, 16u}) {
+        ServingPoint p =
+            runBatchSweepPoint(max_batch, sweep_clients, sweep_total);
+        if (max_batch == 1)
+            batch1_rps = p.requestsPerSec;
+        if (max_batch == 8)
+            batch8_rps = p.requestsPerSec;
+        sweep.addRow({std::to_string(max_batch),
+                      Table::num(p.requestsPerSec, 1),
+                      Table::ratio(p.requestsPerSec / batch1_rps),
+                      Table::num(p.p50Ms), Table::num(p.p99Ms),
+                      Table::num(p.meanOccupancy)});
+        points.push_back(p);
+    }
+    sweep.print();
+    writeServingReport(points);
+    const double batch_speedup = batch8_rps / batch1_rps;
+    std::printf("\nbatch-8 vs batch-1 throughput on one worker: %.2fx %s\n"
+                "wrote BENCH_serving.json\n",
+                batch_speedup,
+                batch_speedup >= 2.0 ? "(PASS >=2x)" : "(below 2x!)");
     return 0;
 }

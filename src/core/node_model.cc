@@ -99,6 +99,65 @@ NodeModel::forward(const Tensor &x, const ButcherTableau &tableau,
     return result;
 }
 
+BatchedForwardResult
+NodeModel::forwardBatched(const std::vector<Tensor> &xs,
+                          const ButcherTableau &tableau,
+                          const std::vector<StepController *> &controllers,
+                          const IvpOptions &opts,
+                          const std::vector<SolveGuard *> *guards)
+{
+    const std::size_t n = xs.size();
+    ENODE_ASSERT(controllers.size() == n, "one controller per sample");
+    ENODE_ASSERT(guards == nullptr || guards->size() == n,
+                 "guards sized like the batch when present");
+
+    BatchedForwardResult result;
+    result.outputs.resize(n);
+    result.stats.resize(n);
+    result.status.assign(n, SolveStatus::Ok);
+    for (std::size_t i = 0; i < n; i++)
+        result.outputs[i] = xs[i];
+
+    // Active set: samples still Ok. A failed sample keeps its (untrusted)
+    // state in outputs but stops consuming layer solves.
+    std::vector<std::size_t> active(n);
+    for (std::size_t i = 0; i < n; i++)
+        active[i] = i;
+
+    std::vector<const Tensor *> y0;
+    std::vector<StepController *> ctrls;
+    std::vector<SolveGuard *> layer_guards;
+    for (auto &net : nets_) {
+        if (active.empty())
+            break;
+        y0.clear();
+        ctrls.clear();
+        layer_guards.clear();
+        for (std::size_t i : active) {
+            y0.push_back(&result.outputs[i]);
+            ctrls.push_back(controllers[i]);
+            layer_guards.push_back(guards ? (*guards)[i] : nullptr);
+        }
+        BatchedNetOde ode(*net);
+        BatchedIvpResult layer = solveIvpBatched(
+            ode, y0, 0.0, layerTime_, tableau, ctrls, opts,
+            &batchedIvpWorkspace_, guards ? &layer_guards : nullptr);
+        std::vector<std::size_t> still_active;
+        still_active.reserve(active.size());
+        for (std::size_t j = 0; j < active.size(); j++) {
+            const std::size_t i = active[j];
+            result.outputs[i] = std::move(layer.yFinal[j]);
+            result.stats[i].accumulate(layer.stats[j]);
+            if (layer.status[j] != SolveStatus::Ok)
+                result.status[i] = layer.status[j];
+            else
+                still_active.push_back(i);
+        }
+        active = std::move(still_active);
+    }
+    return result;
+}
+
 std::vector<ParamSlot>
 NodeModel::paramSlots()
 {

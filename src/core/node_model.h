@@ -18,6 +18,7 @@
 #include "common/fault_injection.h"
 #include "nn/loss.h"
 #include "nn/sequential.h"
+#include "ode/batched_ivp.h"
 #include "ode/ivp.h"
 #include "ode/ode_function.h"
 
@@ -48,6 +49,46 @@ class EmbeddedNetOde : public OdeFunction
 
   private:
     EmbeddedNet &net_;
+};
+
+/** Adapts an EmbeddedNet to the BatchedOdeFunction interface. */
+class BatchedNetOde : public BatchedOdeFunction
+{
+  public:
+    explicit BatchedNetOde(EmbeddedNet &net) : net_(net) {}
+
+    void
+    evalInto(const std::vector<double> &ts, const Tensor &hs,
+             Tensor &out) override
+    {
+        net_.evalBatched(ts, hs, out);
+        // Chaos probe per sample, in sample order: walked exactly like
+        // the solo path walks successive evals, so a plan's k-th hit
+        // deterministically lands on the k-th per-sample evaluation.
+        const std::size_t n = ts.size();
+        const std::size_t stride = out.numel() / n;
+        for (std::size_t i = 0; i < n; i++)
+            FaultInjector::instance().maybeCorrupt(
+                "node.feval", out.data() + i * stride, stride);
+    }
+
+    EmbeddedNet &net() { return net_; }
+
+  private:
+    EmbeddedNet &net_;
+};
+
+/** Per-sample outcome of a batched forward pass (all sized n). */
+struct BatchedForwardResult
+{
+    std::vector<Tensor> outputs;      ///< h after the last layer
+    std::vector<IvpStats> stats;      ///< aggregated over layers
+    /**
+     * First non-Ok layer status per sample, or Ok. A failing sample
+     * stops integrating further layers (its untrustworthy state is
+     * still returned) while its batchmates continue.
+     */
+    std::vector<SolveStatus> status;
 };
 
 /** Per-forward-pass record kept for the backward pass. */
@@ -121,6 +162,24 @@ class NodeModel
                               TrialEvaluator *evaluator = nullptr,
                               SolveGuard *guard = nullptr);
 
+    /**
+     * Batched forward pass (inference only): solve each layer's IVP for
+     * all samples together via solveIvpBatched, sharing one f
+     * evaluation per RK stage across the batch while keeping error
+     * control, stats, and failure status per sample. A sample that
+     * fails a layer drops out of later layers; the rest continue.
+     *
+     * @param xs Initial states (same shape each).
+     * @param controllers One stepsize controller per sample (reset per
+     *        layer, like the solo path's single controller).
+     * @param guards Optional per-sample abort checks, sized like xs.
+     */
+    BatchedForwardResult forwardBatched(
+        const std::vector<Tensor> &xs, const ButcherTableau &tableau,
+        const std::vector<StepController *> &controllers,
+        const IvpOptions &opts,
+        const std::vector<SolveGuard *> *guards = nullptr);
+
     std::size_t numLayers() const { return nets_.size(); }
     EmbeddedNet &net(std::size_t layer) { return *nets_.at(layer); }
     const EmbeddedNet &net(std::size_t layer) const
@@ -154,6 +213,8 @@ class NodeModel
      * serving uses per-worker model replicas (see runtime/).
      */
     IvpWorkspace ivpWorkspace_;
+    /** Same role for forwardBatched (also non-reentrant). */
+    BatchedIvpWorkspace batchedIvpWorkspace_;
 };
 
 /** Lift a rank-1 state with `aug` zero-initialized extra dimensions. */

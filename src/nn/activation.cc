@@ -17,6 +17,19 @@ ReLU::forward(const Tensor &x)
     return out;
 }
 
+void
+ReLU::forwardBatched(const Tensor &xs, Tensor &out)
+{
+    // Pointwise: one branch-free sweep over the whole stacked buffer is
+    // bitwise identical to the per-sample loops (and skips the backward
+    // cache — the batched path is inference-only).
+    out.resize(xs.shape());
+    const float *src = xs.data();
+    float *dst = out.data();
+    for (std::size_t i = 0; i < xs.numel(); i++)
+        dst[i] = src[i] < 0.0f ? 0.0f : src[i];
+}
+
 Tensor
 ReLU::backward(const Tensor &grad_out)
 {
@@ -36,6 +49,16 @@ Tanh::forward(const Tensor &x)
         out.at(i) = std::tanh(out.at(i));
     cachedOutput_ = out;
     return out;
+}
+
+void
+Tanh::forwardBatched(const Tensor &xs, Tensor &out)
+{
+    out.resize(xs.shape());
+    const float *src = xs.data();
+    float *dst = out.data();
+    for (std::size_t i = 0; i < xs.numel(); i++)
+        dst[i] = std::tanh(src[i]);
 }
 
 Tensor
@@ -61,6 +84,18 @@ Softplus::forward(const Tensor &x)
         out.at(i) = std::max(v, 0.0f) + std::log1p(std::exp(-std::abs(v)));
     }
     return out;
+}
+
+void
+Softplus::forwardBatched(const Tensor &xs, Tensor &out)
+{
+    out.resize(xs.shape());
+    const float *src = xs.data();
+    float *dst = out.data();
+    for (std::size_t i = 0; i < xs.numel(); i++) {
+        const float v = src[i];
+        dst[i] = std::max(v, 0.0f) + std::log1p(std::exp(-std::abs(v)));
+    }
 }
 
 Tensor

@@ -20,6 +20,7 @@ class ReLU : public Layer
 {
   public:
     Tensor forward(const Tensor &x) override;
+    void forwardBatched(const Tensor &xs, Tensor &out) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "ReLU"; }
     Shape outputShape(const Shape &input) const override { return input; }
@@ -33,6 +34,7 @@ class Tanh : public Layer
 {
   public:
     Tensor forward(const Tensor &x) override;
+    void forwardBatched(const Tensor &xs, Tensor &out) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "Tanh"; }
     Shape outputShape(const Shape &input) const override { return input; }
@@ -46,6 +48,7 @@ class Softplus : public Layer
 {
   public:
     Tensor forward(const Tensor &x) override;
+    void forwardBatched(const Tensor &xs, Tensor &out) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "Softplus"; }
     Shape outputShape(const Shape &input) const override { return input; }

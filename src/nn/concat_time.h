@@ -13,6 +13,8 @@
  * appended feature, since t is not differentiated through.
  */
 
+#include <vector>
+
 #include "nn/layer.h"
 
 namespace enode {
@@ -28,13 +30,22 @@ class ConcatTime : public Layer
 
     double time() const { return time_; }
 
+    /**
+     * Set per-sample times for the next forwardBatched(): samples of a
+     * coalesced batch sit at different points of their own stepsize
+     * searches, so each gets its own t appended.
+     */
+    void setBatchTimes(const std::vector<double> &ts) { batchTimes_ = ts; }
+
     Tensor forward(const Tensor &x) override;
+    void forwardBatched(const Tensor &xs, Tensor &out) override;
     Tensor backward(const Tensor &grad_out) override;
     std::string name() const override { return "ConcatTime"; }
     Shape outputShape(const Shape &input) const override;
 
   private:
     double time_ = 0.0;
+    std::vector<double> batchTimes_;
     Shape cachedInputShape_;
 };
 

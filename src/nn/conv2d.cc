@@ -53,6 +53,13 @@ Conv2d::forward(const Tensor &x)
     return convForward(x, weight_, bias_);
 }
 
+void
+Conv2d::forwardBatched(const Tensor &xs, Tensor &out)
+{
+    // Inference-only: does not populate the backward cache.
+    convForwardBatchedInto(out, xs, weight_, bias_);
+}
+
 Tensor
 Conv2d::backward(const Tensor &grad_out)
 {

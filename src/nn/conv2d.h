@@ -83,6 +83,20 @@ void convBackwardDataInto(Tensor &grad_x, const Tensor &grad_out,
 void convBackwardWeightsInto(Tensor &grad_w, const Tensor &x,
                              const Tensor &grad_out, std::size_t kernel);
 
+/**
+ * Batched variants over a leading batch dimension: xs / grad_out are
+ * (N, C, H, W) / (N, M, H, W) and the outputs gain the same leading N.
+ * The path heuristic runs once per batch, backward-data packs the
+ * flipped weights ONCE per batch (amortizing the per-sample packing
+ * cost the serving batcher exists to eliminate), and each sample then
+ * runs through the identical per-sample cores — so every sample's
+ * output is bitwise identical to the solo entry points.
+ */
+void convForwardBatchedInto(Tensor &out, const Tensor &xs,
+                            const Tensor &weight, const Tensor &bias);
+void convBackwardDataBatchedInto(Tensor &grad_x, const Tensor &grad_out,
+                                 const Tensor &weight);
+
 namespace conv {
 
 /** Forward implementation selected by the shape heuristic. */
@@ -136,6 +150,7 @@ class Conv2d : public Layer
            std::size_t kernel, Rng &rng, bool with_bias = true);
 
     Tensor forward(const Tensor &x) override;
+    void forwardBatched(const Tensor &xs, Tensor &out) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<ParamSlot> paramSlots() override;
     std::string name() const override;

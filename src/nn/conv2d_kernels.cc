@@ -344,6 +344,44 @@ buildIm2col(float *B, const float *xd, std::size_t Ci, std::size_t H,
         });
 }
 
+/**
+ * im2col+GEMM core on raw pointers, shared by the solo entry point and
+ * the batched per-sample loop: out[m] = bias[m] + A[m] . B, as P saxpy
+ * passes over an L1-resident output panel. The weight matrix A is the
+ * conv weight viewed as (M, C*K*K) — no repacking needed. Output rows
+ * are independent (each reads all of B, writes only its own panel), so
+ * the GEMM splits over row panels with the saxpy order per row
+ * unchanged.
+ */
+void
+im2colGemmCore(float *od, const float *xd, const float *A, const float *bd,
+               std::size_t M, std::size_t C, std::size_t H, std::size_t W,
+               std::size_t K)
+{
+    const std::size_t HW = H * W;
+    const std::size_t P = C * K * K;
+
+    PooledScratch scratch(P * HW);
+    float *B = scratch.data();
+    buildIm2col(B, xd, C, H, W, K);
+
+    intraOpParallelFor(1, M, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t m = begin; m < end; m++) {
+            float *orow = od + m * HW;
+            std::fill(orow, orow + HW, bd ? bd[m] : 0.0f);
+            const float *arow = A + m * P;
+            for (std::size_t p = 0; p < P; p++) {
+                const float a = arow[p];
+                if (a == 0.0f)
+                    continue;
+                const float *brow = B + p * HW;
+                for (std::size_t j = 0; j < HW; j++)
+                    orow[j] += a * brow[j];
+            }
+        }
+    });
+}
+
 } // namespace
 
 namespace conv {
@@ -388,37 +426,9 @@ forwardIm2colGemm(Tensor &out, const Tensor &x, const Tensor &weight,
     const std::size_t W = x.shape().dim(2);
     const std::size_t M = weight.shape().dim(0);
     const std::size_t K = weight.shape().dim(2);
-    const std::size_t HW = H * W;
-    const std::size_t P = C * K * K;
     out.resize(Shape{M, H, W});
-
-    PooledScratch scratch(P * HW);
-    float *B = scratch.data();
-    buildIm2col(B, x.data(), C, H, W, K);
-
-    // out[m] = bias[m] + A[m] . B, as P saxpy passes over an L1-resident
-    // output panel. The weight matrix A is the conv weight viewed as
-    // (M, C*K*K) — no repacking needed. Output rows are independent
-    // (each reads all of B, writes only its own panel), so the GEMM
-    // splits over row panels with the saxpy order per row unchanged.
-    const float *A = weight.data();
-    float *od = out.data();
-    const float *bd = bias.empty() ? nullptr : bias.data();
-    intraOpParallelFor(1, M, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t m = begin; m < end; m++) {
-            float *orow = od + m * HW;
-            std::fill(orow, orow + HW, bd ? bd[m] : 0.0f);
-            const float *arow = A + m * P;
-            for (std::size_t p = 0; p < P; p++) {
-                const float a = arow[p];
-                if (a == 0.0f)
-                    continue;
-                const float *brow = B + p * HW;
-                for (std::size_t j = 0; j < HW; j++)
-                    orow[j] += a * brow[j];
-            }
-        }
-    });
+    im2colGemmCore(out.data(), x.data(), weight.data(),
+                   bias.empty() ? nullptr : bias.data(), M, C, H, W, K);
 }
 
 } // namespace conv
@@ -528,6 +538,80 @@ convBackwardWeights(const Tensor &x, const Tensor &grad_out,
     Tensor grad_w;
     convBackwardWeightsInto(grad_w, x, grad_out, kernel);
     return grad_w;
+}
+
+void
+convForwardBatchedInto(Tensor &out, const Tensor &xs, const Tensor &weight,
+                       const Tensor &bias)
+{
+    ENODE_ASSERT(xs.shape().rank() == 4,
+                 "batched convForward input must be NCHW, got ",
+                 xs.shape().str());
+    ENODE_ASSERT(weight.shape().rank() == 4, "weight must be MCKK");
+    const std::size_t N = xs.shape().dim(0);
+    const std::size_t C = xs.shape().dim(1);
+    const std::size_t H = xs.shape().dim(2);
+    const std::size_t W = xs.shape().dim(3);
+    const std::size_t M = weight.shape().dim(0);
+    const std::size_t K = weight.shape().dim(2);
+    ENODE_ASSERT(weight.shape().dim(1) == C, "weight C mismatch: ",
+                 weight.shape().dim(1), " vs ", C);
+    ENODE_ASSERT(K % 2 == 1 && weight.shape().dim(3) == K,
+                 "kernel must be odd square");
+    out.resize(Shape{N, M, H, W});
+
+    // One heuristic decision per batch, then the identical per-sample
+    // core — every sample's output is bitwise the solo path's.
+    const conv::Path path = conv::forwardPathFor(C, M, H, W, K);
+    const float *bd = bias.empty() ? nullptr : bias.data();
+    const std::size_t in_stride = C * H * W;
+    const std::size_t out_stride = M * H * W;
+    for (std::size_t i = 0; i < N; i++) {
+        float *od = out.data() + i * out_stride;
+        const float *xd = xs.data() + i * in_stride;
+        if (path == conv::Path::Im2colGemm)
+            im2colGemmCore(od, xd, weight.data(), bd, M, C, H, W, K);
+        else
+            directConvCore(od, xd, weight.data(), bd, M, C, H, W, K);
+    }
+}
+
+void
+convBackwardDataBatchedInto(Tensor &grad_x, const Tensor &grad_out,
+                            const Tensor &weight)
+{
+    ENODE_ASSERT(grad_out.shape().rank() == 4,
+                 "batched grad_out must be NMHW, got ",
+                 grad_out.shape().str());
+    const std::size_t N = grad_out.shape().dim(0);
+    const std::size_t M = grad_out.shape().dim(1);
+    const std::size_t H = grad_out.shape().dim(2);
+    const std::size_t W = grad_out.shape().dim(3);
+    const std::size_t C = weight.shape().dim(1);
+    const std::size_t K = weight.shape().dim(2);
+    ENODE_ASSERT(weight.shape().dim(0) == M, "weight M mismatch");
+    grad_x.resize(Shape{N, C, H, W});
+
+    // Flip-pack the weights ONCE for the whole batch — this is the
+    // amortization the batcher buys: solo backward-data re-packs per
+    // sample, here N samples share one packing pass.
+    PooledScratch packed(M * C * K * K);
+    float *pk = packed.data();
+    const float *wd = weight.data();
+    for (std::size_t c = 0; c < C; c++)
+        for (std::size_t m = 0; m < M; m++) {
+            const float *src = wd + (m * C + c) * K * K;
+            float *dst = pk + (c * M + m) * K * K;
+            for (std::size_t i = 0; i < K * K; i++)
+                dst[i] = src[K * K - 1 - i];
+        }
+
+    const std::size_t in_stride = M * H * W;
+    const std::size_t out_stride = C * H * W;
+    for (std::size_t i = 0; i < N; i++)
+        directConvCore(grad_x.data() + i * out_stride,
+                       grad_out.data() + i * in_stride, pk, nullptr, C, M, H,
+                       W, K);
 }
 
 } // namespace enode

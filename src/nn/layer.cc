@@ -1,6 +1,29 @@
 #include "nn/layer.h"
 
+#include "common/logging.h"
+
 namespace enode {
+
+void
+Layer::forwardBatched(const Tensor &xs, Tensor &out)
+{
+    ENODE_ASSERT(xs.shape().rank() >= 2,
+                 "forwardBatched needs a leading batch dim, got ",
+                 xs.shape().str());
+    ENODE_ASSERT(&out != &xs, "forwardBatched output aliases input");
+    const std::size_t n = xs.shape().dim(0);
+    std::vector<std::size_t> inner(xs.shape().dims().begin() + 1,
+                                   xs.shape().dims().end());
+    const Shape out_sample = outputShape(Shape{std::move(inner)});
+    std::vector<std::size_t> out_dims;
+    out_dims.reserve(out_sample.rank() + 1);
+    out_dims.push_back(n);
+    for (std::size_t d : out_sample.dims())
+        out_dims.push_back(d);
+    out.resize(Shape{std::move(out_dims)});
+    for (std::size_t i = 0; i < n; i++)
+        out.setSample(i, forward(xs.sample(i)));
+}
 
 void
 Layer::zeroGrad()

@@ -39,6 +39,22 @@ class Layer
     virtual Tensor forward(const Tensor &x) = 0;
 
     /**
+     * Batched forward: `xs` stacks samples along a leading batch
+     * dimension (n, ...sample shape...) and `out` is resized to
+     * (n, ...output shape...). Used by the serving batcher's shared
+     * f evaluations (ode/batched_ivp.h); it is an inference-only path
+     * and does NOT populate the backward caches.
+     *
+     * Contract: every sample row of `out` must be bitwise identical to
+     * forward() on that sample — batching may only restructure the
+     * computation across samples, never reorder arithmetic within one.
+     * The default implementation slices, runs forward() per sample, and
+     * scatters; layers with a profitable batched kernel override it.
+     * `out` must not alias `xs`.
+     */
+    virtual void forwardBatched(const Tensor &xs, Tensor &out);
+
+    /**
      * Vector-Jacobian product of the most recent forward.
      *
      * @param grad_out Gradient of the loss w.r.t. this layer's output.

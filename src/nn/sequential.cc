@@ -33,6 +33,26 @@ Sequential::forward(const Tensor &x)
     return cur;
 }
 
+void
+Sequential::forwardBatched(const Tensor &xs, Tensor &out)
+{
+    ENODE_ASSERT(&out != &xs, "forwardBatched output aliases input");
+    if (layers_.empty()) {
+        out.copyFrom(xs);
+        return;
+    }
+    // Ping-pong between two pooled activations; the last layer writes
+    // straight into the caller's output buffer.
+    Tensor ping, pong;
+    Tensor *bufs[2] = {&ping, &pong};
+    const Tensor *cur = &xs;
+    for (std::size_t i = 0; i < layers_.size(); i++) {
+        Tensor *dst = (i + 1 == layers_.size()) ? &out : bufs[i % 2];
+        layers_[i]->forwardBatched(*cur, *dst);
+        cur = dst;
+    }
+}
+
 Tensor
 Sequential::backward(const Tensor &grad_out)
 {
@@ -143,6 +163,17 @@ EmbeddedNet::eval(double t, const Tensor &h)
     timeLayer_->setTime(t);
     evalCount_++;
     return body_->forward(h);
+}
+
+void
+EmbeddedNet::evalBatched(const std::vector<double> &ts, const Tensor &hs,
+                         Tensor &out)
+{
+    ENODE_ASSERT(hs.shape().rank() >= 2 && hs.shape().dim(0) == ts.size(),
+                 "evalBatched needs one time per stacked sample");
+    timeLayer_->setBatchTimes(ts);
+    evalCount_ += ts.size();
+    body_->forwardBatched(hs, out);
 }
 
 Tensor

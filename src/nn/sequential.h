@@ -33,6 +33,7 @@ class Sequential : public Layer
     Layer &layer(std::size_t i);
 
     Tensor forward(const Tensor &x) override;
+    void forwardBatched(const Tensor &xs, Tensor &out) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<ParamSlot> paramSlots() override;
     std::string name() const override;
@@ -96,6 +97,15 @@ class EmbeddedNet
 
     /** One evaluation of f at time t and state h. */
     Tensor eval(double t, const Tensor &h);
+
+    /**
+     * One shared evaluation of f over a stacked batch of states, each
+     * at its own time (ts.size() == hs.dim(0)). Each sample row of
+     * `out` is bitwise identical to eval(ts[i], hs[i]) — the batched
+     * layer contract. Counts as ts.size() evaluations.
+     */
+    void evalBatched(const std::vector<double> &ts, const Tensor &hs,
+                     Tensor &out);
 
     /**
      * Vector-Jacobian products of the most recent eval().

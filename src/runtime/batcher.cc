@@ -1,0 +1,133 @@
+#include "runtime/batcher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+double
+toMs(RuntimeClock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+bool
+expiredAt(const QueueEntry &entry, RuntimeClock::time_point now)
+{
+    return now > entry.request.deadline;
+}
+
+} // namespace
+
+Batcher::Batcher(RequestQueue &queue, std::size_t maxBatch,
+                 double maxWaitUs)
+    : queue_(queue), maxBatch_(maxBatch), maxWaitUs_(maxWaitUs)
+{
+    ENODE_ASSERT(maxBatch_ >= 1, "batcher needs maxBatch >= 1");
+    ENODE_ASSERT(maxWaitUs_ >= 0.0, "negative collect window");
+}
+
+bool
+Batcher::compatible(const QueueEntry &a, const QueueEntry &b)
+{
+    // One batched solve stacks the states into a single tensor, so the
+    // shapes must match exactly. Stream and deadline stay per-request:
+    // the queue already ordered dispatch, and the solver tracks each
+    // sample's deadline through its own guard.
+    return a.request.input.shape() == b.request.input.shape();
+}
+
+bool
+Batcher::takeStash(QueueEntry &out)
+{
+    std::lock_guard<std::mutex> lock(stashMutex_);
+    if (!hasStash_)
+        return false;
+    out = std::move(stash_);
+    hasStash_ = false;
+    return true;
+}
+
+void
+Batcher::putStash(QueueEntry entry)
+{
+    std::lock_guard<std::mutex> lock(stashMutex_);
+    ENODE_ASSERT(!hasStash_, "batcher stash already occupied");
+    stash_ = std::move(entry);
+    hasStash_ = true;
+}
+
+bool
+Batcher::collect(CollectedBatch &out)
+{
+    out.entries.clear();
+    out.expired.clear();
+    out.collectWaitMs = 0.0;
+
+    // Seed: the stashed incompatible request from a previous window
+    // goes first (it was dispatched by the queue before anything still
+    // queued), otherwise block for the next queued request. Requests
+    // already past their deadline are diverted to `expired` and the
+    // hunt continues — but never past queue closure.
+    QueueEntry seed;
+    for (;;) {
+        if (!takeStash(seed)) {
+            if (!queue_.pop(seed))
+                return !out.expired.empty(); // closed and drained
+        }
+        if (!expiredAt(seed, RuntimeClock::now()))
+            break;
+        out.expired.push_back(std::move(seed));
+    }
+
+    out.firstPop = RuntimeClock::now();
+    out.entries.push_back(std::move(seed));
+
+    if (maxBatch_ > 1) {
+        const auto window_close =
+            out.firstPop +
+            std::chrono::duration_cast<RuntimeClock::duration>(
+                std::chrono::duration<double, std::micro>(maxWaitUs_));
+        while (out.entries.size() < maxBatch_) {
+            QueueEntry next;
+            const PopStatus status = queue_.popUntil(next, window_close);
+            if (status != PopStatus::Ok)
+                break; // window lapsed, or queue closed: ship what we have
+            if (expiredAt(next, RuntimeClock::now())) {
+                out.expired.push_back(std::move(next));
+                continue;
+            }
+            if (!compatible(out.entries.front(), next)) {
+                // The incompatible request seeds the next batch rather
+                // than being solved out of order or dropped.
+                putStash(std::move(next));
+                break;
+            }
+            out.entries.push_back(std::move(next));
+        }
+        out.collectWaitMs = toMs(RuntimeClock::now() - out.firstPop);
+    }
+
+    // Close-of-window sweep: deadlines that lapsed while the batch
+    // waited for company. Applying the screen here (not just at pop)
+    // keeps the invariant that an expired request is never solved.
+    const auto close_time = RuntimeClock::now();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < out.entries.size(); i++) {
+        if (expiredAt(out.entries[i], close_time)) {
+            out.expired.push_back(std::move(out.entries[i]));
+        } else {
+            if (kept != i)
+                out.entries[kept] = std::move(out.entries[i]);
+            kept++;
+        }
+    }
+    out.entries.resize(kept);
+    return true;
+}
+
+} // namespace enode

@@ -1,0 +1,100 @@
+#ifndef ENODE_RUNTIME_BATCHER_H
+#define ENODE_RUNTIME_BATCHER_H
+
+/**
+ * @file
+ * Dynamic micro-batching collector.
+ *
+ * Sits between the RequestQueue and the worker pool: a worker asks the
+ * batcher for its next unit of work and receives a *batch* of
+ * compatible requests instead of a single entry. The batcher pops a
+ * seed request, then keeps a collect window open for at most
+ * maxWaitUs, admitting every compatible request that arrives until the
+ * batch is full, the window lapses, or an incompatible request shows
+ * up (which is stashed to seed the next batch, never reordered behind
+ * later arrivals of its own class).
+ *
+ * Compatibility means the requests can share one batched solve:
+ * identical input shape. Model and solver options are server-wide, so
+ * shape is the only per-request axis; the predicate is centralized in
+ * compatible() should that change.
+ *
+ * Deadline hygiene: the solo path fails requests whose deadline lapsed
+ * while queued. The batcher applies the same screen at every pop *and*
+ * once more when the window closes, so a request that expired while
+ * the batch waited for company is failed (counted `expired`), never
+ * solved. Expired entries ride back in CollectedBatch::expired.
+ */
+
+#include <mutex>
+#include <vector>
+
+#include "runtime/request_queue.h"
+
+namespace enode {
+
+/** What one collect() returns: a coherent batch plus its casualties. */
+struct CollectedBatch
+{
+    /** Compatible, unexpired requests; solve these together. */
+    std::vector<QueueEntry> entries;
+    /** Requests whose deadline lapsed at pop or during the window. */
+    std::vector<QueueEntry> expired;
+    /** When the seed request was popped (start of the window). */
+    RuntimeClock::time_point firstPop{};
+    /** Window duration: seed pop to window close. 0 for maxBatch 1. */
+    double collectWaitMs = 0.0;
+};
+
+/**
+ * Thread-safe batch collector over a RequestQueue.
+ *
+ * Multiple workers call collect() concurrently; each gets its own
+ * batch. The only shared state is a one-entry stash holding the
+ * incompatible request that closed someone's window, protected by an
+ * internal mutex. With maxBatch 1 the collector degenerates to a
+ * plain pop with the deadline screen applied.
+ */
+class Batcher
+{
+  public:
+    /**
+     * @param queue Source of requests (owned by the server).
+     * @param maxBatch Upper bound on entries per batch (>= 1).
+     * @param maxWaitUs Collect-window budget in microseconds; how long
+     *        a seeded batch may wait for company. Only meaningful when
+     *        maxBatch > 1.
+     */
+    Batcher(RequestQueue &queue, std::size_t maxBatch, double maxWaitUs);
+
+    /**
+     * Block for the next batch.
+     * @return false when the queue is closed and drained and the stash
+     *         is empty — the worker should exit. When true, entries
+     *         and/or expired hold at least one request.
+     */
+    bool collect(CollectedBatch &out);
+
+    std::size_t maxBatch() const { return maxBatch_; }
+    double maxWaitUs() const { return maxWaitUs_; }
+
+  private:
+    /** True when a and b may share one batched solve. */
+    static bool compatible(const QueueEntry &a, const QueueEntry &b);
+
+    /** Move the stashed entry into `out` if one is waiting. */
+    bool takeStash(QueueEntry &out);
+    void putStash(QueueEntry entry);
+
+    RequestQueue &queue_;
+    const std::size_t maxBatch_;
+    const double maxWaitUs_;
+
+    std::mutex stashMutex_;
+    bool hasStash_ = false;
+    QueueEntry stash_;
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_BATCHER_H

@@ -16,9 +16,17 @@ bool
 isCounterKey(const std::string &key)
 {
     static const char *kPrefixes[] = {"requests.", "solve.", "watchdog.",
-                                      "publisher."};
+                                      "publisher.", "batch.size."};
     for (const char *prefix : kPrefixes)
         if (key.rfind(prefix, 0) == 0)
+            return true;
+    // The batch family mixes counts (dispatched/requests/partial
+    // failures, plus the size histogram above) with point-in-time
+    // occupancy and wait-percentile gauges.
+    static const char *kExact[] = {"batch.dispatched", "batch.requests",
+                                   "batch.partial_failure"};
+    for (const char *exact : kExact)
+        if (key == exact)
             return true;
     return false;
 }

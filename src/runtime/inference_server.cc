@@ -64,6 +64,12 @@ InferenceServer::InferenceServer(ModelFactory make_model,
                  "retryToleranceFactor must be >= 1");
     ENODE_ASSERT(options_.degrade.fallbackSteps >= 1,
                  "fallbackSteps must be >= 1");
+    ENODE_ASSERT(options_.maxBatch >= 1, "maxBatch must be >= 1");
+    ENODE_ASSERT(options_.batchWaitUs >= 0.0,
+                 "batchWaitUs must be >= 0");
+    if (options_.maxBatch > 1)
+        batcher_ = std::make_unique<Batcher>(queue_, options_.maxBatch,
+                                             options_.batchWaitUs);
 
     // Intra-op width: clamp workers * width to the machine, then build
     // one shared tile pool for all workers. Each worker contributes
@@ -100,6 +106,19 @@ InferenceServer::InferenceServer(ModelFactory make_model,
                             : std::make_unique<FixedFactorController>();
         ENODE_ASSERT(worker->controller != nullptr,
                      "controller factory returned null");
+        // Batched solves need one controller per sample so each state's
+        // stepsize search runs exactly as it would solo.
+        if (options_.maxBatch > 1) {
+            worker->batchControllers.reserve(options_.maxBatch);
+            for (std::size_t b = 0; b < options_.maxBatch; b++) {
+                worker->batchControllers.push_back(
+                    make_controller
+                        ? make_controller()
+                        : std::make_unique<FixedFactorController>());
+                ENODE_ASSERT(worker->batchControllers.back() != nullptr,
+                             "controller factory returned null");
+            }
+        }
         workers_.push_back(std::move(worker));
         inflight_.push_back(std::make_unique<InFlight>());
     }
@@ -272,6 +291,16 @@ InferenceServer::workerMain(std::size_t worker_id)
     // Kernel tiles split on the shared pool for this thread's lifetime;
     // with width 1 the scope is inert and kernels run serial inline.
     IntraOpScope intra_op(intraOpPool_.get(), intraOpWidth_);
+    if (batcher_ != nullptr) {
+        CollectedBatch batch;
+        for (;;) {
+            waitWhilePaused();
+            if (!batcher_->collect(batch))
+                break; // closed and drained (stash included)
+            serveBatch(worker_id, batch);
+        }
+        return;
+    }
     QueueEntry entry;
     for (;;) {
         waitWhilePaused();
@@ -479,6 +508,190 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
         metrics_.recordCompletion(response);
         to_deliver.set_value(std::move(response));
     }
+}
+
+void
+InferenceServer::expireEntry(std::size_t worker_id, QueueEntry &entry)
+{
+    // Same structured failure the solo path gives a request whose
+    // deadline lapsed in the queue — here it may also have lapsed
+    // inside the batcher's collect window. Never solved either way.
+    InferResponse response;
+    response.id = entry.request.id;
+    response.status = RequestStatus::DeadlineExceeded;
+    response.queueWaitMs = toMs(RuntimeClock::now() - entry.enqueueTime);
+    response.totalMs = response.queueWaitMs;
+    response.deadlineMet = false;
+    response.workerId = worker_id;
+    response.completionIndex = nextCompletionIndex_.fetch_add(1);
+    metrics_.recordCompletion(response);
+    entry.promise.set_value(std::move(response));
+}
+
+void
+InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
+{
+    Worker &worker = *workers_[worker_id];
+    for (auto &entry : batch.expired)
+        expireEntry(worker_id, entry);
+    if (batch.entries.empty())
+        return;
+
+    const std::size_t n = batch.entries.size();
+    ENODE_ASSERT(n <= worker.batchControllers.size(),
+                 "batch larger than the configured maxBatch");
+    const auto start = RuntimeClock::now();
+
+    // The collect window and per-request queue waits are retroactive
+    // spans: their extent is only known once the batch dispatches.
+    Tracer &tracer = Tracer::instance();
+    if (tracer.armed()) {
+        TraceEvent collect;
+        collect.name = "batch.collect";
+        collect.category = "serve";
+        collect.startNs = tracer.toNs(batch.firstPop);
+        collect.durNs =
+            std::max<std::int64_t>(0, tracer.toNs(start) - collect.startNs);
+        collect.numArgs = 3;
+        collect.args[0] = {"batch", static_cast<double>(n)};
+        collect.args[1] = {"expired",
+                           static_cast<double>(batch.expired.size())};
+        collect.args[2] = {"worker", static_cast<double>(worker_id)};
+        tracer.record(collect);
+        for (auto &entry : batch.entries) {
+            TraceEvent wait;
+            wait.name = "request.queue_wait";
+            wait.category = "serve";
+            wait.startNs = tracer.toNs(entry.enqueueTime);
+            wait.durNs = std::max<std::int64_t>(
+                0, tracer.toNs(start) - wait.startNs);
+            wait.numArgs = 2;
+            wait.args[0] = {"id", static_cast<double>(entry.request.id)};
+            wait.args[1] = {"stream",
+                            static_cast<double>(entry.request.stream)};
+            tracer.record(wait);
+        }
+    }
+
+    metrics_.recordBatchDispatch(n);
+    metrics_.recordCoalesceWait(batch.collectWaitMs);
+
+    activeWorkers_.fetch_add(1, std::memory_order_relaxed);
+
+    // Per-sample solve inputs. Each sample gets its own deadline guard
+    // (the batched solver drops a sample whose deadline passes and
+    // keeps integrating the rest). The batched path does not publish an
+    // InFlight slot, so the hang watchdog covers solo serving only —
+    // per-sample deadlines and f-eval budgets are the batched
+    // equivalents of that protection.
+    std::vector<Tensor> xs;
+    xs.reserve(n);
+    std::vector<double> queue_wait_ms(n);
+    std::vector<DeadlineGuard> guard_storage(n);
+    std::vector<SolveGuard *> guards(n);
+    std::vector<StepController *> controllers(n);
+    for (std::size_t i = 0; i < n; i++) {
+        QueueEntry &entry = batch.entries[i];
+        xs.push_back(entry.request.input);
+        queue_wait_ms[i] = toMs(start - entry.enqueueTime);
+        guard_storage[i].deadline = entry.request.deadline;
+        guard_storage[i].maxFEvals = options_.degrade.maxFEvalsPerRequest;
+        guards[i] = &guard_storage[i];
+        controllers[i] = worker.batchControllers[i].get();
+    }
+
+    BatchedForwardResult fwd;
+    {
+        TraceSpan solve_span("batch.solve", "serve");
+        solve_span.arg("batch", static_cast<double>(n));
+        solve_span.arg("worker", static_cast<double>(worker_id));
+        fwd = worker.model->forwardBatched(xs, tableau_, controllers,
+                                           options_.ivp, &guards);
+    }
+    const double batch_solve_ms = toMs(RuntimeClock::now() - start);
+
+    // Per-sample verdicts and, for the failures, the same degradation
+    // ladder the solo path walks — one sample at a time, so a poisoned
+    // sample retries alone while its batchmates' responses ship clean.
+    bool any_ok = false;
+    bool any_failed = false;
+    for (std::size_t i = 0; i < n; i++) {
+        QueueEntry &entry = batch.entries[i];
+        IvpStats aggregate = fwd.stats[i];
+        Tensor output = std::move(fwd.outputs[i]);
+        SolveStatus status = fwd.status[i];
+        const SolveStatus origin = status;
+        std::uint32_t retries = 0;
+
+        if (status != SolveStatus::Ok && options_.degrade.enabled) {
+            if (status == SolveStatus::NonFinite ||
+                status == SolveStatus::StepUnderflow) {
+                TraceSpan rung_span("request.retry", "serve");
+                rung_span.arg("rung", 1.0);
+                rung_span.arg("id", static_cast<double>(entry.request.id));
+                IvpOptions relaxed = options_.ivp;
+                relaxed.tolerance *= options_.degrade.retryToleranceFactor;
+                retries = 1;
+                NodeForwardResult solo = worker.model->forward(
+                    entry.request.input, tableau_, *worker.controller,
+                    relaxed, nullptr, &guard_storage[i]);
+                aggregate.accumulate(solo.totalStats);
+                status = solo.status;
+                output = std::move(solo.output);
+                rung_span.arg("status", static_cast<double>(status));
+            }
+            if (status != SolveStatus::Ok) {
+                TraceSpan rung_span("request.fallback", "serve");
+                rung_span.arg("rung", 2.0);
+                rung_span.arg("id", static_cast<double>(entry.request.id));
+                NodeForwardResult solo =
+                    fallbackForward(worker, entry.request.input);
+                aggregate.accumulate(solo.totalStats);
+                status = solo.status;
+                output = std::move(solo.output);
+                rung_span.arg("status", static_cast<double>(status));
+            }
+        }
+
+        const auto end = RuntimeClock::now();
+        InferResponse response;
+        response.id = entry.request.id;
+        response.stats = aggregate;
+        response.queueWaitMs = queue_wait_ms[i];
+        response.solveMs =
+            retries > 0 || status != origin
+                ? toMs(end - start)
+                : batch_solve_ms; // no ladder: the shared batch solve
+        response.totalMs = toMs(end - entry.enqueueTime);
+        response.deadlineMet = end <= entry.request.deadline;
+        response.workerId = worker_id;
+        response.retries = retries;
+        response.batchSize = n;
+        // Same final screen as the solo path: no response ever carries
+        // a non-finite value.
+        if (status == SolveStatus::Ok && output.isFinite()) {
+            response.status = RequestStatus::Ok;
+            response.degraded = origin != SolveStatus::Ok;
+            response.solveStatus = origin;
+            response.output = std::move(output);
+            any_ok = true;
+        } else {
+            response.status = RequestStatus::Failed;
+            response.solveStatus = origin != SolveStatus::Ok
+                                       ? origin
+                                       : status != SolveStatus::Ok
+                                             ? status
+                                             : SolveStatus::NonFinite;
+            any_failed = true;
+        }
+        response.completionIndex = nextCompletionIndex_.fetch_add(1);
+        metrics_.recordCompletion(response);
+        entry.promise.set_value(std::move(response));
+    }
+    if (any_ok && any_failed)
+        metrics_.recordPartialFailure();
+
+    activeWorkers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void

@@ -34,6 +34,7 @@
 
 #include "common/task_pool.h"
 #include "core/node_model.h"
+#include "runtime/batcher.h"
 #include "runtime/metrics.h"
 #include "runtime/metrics_publisher.h"
 #include "runtime/request_queue.h"
@@ -128,6 +129,25 @@ struct ServerOptions
      * deterministically.
      */
     bool startPaused = false;
+
+    /**
+     * Cross-request micro-batching: the maximum number of compatible
+     * requests (identical input shape) one worker coalesces into a
+     * single batched solve (solveIvpBatched — one shared f evaluation
+     * per RK trial, error control per sample). 1 disables batching and
+     * serves every request on the solo path; any batch that ends up
+     * with one request is solved bitwise identically to that path.
+     */
+    std::size_t maxBatch = 1;
+
+    /**
+     * Collect-window budget in microseconds: once a worker has seeded
+     * a batch it waits at most this long for company before solving.
+     * Only meaningful when maxBatch > 1. Request deadlines still apply
+     * inside the window — a request that expires while waiting is
+     * failed, never solved.
+     */
+    double batchWaitUs = 200.0;
 
     /** Failure handling: retry/fallback ladder and watchdog. */
     DegradePolicy degrade;
@@ -259,6 +279,13 @@ class InferenceServer
     {
         std::unique_ptr<NodeModel> model;
         std::unique_ptr<StepController> controller;
+        /**
+         * One controller per batch slot (sized maxBatch when batching
+         * is on): the batched solver drives each sample's stepsize
+         * search with its own controller, exactly as the solo path
+         * would, so batch composition cannot perturb a sample's steps.
+         */
+        std::vector<std::unique_ptr<StepController>> batchControllers;
         std::thread thread;
     };
 
@@ -290,6 +317,15 @@ class InferenceServer
 
     void workerMain(std::size_t worker_id);
     void serveOne(std::size_t worker_id, QueueEntry &entry);
+    /**
+     * Serve one coalesced batch: fail the expired entries, run the
+     * batched solve, then walk the degradation ladder per failing
+     * sample (its batchmates are unaffected). Handles batches of any
+     * size >= 1.
+     */
+    void serveBatch(std::size_t worker_id, CollectedBatch &batch);
+    /** Fail a request whose deadline lapsed before it was solved. */
+    void expireEntry(std::size_t worker_id, QueueEntry &entry);
     /** Rung 2: fixed-step coarse integration of every layer. */
     NodeForwardResult fallbackForward(Worker &worker, const Tensor &input);
     void watchdogMain();
@@ -298,6 +334,9 @@ class InferenceServer
     ServerOptions options_;
     ButcherTableau tableau_;
     RequestQueue queue_;
+    /** Coalescing stage between the queue and the workers; null when
+     *  maxBatch == 1 (workers pop the queue directly). */
+    std::unique_ptr<Batcher> batcher_;
     MetricsRegistry metrics_;
     std::vector<std::unique_ptr<Worker>> workers_;
 

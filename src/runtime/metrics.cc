@@ -26,6 +26,30 @@ MetricsRegistry::recordWatchdogTrip()
 }
 
 void
+MetricsRegistry::recordBatchDispatch(std::size_t size)
+{
+    ENODE_ASSERT(size >= 1, "a dispatched batch carries >= 1 request");
+    std::lock_guard<std::mutex> lock(mutex_);
+    batchesDispatched_++;
+    batchedRequests_ += size;
+    batchSize_.add(static_cast<double>(size));
+}
+
+void
+MetricsRegistry::recordCoalesceWait(double ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    coalesceWaitMs_.add(ms);
+}
+
+void
+MetricsRegistry::recordPartialFailure()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    partialFailures_++;
+}
+
+void
 MetricsRegistry::countFailureClassLocked(SolveStatus status)
 {
     switch (status) {
@@ -122,6 +146,19 @@ MetricsRegistry::summary() const
     s.degradedP99Ms = degradedMs_.percentile(99.0);
     s.meanFEvals = fEvals_.mean();
     s.meanTrials = trials_.mean();
+    s.batchesDispatched = batchesDispatched_;
+    s.batchedRequests = batchedRequests_;
+    s.partialFailures = partialFailures_;
+    s.batchOccupancyMean =
+        batchesDispatched_ ? static_cast<double>(batchedRequests_) /
+                                 static_cast<double>(batchesDispatched_)
+                           : 0.0;
+    s.coalesceWaitP50Ms = coalesceWaitMs_.percentile(50.0);
+    s.coalesceWaitP95Ms = coalesceWaitMs_.percentile(95.0);
+    s.coalesceWaitP99Ms = coalesceWaitMs_.percentile(99.0);
+    s.batchSizeCounts.resize(batchSize_.bins());
+    for (std::size_t i = 0; i < batchSize_.bins(); i++)
+        s.batchSizeCounts[i] = batchSize_.binCount(i);
     return s;
 }
 
@@ -164,6 +201,20 @@ MetricsRegistry::snapshot(const std::string &group_name) const
     group.set("latency.degraded.p99_ms", s.degradedP99Ms);
     group.set("solver.mean_f_evals", s.meanFEvals);
     group.set("solver.mean_trials", s.meanTrials);
+    group.set("batch.dispatched", static_cast<double>(s.batchesDispatched));
+    group.set("batch.requests", static_cast<double>(s.batchedRequests));
+    group.set("batch.partial_failure",
+              static_cast<double>(s.partialFailures));
+    group.set("batch.occupancy_mean", s.batchOccupancyMean);
+    group.set("batch.wait.p50_ms", s.coalesceWaitP50Ms);
+    group.set("batch.wait.p95_ms", s.coalesceWaitP95Ms);
+    group.set("batch.wait.p99_ms", s.coalesceWaitP99Ms);
+    // Only populated bins, so a batch-of-1 server does not dump 32 zero
+    // rows into every snapshot.
+    for (std::size_t i = 0; i < s.batchSizeCounts.size(); i++)
+        if (s.batchSizeCounts[i] > 0)
+            group.set("batch.size.bin_" + std::to_string(i + 1),
+                      static_cast<double>(s.batchSizeCounts[i]));
     return group;
 }
 
@@ -186,12 +237,17 @@ MetricsRegistry::reset()
     solveTrialBudget_ = 0;
     solveEvalBudget_ = 0;
     solveDeadline_ = 0;
+    batchesDispatched_ = 0;
+    batchedRequests_ = 0;
+    partialFailures_ = 0;
     queueWaitMs_.reset();
     solveMs_.reset();
     totalMs_.reset();
     degradedMs_.reset();
     fEvals_.reset();
     trials_.reset();
+    coalesceWaitMs_.reset();
+    batchSize_.reset();
 }
 
 } // namespace enode

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "common/stats.h"
 #include "runtime/request.h"
@@ -59,6 +60,22 @@ struct MetricsSummary
 
     double meanFEvals = 0.0;
     double meanTrials = 0.0;
+
+    /** Batched solves dispatched (each covers >= 1 request). */
+    std::uint64_t batchesDispatched = 0;
+    /** Requests carried by those batched solves. Reconciliation: every
+     *  batched request terminates through recordCompletion, so this
+     *  never exceeds completed + expired + failed. */
+    std::uint64_t batchedRequests = 0;
+    /** Batches whose samples mixed Ok and non-Ok outcomes. */
+    std::uint64_t partialFailures = 0;
+    /** Mean requests per dispatched batch (0 when none). */
+    double batchOccupancyMean = 0.0;
+    /** Coalesce-window wait (first pop to dispatch) percentiles. */
+    double coalesceWaitP50Ms = 0.0, coalesceWaitP95Ms = 0.0,
+           coalesceWaitP99Ms = 0.0;
+    /** batchSizeCounts[i] = batches dispatched with size i + 1. */
+    std::vector<std::uint64_t> batchSizeCounts;
 };
 
 /** Thread-safe per-request metrics collection. */
@@ -70,6 +87,13 @@ class MetricsRegistry
     void recordAdmitted();
     void recordRejected();
     void recordWatchdogTrip();
+
+    /** One batched solve dispatched carrying `size` requests. */
+    void recordBatchDispatch(std::size_t size);
+    /** Time one batch spent in the coalescing window before dispatch. */
+    void recordCoalesceWait(double ms);
+    /** A batch finished with a mix of Ok and non-Ok samples. */
+    void recordPartialFailure();
 
     /**
      * Record a terminal response — the single source of truth for
@@ -114,12 +138,18 @@ class MetricsRegistry
     std::uint64_t solveTrialBudget_ = 0;
     std::uint64_t solveEvalBudget_ = 0;
     std::uint64_t solveDeadline_ = 0;
+    std::uint64_t batchesDispatched_ = 0;
+    std::uint64_t batchedRequests_ = 0;
+    std::uint64_t partialFailures_ = 0;
     SampleSeries queueWaitMs_;
     SampleSeries solveMs_;
     SampleSeries totalMs_;
     SampleSeries degradedMs_;
     SampleSeries fEvals_;
     SampleSeries trials_;
+    SampleSeries coalesceWaitMs_;
+    /** Bin i counts batches of size i + 1 (clamping at 32). */
+    Histogram batchSize_{0.5, 32.5, 32};
 };
 
 } // namespace enode

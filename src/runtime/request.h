@@ -107,6 +107,13 @@ struct InferResponse
     std::size_t workerId = 0;
 
     /**
+     * How many requests shared the batched solve that produced this
+     * response. 1 for the solo path and for requests that never reached
+     * a solve (cancelled / expired before dispatch).
+     */
+    std::size_t batchSize = 1;
+
+    /**
      * Global completion sequence number (0 = first request finished by
      * any worker). Tests use this to assert priority ordering.
      */

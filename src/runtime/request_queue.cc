@@ -70,6 +70,23 @@ RequestQueue::pop(QueueEntry &out)
     return true;
 }
 
+PopStatus
+RequestQueue::popUntil(QueueEntry &out, RuntimeClock::time_point deadline)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait_until(lock, deadline,
+                         [this] { return closed_ || !heap_.empty(); });
+    if (heap_.empty())
+        return closed_ ? PopStatus::Closed : PopStatus::TimedOut;
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  [this](const QueueEntry &a, const QueueEntry &b) {
+                      return dispatchesAfter(a, b);
+                  });
+    out = std::move(heap_.back());
+    heap_.pop_back();
+    return PopStatus::Ok;
+}
+
 std::vector<QueueEntry>
 RequestQueue::close(bool drain)
 {

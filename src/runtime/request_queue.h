@@ -38,6 +38,14 @@ struct QueueEntry
     std::uint64_t seq = 0; ///< admission order, assigned by the queue
 };
 
+/** Outcome of a bounded-wait pop (see RequestQueue::popUntil). */
+enum class PopStatus
+{
+    Ok,       ///< an entry was dequeued
+    TimedOut, ///< deadline passed with the queue still open and empty
+    Closed,   ///< queue closed and fully drained
+};
+
 /** Bounded multi-producer multi-consumer priority queue. */
 class RequestQueue
 {
@@ -61,6 +69,14 @@ class RequestQueue
      * @return false when the queue is closed and fully drained.
      */
     bool pop(QueueEntry &out);
+
+    /**
+     * Like pop, but give up at `deadline`: the batching collector uses
+     * this to bound how long an open batch waits for company. Returns
+     * Ok with an entry, TimedOut when the deadline passed on an open
+     * empty queue, or Closed once the queue is closed and drained.
+     */
+    PopStatus popUntil(QueueEntry &out, RuntimeClock::time_point deadline);
 
     /**
      * Close the queue: all further pushes fail and blocked consumers

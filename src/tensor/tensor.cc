@@ -236,13 +236,15 @@ Tensor::reshaped(Shape shape) const
 Tensor
 Tensor::sample(std::size_t n) const
 {
-    ENODE_ASSERT(shape_.rank() == 4, "sample() needs rank 4, got ",
+    ENODE_ASSERT(shape_.rank() >= 2, "sample() needs rank >= 2, got ",
                  shape_.str());
-    const std::size_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
     ENODE_ASSERT(n < shape_.dim(0), "sample index out of batch");
-    const std::size_t stride = C * H * W;
+    std::vector<std::size_t> inner(shape_.dims().begin() + 1,
+                                   shape_.dims().end());
+    const Shape sample_shape{std::move(inner)};
+    const std::size_t stride = sample_shape.numel();
     Tensor out;
-    out.resize(Shape{C, H, W});
+    out.resize(sample_shape);
     std::copy(data_.begin() + n * stride, data_.begin() + (n + 1) * stride,
               out.data_.begin());
     return out;
@@ -251,10 +253,12 @@ Tensor::sample(std::size_t n) const
 void
 Tensor::setSample(std::size_t n, const Tensor &sample)
 {
-    ENODE_ASSERT(shape_.rank() == 4 && sample.shape().rank() == 3,
-                 "setSample needs NCHW target and CHW source");
-    const std::size_t stride =
-        shape_.dim(1) * shape_.dim(2) * shape_.dim(3);
+    ENODE_ASSERT(shape_.rank() >= 2 &&
+                     sample.shape().rank() + 1 == shape_.rank(),
+                 "setSample needs a leading batch dim on the target and a "
+                 "one-lower-rank source, got ",
+                 shape_.str(), " <- ", sample.shape().str());
+    const std::size_t stride = shape_.numel() / shape_.dim(0);
     ENODE_ASSERT(sample.numel() == stride, "sample numel mismatch");
     ENODE_ASSERT(n < shape_.dim(0), "sample index out of batch");
     std::copy(sample.data_.begin(), sample.data_.end(),

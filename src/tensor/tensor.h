@@ -112,10 +112,14 @@ class Tensor
     /** View this storage under a different shape with equal numel. */
     Tensor reshaped(Shape shape) const;
 
-    /** Extract sample n of a rank-4 tensor as a rank-3 tensor. */
+    /**
+     * Extract sample n along the leading (batch) dimension of a rank >= 2
+     * tensor as a rank-reduced tensor, e.g. (N, C, H, W) -> (C, H, W) or
+     * (N, D) -> (D).
+     */
     Tensor sample(std::size_t n) const;
 
-    /** Overwrite sample n of a rank-4 tensor from a rank-3 tensor. */
+    /** Overwrite sample n along the leading (batch) dimension. */
     void setSample(std::size_t n, const Tensor &sample);
 
     void fill(float value);
