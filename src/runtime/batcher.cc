@@ -45,20 +45,21 @@ bool
 Batcher::takeStash(QueueEntry &out)
 {
     std::lock_guard<std::mutex> lock(stashMutex_);
-    if (!hasStash_)
+    if (stash_.empty())
         return false;
-    out = std::move(stash_);
-    hasStash_ = false;
+    out = std::move(stash_.front());
+    stash_.pop_front();
     return true;
 }
 
 void
 Batcher::putStash(QueueEntry entry)
 {
+    // A FIFO, not a single slot: workers collect concurrently, and two
+    // overlapping windows may each stash the incompatible arrival that
+    // closed them before either seeds its next batch.
     std::lock_guard<std::mutex> lock(stashMutex_);
-    ENODE_ASSERT(!hasStash_, "batcher stash already occupied");
-    stash_ = std::move(entry);
-    hasStash_ = true;
+    stash_.push_back(std::move(entry));
 }
 
 bool
@@ -76,8 +77,13 @@ Batcher::collect(CollectedBatch &out)
     QueueEntry seed;
     for (;;) {
         if (!takeStash(seed)) {
-            if (!queue_.pop(seed))
-                return !out.expired.empty(); // closed and drained
+            if (!queue_.pop(seed)) {
+                // Queue closed and drained — but another worker may
+                // have stashed an entry while this one blocked in pop.
+                // A final stash check keeps shutdown from stranding it.
+                if (!takeStash(seed))
+                    return !out.expired.empty();
+            }
         }
         if (!expiredAt(seed, RuntimeClock::now()))
             break;

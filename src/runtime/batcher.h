@@ -26,6 +26,7 @@
  * solved. Expired entries ride back in CollectedBatch::expired.
  */
 
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -50,10 +51,15 @@ struct CollectedBatch
  * Thread-safe batch collector over a RequestQueue.
  *
  * Multiple workers call collect() concurrently; each gets its own
- * batch. The only shared state is a one-entry stash holding the
- * incompatible request that closed someone's window, protected by an
- * internal mutex. With maxBatch 1 the collector degenerates to a
- * plain pop with the deadline screen applied.
+ * batch. The only shared state is a FIFO stash holding the incompatible
+ * requests that closed collect windows, protected by an internal mutex.
+ * Each open window stashes at most one entry, so the stash holds at
+ * most one entry per concurrently-collecting worker — but overlapping
+ * windows can legitimately stash at the same time, which is why the
+ * stash is a queue and not a single slot. Stashed entries seed
+ * subsequent batches in stash order, ahead of anything still queued.
+ * With maxBatch 1 the collector degenerates to a plain pop with the
+ * deadline screen applied.
  */
 class Batcher
 {
@@ -82,7 +88,7 @@ class Batcher
     /** True when a and b may share one batched solve. */
     static bool compatible(const QueueEntry &a, const QueueEntry &b);
 
-    /** Move the stashed entry into `out` if one is waiting. */
+    /** Move the oldest stashed entry into `out` if one is waiting. */
     bool takeStash(QueueEntry &out);
     void putStash(QueueEntry entry);
 
@@ -91,8 +97,7 @@ class Batcher
     const double maxWaitUs_;
 
     std::mutex stashMutex_;
-    bool hasStash_ = false;
-    QueueEntry stash_;
+    std::deque<QueueEntry> stash_;
 };
 
 } // namespace enode

@@ -390,13 +390,15 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     // needed, take over) this request while the solve runs.
     {
         std::lock_guard<std::mutex> lock(flight.mutex);
-        flight.promise = std::move(entry.promise);
+        flight.samples.clear();
+        flight.samples.emplace_back();
+        InFlight::Sample &sample = flight.samples.back();
+        sample.promise = std::move(entry.promise);
+        sample.id = entry.request.id;
+        sample.deadline = entry.request.deadline;
+        sample.queueWaitMs = queue_wait_ms;
         flight.active = true;
-        flight.delivered = false;
-        flight.id = entry.request.id;
         flight.start = start;
-        flight.deadline = entry.request.deadline;
-        flight.queueWaitMs = queue_wait_ms;
         flight.abort.store(false, std::memory_order_relaxed);
     }
 
@@ -498,9 +500,10 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     {
         std::lock_guard<std::mutex> lock(flight.mutex);
         flight.active = false;
-        if (!flight.delivered) {
-            flight.delivered = true;
-            to_deliver = std::move(flight.promise);
+        InFlight::Sample &sample = flight.samples.front();
+        if (!sample.delivered) {
+            sample.delivered = true;
+            to_deliver = std::move(sample.promise);
             deliver = true;
         }
     }
@@ -532,6 +535,7 @@ void
 InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
 {
     Worker &worker = *workers_[worker_id];
+    InFlight &flight = *inflight_[worker_id];
     for (auto &entry : batch.expired)
         expireEntry(worker_id, entry);
     if (batch.entries.empty())
@@ -580,10 +584,9 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
 
     // Per-sample solve inputs. Each sample gets its own deadline guard
     // (the batched solver drops a sample whose deadline passes and
-    // keeps integrating the rest). The batched path does not publish an
-    // InFlight slot, so the hang watchdog covers solo serving only —
-    // per-sample deadlines and f-eval budgets are the batched
-    // equivalents of that protection.
+    // keeps integrating the rest), and every guard shares the slot's
+    // abort flag so a watchdog trip stops the whole batched solve at
+    // its next accepted step.
     std::vector<Tensor> xs;
     xs.reserve(n);
     std::vector<double> queue_wait_ms(n);
@@ -596,9 +599,34 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         queue_wait_ms[i] = toMs(start - entry.enqueueTime);
         guard_storage[i].deadline = entry.request.deadline;
         guard_storage[i].maxFEvals = options_.degrade.maxFEvalsPerRequest;
+        guard_storage[i].abortFlag = &flight.abort;
         guards[i] = &guard_storage[i];
         controllers[i] = worker.batchControllers[i].get();
     }
+
+    // Publish every sample to the in-flight slot so the hang watchdog
+    // covers batched serving exactly like solo: a wedged batched solve
+    // is failed per sample (DeadlineExceeded) and flagged to abort.
+    {
+        std::lock_guard<std::mutex> lock(flight.mutex);
+        flight.samples.clear();
+        flight.samples.resize(n);
+        for (std::size_t i = 0; i < n; i++) {
+            QueueEntry &entry = batch.entries[i];
+            flight.samples[i].promise = std::move(entry.promise);
+            flight.samples[i].id = entry.request.id;
+            flight.samples[i].deadline = entry.request.deadline;
+            flight.samples[i].queueWaitMs = queue_wait_ms[i];
+        }
+        flight.active = true;
+        flight.start = start;
+        flight.abort.store(false, std::memory_order_relaxed);
+    }
+
+    // Chaos probe: same wedged-solve scenario the solo path defends
+    // against — the watchdog must fail the whole batch while this
+    // thread sleeps, and the worker must recover afterwards.
+    FaultInjector::instance().maybeStall("worker.stall");
 
     BatchedForwardResult fwd;
     {
@@ -623,7 +651,8 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         const SolveStatus origin = status;
         std::uint32_t retries = 0;
 
-        if (status != SolveStatus::Ok && options_.degrade.enabled) {
+        if (status != SolveStatus::Ok && options_.degrade.enabled &&
+            !flight.abort.load(std::memory_order_acquire)) {
             if (status == SolveStatus::NonFinite ||
                 status == SolveStatus::StepUnderflow) {
                 TraceSpan rung_span("request.retry", "serve");
@@ -674,7 +703,6 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
             response.degraded = origin != SolveStatus::Ok;
             response.solveStatus = origin;
             response.output = std::move(output);
-            any_ok = true;
         } else {
             response.status = RequestStatus::Failed;
             response.solveStatus = origin != SolveStatus::Ok
@@ -682,11 +710,37 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
                                        : status != SolveStatus::Ok
                                              ? status
                                              : SolveStatus::NonFinite;
-            any_failed = true;
         }
-        response.completionIndex = nextCompletionIndex_.fetch_add(1);
-        metrics_.recordCompletion(response);
-        entry.promise.set_value(std::move(response));
+
+        // Deliver through the in-flight slot: the watchdog may already
+        // have failed this sample while the batch was wedged, in which
+        // case its response won and ours is discarded unrecorded.
+        std::promise<InferResponse> to_deliver;
+        bool deliver = false;
+        {
+            std::lock_guard<std::mutex> lock(flight.mutex);
+            InFlight::Sample &sample = flight.samples[i];
+            if (!sample.delivered) {
+                sample.delivered = true;
+                to_deliver = std::move(sample.promise);
+                deliver = true;
+            }
+        }
+        if (deliver) {
+            if (response.status == RequestStatus::Ok)
+                any_ok = true;
+            else
+                any_failed = true;
+            response.completionIndex = nextCompletionIndex_.fetch_add(1);
+            metrics_.recordCompletion(response);
+            to_deliver.set_value(std::move(response));
+        } else {
+            any_failed = true; // watchdog responses are always Failed
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight.mutex);
+        flight.active = false;
     }
     if (any_ok && any_failed)
         metrics_.recordPartialFailure();
@@ -712,45 +766,66 @@ InferenceServer::watchdogMain()
         const auto now = RuntimeClock::now();
         for (std::size_t i = 0; i < inflight_.size(); i++) {
             InFlight &flight = *inflight_[i];
-            std::promise<InferResponse> to_fail;
-            InferResponse response;
-            bool tripped = false;
+            // One entry per sample the watchdog takes over: the whole
+            // dispatch on a fresh trip, or just the stragglers if the
+            // worker raced ahead delivering part of a batch.
+            struct Failure
+            {
+                std::promise<InferResponse> promise;
+                InferResponse response;
+            };
+            std::vector<Failure> failures;
+            std::size_t batch_size = 1;
             {
                 std::lock_guard<std::mutex> slot(flight.mutex);
-                if (flight.active && !flight.delivered &&
-                    now - flight.start > threshold) {
-                    flight.delivered = true;
-                    // Cooperative kill: the solve guard sees this at
-                    // its next accepted step and aborts.
-                    flight.abort.store(true, std::memory_order_release);
-                    to_fail = std::move(flight.promise);
-                    response.id = flight.id;
-                    response.queueWaitMs = flight.queueWaitMs;
-                    response.solveMs = toMs(now - flight.start);
-                    response.totalMs =
-                        flight.queueWaitMs + response.solveMs;
-                    response.deadlineMet = now <= flight.deadline;
-                    tripped = true;
+                if (flight.active && now - flight.start > threshold) {
+                    batch_size = flight.samples.size();
+                    for (InFlight::Sample &sample : flight.samples) {
+                        if (sample.delivered)
+                            continue;
+                        sample.delivered = true;
+                        Failure f;
+                        f.promise = std::move(sample.promise);
+                        f.response.id = sample.id;
+                        f.response.queueWaitMs = sample.queueWaitMs;
+                        f.response.solveMs = toMs(now - flight.start);
+                        f.response.totalMs =
+                            sample.queueWaitMs + f.response.solveMs;
+                        f.response.deadlineMet = now <= sample.deadline;
+                        failures.push_back(std::move(f));
+                    }
+                    // Cooperative kill: the solve guards see this at
+                    // their next accepted step and abort.
+                    if (!failures.empty())
+                        flight.abort.store(true,
+                                           std::memory_order_release);
                 }
             }
-            if (tripped) {
-                response.status = RequestStatus::Failed;
-                response.solveStatus = SolveStatus::DeadlineExceeded;
-                response.workerId = i;
-                response.completionIndex =
+            if (failures.empty())
+                continue;
+            // One trip per wedged dispatch, however many samples it
+            // carried; every taken-over sample gets a full Failed
+            // response through the single accounting path.
+            metrics_.recordWatchdogTrip();
+            ENODE_WARN("watchdog failing ", failures.size(),
+                       " request(s) on worker ", i, " after ",
+                       failures.front().response.solveMs,
+                       " ms (threshold ", options_.degrade.watchdogMs,
+                       " ms)");
+            for (Failure &f : failures) {
+                f.response.status = RequestStatus::Failed;
+                f.response.solveStatus = SolveStatus::DeadlineExceeded;
+                f.response.workerId = i;
+                f.response.batchSize = batch_size;
+                f.response.completionIndex =
                     nextCompletionIndex_.fetch_add(1);
-                ENODE_WARN("watchdog failing request ", response.id,
-                           " on worker ", i, " after ", response.solveMs,
-                           " ms (threshold ", options_.degrade.watchdogMs,
-                           " ms)");
                 Tracer::instance().instant(
                     "watchdog.trip", "serve",
-                    {{"id", static_cast<double>(response.id)},
+                    {{"id", static_cast<double>(f.response.id)},
                      {"worker", static_cast<double>(i)},
-                     {"solve_ms", response.solveMs}});
-                metrics_.recordWatchdogTrip();
-                metrics_.recordCompletion(response);
-                to_fail.set_value(std::move(response));
+                     {"solve_ms", f.response.solveMs}});
+                metrics_.recordCompletion(f.response);
+                f.promise.set_value(std::move(f.response));
             }
         }
     }

@@ -88,11 +88,12 @@ struct DegradePolicy
 
     /**
      * Hang threshold in milliseconds (0 = watchdog off). A watchdog
-     * thread monitors every worker's in-flight solve; one exceeding
-     * the threshold is failed immediately (status Failed, counted in
-     * watchdog.trips) and its solve is flagged to abort at the next
-     * accepted step, so a wedged solve costs one request, not a
-     * worker.
+     * thread monitors every worker's in-flight solve — solo or
+     * batched; one exceeding the threshold is failed immediately
+     * (status Failed for every still-pending sample, one watchdog.trips
+     * tick per wedged dispatch) and its solve is flagged to abort at
+     * the next accepted step, so a wedged solve costs one dispatch,
+     * not a worker.
      */
     double watchdogMs = 0.0;
 };
@@ -290,28 +291,40 @@ class InferenceServer
     };
 
     /**
-     * Per-worker in-flight request slot, shared between the worker and
-     * the watchdog. Exactly one of them delivers the response: the
-     * first to flip `delivered` under the slot mutex owns the promise.
-     * `abort` is the cooperative kill switch the solve guard polls.
+     * Per-worker in-flight work slot, shared between the worker and
+     * the watchdog. One slot covers one dispatch — a single request on
+     * the solo path, every sample of a coalesced batch on the batched
+     * path — so the hang watchdog protects both identically. Exactly
+     * one of worker/watchdog delivers each sample's response: the
+     * first to flip that sample's `delivered` flag under the slot
+     * mutex owns its promise. `abort` is the cooperative kill switch
+     * the solve guards poll (one shared flag: a wedged batched solve
+     * is one wedged thread, so the whole dispatch aborts together).
      */
     struct InFlight
     {
+        /** One response channel; a batch of n publishes n of these. */
+        struct Sample
+        {
+            std::promise<InferResponse> promise;
+            bool delivered = false; ///< its response has been set
+            std::uint64_t id = 0;
+            /**
+             * Must default to "no deadline" exactly like
+             * InferRequest::deadline. A value-initialized time_point is
+             * the clock epoch, which made the watchdog's deadlineMet
+             * check read a stale epoch deadline as "missed" for any
+             * slot that tripped before its first publish.
+             */
+            RuntimeClock::time_point deadline =
+                RuntimeClock::time_point::max();
+            double queueWaitMs = 0.0;
+        };
+
         std::mutex mutex;
-        std::promise<InferResponse> promise;
-        bool active = false;    ///< a request is being served right now
-        bool delivered = false; ///< its response has been set
-        std::uint64_t id = 0;
+        bool active = false; ///< a solve is running right now
         RuntimeClock::time_point start{};
-        /**
-         * Must default to "no deadline" exactly like
-         * InferRequest::deadline. A value-initialized time_point is the
-         * clock epoch, which made the watchdog's deadlineMet check read
-         * a stale epoch deadline as "missed" for any slot that tripped
-         * before its first publish.
-         */
-        RuntimeClock::time_point deadline = RuntimeClock::time_point::max();
-        double queueWaitMs = 0.0;
+        std::vector<Sample> samples;
         std::atomic<bool> abort{false};
     };
 

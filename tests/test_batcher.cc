@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <limits>
@@ -390,6 +391,141 @@ TEST(Batcher, IncompatibleShapeClosesBatchAndSeedsNext)
     EXPECT_EQ(batch.entries[0].request.id, 4u);
 }
 
+TEST(Batcher, ConcurrentCollectorsWithMixedShapesLoseNothing)
+{
+    // Several collectors share one batcher while mixed-shape requests
+    // stream in: overlapping collect windows may stash incompatible
+    // arrivals at the same time (the FIFO case a single-slot stash
+    // asserted on), so every request must still come back exactly
+    // once, no batch may mix shapes, and shutdown must not strand a
+    // stashed entry. Runs under TSan in CI.
+    constexpr std::size_t kCollectors = 4;
+    constexpr std::uint64_t kRequests = 400;
+    const Shape shapes[3] = {Shape{kDim}, Shape{kDim, 2},
+                             Shape{kDim, 3}};
+
+    RequestQueue queue(kRequests, SelectPolicy::Fifo);
+    Batcher batcher(queue, /*maxBatch=*/4, /*maxWaitUs=*/300.0);
+
+    std::vector<std::vector<std::uint64_t>> collected(kCollectors);
+    std::vector<std::size_t> mixed_batches(kCollectors, 0);
+    std::vector<std::thread> collectors;
+    for (std::size_t c = 0; c < kCollectors; c++) {
+        collectors.emplace_back([&, c] {
+            CollectedBatch batch;
+            while (batcher.collect(batch)) {
+                for (auto &entry : batch.entries) {
+                    collected[c].push_back(entry.request.id);
+                    if (!(entry.request.input.shape() ==
+                          batch.entries.front().request.input.shape()))
+                        mixed_batches[c]++;
+                }
+                for (auto &entry : batch.expired)
+                    collected[c].push_back(entry.request.id);
+            }
+        });
+    }
+
+    for (std::uint64_t id = 0; id < kRequests; id++) {
+        QueueEntry entry;
+        entry.request.id = id;
+        // A deterministic but non-periodic-in-4 shape pattern, so most
+        // collect windows see an incompatible arrival while several
+        // windows are open at once.
+        entry.request.input = Tensor(shapes[(id * 7 + id / 5) % 3]);
+        entry.enqueueTime = RuntimeClock::now();
+        ASSERT_TRUE(queue.tryPush(entry));
+        if (id % 16 == 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    queue.close(/*drain=*/true);
+    for (auto &t : collectors)
+        t.join();
+
+    std::vector<std::uint64_t> all;
+    for (auto &ids : collected)
+        all.insert(all.end(), ids.begin(), ids.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), kRequests)
+        << "requests lost or duplicated across collectors";
+    for (std::uint64_t id = 0; id < kRequests; id++)
+        EXPECT_EQ(all[id], id);
+    for (std::size_t c = 0; c < kCollectors; c++)
+        EXPECT_EQ(mixed_batches[c], 0u)
+            << "collector " << c << " got a shape-mixed batch";
+}
+
+TEST(Batcher, OverlappingWindowsStashConcurrently)
+{
+    // The sharpest stash race: two collectors each hold an open window
+    // on an empty queue, then two arrivals incompatible with both
+    // seeds (and each other) land back to back. The first collector
+    // stashes and goes off to "solve" its batch (the sleep below — in
+    // the real server a stashed entry waits out a whole batched
+    // solve), so the second collector's stash lands while the first is
+    // still occupied — the exact schedule a single-slot stash asserted
+    // (and crashed the server) on. Repeated many rounds; the stashed
+    // pair seeds the next round's windows.
+    constexpr std::size_t kRounds = 100;
+    const Shape shapes[4] = {Shape{kDim}, Shape{kDim, 2}, Shape{kDim, 3},
+                             Shape{kDim, 4}};
+
+    RequestQueue queue(64, SelectPolicy::Fifo);
+    Batcher batcher(queue, /*maxBatch=*/2, /*maxWaitUs=*/100000.0);
+
+    std::vector<std::vector<std::uint64_t>> collected(2);
+    std::vector<std::thread> collectors;
+    for (std::size_t c = 0; c < 2; c++) {
+        collectors.emplace_back([&, c] {
+            CollectedBatch batch;
+            while (batcher.collect(batch)) {
+                for (auto &entry : batch.entries)
+                    collected[c].push_back(entry.request.id);
+                for (auto &entry : batch.expired)
+                    collected[c].push_back(entry.request.id);
+                // Stand-in for the batched solve: keep this worker's
+                // stashed entry (if any) waiting so the other window's
+                // stash must coexist with it.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        });
+    }
+
+    std::uint64_t id = 0;
+    auto push = [&](const Shape &shape) {
+        QueueEntry entry;
+        entry.request.id = id++;
+        entry.request.input = Tensor(shape);
+        entry.enqueueTime = RuntimeClock::now();
+        ASSERT_TRUE(queue.tryPush(entry));
+    };
+    // Round r pushes shapes {2r % 4, (2r+1) % 4}: mutually
+    // incompatible, and incompatible with round r-1's pair (the
+    // currently open seeds).
+    push(shapes[0]);
+    push(shapes[1]);
+    for (std::size_t round = 1; round < kRounds; round++) {
+        // Both seeds popped == both windows open (or just about to
+        // be); the next two pushes close them concurrently.
+        while (queue.size() != 0)
+            std::this_thread::yield();
+        push(shapes[(2 * round) % 4]);
+        push(shapes[(2 * round + 1) % 4]);
+    }
+    queue.close(/*drain=*/true);
+    for (auto &t : collectors)
+        t.join();
+
+    std::vector<std::uint64_t> all;
+    for (auto &ids : collected)
+        all.insert(all.end(), ids.begin(), ids.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), id) << "requests lost or duplicated";
+    for (std::uint64_t i = 0; i < id; i++)
+        EXPECT_EQ(all[i], i);
+}
+
 TEST(Batching, ExpiredInCollectWindowIsNeverSolved)
 {
     // A single request whose deadline lapses inside the collect window
@@ -524,6 +660,63 @@ TEST(Batching, PartialFailureCountedWhenLadderDisabled)
     EXPECT_EQ(s.failed, 1u);
     EXPECT_EQ(s.completed, 3u);
     EXPECT_EQ(s.batchedRequests, s.completed + s.failed);
+    EXPECT_EQ(s.completed + s.expired + s.failed + s.cancelled,
+              s.admitted);
+}
+
+TEST(Batching, WatchdogFailsWedgedBatchedSolve)
+{
+    setLogLevel(LogLevel::Silent);
+    // Wedge the first batched dispatch for 300 ms against a 40 ms hang
+    // budget: the watchdog must fail every sample of the batch long
+    // before the worker wakes (the batched path publishes its samples
+    // to the same in-flight slot the solo path uses), and the worker
+    // must serve the next batch normally afterwards.
+    FaultPlan plan;
+    FaultSpec stall;
+    stall.site = "worker.stall";
+    stall.kind = FaultKind::Stall;
+    stall.firstHit = 0;
+    stall.count = 1;
+    stall.stallMs = 300.0;
+    plan.faults.push_back(stall);
+    ScopedFaultPlan scoped(plan);
+
+    ServerOptions opts = batchedOptions(1, 4, /*paused=*/true);
+    opts.degrade.watchdogMs = 40.0;
+    InferenceServer server(makeReferenceModel, opts);
+
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < 4; i++) {
+        auto sub = server.submit(makeInput(i));
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    server.resume();
+
+    for (auto &future : futures) {
+        InferResponse r = future.get();
+        EXPECT_EQ(r.status, RequestStatus::Failed);
+        EXPECT_EQ(r.solveStatus, SolveStatus::DeadlineExceeded);
+        EXPECT_TRUE(r.output.empty());
+        EXPECT_GE(r.solveMs, opts.degrade.watchdogMs);
+        EXPECT_EQ(r.batchSize, 4u);
+        // No client deadline: a watchdog trip must not invent a miss.
+        EXPECT_TRUE(r.deadlineMet);
+    }
+
+    // The wedged worker recovers: the stall plan is spent, so the next
+    // request solves cleanly.
+    auto after = server.submit(makeInput(9));
+    ASSERT_TRUE(after.accepted);
+    EXPECT_EQ(after.result.get().status, RequestStatus::Ok);
+    server.stop();
+    setLogLevel(LogLevel::Info);
+
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.watchdogTrips, 1u); // one trip per wedged dispatch
+    EXPECT_EQ(s.failed, 4u);
+    EXPECT_EQ(s.completed, 1u);
     EXPECT_EQ(s.completed + s.expired + s.failed + s.cancelled,
               s.admitted);
 }
