@@ -343,6 +343,13 @@ struct KernelBenchEntry
     double allocMissesPerOp = 0.0; ///< heap allocations per op (pool misses)
     double speedupVsRef = 0.0;     ///< fast / reference pairing, when defined
     double parallelEfficiency = 0.0; ///< speedup / threads, when parallel
+    /**
+     * SIMD-backend sweep: this backend's throughput over the forced
+     * scalar backend on the same kernel (scalar entries report 1.0).
+     * The CI bench gate fails if any vector-backend entry drops below
+     * 1.0, and requires >= 1.5 on the conv-forward and WRMS kernels.
+     */
+    double speedupVsScalar = 0.0;
 };
 
 /**
@@ -431,7 +438,8 @@ writeKernelReport(const std::vector<KernelBenchEntry> &entries,
            << ", \"gflops\": " << std::setprecision(3) << e.gflops
            << ", \"alloc_misses_per_op\": " << e.allocMissesPerOp
            << ", \"speedup_vs_ref\": " << e.speedupVsRef
-           << ", \"parallel_efficiency\": " << e.parallelEfficiency << "}";
+           << ", \"parallel_efficiency\": " << e.parallelEfficiency
+           << ", \"speedup_vs_scalar\": " << e.speedupVsScalar << "}";
         return os.str();
     };
     for (const auto &e : entries) {

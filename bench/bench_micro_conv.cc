@@ -8,15 +8,21 @@
  * Besides the google-benchmark console output, the binary writes the
  * reference-vs-fast pairing (ns/op, GFLOP/s, steady-state heap
  * allocations per op, speedup) to BENCH_kernels.json in the working
- * directory, merged with entries from the other micro-benches.
+ * directory, merged with entries from the other micro-benches — plus a
+ * per-SIMD-backend sweep of the three conv kernels (speedup vs the
+ * forced scalar backend, the numbers the CI bench gate checks).
  */
 
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "nn/conv2d.h"
 #include "sim/pe_array.h"
 #include "tensor/workspace.h"
@@ -205,6 +211,57 @@ emitKernelReport()
                 wgt_ref_ns / wgt_ns);
 }
 
+/**
+ * Per-SIMD-backend sweep of the three conv kernels: each compiled and
+ * supported backend is forced in turn and timed on the same tile, with
+ * speedup over the forced scalar backend recorded per entry. Scalar is
+ * always first in availableSimdBackends(), so its time anchors the
+ * ratios (and its own entries report 1.0).
+ */
+void
+emitBackendSweep()
+{
+    auto &f = fixture();
+    Tensor out, gx, gw;
+
+    struct Kernel
+    {
+        const char *name;
+        std::function<void()> fn;
+    };
+    const Kernel kernels[] = {
+        {"conv_forward",
+         [&] { convForwardInto(out, f.x, f.weight, f.bias); }},
+        {"conv_backward_data",
+         [&] { convBackwardDataInto(gx, f.grad, f.weight); }},
+        {"conv_backward_weights",
+         [&] { convBackwardWeightsInto(gw, f.x, f.grad, 3); }},
+    };
+
+    std::vector<bench::KernelBenchEntry> entries;
+    for (const auto &k : kernels) {
+        double scalar_ns = 0.0;
+        for (SimdBackend backend : availableSimdBackends()) {
+            ScopedSimdBackend force(backend);
+            if (!force.applied())
+                continue;
+            const double ns = bench::timeNsPerOp(k.fn);
+            if (backend == SimdBackend::Scalar)
+                scalar_ns = ns;
+            bench::KernelBenchEntry e;
+            e.name = std::string(k.name) + "_" +
+                     simdBackendName(backend) + "_8c8m32x32k3";
+            e.nsPerOp = ns;
+            e.gflops = kConvFlops / ns;
+            e.speedupVsScalar = scalar_ns > 0.0 ? scalar_ns / ns : 0.0;
+            std::printf("  %-44s %10.0f ns  %6.2fx vs scalar\n",
+                        e.name.c_str(), ns, e.speedupVsScalar);
+            entries.push_back(std::move(e));
+        }
+    }
+    bench::writeKernelReport(entries);
+}
+
 } // namespace
 
 int
@@ -216,5 +273,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitKernelReport();
+    emitBackendSweep();
     return 0;
 }

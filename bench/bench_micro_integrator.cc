@@ -6,15 +6,22 @@
  * Besides the google-benchmark console output, the binary measures the
  * solver's steady-state heap-allocation rate (workspace-pool misses per
  * accepted RK step — zero after warm-up) and merges the numbers into
- * BENCH_kernels.json next to the convolution entries.
+ * BENCH_kernels.json next to the convolution entries, together with a
+ * per-SIMD-backend sweep of the stepper's element kernels (WRMS norm,
+ * axpy, FP16 quantization; speedup vs the forced scalar backend).
  */
 
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "common/fp16.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/aca_trainer.h"
 #include "core/node_model.h"
 #include "core/slope_adaptive.h"
@@ -211,6 +218,71 @@ emitIntegratorReport()
                 miss_per_step, static_cast<unsigned long long>(accepted));
 }
 
+/**
+ * Per-SIMD-backend sweep of the stepper's element kernels: the WRMS
+ * error norm (Tensor::l2Norm), the stage-combination axpy, and the FP16
+ * datapath quantization, each on a 4096-element state. Every compiled
+ * and supported backend is forced in turn; speedup is against the
+ * forced scalar backend (always first in availableSimdBackends()).
+ */
+void
+emitBackendSweep()
+{
+    constexpr std::size_t kN = 4096;
+    Rng rng(7);
+    Tensor y = Tensor::randn(Shape{kN}, rng, 1.0f);
+    Tensor x = Tensor::randn(Shape{kN}, rng, 1.0f);
+    Tensor q = Tensor::randn(Shape{kN}, rng, 1.0f);
+    double sink = 0.0;
+
+    struct Kernel
+    {
+        const char *name;
+        double flops; ///< per call; 0 when GFLOP/s is not meaningful
+        std::function<void()> fn;
+    };
+    const Kernel kernels[] = {
+        {"wrms_norm", 2.0 * kN,
+         [&] {
+             sink += y.l2Norm();
+             benchmark::DoNotOptimize(sink);
+         }},
+        {"axpy", 2.0 * kN,
+         [&] {
+             y.axpy(1e-7f, x);
+             benchmark::DoNotOptimize(y.data());
+         }},
+        {"fp16_quantize", 0.0,
+         [&] {
+             q.quantizeFp16();
+             benchmark::DoNotOptimize(q.data());
+         }},
+    };
+
+    std::vector<bench::KernelBenchEntry> entries;
+    for (const auto &k : kernels) {
+        double scalar_ns = 0.0;
+        for (SimdBackend backend : availableSimdBackends()) {
+            ScopedSimdBackend force(backend);
+            if (!force.applied())
+                continue;
+            const double ns = bench::timeNsPerOp(k.fn);
+            if (backend == SimdBackend::Scalar)
+                scalar_ns = ns;
+            bench::KernelBenchEntry e;
+            e.name = std::string(k.name) + "_" +
+                     simdBackendName(backend) + "_4096";
+            e.nsPerOp = ns;
+            e.gflops = k.flops > 0.0 ? k.flops / ns : 0.0;
+            e.speedupVsScalar = scalar_ns > 0.0 ? scalar_ns / ns : 0.0;
+            std::printf("  %-32s %10.0f ns  %6.2fx vs scalar\n",
+                        e.name.c_str(), ns, e.speedupVsScalar);
+            entries.push_back(std::move(e));
+        }
+    }
+    bench::writeKernelReport(entries);
+}
+
 } // namespace
 
 int
@@ -222,5 +294,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitIntegratorReport();
+    emitBackendSweep();
     return 0;
 }

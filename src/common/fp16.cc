@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/simd.h"
+
 namespace enode {
 
 namespace {
@@ -100,11 +102,23 @@ Fp16::toFloatImpl(std::uint16_t bits)
 void
 quantizeFp16Buffer(float *data, std::size_t n)
 {
-    // Same translation unit as fromFloat/toFloatImpl, so the round trip
-    // inlines into this loop: one branch-light pass over raw memory
-    // instead of n out-of-line calls.
-    for (std::size_t i = 0; i < n; i++)
-        data[i] = Fp16(data[i]).toFloat();
+    // Dispatched to the active SIMD backend: F16C / AVX-512 / NEON
+    // hardware converters where available, and a fused scalar fallback
+    // that rounds the float pattern in one pass rather than encoding to
+    // half and decoding back per element.
+    simdOps().quantizeFp16(data, n);
+}
+
+void
+packFp16Span(std::uint16_t *dst, const float *src, std::size_t n)
+{
+    simdOps().packFp16(dst, src, n);
+}
+
+void
+unpackFp16Span(float *dst, const std::uint16_t *src, std::size_t n)
+{
+    simdOps().unpackFp16(dst, src, n);
 }
 
 } // namespace enode

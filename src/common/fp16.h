@@ -129,11 +129,23 @@ roundToFp16(float value)
  * Round a whole buffer through half precision in one tight pass.
  *
  * This is the quantization kernel behind Tensor::quantizeFp16 and the
- * FP16 datapath wrapper (Fp16Ode): a flat loop over raw pointers whose
- * conversion logic inlines into the loop body — no per-element function
- * call, no virtual dispatch.
+ * FP16 datapath wrapper (Fp16Ode). It dispatches to the active SIMD
+ * backend (common/simd.h): F16C on x86, fcvt on aarch64, or a fused
+ * scalar fallback that rounds each float pattern in a single pass.
+ * Results are bitwise identical across backends for non-NaN input;
+ * NaNs stay NaN, payload unspecified on hardware paths.
  */
 void quantizeFp16Buffer(float *data, std::size_t n);
+
+/**
+ * Encode a span of floats to raw half bits (RNE), the byte-accurate
+ * form a 16-bit buffer or DRAM traffic model stores. Same backend
+ * dispatch and NaN caveat as quantizeFp16Buffer.
+ */
+void packFp16Span(std::uint16_t *dst, const float *src, std::size_t n);
+
+/** Widen a span of raw half bits back to floats, exactly. */
+void unpackFp16Span(float *dst, const std::uint16_t *src, std::size_t n);
 
 } // namespace enode
 

@@ -1,0 +1,154 @@
+#ifndef ENODE_COMMON_SIMD_INTERNAL_H
+#define ENODE_COMMON_SIMD_INTERNAL_H
+
+/**
+ * @file
+ * Internals shared by the SIMD backend translation units.
+ *
+ * Two things live here: the per-ISA kernel-table getters the dispatcher
+ * in simd.cc resolves at probe time (each returns nullptr when its ISA
+ * was not compiled into this binary), and the scalar binary16 helpers
+ * every backend uses for loop tails. The helpers mirror Fp16's
+ * conversion semantics exactly — tests/test_simd.cc pins the
+ * equivalence over every half pattern and the full rounding boundary
+ * set — but are free functions that inline into the span kernels.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/simd.h"
+
+namespace enode {
+
+/** Per-ISA table getters; nullptr when the ISA is not compiled in. */
+const SimdOps *simdOpsAvx2();
+const SimdOps *simdOpsAvx512();
+const SimdOps *simdOpsNeon();
+
+namespace simd_detail {
+
+inline std::uint32_t
+f32Bits(float value)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &value, sizeof(u));
+    return u;
+}
+
+inline float
+f32FromBits(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+/** True when the pattern is neither an infinity nor a NaN. */
+inline bool
+finiteBits(std::uint32_t bits)
+{
+    return (bits & 0x7f800000u) != 0x7f800000u;
+}
+
+/**
+ * Round a float to the nearest half (RNE), returning the half bits.
+ * Same algorithm as Fp16::fromFloat: NaN canonicalizes to sign|0x7e00,
+ * |x| >= 65520 saturates to infinity, subnormal halves are kept.
+ */
+inline std::uint16_t
+halfBitsFromFloat(float value)
+{
+    const std::uint32_t f = f32Bits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::uint32_t abs = f & 0x7fffffffu;
+
+    if (abs > 0x7f800000u)
+        return static_cast<std::uint16_t>(sign | 0x7e00u);
+    if (abs >= 0x47800000u)
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    if (abs >= 0x38800000u) {
+        const std::uint32_t mant = abs - 0x38000000u;
+        std::uint32_t half = mant >> 13;
+        const std::uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half & 1u)))
+            half++;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+    if (abs >= 0x33000000u) {
+        const int shift = 126 - static_cast<int>(abs >> 23);
+        const std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+        std::uint32_t half = mant >> shift;
+        const std::uint32_t rem = mant & ((1u << shift) - 1u);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1u)))
+            half++;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+    return static_cast<std::uint16_t>(sign);
+}
+
+/** Widen half bits to float, exactly (mirror of Fp16::toFloat). */
+inline float
+halfToFloat(std::uint16_t h)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1fu;
+    const std::uint32_t mant = h & 0x03ffu;
+
+    if (exp == 0x1f)
+        return f32FromBits(sign | 0x7f800000u | (mant << 13));
+    if (exp == 0) {
+        // mant * 2^-24; exact (small integer times a power of two).
+        const float magnitude =
+            static_cast<float>(mant) * 5.9604644775390625e-8f;
+        return f32FromBits(sign | f32Bits(magnitude));
+    }
+    return f32FromBits(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+/**
+ * Fused scalar round-trip through the binary16 grid: one pass over the
+ * float pattern instead of encode-to-half followed by decode-to-float.
+ * Bitwise equal to halfToFloat(halfBitsFromFloat(x)) for every input
+ * except NaN payloads (this path canonicalizes, like the software
+ * encoder).
+ */
+inline float
+halfRoundTrip(float value)
+{
+    const std::uint32_t u = f32Bits(value);
+    const std::uint32_t sign = u & 0x80000000u;
+    const std::uint32_t abs = u & 0x7fffffffu;
+
+    if (abs >= 0x47800000u) {
+        // NaN stays a (canonical, widened) NaN; everything else at or
+        // beyond 65536 rounds past 65504 and saturates to infinity.
+        if (abs > 0x7f800000u)
+            return f32FromBits(sign | 0x7fc00000u);
+        return f32FromBits(sign | 0x7f800000u);
+    }
+    if (abs >= 0x38800000u) {
+        // Normal half range: RNE on the 13 dropped mantissa bits,
+        // applied directly to the float pattern. The carry from the
+        // round increment ripples into the exponent exactly when
+        // rounding crosses a binade.
+        std::uint32_t r = abs + 0x00000fffu + ((abs >> 13) & 1u);
+        r &= 0xffffe000u;
+        if (r >= 0x47800000u)
+            r = 0x7f800000u;
+        return f32FromBits(sign | r);
+    }
+    // Subnormal-half range and underflow: |x| < 2^-14, and the target
+    // grid spacing is 2^-24 == ulp(0.5f). Adding 0.5f makes the FPU
+    // round |x| onto that grid with ties-to-even; subtracting it back
+    // is exact (Sterbenz), leaving the rounded magnitude.
+    const float m = f32FromBits(abs);
+    const float r = (m + 0.5f) - 0.5f;
+    return f32FromBits(sign | f32Bits(r));
+}
+
+} // namespace simd_detail
+} // namespace enode
+
+#endif // ENODE_COMMON_SIMD_INTERNAL_H

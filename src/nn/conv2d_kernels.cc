@@ -1,7 +1,9 @@
 /**
  * @file
- * Blocked, compiler-vectorizable implementations of the three
- * convolution kernels (forward, flipped-kernel adjoint, weight-grad).
+ * Blocked implementations of the three convolution kernels (forward,
+ * flipped-kernel adjoint, weight-grad) on the explicit SIMD backend
+ * layer (common/simd.h): every hot sweep below calls the dispatched
+ * vector kernels rather than hoping the compiler auto-vectorizes.
  *
  * These are the hot loops of the whole library: every f evaluation of
  * every integration trial lands here. The design mirrors the paper's
@@ -53,6 +55,7 @@
 #include <cstddef>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/task_pool.h"
 #include "tensor/workspace.h"
 
@@ -100,61 +103,20 @@ padInput(float *ENODE_RESTRICT dst, const float *ENODE_RESTRICT src,
 }
 
 /**
- * acc[w] += the 3 column taps of one kernel row, one branch-free sweep.
- * @p irow points at padded column 0 (= output column -1), so every
- * access is in bounds.
+ * Generic-K tap pass over a padded row: one clean saxpy sweep per tap
+ * on the active SIMD backend. The 3-tap cases go through the backend's
+ * fused rowTaps3 / rowTaps3x4 kernels instead (see directConvCore).
  */
 inline void
-addRowTaps3(float *ENODE_RESTRICT acc, const float *ENODE_RESTRICT irow,
-            const float *wr, std::size_t W)
-{
-    const float w0 = wr[0], w1 = wr[1], w2 = wr[2];
-    for (std::size_t w = 0; w < W; w++)
-        acc[w] += w0 * irow[w] + w1 * irow[w + 1] + w2 * irow[w + 2];
-}
-
-/**
- * Four-output-channel fused tap pass: one kernel row (3 taps) of four
- * output channels applied to one padded input row in a single sweep.
- * The twelve FMA chains share the three input loads, so the pass
- * retires ~3 FMAs per memory access instead of addRowTaps3's one —
- * this register blocking is what separates the direct kernel from the
- * auto-vectorized reference saxpy.
- */
-inline void
-addRowTaps3x4(float *ENODE_RESTRICT acc, const float *ENODE_RESTRICT irow,
-              const float *w0, const float *w1, const float *w2,
-              const float *w3, std::size_t W)
-{
-    const float a0 = w0[0], a1 = w0[1], a2 = w0[2];
-    const float b0 = w1[0], b1 = w1[1], b2 = w1[2];
-    const float c0 = w2[0], c1 = w2[1], c2 = w2[2];
-    const float d0 = w3[0], d1 = w3[1], d2 = w3[2];
-    float *ENODE_RESTRICT r0 = acc;
-    float *ENODE_RESTRICT r1 = acc + W;
-    float *ENODE_RESTRICT r2 = acc + 2 * W;
-    float *ENODE_RESTRICT r3 = acc + 3 * W;
-    for (std::size_t w = 0; w < W; w++) {
-        const float xl = irow[w], xc = irow[w + 1], xr = irow[w + 2];
-        r0[w] += a0 * xl + a1 * xc + a2 * xr;
-        r1[w] += b0 * xl + b1 * xc + b2 * xr;
-        r2[w] += c0 * xl + c1 * xc + c2 * xr;
-        r3[w] += d0 * xl + d1 * xc + d2 * xr;
-    }
-}
-
-/** Generic-K tap pass over a padded row: one clean sweep per tap. */
-inline void
-addRowTapsGeneric(float *ENODE_RESTRICT acc, const float *ENODE_RESTRICT irow,
-                  const float *wr, std::size_t W, std::size_t K)
+addRowTapsGeneric(const SimdOps &ops, float *ENODE_RESTRICT acc,
+                  const float *ENODE_RESTRICT irow, const float *wr,
+                  std::size_t W, std::size_t K)
 {
     for (std::size_t kw = 0; kw < K; kw++) {
         const float wv = wr[kw];
         if (wv == 0.0f)
             continue;
-        const float *in_shift = irow + kw;
-        for (std::size_t w = 0; w < W; w++)
-            acc[w] += wv * in_shift[w];
+        ops.axpy(acc, wv, irow + kw, W);
     }
 }
 
@@ -181,6 +143,7 @@ directConvCore(float *od, const float *xd, const float *wd,
 
     const std::size_t wstride = Ci * K * K;
     const std::size_t m_tiles = (Mo + kTileM - 1) / kTileM;
+    const SimdOps &ops = simdOps();
 
     // Work items mirror the 8x8 diagonal PE grouping: one item is one
     // output row of one 8-out-channel tile. Consecutive items walk rows
@@ -210,19 +173,21 @@ directConvCore(float *od, const float *xd, const float *wd,
                         const float *wrow = wr0 + kh * K;
                         std::size_t mi = 0;
                         if (K == 3) {
+                            // Fused 4-channel tap pass: twelve mul+add
+                            // chains share the three row loads.
                             for (; mi + 4 <= mt; mi += 4) {
                                 const float *wr = wrow + mi * wstride;
-                                addRowTaps3x4(acc + mi * W, irow, wr,
-                                              wr + wstride,
-                                              wr + 2 * wstride,
-                                              wr + 3 * wstride, W);
+                                ops.rowTaps3x4(acc + mi * W, irow, wr,
+                                               wr + wstride,
+                                               wr + 2 * wstride,
+                                               wr + 3 * wstride, W);
                             }
                             for (; mi < mt; mi++)
-                                addRowTaps3(acc + mi * W, irow,
-                                            wrow + mi * wstride, W);
+                                ops.rowTaps3(acc + mi * W, irow,
+                                             wrow + mi * wstride, W);
                         } else {
                             for (; mi < mt; mi++)
-                                addRowTapsGeneric(acc + mi * W, irow,
+                                addRowTapsGeneric(ops, acc + mi * W, irow,
                                                   wrow + mi * wstride, W,
                                                   K);
                         }
@@ -239,10 +204,10 @@ directConvCore(float *od, const float *xd, const float *wd,
 /**
  * Weight-grad core on the padded input: each kernel tap is one clean
  * dot-product of the whole grad map with the tap-shifted padded map,
- * accumulated in 16 independent lanes. The flat lane array lives in a
- * single vector register across the entire sweep — the reference
- * kernel's serial reduction chain (unvectorizable without reordering
- * licenses) becomes 16 concurrent chains per tap.
+ * accumulated through the backend's fixed-16-lane accumDot16 kernel
+ * (one zmm / two ymm / four q-regs across the sweep) — the reference
+ * kernel's serial reduction chain becomes 16 concurrent chains per
+ * tap, with a lane layout that is bitwise identical on every backend.
  */
 void
 backwardWeightsCore(float *ENODE_RESTRICT wd, const float *ENODE_RESTRICT pin,
@@ -254,6 +219,7 @@ backwardWeightsCore(float *ENODE_RESTRICT wd, const float *ENODE_RESTRICT pin,
     const std::size_t pad = K / 2;
     const std::size_t Hp = H + 2 * pad;
     const std::size_t Wp = W + 2 * pad;
+    const SimdOps &ops = simdOps();
 
     // One work item per (m, c) kernel plane: K*K independent full-map
     // reductions, each computed start to finish inside its item (the
@@ -274,12 +240,7 @@ backwardWeightsCore(float *ENODE_RESTRICT wd, const float *ENODE_RESTRICT pin,
                         const float *ENODE_RESTRICT grow = g_map + h * W;
                         const float *ENODE_RESTRICT irow =
                             in_map + (h + kh) * Wp + kw;
-                        std::size_t w = 0;
-                        for (; w + kLanes <= W; w += kLanes)
-                            for (std::size_t j = 0; j < kLanes; j++)
-                                lanes[j] += grow[w + j] * irow[w + j];
-                        for (; w < W; w++)
-                            tail += grow[w] * irow[w];
+                        ops.accumDot16(lanes, &tail, grow, irow, W);
                     }
                     float s = tail;
                     for (std::size_t j = 0; j < kLanes; j++)
@@ -360,6 +321,7 @@ im2colGemmCore(float *od, const float *xd, const float *A, const float *bd,
 {
     const std::size_t HW = H * W;
     const std::size_t P = C * K * K;
+    const SimdOps &ops = simdOps();
 
     PooledScratch scratch(P * HW);
     float *B = scratch.data();
@@ -374,9 +336,7 @@ im2colGemmCore(float *od, const float *xd, const float *A, const float *bd,
                 const float a = arow[p];
                 if (a == 0.0f)
                     continue;
-                const float *brow = B + p * HW;
-                for (std::size_t j = 0; j < HW; j++)
-                    orow[j] += a * brow[j];
+                ops.axpy(orow, a, B + p * HW, HW);
             }
         }
     });

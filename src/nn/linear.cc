@@ -4,9 +4,30 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
-#include "tensor/workspace.h"
+#include "common/simd.h"
 
 namespace enode {
+
+namespace {
+
+/**
+ * out[o] = bias[o] + weight[o] . x — the Linear matvec, one fixed-lane
+ * SIMD dot per output row. Solo forward and the batched per-sample loop
+ * both call exactly this, so a batched solve reproduces the solo
+ * outputs bitwise at every batch size (the batched-vs-solo contract the
+ * runtime tests pin), with no scalar-remainder cliff at small batches.
+ */
+void
+matvec(const SimdOps &ops, const float *wd, const float *bd, std::size_t O,
+       std::size_t I, const float *x, float *out)
+{
+    for (std::size_t o = 0; o < O; o++) {
+        const float sum = ops.dot(wd + o * I, x, I);
+        out[o] = bd ? bd[o] + sum : sum;
+    }
+}
+
+} // namespace
 
 Linear::Linear(std::size_t in_features, std::size_t out_features, Rng &rng,
                bool with_bias)
@@ -32,13 +53,8 @@ Linear::forward(const Tensor &x)
                  "Linear expects (", inFeatures_, "), got ", x.shape().str());
     cachedInput_ = x;
     Tensor out(Shape{outFeatures_});
-    for (std::size_t o = 0; o < outFeatures_; o++) {
-        float acc = withBias_ ? bias_.at(o) : 0.0f;
-        const float *wrow = weight_.data() + o * inFeatures_;
-        for (std::size_t i = 0; i < inFeatures_; i++)
-            acc += wrow[i] * x.at(i);
-        out.at(o) = acc;
-    }
+    matvec(simdOps(), weight_.data(), withBias_ ? bias_.data() : nullptr,
+           outFeatures_, inFeatures_, x.data(), out.data());
     return out;
 }
 
@@ -53,51 +69,19 @@ Linear::forwardBatched(const Tensor &xs, Tensor &out)
     const float *xd = xs.data();
     float *od = out.data();
 
-    // Block samples eight at a time: the solo kernel's inner loop is one
-    // serial float accumulation chain per output (latency-bound, and not
-    // reorderable without changing bits), but eight samples carry eight
-    // INDEPENDENT chains that advance in lockstep over i — the same
-    // per-sample accumulation order, now with 8-way ILP/SIMD. The block
-    // of inputs is first transposed into scratch so the s-sweep at each
-    // i is one contiguous vectorizable load.
-    constexpr std::size_t kBlock = 8;
-    std::size_t n0 = 0;
-    if (n >= kBlock) {
-        PooledScratch scratch(inFeatures_ * kBlock);
-        float *xt = scratch.data();
-        for (; n0 + kBlock <= n; n0 += kBlock) {
-            for (std::size_t i = 0; i < inFeatures_; i++)
-                for (std::size_t s = 0; s < kBlock; s++)
-                    xt[i * kBlock + s] = xd[(n0 + s) * inFeatures_ + i];
-            for (std::size_t o = 0; o < outFeatures_; o++) {
-                float acc[kBlock];
-                const float init = withBias_ ? bias_.at(o) : 0.0f;
-                for (std::size_t s = 0; s < kBlock; s++)
-                    acc[s] = init;
-                const float *wrow = weight_.data() + o * inFeatures_;
-                for (std::size_t i = 0; i < inFeatures_; i++) {
-                    const float wv = wrow[i];
-                    const float *xrow = xt + i * kBlock;
-                    for (std::size_t s = 0; s < kBlock; s++)
-                        acc[s] += wv * xrow[s];
-                }
-                for (std::size_t s = 0; s < kBlock; s++)
-                    od[(n0 + s) * outFeatures_ + o] = acc[s];
-            }
-        }
-    }
-    // Remainder samples: the solo kernel verbatim.
-    for (; n0 < n; n0++) {
-        const float *x = xd + n0 * inFeatures_;
-        float *orow = od + n0 * outFeatures_;
-        for (std::size_t o = 0; o < outFeatures_; o++) {
-            float acc = withBias_ ? bias_.at(o) : 0.0f;
-            const float *wrow = weight_.data() + o * inFeatures_;
-            for (std::size_t i = 0; i < inFeatures_; i++)
-                acc += wrow[i] * x[i];
-            orow[o] = acc;
-        }
-    }
+    // Per-sample matvec, the exact solo kernel. The previous scheme
+    // blocked samples eight at a time through a transposed scratch to
+    // manufacture SIMD width from sample parallelism, which left every
+    // batch smaller than eight (and every remainder) on a scalar path —
+    // the source of the non-monotone serving-throughput dip at batch 4.
+    // With the dot itself vectorized through the fixed-lane SIMD
+    // kernel, width comes from the feature dimension instead and every
+    // batch size takes the same path.
+    const SimdOps &ops = simdOps();
+    const float *bd = withBias_ ? bias_.data() : nullptr;
+    for (std::size_t s = 0; s < n; s++)
+        matvec(ops, weight_.data(), bd, outFeatures_, inFeatures_,
+               xd + s * inFeatures_, od + s * outFeatures_);
 }
 
 Tensor

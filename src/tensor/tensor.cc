@@ -8,6 +8,7 @@
 #include "common/fp16.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "tensor/workspace.h"
 
 namespace enode {
@@ -136,7 +137,7 @@ Tensor::copyFrom(const Tensor &src)
         data_ = detail::acquireBuffer(src.data_.size());
     }
     shape_ = src.shape_;
-    std::copy(src.data_.begin(), src.data_.end(), data_.begin());
+    simd::copy(data_.data(), src.data_.data(), data_.size());
 }
 
 void
@@ -282,8 +283,7 @@ Tensor &
 Tensor::operator+=(const Tensor &other)
 {
     checkSameShape(other, "+=");
-    for (std::size_t i = 0; i < data_.size(); i++)
-        data_[i] += other.data_[i];
+    simd::addInPlace(data_.data(), other.data_.data(), data_.size());
     return *this;
 }
 
@@ -291,16 +291,14 @@ Tensor &
 Tensor::operator-=(const Tensor &other)
 {
     checkSameShape(other, "-=");
-    for (std::size_t i = 0; i < data_.size(); i++)
-        data_[i] -= other.data_[i];
+    simd::subInPlace(data_.data(), other.data_.data(), data_.size());
     return *this;
 }
 
 Tensor &
 Tensor::operator*=(float s)
 {
-    for (auto &v : data_)
-        v *= s;
+    simd::scale(data_.data(), s, data_.size());
     return *this;
 }
 
@@ -332,8 +330,7 @@ void
 Tensor::axpy(float alpha, const Tensor &x)
 {
     checkSameShape(x, "axpy");
-    for (std::size_t i = 0; i < data_.size(); i++)
-        data_[i] += alpha * x.data_[i];
+    simd::axpy(data_.data(), alpha, x.data_.data(), data_.size());
 }
 
 void
@@ -360,10 +357,10 @@ Tensor::mean() const
 double
 Tensor::l2Norm() const
 {
-    double s = 0.0;
-    for (auto v : data_)
-        s += static_cast<double>(v) * v;
-    return std::sqrt(s);
+    // The WRMS error-norm kernel of the RK steppers. Fixed 8-double-lane
+    // accumulation: bitwise identical across SIMD backends, within the
+    // reduction-order tolerance of a serial sum (see DESIGN.md).
+    return std::sqrt(simd::sumSquares(data_.data(), data_.size()));
 }
 
 double
@@ -378,12 +375,7 @@ Tensor::maxAbs() const
 bool
 Tensor::isFinite() const
 {
-    // Accumulate with bitwise-and rather than early-exit: the common
-    // case is all-finite, and a branch-free scan vectorizes.
-    bool finite = true;
-    for (auto v : data_)
-        finite &= std::isfinite(v);
-    return finite;
+    return simd::allFinite(data_.data(), data_.size());
 }
 
 double
@@ -393,13 +385,14 @@ Tensor::rowWindowL2(std::size_t row_begin, std::size_t row_end) const
     const std::size_t C = shape_.dim(0), H = shape_.dim(1), W = shape_.dim(2);
     ENODE_ASSERT(row_begin <= row_end && row_end <= H,
                  "row window [", row_begin, ", ", row_end, ") out of H=", H);
+    // The row window of one channel is a contiguous span, so each
+    // channel is a single sumSquares call; channel partials are summed
+    // serially in channel order (deterministic per backend).
     double s = 0.0;
+    const std::size_t span = (row_end - row_begin) * W;
     for (std::size_t c = 0; c < C; c++) {
-        for (std::size_t h = row_begin; h < row_end; h++) {
-            const float *row = data_.data() + (c * H + h) * W;
-            for (std::size_t w = 0; w < W; w++)
-                s += static_cast<double>(row[w]) * row[w];
-        }
+        const float *window = data_.data() + (c * H + row_begin) * W;
+        s += simd::sumSquares(window, span);
     }
     return std::sqrt(s);
 }

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/task_pool.h"
 #include "nn/conv2d.h"
 #include "tensor/workspace.h"
@@ -305,6 +306,51 @@ TEST(ConvKernelParallel, ZeroAllocAtSteadyStateOnEveryArena)
     std::atomic<std::uint64_t> misses{Workspace::local().stats().misses};
     pool.runOnWorkers([&] { misses += Workspace::local().stats().misses; });
     EXPECT_EQ(misses.load(), 0u);
+}
+
+TEST(ConvKernelSimdBackends, AllKernelsBitwiseEqualScalarOnEveryBackend)
+{
+    // The conv tap kernels (axpy/rowTaps) and the weight-grad reduction
+    // (fixed-16-lane accumDot16) are bitwise identical across SIMD
+    // backends by contract — per-op rounding, no FMA, fixed lane count.
+    // Force each compiled-and-supported vector backend over the full
+    // shape sweep and demand bit equality with the scalar backend's
+    // output for all three kernels and both forward paths.
+    Rng rng(52);
+    for (const auto &cs : sweepCases()) {
+        const Tensor x = Tensor::randn(Shape{cs.C, cs.H, cs.W}, rng, 1.0f);
+        const Tensor g = Tensor::randn(Shape{cs.M, cs.H, cs.W}, rng, 1.0f);
+        const Tensor w =
+            Tensor::randn(Shape{cs.M, cs.C, cs.K, cs.K}, rng, 0.5f);
+        const Tensor b = Tensor::randn(Shape{cs.M}, rng, 0.5f);
+
+        Tensor sc_fwd, sc_gemm, sc_gx, sc_gw;
+        {
+            ScopedSimdBackend force(SimdBackend::Scalar);
+            ASSERT_TRUE(force.applied());
+            conv::forwardDirect(sc_fwd, x, w, b);
+            conv::forwardIm2colGemm(sc_gemm, x, w, b);
+            convBackwardDataInto(sc_gx, g, w);
+            convBackwardWeightsInto(sc_gw, x, g, cs.K);
+        }
+
+        for (SimdBackend backend : availableSimdBackends()) {
+            if (backend == SimdBackend::Scalar)
+                continue;
+            ScopedSimdBackend force(backend);
+            ASSERT_TRUE(force.applied());
+            const char *bn = simdBackendName(backend);
+            Tensor out;
+            conv::forwardDirect(out, x, w, b);
+            expectBitwise(out, sc_fwd, cs, bn);
+            conv::forwardIm2colGemm(out, x, w, b);
+            expectBitwise(out, sc_gemm, cs, bn);
+            convBackwardDataInto(out, g, w);
+            expectBitwise(out, sc_gx, cs, bn);
+            convBackwardWeightsInto(out, x, g, cs.K);
+            expectBitwise(out, sc_gw, cs, bn);
+        }
+    }
 }
 
 TEST(ConvKernelHeuristic, LargeTapsRouteToGemm)
