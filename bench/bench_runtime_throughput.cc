@@ -16,6 +16,26 @@
  * isolates the coalescing win — extra throughput can only come from the
  * batched solve sharing f-evaluation weight traversals, not from more
  * cores. Results land in BENCH_serving.json for scripted checks.
+ *
+ * A note on the batch-sweep p50: median latency *rises* at large
+ * maxBatch even as throughput and p99 improve. That is inherent to
+ * coalescing under a closed loop, not a collect-window cost (occupancy
+ * is full and the per-batch coalesce wait — also reported — stays well
+ * under the window budget): every request in a batch completes when the
+ * whole batched solve does, so the median request's latency is the
+ * duration of a large batched solve, which grows with batch size. The
+ * tail improves for the same reason — with most of the client
+ * population served per dispatch, almost nothing queues behind a
+ * dispatch, so the queue-wait component that dominated p99 collapses.
+ *
+ * Repeat-traffic sweep: closed loop against one cache-enabled worker
+ * with the fraction of byte-identical resubmissions swept over
+ * 0/0.5/0.9/1.0. Exact repeats ride the dedup tier (no solve at all);
+ * the non-repeat remainder are near-duplicates that miss the exact tier
+ * but warm-start from the dt-schedule tier. A separate warm-start
+ * comparison isolates tier 2 with the ConstantInit controller (the
+ * paper's expensive per-point search baseline): same traffic, cache off
+ * vs warm tier only, reporting accepted-trials per evaluation point.
  */
 
 #include <chrono>
@@ -30,6 +50,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "ode/step_control.h"
 #include "runtime/inference_server.h"
 
 using namespace enode;
@@ -157,6 +178,7 @@ struct ServingPoint
     double p50Ms = 0.0;
     double p99Ms = 0.0;
     double meanOccupancy = 1.0;
+    double coalesceWaitP50Ms = 0.0;
 };
 
 /**
@@ -210,11 +232,163 @@ runBatchSweepPoint(std::size_t max_batch, std::size_t clients,
     // occupancy gauge never ticks; a solo request is a batch of one.
     point.meanOccupancy =
         m.batchesDispatched > 0 ? m.batchOccupancyMean : 1.0;
+    point.coalesceWaitP50Ms = m.coalesceWaitP50Ms;
     return point;
+}
+
+// ---------------------------------------------------------------------
+// Repeat-traffic sweep (two-tier solve cache)
+// ---------------------------------------------------------------------
+
+struct RepeatPoint
+{
+    double hitRate = 0.0;
+    double requestsPerSec = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    std::uint64_t exactHits = 0;
+    std::uint64_t warmHits = 0;
+    std::uint64_t singleFlightWaits = 0;
+};
+
+ServerOptions
+cachedOptions()
+{
+    ServerOptions opts = baseOptions(/*workers=*/1);
+    opts.cache.enabled = true;
+    opts.cache.exactCapacity = 4096;
+    opts.cache.warmCapacity = 512;
+    opts.cache.signatureQuantum = 0.25;
+    return opts;
+}
+
+/**
+ * Pre-generated request mix for one repeat-traffic point: with
+ * probability `hit_rate` a request resubmits one of 8 hot tensors byte
+ * for byte (an exact-tier repeat); otherwise it perturbs a hot tensor
+ * slightly — bytewise fresh, so it must be solved, but statistically
+ * close enough to land in the hot tensor's warm-start bucket.
+ */
+std::vector<Tensor>
+makeRepeatTraffic(double hit_rate, std::size_t total)
+{
+    Rng rng(kSeed + 29);
+    std::vector<Tensor> hot;
+    for (std::size_t i = 0; i < 8; i++)
+        hot.push_back(makeInput(rng));
+
+    std::vector<Tensor> traffic;
+    traffic.reserve(total);
+    for (std::size_t i = 0; i < total; i++) {
+        const Tensor &base = hot[i % hot.size()];
+        if (rng.uniform() < hit_rate) {
+            Tensor repeat(base.shape());
+            repeat.copyFrom(base);
+            traffic.push_back(std::move(repeat));
+        } else {
+            Tensor near(base.shape());
+            near.copyFrom(base);
+            for (std::size_t k = 0; k < near.numel(); k++)
+                near.data()[k] +=
+                    static_cast<float>(rng.uniform() - 0.5) * 2e-3f;
+            traffic.push_back(std::move(near));
+        }
+    }
+    return traffic;
+}
+
+RepeatPoint
+runRepeatTrafficPoint(double hit_rate, std::size_t clients,
+                      std::size_t total)
+{
+    InferenceServer server(makeServedModel, cachedOptions());
+    const std::vector<Tensor> traffic = makeRepeatTraffic(hit_rate, total);
+
+    const auto start = RuntimeClock::now();
+    std::vector<std::thread> threads;
+    const std::size_t per_client = total / clients;
+    for (std::size_t c = 0; c < clients; c++) {
+        threads.emplace_back([&, c] {
+            for (std::size_t j = 0; j < per_client; j++) {
+                auto sub = server.submit(
+                    traffic[c * per_client + j],
+                    static_cast<std::uint32_t>(c % 4));
+                if (sub.accepted)
+                    sub.result.get();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(RuntimeClock::now() - start).count();
+    server.stop();
+
+    const MetricsSummary m = server.metrics().summary();
+    const SolveCache *cache = server.solveCache();
+    RepeatPoint point;
+    point.hitRate = hit_rate;
+    point.requestsPerSec = static_cast<double>(m.completed) / seconds;
+    point.p50Ms = m.totalP50Ms;
+    point.p99Ms = m.totalP99Ms;
+    point.exactHits = cache->exactHits();
+    point.warmHits = cache->warmHits();
+    point.singleFlightWaits = cache->singleFlightWaits();
+    return point;
+}
+
+struct WarmComparison
+{
+    double coldTrialsPerPoint = 0.0;
+    double warmTrialsPerPoint = 0.0;
+    double coldSolveP50Ms = 0.0;
+    double warmSolveP50Ms = 0.0;
+};
+
+/**
+ * Tier-2 isolation: the same near-duplicate traffic served twice with
+ * the ConstantInit controller — once with the cache off (every point
+ * restarts the stepsize search from scratch) and once with only the
+ * warm tier on (exactCapacity 0 forces every request through a real
+ * solve, so the delta is pure dt-schedule replay).
+ */
+WarmComparison
+runWarmComparison(std::size_t total)
+{
+    WarmComparison cmp;
+    for (const bool warm : {false, true}) {
+        ServerOptions opts = cachedOptions();
+        opts.cache.enabled = warm;
+        opts.cache.exactCapacity = 0;
+        opts.ivp.tolerance = 1e-5;
+        opts.ivp.initialDt = 0.4; // deliberately poor start per point
+        InferenceServer server(makeServedModel, opts, [] {
+            return std::make_unique<ConstantInitController>();
+        });
+        const std::vector<Tensor> traffic =
+            makeRepeatTraffic(/*hit_rate=*/0.0, total);
+        for (const Tensor &input : traffic) {
+            auto sub = server.submit(input);
+            if (sub.accepted)
+                sub.result.get();
+        }
+        server.stop();
+        const MetricsSummary m = server.metrics().summary();
+        if (warm) {
+            cmp.warmTrialsPerPoint = m.trialsPerPointWarm;
+            cmp.warmSolveP50Ms = m.solveP50Ms;
+        } else {
+            cmp.coldTrialsPerPoint = m.trialsPerPointCold;
+            cmp.coldSolveP50Ms = m.solveP50Ms;
+        }
+    }
+    return cmp;
 }
 
 void
 writeServingReport(const std::vector<ServingPoint> &points,
+                   const std::vector<RepeatPoint> &repeats,
+                   const WarmComparison &warm,
                    const std::string &path = "BENCH_serving.json")
 {
     std::ofstream out(path, std::ios::trunc);
@@ -227,11 +401,32 @@ writeServingReport(const std::vector<ServingPoint> &points,
             << "\"requests_per_sec\": " << p.requestsPerSec
             << ", \"p50_ms\": " << std::setprecision(3) << p.p50Ms
             << ", \"p99_ms\": " << p.p99Ms
+            << ", \"coalesce_wait_p50_ms\": " << p.coalesceWaitP50Ms
             << ", \"mean_batch_occupancy\": " << std::setprecision(2)
             << p.meanOccupancy << "}"
             << (i + 1 < points.size() ? ",\n" : "\n");
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"repeat_traffic\": [\n";
+    for (std::size_t i = 0; i < repeats.size(); i++) {
+        const RepeatPoint &p = repeats[i];
+        out << "    {\"name\": \"repeat/hit=" << std::fixed
+            << std::setprecision(2) << p.hitRate
+            << "\", \"hit_rate\": " << p.hitRate
+            << ", \"requests_per_sec\": " << p.requestsPerSec
+            << ", \"p50_ms\": " << std::setprecision(3) << p.p50Ms
+            << ", \"p99_ms\": " << p.p99Ms
+            << ", \"exact_hits\": " << p.exactHits
+            << ", \"warm_hits\": " << p.warmHits
+            << ", \"single_flight_waits\": " << p.singleFlightWaits << "}"
+            << (i + 1 < repeats.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n  \"warm_start\": {\n" << std::fixed
+        << std::setprecision(3)
+        << "    \"cold_trials_per_point\": " << warm.coldTrialsPerPoint
+        << ",\n    \"warm_trials_per_point\": " << warm.warmTrialsPerPoint
+        << ",\n    \"cold_solve_p50_ms\": " << warm.coldSolveP50Ms
+        << ",\n    \"warm_solve_p50_ms\": " << warm.warmSolveP50Ms
+        << "\n  }\n}\n";
 }
 
 } // namespace
@@ -325,11 +520,50 @@ main()
         points.push_back(p);
     }
     sweep.print();
-    writeServingReport(points);
     const double batch_speedup = batch8_rps / batch1_rps;
-    std::printf("\nbatch-8 vs batch-1 throughput on one worker: %.2fx %s\n"
-                "wrote BENCH_serving.json\n",
+    std::printf("\nbatch-8 vs batch-1 throughput on one worker: %.2fx %s\n",
                 batch_speedup,
                 batch_speedup >= 2.0 ? "(PASS >=2x)" : "(below 2x!)");
+
+    // Repeat-traffic sweep: one cache-enabled worker, hit rate swept.
+    Table repeat("Repeat-traffic sweep (1 worker, two-tier solve cache, " +
+                 std::to_string(sweep_clients) + " clients, " +
+                 std::to_string(sweep_total) + " requests)");
+    repeat.setHeader({"hit rate", "req/s", "speedup", "p50 ms", "p99 ms",
+                      "exact hits", "warm hits", "dedup waits"});
+    std::vector<RepeatPoint> repeats;
+    double miss_rps = 0.0;
+    for (double hit_rate : {0.0, 0.5, 0.9, 1.0}) {
+        RepeatPoint p = runRepeatTrafficPoint(hit_rate, sweep_clients,
+                                              sweep_total);
+        if (hit_rate == 0.0)
+            miss_rps = p.requestsPerSec;
+        repeat.addRow(
+            {Table::percent(hit_rate, 0), Table::num(p.requestsPerSec, 1),
+             Table::ratio(p.requestsPerSec / miss_rps),
+             Table::num(p.p50Ms), Table::num(p.p99Ms),
+             Table::integer(static_cast<long long>(p.exactHits)),
+             Table::integer(static_cast<long long>(p.warmHits)),
+             Table::integer(static_cast<long long>(p.singleFlightWaits))});
+        repeats.push_back(p);
+    }
+    repeat.print();
+    const double hit_speedup =
+        repeats.back().requestsPerSec / miss_rps;
+    std::printf("\nall-repeat vs all-miss throughput: %.2fx %s\n",
+                hit_speedup,
+                hit_speedup >= 5.0 ? "(PASS >=5x)" : "(below 5x!)");
+
+    // Warm-start isolation: dt-schedule replay vs per-point search.
+    const WarmComparison warm = runWarmComparison(/*total=*/96);
+    std::printf("\nwarm-start trials/point: cold %.2f -> warm %.2f "
+                "(%.0f%% fewer); solve p50 %.3f ms -> %.3f ms\n",
+                warm.coldTrialsPerPoint, warm.warmTrialsPerPoint,
+                100.0 * (1.0 - warm.warmTrialsPerPoint /
+                                   warm.coldTrialsPerPoint),
+                warm.coldSolveP50Ms, warm.warmSolveP50Ms);
+
+    writeServingReport(points, repeats, warm);
+    std::printf("wrote BENCH_serving.json\n");
     return 0;
 }

@@ -1,0 +1,109 @@
+#include "ode/warm_start.h"
+
+#include <cassert>
+
+namespace enode {
+
+WarmStartController::WarmStartController(StepController *inner)
+    : inner_(inner)
+{
+    assert(inner_ != nullptr && "WarmStartController needs an inner "
+                                "adaptive controller");
+}
+
+void
+WarmStartController::beginSolve(const DtSchedule *replay)
+{
+    if (replay != nullptr && !replay->empty()) {
+        // Element-wise copy assignment reuses both the outer and the
+        // per-segment capacity, so steady-state arming of a stable
+        // workload does not allocate.
+        replay_.layers = replay->layers;
+        armedReplay_ = true;
+        replayActive_ = true;
+    } else {
+        replay_.clear();
+        armedReplay_ = false;
+        replayActive_ = false;
+    }
+    usedSegments_ = 0;
+    segment_ = -1;
+    pointIdx_ = 0;
+    trialFromReplay_ = false;
+    replayedPoints_ = 0;
+    replayRejected_ = false;
+}
+
+void
+WarmStartController::harvestRecorded(DtSchedule &out) const
+{
+    if (out.layers.size() != usedSegments_)
+        out.layers.resize(usedSegments_);
+    for (std::size_t i = 0; i < usedSegments_; i++)
+        out.layers[i] = segments_[i];
+}
+
+bool
+WarmStartController::replayHasNext() const
+{
+    return replayActive_ && segment_ >= 0 &&
+           static_cast<std::size_t>(segment_) < replay_.layers.size() &&
+           pointIdx_ < replay_.layers[static_cast<std::size_t>(segment_)]
+                           .size();
+}
+
+void
+WarmStartController::reset(double initial_dt)
+{
+    inner_->reset(initial_dt);
+    segment_++;
+    pointIdx_ = 0;
+    trialFromReplay_ = false;
+    usedSegments_++;
+    if (segments_.size() < usedSegments_)
+        segments_.emplace_back();
+    else
+        segments_[usedSegments_ - 1].clear();
+}
+
+double
+WarmStartController::initialDt()
+{
+    if (replayHasNext()) {
+        trialFromReplay_ = true;
+        return replay_.layers[static_cast<std::size_t>(segment_)]
+                             [pointIdx_];
+    }
+    trialFromReplay_ = false;
+    return inner_->initialDt();
+}
+
+double
+WarmStartController::rejectedDt(double dt, double err_norm, double eps)
+{
+    if (trialFromReplay_) {
+        // A stale schedule: stop replaying for the rest of the solve
+        // (later segments are no more trustworthy) and let the inner
+        // controller — warm from observing every callback — take over.
+        replayActive_ = false;
+        replayRejected_ = true;
+        trialFromReplay_ = false;
+    }
+    return inner_->rejectedDt(dt, err_norm, eps);
+}
+
+void
+WarmStartController::accepted(double dt, double err_norm, double eps,
+                              bool first_trial_accepted)
+{
+    inner_->accepted(dt, err_norm, eps, first_trial_accepted);
+    if (usedSegments_ > 0)
+        segments_[usedSegments_ - 1].push_back(dt);
+    if (trialFromReplay_) {
+        replayedPoints_++;
+        trialFromReplay_ = false;
+    }
+    pointIdx_++;
+}
+
+} // namespace enode

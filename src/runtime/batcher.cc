@@ -24,11 +24,19 @@ expiredAt(const QueueEntry &entry, RuntimeClock::time_point now)
 } // namespace
 
 Batcher::Batcher(RequestQueue &queue, std::size_t maxBatch,
-                 double maxWaitUs)
-    : queue_(queue), maxBatch_(maxBatch), maxWaitUs_(maxWaitUs)
+                 double maxWaitUs, SolveCache *cache)
+    : queue_(queue), maxBatch_(maxBatch), maxWaitUs_(maxWaitUs),
+      cache_(cache)
 {
     ENODE_ASSERT(maxBatch_ >= 1, "batcher needs maxBatch >= 1");
     ENODE_ASSERT(maxWaitUs_ >= 0.0, "negative collect window");
+}
+
+bool
+Batcher::cacheReady(const QueueEntry &entry) const
+{
+    return cache_ != nullptr && entry.request.cacheKey.valid() &&
+           cache_->isReady(entry.request.cacheKey);
 }
 
 bool
@@ -67,6 +75,7 @@ Batcher::collect(CollectedBatch &out)
 {
     out.entries.clear();
     out.expired.clear();
+    out.cacheHits.clear();
     out.collectWaitMs = 0.0;
 
     // Seed: the stashed incompatible request from a previous window
@@ -82,12 +91,21 @@ Batcher::collect(CollectedBatch &out)
                 // have stashed an entry while this one blocked in pop.
                 // A final stash check keeps shutdown from stranding it.
                 if (!takeStash(seed))
-                    return !out.expired.empty();
+                    return !out.expired.empty() ||
+                           !out.cacheHits.empty();
             }
         }
-        if (!expiredAt(seed, RuntimeClock::now()))
-            break;
-        out.expired.push_back(std::move(seed));
+        if (expiredAt(seed, RuntimeClock::now())) {
+            out.expired.push_back(std::move(seed));
+            continue;
+        }
+        // A request whose result is already cached never seeds (or
+        // delays) a batch: divert it and keep hunting for real work.
+        if (cacheReady(seed)) {
+            out.cacheHits.push_back(std::move(seed));
+            continue;
+        }
+        break;
     }
 
     out.firstPop = RuntimeClock::now();
@@ -106,6 +124,10 @@ Batcher::collect(CollectedBatch &out)
             if (expiredAt(next, RuntimeClock::now())) {
                 out.expired.push_back(std::move(next));
                 continue;
+            }
+            if (cacheReady(next)) {
+                out.cacheHits.push_back(std::move(next));
+                continue; // answered from cache; keep the slot open
             }
             if (!compatible(out.entries.front(), next)) {
                 // The incompatible request seeds the next batch rather

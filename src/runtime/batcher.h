@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "runtime/request_queue.h"
+#include "runtime/solve_cache.h"
 
 namespace enode {
 
@@ -41,6 +42,14 @@ struct CollectedBatch
     std::vector<QueueEntry> entries;
     /** Requests whose deadline lapsed at pop or during the window. */
     std::vector<QueueEntry> expired;
+    /**
+     * Requests whose exact-cache entry became ready while they queued
+     * (screened at pop against the solve cache). They never consume a
+     * batch slot or seed a window; the worker answers each from the
+     * cache — re-checking at dispatch, since the entry may have been
+     * evicted between the screen and the answer.
+     */
+    std::vector<QueueEntry> cacheHits;
     /** When the seed request was popped (start of the window). */
     RuntimeClock::time_point firstPop{};
     /** Window duration: seed pop to window close. 0 for maxBatch 1. */
@@ -70,14 +79,18 @@ class Batcher
      * @param maxWaitUs Collect-window budget in microseconds; how long
      *        a seeded batch may wait for company. Only meaningful when
      *        maxBatch > 1.
+     * @param cache Optional solve cache: keyed requests whose exact
+     *        entry is ready at pop are diverted to
+     *        CollectedBatch::cacheHits instead of occupying the batch.
      */
-    Batcher(RequestQueue &queue, std::size_t maxBatch, double maxWaitUs);
+    Batcher(RequestQueue &queue, std::size_t maxBatch, double maxWaitUs,
+            SolveCache *cache = nullptr);
 
     /**
      * Block for the next batch.
      * @return false when the queue is closed and drained and the stash
-     *         is empty — the worker should exit. When true, entries
-     *         and/or expired hold at least one request.
+     *         is empty — the worker should exit. When true, entries,
+     *         expired and/or cacheHits hold at least one request.
      */
     bool collect(CollectedBatch &out);
 
@@ -92,9 +105,13 @@ class Batcher
     bool takeStash(QueueEntry &out);
     void putStash(QueueEntry entry);
 
+    /** True when the entry should be answered from the exact cache. */
+    bool cacheReady(const QueueEntry &entry) const;
+
     RequestQueue &queue_;
     const std::size_t maxBatch_;
     const double maxWaitUs_;
+    SolveCache *const cache_;
 
     std::mutex stashMutex_;
     std::deque<QueueEntry> stash_;

@@ -23,8 +23,15 @@ isCounterKey(const std::string &key)
     // The batch family mixes counts (dispatched/requests/partial
     // failures, plus the size histogram above) with point-in-time
     // occupancy and wait-percentile gauges.
-    static const char *kExact[] = {"batch.dispatched", "batch.requests",
-                                   "batch.partial_failure"};
+    static const char *kExact[] = {"batch.dispatched",
+                                   "batch.requests",
+                                   "batch.partial_failure",
+                                   "cache.exact_hit",
+                                   "cache.warm_hit",
+                                   "cache.miss",
+                                   "cache.evict",
+                                   "cache.insert",
+                                   "cache.single_flight_waits"};
     for (const char *exact : kExact)
         if (key == exact)
             return true;

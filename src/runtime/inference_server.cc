@@ -67,9 +67,12 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     ENODE_ASSERT(options_.maxBatch >= 1, "maxBatch must be >= 1");
     ENODE_ASSERT(options_.batchWaitUs >= 0.0,
                  "batchWaitUs must be >= 0");
+    if (options_.cache.enabled)
+        solveCache_ = std::make_unique<SolveCache>(options_.cache);
     if (options_.maxBatch > 1)
         batcher_ = std::make_unique<Batcher>(queue_, options_.maxBatch,
-                                             options_.batchWaitUs);
+                                             options_.batchWaitUs,
+                                             solveCache_.get());
 
     // Intra-op width: clamp workers * width to the machine, then build
     // one shared tile pool for all workers. Each worker contributes
@@ -119,6 +122,19 @@ InferenceServer::InferenceServer(ModelFactory make_model,
                              "controller factory returned null");
             }
         }
+        // Warm tier on: wrap every controller in a recording/replaying
+        // decorator. The wrapped controller still sees every callback,
+        // so disabling the cache cannot change any trial sequence.
+        if (solveCache_ != nullptr && options_.cache.warmCapacity > 0) {
+            worker->warm = std::make_unique<WarmStartController>(
+                worker->controller.get());
+            worker->batchWarm.reserve(worker->batchControllers.size());
+            for (auto &inner : worker->batchControllers)
+                worker->batchWarm.push_back(
+                    std::make_unique<WarmStartController>(inner.get()));
+            worker->batchWarmScratch.resize(
+                worker->batchControllers.size());
+        }
         workers_.push_back(std::move(worker));
         inflight_.push_back(std::make_unique<InFlight>());
     }
@@ -129,6 +145,31 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     // scratch space from here on.
     for (std::size_t i = 1; i < workers_.size(); i++)
         workers_[i]->model->syncParametersFrom(*workers_[0]->model);
+
+    // Model-version digest every cache key embeds: the weights plus
+    // everything else a response's bytes depend on (solver options,
+    // tableau, controller policy, layer schedule). Two servers agree on
+    // a key only when a fresh solve would produce identical outputs.
+    if (solveCache_ != nullptr) {
+        StreamHasher hasher;
+        NodeModel &master = *workers_[0]->model;
+        for (const ParamSlot &slot : master.paramSlots()) {
+            hasher.update(slot.name.data(), slot.name.size());
+            hashTensorInto(hasher, *slot.param);
+        }
+        hasher.updateDouble(master.layerTime());
+        hasher.update(static_cast<std::uint64_t>(master.numLayers()));
+        hasher.updateDouble(options_.ivp.tolerance);
+        hasher.updateDouble(options_.ivp.initialDt);
+        hasher.updateDouble(options_.ivp.minDt);
+        hasher.update(options_.ivp.maxTrialsPerPoint);
+        hasher.update(options_.ivp.maxEvalPoints);
+        hasher.update(options_.ivp.quantizeFp16 ? 1u : 0u);
+        hasher.update(tableau_.name().data(), tableau_.name().size());
+        const std::string controller = workers_[0]->controller->name();
+        hasher.update(controller.data(), controller.size());
+        modelDigest_ = hasher.digest();
+    }
 
     // Arm tracing before the first worker spawns so every worker's
     // first event registers its ring against this server's generation.
@@ -190,10 +231,61 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
     const std::uint64_t id = entry.request.id;
     std::future<InferResponse> future = entry.promise.get_future();
 
+    if (solveCache_ != nullptr) {
+        // Stamp the cache identities onto the request, then try the
+        // exact tier right here on the admission path: a ready value
+        // answers without ever touching the queue, and an in-flight
+        // identical solve absorbs this request as a follower.
+        if (options_.cache.exactCapacity > 0) {
+            StreamHasher hasher;
+            hasher.update(modelDigest_.hi);
+            hasher.update(modelDigest_.lo);
+            hashTensorInto(hasher, entry.request.input);
+            entry.request.cacheKey = hasher.digest();
+        }
+        if (options_.cache.warmCapacity > 0) {
+            // Mixed with the model digest so two servers' signature
+            // spaces do not alias; 0 stays the "no signature" sentinel.
+            entry.request.warmSig = mix64(
+                coarseSignature(entry.request.input,
+                                options_.cache.signatureQuantum) ^
+                modelDigest_.lo);
+        }
+        if (entry.request.cacheKey.valid()) {
+            Tensor hit;
+            switch (solveCache_->lookupOrAttach(entry.request.cacheKey,
+                                                entry, hit)) {
+              case SolveCache::Lookup::Hit:
+                metrics_.recordAdmitted();
+                deliverCacheHit(0, entry, std::move(hit));
+                sub.accepted = true;
+                sub.id = id;
+                sub.result = std::move(future);
+                return sub;
+              case SolveCache::Lookup::Attached:
+                // The entry (promise included) now rides the pending
+                // solve; the owner's publish will fulfil it.
+                metrics_.recordAdmitted();
+                sub.accepted = true;
+                sub.id = id;
+                sub.result = std::move(future);
+                return sub;
+              case SolveCache::Lookup::Miss:
+                break; // queue and own the solve
+            }
+        }
+    }
+
+    const Hash128 key = entry.request.cacheKey; // survives the push
     if (!queue_.tryPush(entry)) {
         metrics_.recordRejected();
         return sub; // backpressure: accepted stays false
     }
+    // Announce ownership only after the entry is safely queued, so a
+    // pending cache entry always has a solve behind it. A raced
+    // identical owner is harmless: both solve, both publish.
+    if (key.valid())
+        solveCache_->registerPending(key);
     metrics_.recordAdmitted();
     sub.accepted = true;
     sub.id = id;
@@ -220,7 +312,7 @@ InferenceServer::stop(bool drain)
     std::vector<QueueEntry> leftovers = queue_.close(drain);
     resume(); // paused workers must wake to drain or exit
 
-    for (auto &entry : leftovers) {
+    const auto cancelEntry = [this](QueueEntry &entry) {
         // A full Cancelled response through recordCompletion — the
         // single terminal-state accounting path — so admitted ==
         // completed + expired + failed + cancelled holds exactly.
@@ -232,11 +324,36 @@ InferenceServer::stop(bool drain)
         response.completionIndex = nextCompletionIndex_.fetch_add(1);
         metrics_.recordCompletion(response);
         entry.promise.set_value(std::move(response));
+    };
+
+    // Cancelled entries may own pending cache entries with attached
+    // followers; retracting those surfaces the followers, which are
+    // cancelled in the same sweep (the queue is closed, so they cannot
+    // be re-dispatched).
+    while (!leftovers.empty()) {
+        QueueEntry entry = std::move(leftovers.back());
+        leftovers.pop_back();
+        if (solveCache_ != nullptr && entry.request.cacheKey.valid()) {
+            std::vector<QueueEntry> followers =
+                solveCache_->publishFailure(entry.request.cacheKey);
+            for (QueueEntry &f : followers)
+                leftovers.push_back(std::move(f));
+        }
+        cancelEntry(entry);
     }
 
     for (auto &worker : workers_)
         if (worker->thread.joinable())
             worker->thread.join();
+
+    // Defensive sweep: every keyed request terminates through a
+    // publish, so pending entries should be gone by now — but a
+    // follower must never be left with an unfulfilled promise.
+    if (solveCache_ != nullptr) {
+        std::vector<QueueEntry> stranded = solveCache_->drainPending();
+        for (QueueEntry &f : stranded)
+            cancelEntry(f);
+    }
 
     // The watchdog outlives the workers so draining solves stay
     // protected; only after the last worker exits is it retired.
@@ -271,9 +388,70 @@ InferenceServer::metricsText() const
     queue_stats.set("queue.closed_rejected",
                     static_cast<double>(queue_.closedRejected()));
     text += prometheusText(queue_stats);
+    if (solveCache_ != nullptr)
+        text += prometheusText(solveCache_->snapshot());
     if (publisher_ != nullptr)
         text += prometheusText(publisher_->snapshot());
     return text;
+}
+
+void
+InferenceServer::deliverCacheHit(std::size_t worker_id, QueueEntry &entry,
+                                 Tensor value)
+{
+    const auto now = RuntimeClock::now();
+    TraceSpan span("request.cache_hit", "serve");
+    span.arg("id", static_cast<double>(entry.request.id));
+    InferResponse response;
+    response.id = entry.request.id;
+    response.status = RequestStatus::Ok;
+    response.cacheHit = true;
+    response.output = std::move(value);
+    response.queueWaitMs = toMs(now - entry.enqueueTime);
+    response.totalMs = response.queueWaitMs;
+    response.deadlineMet = now <= entry.request.deadline;
+    response.workerId = worker_id;
+    response.completionIndex = nextCompletionIndex_.fetch_add(1);
+    metrics_.recordCompletion(response);
+    entry.promise.set_value(std::move(response));
+}
+
+void
+InferenceServer::deliverFollowers(std::size_t worker_id,
+                                  std::vector<QueueEntry> followers,
+                                  const Tensor &value)
+{
+    for (QueueEntry &f : followers)
+        deliverCacheHit(worker_id, f, value); // copies (pooled storage)
+}
+
+void
+InferenceServer::redispatchFollowers(std::vector<QueueEntry> followers)
+{
+    for (QueueEntry &f : followers) {
+        // Back into the queue as an ordinary request: it solves for
+        // itself and publishes its own outcome. A queue that refuses
+        // (closed at shutdown, or full) cancels the request — the
+        // backpressure verdict it would have received at admission.
+        if (queue_.tryPush(f))
+            continue;
+        InferResponse response;
+        response.id = f.request.id;
+        response.status = RequestStatus::Cancelled;
+        response.queueWaitMs = toMs(RuntimeClock::now() - f.enqueueTime);
+        response.totalMs = response.queueWaitMs;
+        response.completionIndex = nextCompletionIndex_.fetch_add(1);
+        metrics_.recordCompletion(response);
+        f.promise.set_value(std::move(response));
+    }
+}
+
+void
+InferenceServer::retractPending(const InferRequest &request)
+{
+    if (solveCache_ == nullptr || !request.cacheKey.valid())
+        return;
+    redispatchFollowers(solveCache_->publishFailure(request.cacheKey));
 }
 
 void
@@ -369,6 +547,7 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     // failure now instead of a full solve whose response could only
     // arrive late.
     if (start > entry.request.deadline) {
+        retractPending(entry.request); // an expired owner frees its followers
         InferResponse response;
         response.id = entry.request.id;
         response.status = RequestStatus::DeadlineExceeded;
@@ -382,6 +561,17 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
         metrics_.recordCompletion(response);
         entry.promise.set_value(std::move(response));
         return;
+    }
+
+    // Dispatch-time cache screen: the key may have become ready while
+    // this request sat in the queue (another owner finished first).
+    if (solveCache_ != nullptr && entry.request.cacheKey.valid()) {
+        Tensor cached;
+        if (solveCache_->tryServe(entry.request.cacheKey, cached)) {
+            serve_span.arg("cache_hit", 1.0);
+            deliverCacheHit(worker_id, entry, std::move(cached));
+            return;
+        }
     }
 
     activeWorkers_.fetch_add(1, std::memory_order_relaxed);
@@ -417,12 +607,27 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     // request climbed and what each returned.
     IvpStats aggregate;
     std::uint32_t retries = 0;
+    // Warm tier on: the rung-0 solve runs through the warm-start
+    // decorator, replaying a cached dt-schedule when a statistically
+    // similar input has solved cleanly before, and recording this
+    // solve's accepted schedule either way. Ladder rungs below keep
+    // using the wrapped controller directly — degraded solves neither
+    // replay nor populate the schedule cache.
+    StepController *rung0 = worker.controller.get();
+    if (worker.warm != nullptr) {
+        const DtSchedule *replay = nullptr;
+        if (solveCache_->warmLookup(entry.request.warmSig,
+                                    worker.warmScratch))
+            replay = &worker.warmScratch;
+        worker.warm->beginSolve(replay);
+        rung0 = worker.warm.get();
+    }
     NodeForwardResult fwd;
     {
         TraceSpan rung_span("request.solve", "serve");
         rung_span.arg("rung", 0.0);
         fwd = worker.model->forward(entry.request.input, tableau_,
-                                    *worker.controller, options_.ivp,
+                                    *rung0, options_.ivp,
                                     nullptr, &guard);
         rung_span.arg("status", static_cast<double>(fwd.status));
     }
@@ -468,6 +673,8 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     response.deadlineMet = end <= entry.request.deadline;
     response.workerId = worker_id;
     response.retries = retries;
+    response.warmStarted =
+        worker.warm != nullptr && worker.warm->replayedPoints() > 0;
     // The final screen: no response ever carries a non-finite value.
     if (fwd.status == SolveStatus::Ok && fwd.output.isFinite()) {
         response.status = RequestStatus::Ok;
@@ -507,6 +714,35 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
             deliver = true;
         }
     }
+
+    // Cache bookkeeping at the terminal: only a *clean* solve — Ok,
+    // no ladder rung, no retry, and actually delivered by this worker
+    // (a watchdog takeover means the solve was aborted mid-flight) —
+    // may populate either tier. Anything else retracts the pending
+    // entry so followers go solve for themselves. An armed fault
+    // injector also blocks caching outright: a transiently-corrupted
+    // solve can heal into an Ok response whose bytes a fresh solve
+    // would not reproduce.
+    if (solveCache_ != nullptr) {
+        const bool clean = deliver &&
+                           response.status == RequestStatus::Ok &&
+                           !response.degraded && response.retries == 0 &&
+                           !FaultInjector::instance().armed();
+        if (entry.request.cacheKey.valid()) {
+            if (clean) {
+                deliverFollowers(
+                    worker_id,
+                    solveCache_->publishSuccess(entry.request.cacheKey,
+                                                response.output),
+                    response.output);
+            } else {
+                retractPending(entry.request);
+            }
+        }
+        if (clean && worker.warm != nullptr)
+            solveCache_->warmInsert(entry.request.warmSig, *worker.warm);
+    }
+
     if (deliver) {
         metrics_.recordCompletion(response);
         to_deliver.set_value(std::move(response));
@@ -519,6 +755,7 @@ InferenceServer::expireEntry(std::size_t worker_id, QueueEntry &entry)
     // Same structured failure the solo path gives a request whose
     // deadline lapsed in the queue — here it may also have lapsed
     // inside the batcher's collect window. Never solved either way.
+    retractPending(entry.request);
     InferResponse response;
     response.id = entry.request.id;
     response.status = RequestStatus::DeadlineExceeded;
@@ -538,6 +775,18 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
     InFlight &flight = *inflight_[worker_id];
     for (auto &entry : batch.expired)
         expireEntry(worker_id, entry);
+    // Requests the batcher screened as cache-ready: answer each from
+    // the cache now, re-checking under the shard lock — the entry may
+    // have been evicted since the screen, in which case the request
+    // falls back to an ordinary solo solve on this worker.
+    for (auto &entry : batch.cacheHits) {
+        Tensor cached;
+        if (solveCache_ != nullptr &&
+            solveCache_->tryServe(entry.request.cacheKey, cached))
+            deliverCacheHit(worker_id, entry, std::move(cached));
+        else
+            serveOne(worker_id, entry);
+    }
     if (batch.entries.empty())
         return;
 
@@ -601,7 +850,20 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         guard_storage[i].maxFEvals = options_.degrade.maxFEvalsPerRequest;
         guard_storage[i].abortFlag = &flight.abort;
         guards[i] = &guard_storage[i];
-        controllers[i] = worker.batchControllers[i].get();
+        // Warm tier on: each sample's slot controller is its warm-start
+        // decorator, armed with the schedule cached for that sample's
+        // own input signature — per-sample warm-starting inside one
+        // batched solve, exactly as each would warm-start solo.
+        if (!worker.batchWarm.empty()) {
+            const DtSchedule *replay = nullptr;
+            if (solveCache_->warmLookup(entry.request.warmSig,
+                                        worker.batchWarmScratch[i]))
+                replay = &worker.batchWarmScratch[i];
+            worker.batchWarm[i]->beginSolve(replay);
+            controllers[i] = worker.batchWarm[i].get();
+        } else {
+            controllers[i] = worker.batchControllers[i].get();
+        }
     }
 
     // Publish every sample to the in-flight slot so the hang watchdog
@@ -696,6 +958,8 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         response.workerId = worker_id;
         response.retries = retries;
         response.batchSize = n;
+        response.warmStarted = !worker.batchWarm.empty() &&
+                               worker.batchWarm[i]->replayedPoints() > 0;
         // Same final screen as the solo path: no response ever carries
         // a non-finite value.
         if (status == SolveStatus::Ok && output.isFinite()) {
@@ -726,6 +990,34 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
                 deliver = true;
             }
         }
+
+        // Per-sample cache bookkeeping, same cleanliness gate as the
+        // solo path. A watchdog-taken or ladder-recovered sample never
+        // populates either tier, so one poisoned batchmate cannot
+        // contaminate the cache for anyone — its followers simply
+        // re-dispatch and solve for themselves.
+        if (solveCache_ != nullptr) {
+            const bool clean = deliver &&
+                               response.status == RequestStatus::Ok &&
+                               !response.degraded &&
+                               response.retries == 0 &&
+                               !FaultInjector::instance().armed();
+            if (entry.request.cacheKey.valid()) {
+                if (clean) {
+                    deliverFollowers(
+                        worker_id,
+                        solveCache_->publishSuccess(
+                            entry.request.cacheKey, response.output),
+                        response.output);
+                } else {
+                    retractPending(entry.request);
+                }
+            }
+            if (clean && !worker.batchWarm.empty())
+                solveCache_->warmInsert(entry.request.warmSig,
+                                        *worker.batchWarm[i]);
+        }
+
         if (deliver) {
             if (response.status == RequestStatus::Ok)
                 any_ok = true;

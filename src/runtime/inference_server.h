@@ -34,10 +34,12 @@
 
 #include "common/task_pool.h"
 #include "core/node_model.h"
+#include "ode/warm_start.h"
 #include "runtime/batcher.h"
 #include "runtime/metrics.h"
 #include "runtime/metrics_publisher.h"
 #include "runtime/request_queue.h"
+#include "runtime/solve_cache.h"
 
 namespace enode {
 
@@ -152,6 +154,15 @@ struct ServerOptions
 
     /** Failure handling: retry/fallback ladder and watchdog. */
     DegradePolicy degrade;
+
+    /**
+     * Cross-solve caching for repeat traffic (runtime/solve_cache.h):
+     * exact dedup + single-flight on tier 1, dt-schedule warm-starting
+     * on tier 2. Off by default; enabling it changes no response's
+     * correctness contract — exact hits are bitwise identical to a
+     * fresh solve, warm-started solves stay within solver tolerance.
+     */
+    CacheOptions cache;
 
     /**
      * Arm the process-wide span tracer (common/trace_span.h) for this
@@ -275,6 +286,13 @@ class InferenceServer
     /** The tableau requests are integrated with (RK23, as the paper). */
     const ButcherTableau &tableau() const { return tableau_; }
 
+    /** The solve cache; null unless ServerOptions::cache.enabled. */
+    const SolveCache *solveCache() const { return solveCache_.get(); }
+
+    /** Digest of (weights, solver config) every cache key embeds;
+     *  invalid when caching is off. Exposed for key-stability tests. */
+    const Hash128 &modelDigest() const { return modelDigest_; }
+
   private:
     struct Worker
     {
@@ -287,6 +305,18 @@ class InferenceServer
          * would, so batch composition cannot perturb a sample's steps.
          */
         std::vector<std::unique_ptr<StepController>> batchControllers;
+        /**
+         * Warm-start decorators over the controllers above (solo and
+         * per batch slot), present only when the cache's warm tier is
+         * on. Rung-0 solves run through the decorator (replay +
+         * record); ladder rungs use the wrapped controller directly.
+         */
+        std::unique_ptr<WarmStartController> warm;
+        std::vector<std::unique_ptr<WarmStartController>> batchWarm;
+        /** Replay buffers the decorators copy cached schedules into
+         *  (per slot, reused across requests — no steady-state alloc). */
+        DtSchedule warmScratch;
+        std::vector<DtSchedule> batchWarmScratch;
         std::thread thread;
     };
 
@@ -331,6 +361,31 @@ class InferenceServer
     void workerMain(std::size_t worker_id);
     void serveOne(std::size_t worker_id, QueueEntry &entry);
     /**
+     * Answer `entry` with a copy of the cached `value` (exact-tier
+     * hit or single-flight follower delivery): full Ok response with
+     * cacheHit set, zero solver stats, routed through the single
+     * accounting path.
+     */
+    void deliverCacheHit(std::size_t worker_id, QueueEntry &entry,
+                         Tensor value);
+    /** deliverCacheHit for every follower an owner's solve released. */
+    void deliverFollowers(std::size_t worker_id,
+                          std::vector<QueueEntry> followers,
+                          const Tensor &value);
+    /**
+     * A pending solve failed: push its followers back into the queue
+     * to be solved as ordinary requests; followers the (closing) queue
+     * refuses are Cancelled.
+     */
+    void redispatchFollowers(std::vector<QueueEntry> followers);
+    /**
+     * Terminal bookkeeping for a keyed request that did not produce a
+     * cacheable value (expired / failed / degraded / cancelled /
+     * watchdog-taken): retract its pending entry and re-dispatch the
+     * followers. No-op for unkeyed requests.
+     */
+    void retractPending(const InferRequest &request);
+    /**
      * Serve one coalesced batch: fail the expired entries, run the
      * batched solve, then walk the degradation ladder per failing
      * sample (its batchmates are unaffected). Handles batches of any
@@ -350,6 +405,10 @@ class InferenceServer
     /** Coalescing stage between the queue and the workers; null when
      *  maxBatch == 1 (workers pop the queue directly). */
     std::unique_ptr<Batcher> batcher_;
+    /** Two-tier cross-solve cache; null when cache.enabled is false. */
+    std::unique_ptr<SolveCache> solveCache_;
+    /** Folded into every request's cache key (see modelDigest()). */
+    Hash128 modelDigest_;
     MetricsRegistry metrics_;
     std::vector<std::unique_ptr<Worker>> workers_;
 

@@ -87,8 +87,25 @@ MetricsRegistry::recordCompletion(const InferResponse &response)
         queueWaitMs_.add(response.queueWaitMs);
         solveMs_.add(response.solveMs);
         totalMs_.add(response.totalMs);
-        fEvals_.add(static_cast<double>(response.stats.fEvals));
-        trials_.add(static_cast<double>(response.stats.trials));
+        if (response.cacheHit) {
+            // No solver work behind this response; feeding its zero
+            // stats into the solver series would make cache hits look
+            // like impossibly cheap solves.
+            cacheHits_++;
+        } else {
+            fEvals_.add(static_cast<double>(response.stats.fEvals));
+            trials_.add(static_cast<double>(response.stats.trials));
+            if (response.warmStarted)
+                warmStarted_++;
+            if (response.stats.evalPoints > 0) {
+                const double tpp =
+                    static_cast<double>(response.stats.trials) /
+                    static_cast<double>(response.stats.evalPoints);
+                (response.warmStarted ? trialsPerPointWarm_
+                                      : trialsPerPointCold_)
+                    .add(tpp);
+            }
+        }
         if (response.degraded) {
             degraded_++;
             degradedMs_.add(response.totalMs);
@@ -146,6 +163,10 @@ MetricsRegistry::summary() const
     s.degradedP99Ms = degradedMs_.percentile(99.0);
     s.meanFEvals = fEvals_.mean();
     s.meanTrials = trials_.mean();
+    s.cacheHits = cacheHits_;
+    s.warmStarted = warmStarted_;
+    s.trialsPerPointWarm = trialsPerPointWarm_.mean();
+    s.trialsPerPointCold = trialsPerPointCold_.mean();
     s.batchesDispatched = batchesDispatched_;
     s.batchedRequests = batchedRequests_;
     s.partialFailures = partialFailures_;
@@ -201,6 +222,10 @@ MetricsRegistry::snapshot(const std::string &group_name) const
     group.set("latency.degraded.p99_ms", s.degradedP99Ms);
     group.set("solver.mean_f_evals", s.meanFEvals);
     group.set("solver.mean_trials", s.meanTrials);
+    group.set("requests.cache_hits", static_cast<double>(s.cacheHits));
+    group.set("requests.warm_started", static_cast<double>(s.warmStarted));
+    group.set("solver.trials_per_point.warm_mean", s.trialsPerPointWarm);
+    group.set("solver.trials_per_point.cold_mean", s.trialsPerPointCold);
     group.set("batch.dispatched", static_cast<double>(s.batchesDispatched));
     group.set("batch.requests", static_cast<double>(s.batchedRequests));
     group.set("batch.partial_failure",
@@ -247,6 +272,10 @@ MetricsRegistry::reset()
     fEvals_.reset();
     trials_.reset();
     coalesceWaitMs_.reset();
+    cacheHits_ = 0;
+    warmStarted_ = 0;
+    trialsPerPointWarm_.reset();
+    trialsPerPointCold_.reset();
     batchSize_.reset();
 }
 

@@ -58,8 +58,21 @@ struct MetricsSummary
     /** End-to-end latency of degraded (retried / fallback) responses. */
     double degradedP50Ms = 0.0, degradedP95Ms = 0.0, degradedP99Ms = 0.0;
 
+    /** Mean f-evals / search trials per *solved* Ok response (cache
+     *  hits, which do no solver work, are excluded from both). */
     double meanFEvals = 0.0;
     double meanTrials = 0.0;
+
+    /** Ok responses answered from the exact-dedup cache. */
+    std::uint64_t cacheHits = 0;
+    /** Ok responses whose solve replayed a cached dt-schedule. */
+    std::uint64_t warmStarted = 0;
+    /** Mean accepted-trials per evaluation point, split by whether the
+     *  solve replayed a cached schedule — the bench's headline for the
+     *  tier-2 win (cold search pays multiple trials per point; a good
+     *  replay pays ~1). */
+    double trialsPerPointWarm = 0.0;
+    double trialsPerPointCold = 0.0;
 
     /** Batched solves dispatched (each covers >= 1 request). */
     std::uint64_t batchesDispatched = 0;
@@ -148,6 +161,10 @@ class MetricsRegistry
     SampleSeries fEvals_;
     SampleSeries trials_;
     SampleSeries coalesceWaitMs_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t warmStarted_ = 0;
+    SampleSeries trialsPerPointWarm_;
+    SampleSeries trialsPerPointCold_;
     /** Bin i counts batches of size i + 1 (clamping at 32). */
     Histogram batchSize_{0.5, 32.5, 32};
 };

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "ode/ivp.h"
+#include "tensor/hash.h"
 #include "tensor/tensor.h"
 
 namespace enode {
@@ -42,6 +43,21 @@ struct InferRequest
 
     /** Initial state h(0) of the NODE forward pass. */
     Tensor input;
+
+    /**
+     * Exact-dedup cache key: digest of (model version, solver config,
+     * input bytes), stamped at admission when the solve cache is on.
+     * Invalid (all-zero) when caching is off — the serving paths then
+     * skip every cache interaction for this request.
+     */
+    Hash128 cacheKey;
+
+    /**
+     * Warm-start signature: coarse quantized-statistics bucket of the
+     * input (tensor/hash.h coarseSignature mixed with the model
+     * version). 0 means "no signature" (warm tier off).
+     */
+    std::uint64_t warmSig = 0;
 };
 
 /** Terminal state of a request. */
@@ -118,6 +134,21 @@ struct InferResponse
      * any worker). Tests use this to assert priority ordering.
      */
     std::uint64_t completionIndex = 0;
+
+    /**
+     * True when the output came from the exact-dedup cache (either an
+     * immediate hit or single-flight delivery off another request's
+     * solve) — bitwise identical to a fresh solve, with zero solver
+     * work attributed to this request (`stats` is empty).
+     */
+    bool cacheHit = false;
+
+    /**
+     * True when the solve replayed at least one step of a cached
+     * dt-schedule (tier-2 warm start). The output is this request's own
+     * solve, within solver tolerance of a cold solve.
+     */
+    bool warmStarted = false;
 };
 
 } // namespace enode

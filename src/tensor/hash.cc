@@ -1,0 +1,130 @@
+#include "tensor/hash.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace enode {
+
+namespace {
+
+// Independent lane seeds (fractional parts of sqrt(2) and sqrt(3)).
+constexpr std::uint64_t kSeedA = 0x6A09E667F3BCC909ull;
+constexpr std::uint64_t kSeedB = 0xBB67AE8584CAA73Bull;
+// Distinct odd multipliers per lane (FNV prime and a splitmix step).
+constexpr std::uint64_t kMulA = 0x100000001B3ull;
+constexpr std::uint64_t kMulB = 0x9E3779B97F4A7C15ull;
+
+} // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+StreamHasher::StreamHasher() : laneA_(kSeedA), laneB_(kSeedB) {}
+
+void
+StreamHasher::update(std::uint64_t word)
+{
+    laneA_ = (laneA_ ^ word) * kMulA;
+    laneB_ = (laneB_ ^ mix64(word)) * kMulB;
+    length_ += 8;
+}
+
+void
+StreamHasher::updateDouble(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value), "double is 64-bit");
+    std::memcpy(&bits, &value, sizeof(bits));
+    update(bits);
+}
+
+void
+StreamHasher::update(const void *data, std::size_t bytes)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t word;
+    while (bytes >= 8) {
+        std::memcpy(&word, p, 8);
+        laneA_ = (laneA_ ^ word) * kMulA;
+        laneB_ = (laneB_ ^ mix64(word)) * kMulB;
+        p += 8;
+        bytes -= 8;
+        length_ += 8;
+    }
+    if (bytes > 0) {
+        // Zero-padded tail word tagged with its length so "abc" and
+        // "abc\0" cannot collide.
+        word = 0;
+        std::memcpy(&word, p, bytes);
+        laneA_ = (laneA_ ^ word) * kMulA;
+        laneB_ = (laneB_ ^ mix64(word ^ bytes)) * kMulB;
+        length_ += bytes;
+    }
+}
+
+Hash128
+StreamHasher::digest() const
+{
+    // Cross-mix the lanes with the absorbed length so truncated and
+    // extended streams diverge, then avalanche each output word.
+    Hash128 out;
+    out.hi = mix64(laneA_ ^ mix64(laneB_ + length_));
+    out.lo = mix64(laneB_ ^ mix64(laneA_ + (length_ << 1)));
+    return out;
+}
+
+void
+hashTensorInto(StreamHasher &hasher, const Tensor &t)
+{
+    hasher.update(static_cast<std::uint64_t>(t.shape().rank()));
+    for (std::size_t i = 0; i < t.shape().rank(); i++)
+        hasher.update(static_cast<std::uint64_t>(t.shape().dim(i)));
+    hasher.update(t.data(), t.numel() * sizeof(float));
+}
+
+Hash128
+hashTensor(const Tensor &t)
+{
+    StreamHasher hasher;
+    hashTensorInto(hasher, t);
+    return hasher.digest();
+}
+
+std::uint64_t
+coarseSignature(const Tensor &t, double quantum)
+{
+    StreamHasher hasher;
+    hasher.update(static_cast<std::uint64_t>(t.shape().rank()));
+    for (std::size_t i = 0; i < t.shape().rank(); i++)
+        hasher.update(static_cast<std::uint64_t>(t.shape().dim(i)));
+    if (quantum <= 0.0)
+        quantum = 1.0;
+    // Quantized first and second moments: cheap (one pass), stable
+    // under byte-level perturbation, and discriminative enough to keep
+    // unrelated workloads out of each other's schedule buckets.
+    double sum = 0.0, sumsq = 0.0;
+    const float *p = t.data();
+    const std::size_t n = t.numel();
+    for (std::size_t i = 0; i < n; i++) {
+        sum += p[i];
+        sumsq += static_cast<double>(p[i]) * p[i];
+    }
+    const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    const double rms =
+        n > 0 ? std::sqrt(sumsq / static_cast<double>(n)) : 0.0;
+    const auto bucket = [quantum](double v) {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(std::llround(v / quantum)));
+    };
+    hasher.update(bucket(mean));
+    hasher.update(bucket(rms));
+    return hasher.digest().lo;
+}
+
+} // namespace enode

@@ -1,0 +1,100 @@
+#ifndef ENODE_TENSOR_HASH_H
+#define ENODE_TENSOR_HASH_H
+
+/**
+ * @file
+ * Strong content hashing for tensors and solver configuration.
+ *
+ * The serving-side solve cache (src/runtime/solve_cache.h) keys exact
+ * result lookups by the *bytes* of the input tensor plus the model
+ * version and solver configuration: two requests collide only when a
+ * fresh solve would produce bitwise-identical outputs. That demands a
+ * hash wide enough that accidental collisions are out of reach for any
+ * realistic cache lifetime (2^64 entries for a birthday bound on 128
+ * bits) and fast enough to sit on the admission path of every request.
+ *
+ * The hasher is a two-lane mixed FNV/splitmix construction: bulk data
+ * is consumed 8 bytes at a time into two independently-seeded 64-bit
+ * lanes, each finalized through the splitmix64 avalanche. It is NOT
+ * cryptographic — the cache is not a trust boundary (an adversary able
+ * to submit tensors already gets arbitrary solver work) — but it is
+ * abundantly collision-resistant for dedup keying, and deterministic
+ * across runs and platforms of equal endianness.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace enode {
+
+/** 128-bit digest, comparable and usable as an unordered-map key. */
+struct Hash128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Hash128 &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const Hash128 &o) const { return !(*this == o); }
+
+    /** True once any bytes have been absorbed (an all-zero digest is
+     *  astronomically unlikely from real input). */
+    bool valid() const { return hi != 0 || lo != 0; }
+};
+
+/** splitmix64 finalizer: the avalanche step used across the repo. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Streaming two-lane 128-bit hasher. Absorb bytes and integers in any
+ * order; the digest depends on the full absorbed sequence. Stateless
+ * apart from the two lanes, so it lives on the stack of the admission
+ * path with zero allocation.
+ */
+class StreamHasher
+{
+  public:
+    StreamHasher();
+
+    /** Absorb a raw byte range. */
+    void update(const void *data, std::size_t bytes);
+
+    /** Absorb one 64-bit word (length/shape/config mixing). */
+    void update(std::uint64_t word);
+
+    /** Absorb a double bit pattern (solver tolerances etc.). */
+    void updateDouble(double value);
+
+    /** Finalize (the hasher may keep absorbing afterwards; digest() is
+     *  a pure function of what has been absorbed so far). */
+    Hash128 digest() const;
+
+  private:
+    std::uint64_t laneA_;
+    std::uint64_t laneB_;
+    std::uint64_t length_ = 0;
+};
+
+/** Digest of a tensor's shape and exact contents (bitwise). */
+Hash128 hashTensor(const Tensor &t);
+
+/** Absorb shape + contents into an existing hasher. */
+void hashTensorInto(StreamHasher &hasher, const Tensor &t);
+
+/**
+ * Coarse input signature for warm-start keying: the tensor's shape
+ * plus its mean and RMS quantized to a grid of `quantum`. Inputs that
+ * are statistically close (same class / same sensor regime) land in
+ * the same bucket even when their bytes differ, which is exactly what
+ * schedule reuse wants; the schedule is a hint, not a contract, so
+ * boundary flips only cost a cold search.
+ */
+std::uint64_t coarseSignature(const Tensor &t, double quantum);
+
+} // namespace enode
+
+#endif // ENODE_TENSOR_HASH_H

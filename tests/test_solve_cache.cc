@@ -1,0 +1,752 @@
+/**
+ * @file
+ * Two-tier cross-solve cache: content hashing, exact-dedup storage with
+ * single-flight and LRU bounds, dt-schedule warm-starting, the
+ * StepController::reset() repeatability contract the warm tier depends
+ * on, and the serving-runtime integration (bitwise exact hits,
+ * concurrent dedup, warm solves within tolerance, chaos/watchdog
+ * non-poisoning). Built and run under ASan/UBSan and TSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ode/step_control.h"
+#include "ode/warm_start.h"
+#include "runtime/inference_server.h"
+#include "runtime/solve_cache.h"
+#include "tensor/hash.h"
+
+namespace enode {
+namespace {
+
+constexpr std::uint64_t kSeed = 20240606;
+constexpr std::size_t kDim = 6;
+
+std::unique_ptr<NodeModel>
+makeReferenceModel()
+{
+    Rng rng(kSeed);
+    return NodeModel::makeMlp(/*num_layers=*/2, kDim, /*hidden=*/24,
+                              /*f_depth=*/1, rng);
+}
+
+IvpOptions
+servingOptions()
+{
+    IvpOptions opts;
+    opts.tolerance = 1e-4;
+    opts.initialDt = 0.05;
+    opts.recordCheckpoints = false;
+    return opts;
+}
+
+Tensor
+makeInput(std::uint64_t salt)
+{
+    Rng rng(kSeed + 1000 + salt);
+    return Tensor::randn(Shape{kDim}, rng, 0.5f);
+}
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       a.numel() * sizeof(float)) == 0;
+}
+
+ServerOptions
+cachedServerOptions(std::size_t workers, std::size_t capacity,
+                    bool paused = false, std::size_t exact_cap = 64,
+                    std::size_t warm_cap = 0)
+{
+    ServerOptions opts;
+    opts.numWorkers = workers;
+    opts.queueCapacity = capacity;
+    opts.ivp = servingOptions();
+    opts.startPaused = paused;
+    opts.cache.enabled = true;
+    opts.cache.exactCapacity = exact_cap;
+    opts.cache.warmCapacity = warm_cap;
+    // Wide quantization bucket so the warm tests' perturbed inputs
+    // deterministically land in the seed input's bucket.
+    opts.cache.signatureQuantum = 0.25;
+    return opts;
+}
+
+// ---------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------
+
+TEST(TensorHash, DeterministicAndSensitive)
+{
+    const Tensor a = makeInput(0);
+    Tensor b(a.shape());
+    b.copyFrom(a);
+    EXPECT_EQ(hashTensor(a), hashTensor(a));
+    EXPECT_EQ(hashTensor(a), hashTensor(b));
+    EXPECT_TRUE(hashTensor(a).valid());
+
+    // One-ULP flip in one element must change the digest.
+    b.data()[2] = std::nextafter(b.data()[2], 1e9f);
+    EXPECT_NE(hashTensor(a), hashTensor(b));
+}
+
+TEST(TensorHash, ShapeIsPartOfTheDigest)
+{
+    Rng rng(kSeed);
+    Tensor flat = Tensor::randn(Shape{6}, rng, 1.0f);
+    Tensor grid(Shape{2, 3});
+    std::memcpy(grid.data(), flat.data(), 6 * sizeof(float));
+    // Same bytes, different logical shape: distinct keys.
+    EXPECT_NE(hashTensor(flat), hashTensor(grid));
+}
+
+TEST(TensorHash, CoarseSignatureBucketsNearbyInputs)
+{
+    const Tensor a = makeInput(1);
+    Tensor near(a.shape());
+    near.copyFrom(a);
+    near.data()[0] += 1e-4f;
+    Tensor far(a.shape());
+    for (std::size_t i = 0; i < far.numel(); i++)
+        far.data()[i] = a.data()[i] * 3.0f + 2.0f;
+
+    const double quantum = 0.25;
+    EXPECT_EQ(coarseSignature(a, quantum), coarseSignature(near, quantum));
+    EXPECT_NE(coarseSignature(a, quantum), coarseSignature(far, quantum));
+    // Exact keys still tell the near pair apart.
+    EXPECT_NE(hashTensor(a), hashTensor(near));
+}
+
+// ---------------------------------------------------------------------
+// SolveCache storage semantics (no server)
+// ---------------------------------------------------------------------
+
+CacheOptions
+unitCacheOptions(std::size_t exact_cap = 8, std::size_t warm_cap = 8)
+{
+    CacheOptions opts;
+    opts.enabled = true;
+    opts.exactCapacity = exact_cap;
+    opts.warmCapacity = warm_cap;
+    opts.shards = 2;
+    return opts;
+}
+
+QueueEntry
+makeEntry(const Hash128 &key)
+{
+    QueueEntry entry;
+    entry.request.cacheKey = key;
+    entry.request.input = makeInput(99);
+    return entry;
+}
+
+TEST(SolveCache, PublishedValueIsServedBitwise)
+{
+    SolveCache cache(unitCacheOptions());
+    const Tensor input = makeInput(2);
+    const Hash128 key = hashTensor(input);
+
+    Tensor out;
+    QueueEntry probe = makeEntry(key);
+    EXPECT_EQ(cache.lookupOrAttach(key, probe, out),
+              SolveCache::Lookup::Miss);
+    EXPECT_TRUE(cache.registerPending(key));
+    EXPECT_FALSE(cache.registerPending(key)); // already in flight
+    EXPECT_FALSE(cache.isReady(key));
+    EXPECT_FALSE(cache.tryServe(key, out));
+
+    EXPECT_TRUE(cache.publishSuccess(key, input).empty());
+    EXPECT_TRUE(cache.isReady(key));
+    EXPECT_TRUE(cache.tryServe(key, out));
+    EXPECT_TRUE(bitwiseEqual(out, input));
+
+    Tensor hit;
+    QueueEntry again = makeEntry(key);
+    EXPECT_EQ(cache.lookupOrAttach(key, again, hit),
+              SolveCache::Lookup::Hit);
+    EXPECT_TRUE(bitwiseEqual(hit, input));
+    EXPECT_EQ(cache.exactHits(), 2u); // tryServe + lookupOrAttach
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.inserts(), 1u);
+    EXPECT_EQ(cache.exactSize(), 1u);
+}
+
+TEST(SolveCache, SingleFlightFollowersReleasedOnSuccess)
+{
+    SolveCache cache(unitCacheOptions());
+    const Tensor value = makeInput(3);
+    const Hash128 key = hashTensor(value);
+    ASSERT_TRUE(cache.registerPending(key));
+
+    QueueEntry follower = makeEntry(key);
+    follower.request.id = 42;
+    auto future = follower.promise.get_future();
+    Tensor out;
+    EXPECT_EQ(cache.lookupOrAttach(key, follower, out),
+              SolveCache::Lookup::Attached);
+    EXPECT_EQ(cache.singleFlightWaits(), 1u);
+
+    std::vector<QueueEntry> released = cache.publishSuccess(key, value);
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0].request.id, 42u);
+    // The follower's promise travelled with the entry.
+    released[0].promise.set_value(InferResponse{});
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+}
+
+TEST(SolveCache, FailureRetractsPendingButKeepsReadyValues)
+{
+    SolveCache cache(unitCacheOptions());
+    const Tensor value = makeInput(4);
+    const Hash128 pending_key = hashTensor(value);
+    const Hash128 ready_key{pending_key.hi + 1, pending_key.lo + 1};
+
+    ASSERT_TRUE(cache.registerPending(ready_key));
+    cache.publishSuccess(ready_key, value);
+
+    ASSERT_TRUE(cache.registerPending(pending_key));
+    QueueEntry follower = makeEntry(pending_key);
+    follower.request.id = 7;
+    Tensor out;
+    ASSERT_EQ(cache.lookupOrAttach(pending_key, follower, out),
+              SolveCache::Lookup::Attached);
+
+    std::vector<QueueEntry> returned = cache.publishFailure(pending_key);
+    ASSERT_EQ(returned.size(), 1u);
+    EXPECT_EQ(returned[0].request.id, 7u);
+    EXPECT_FALSE(cache.isReady(pending_key));
+    EXPECT_EQ(cache.exactSize(), 1u);
+
+    // A late failure for an already-ready key is a no-op.
+    EXPECT_TRUE(cache.publishFailure(ready_key).empty());
+    EXPECT_TRUE(cache.tryServe(ready_key, out));
+    EXPECT_TRUE(bitwiseEqual(out, value));
+}
+
+TEST(SolveCache, LruEvictionBoundsReadyEntriesAndSparesPending)
+{
+    // Single shard so the LRU order is global and deterministic.
+    CacheOptions opts = unitCacheOptions(/*exact_cap=*/3);
+    opts.shards = 1;
+    SolveCache cache(opts);
+    const Tensor value = makeInput(5);
+
+    std::vector<Hash128> keys;
+    for (std::uint64_t i = 0; i < 5; i++) {
+        Hash128 key{0x1000 + i, 0x2000 + i};
+        keys.push_back(key);
+        ASSERT_TRUE(cache.registerPending(key));
+        cache.publishSuccess(key, value);
+    }
+    EXPECT_EQ(cache.exactSize(), 3u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    // Cold end evicted, hot end retained.
+    EXPECT_FALSE(cache.isReady(keys[0]));
+    EXPECT_FALSE(cache.isReady(keys[1]));
+    EXPECT_TRUE(cache.isReady(keys[4]));
+
+    // Pending entries hold follower promises and are never evicted,
+    // even with the shard over budget — the ready values are the ones
+    // sacrificed to make room.
+    for (std::uint64_t i = 0; i < 5; i++)
+        ASSERT_TRUE(cache.registerPending(Hash128{0x9000 + i, 0x9900 + i}));
+    EXPECT_EQ(cache.exactSize(), 5u);
+    for (std::uint64_t i = 0; i < 5; i++)
+        EXPECT_FALSE(cache.registerPending(Hash128{0x9000 + i, 0x9900 + i}));
+    for (std::uint64_t i = 0; i < 5; i++)
+        EXPECT_TRUE(
+            cache.publishFailure(Hash128{0x9000 + i, 0x9900 + i}).empty());
+    EXPECT_EQ(cache.exactSize(), 0u);
+}
+
+TEST(SolveCache, WarmTierRoundTripsRecordedSchedules)
+{
+    SolveCache cache(unitCacheOptions());
+    FixedFactorController inner;
+    WarmStartController recorder(&inner);
+    recorder.beginSolve(nullptr);
+    recorder.reset(0.1);
+    recorder.accepted(0.1, 5e-5, 1e-4, true);
+    recorder.accepted(0.2, 5e-5, 1e-4, true);
+    recorder.reset(0.1); // layer boundary: new segment
+    recorder.accepted(0.4, 5e-5, 1e-4, true);
+
+    const std::uint64_t sig = 0xDEADBEEFull;
+    cache.warmInsert(sig, recorder);
+    DtSchedule out;
+    ASSERT_TRUE(cache.warmLookup(sig, out));
+    ASSERT_EQ(out.layers.size(), 2u);
+    EXPECT_EQ(out.layers[0], (std::vector<double>{0.1, 0.2}));
+    EXPECT_EQ(out.layers[1], (std::vector<double>{0.4}));
+    EXPECT_EQ(cache.warmHits(), 1u);
+    EXPECT_EQ(cache.warmSize(), 1u);
+
+    // Signature 0 is the "no signature" sentinel on both paths.
+    cache.warmInsert(0, recorder);
+    EXPECT_FALSE(cache.warmLookup(0, out));
+    EXPECT_EQ(cache.warmSize(), 1u);
+    EXPECT_FALSE(cache.warmLookup(sig + 1, out));
+}
+
+// ---------------------------------------------------------------------
+// StepController::reset() contract — the property the warm tier's
+// bitwise claims lean on: after reset(initial_dt), a controller must
+// reproduce its trial sequence exactly.
+// ---------------------------------------------------------------------
+
+/** Fixed accept/reject script; returns every dt the controller chose. */
+std::vector<double>
+driveScriptedSolve(StepController &controller)
+{
+    constexpr double kEps = 1e-4;
+    std::vector<double> dts;
+    controller.reset(0.05);
+    for (int point = 0; point < 6; point++) {
+        double dt = controller.initialDt();
+        dts.push_back(dt);
+        const bool rejected_first = (point == 1 || point == 4);
+        if (rejected_first) {
+            dt = controller.rejectedDt(dt, 2.5 * kEps, kEps);
+            dts.push_back(dt);
+        }
+        controller.accepted(dt, 0.4 * kEps, kEps, !rejected_first);
+    }
+    controller.reset(0.05); // second integration layer
+    for (int point = 0; point < 3; point++) {
+        const double dt = controller.initialDt();
+        dts.push_back(dt);
+        controller.accepted(dt, 0.9 * kEps, kEps, true);
+    }
+    return dts;
+}
+
+TEST(StepControllerContract, ResetReproducesTrialSequenceBitwise)
+{
+    std::vector<std::unique_ptr<StepController>> controllers;
+    controllers.push_back(std::make_unique<FixedFactorController>());
+    controllers.push_back(std::make_unique<ConstantInitController>());
+    controllers.push_back(
+        std::make_unique<PressTeukolskyController>(/*order=*/3));
+    controllers.push_back(std::make_unique<PiController>(/*order=*/3));
+    for (auto &controller : controllers) {
+        const std::vector<double> first = driveScriptedSolve(*controller);
+        const std::vector<double> second = driveScriptedSolve(*controller);
+        ASSERT_EQ(first.size(), second.size()) << controller->name();
+        EXPECT_EQ(std::memcmp(first.data(), second.data(),
+                              first.size() * sizeof(double)),
+                  0)
+            << controller->name()
+            << ": reset() did not restore the trial sequence";
+    }
+}
+
+TEST(StepControllerContract, WarmWrapperWithoutReplayIsTransparent)
+{
+    // The decorator must be invisible when it has nothing to replay:
+    // same inner state evolution, same proposals, bit for bit.
+    PiController bare(/*order=*/3);
+    PiController inner(/*order=*/3);
+    WarmStartController wrapped(&inner);
+    wrapped.beginSolve(nullptr);
+
+    const std::vector<double> reference = driveScriptedSolve(bare);
+    const std::vector<double> decorated = driveScriptedSolve(wrapped);
+    ASSERT_EQ(reference.size(), decorated.size());
+    EXPECT_EQ(std::memcmp(reference.data(), decorated.data(),
+                          reference.size() * sizeof(double)),
+              0);
+    EXPECT_EQ(wrapped.replayedPoints(), 0u);
+}
+
+TEST(StepControllerContract, WarmReplayFallsBackOnFirstRejection)
+{
+    constexpr double kEps = 1e-4;
+    DtSchedule schedule;
+    schedule.layers = {{0.2, 0.3}, {0.5}};
+
+    FixedFactorController inner;
+    WarmStartController warm(&inner);
+    warm.beginSolve(&schedule);
+    warm.reset(0.05);
+
+    // Replay proposes the cached dts as first trials.
+    EXPECT_DOUBLE_EQ(warm.initialDt(), 0.2);
+    warm.accepted(0.2, 0.5 * kEps, kEps, true);
+    EXPECT_EQ(warm.replayedPoints(), 1u);
+    EXPECT_DOUBLE_EQ(warm.initialDt(), 0.3);
+
+    // First rejected replay trial kills the replay for the rest of the
+    // solve; the inner adaptive controller owns every later proposal.
+    const double retry = warm.rejectedDt(0.3, 3.0 * kEps, kEps);
+    EXPECT_DOUBLE_EQ(retry, 0.15); // FixedFactor halves
+    EXPECT_TRUE(warm.replayRejected());
+    warm.accepted(retry, 0.5 * kEps, kEps, false);
+
+    warm.reset(0.05); // layer 2: replay stays dead after a rejection
+    EXPECT_NE(warm.initialDt(), 0.5);
+    EXPECT_EQ(warm.replayedPoints(), 1u);
+
+    // The recorder still captured the actually-accepted schedule.
+    DtSchedule recorded;
+    warm.harvestRecorded(recorded);
+    ASSERT_EQ(recorded.layers.size(), 2u);
+    EXPECT_EQ(recorded.layers[0], (std::vector<double>{0.2, 0.15}));
+}
+
+// ---------------------------------------------------------------------
+// Serving-runtime integration
+// ---------------------------------------------------------------------
+
+TEST(CachedServing, ExactHitIsBitwiseIdenticalAndSkipsTheSolve)
+{
+    InferenceServer server(makeReferenceModel,
+                           cachedServerOptions(1, 16));
+    const Tensor input = makeInput(10);
+
+    auto cold = server.submit(input);
+    ASSERT_TRUE(cold.accepted);
+    InferResponse r1 = cold.result.get();
+    ASSERT_EQ(r1.status, RequestStatus::Ok);
+    EXPECT_FALSE(r1.cacheHit);
+    EXPECT_GT(r1.stats.fEvals, 0u);
+
+    auto hot = server.submit(input);
+    ASSERT_TRUE(hot.accepted);
+    InferResponse r2 = hot.result.get();
+    ASSERT_EQ(r2.status, RequestStatus::Ok);
+    EXPECT_TRUE(r2.cacheHit);
+    EXPECT_EQ(r2.stats.fEvals, 0u); // no solver work at all
+    EXPECT_TRUE(bitwiseEqual(r1.output, r2.output));
+
+    // The cached bytes are the fresh-solve bytes, not merely close.
+    FixedFactorController controller;
+    auto model = makeReferenceModel();
+    const Tensor reference =
+        model->forward(input, server.tableau(), controller,
+                       servingOptions())
+            .output;
+    EXPECT_TRUE(bitwiseEqual(r2.output, reference));
+
+    server.stop();
+    ASSERT_NE(server.solveCache(), nullptr);
+    EXPECT_EQ(server.solveCache()->exactHits(), 1u);
+    EXPECT_EQ(server.solveCache()->inserts(), 1u);
+    EXPECT_TRUE(server.modelDigest().valid());
+
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.cacheHits, 1u);
+    const std::string text = server.metricsText();
+    EXPECT_NE(text.find("enode_cache_exact_hit 1"), std::string::npos);
+    EXPECT_NE(text.find("enode_requests_cache_hits 1"),
+              std::string::npos);
+}
+
+TEST(CachedServing, ConcurrentIdenticalRequestsCostOneSolve)
+{
+    const std::size_t n = 8;
+    InferenceServer server(makeReferenceModel,
+                           cachedServerOptions(2, 32, /*paused=*/true));
+    const Tensor input = makeInput(11);
+
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < n; i++) {
+        auto sub = server.submit(input);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    server.resume();
+
+    std::vector<InferResponse> responses;
+    for (auto &future : futures)
+        responses.push_back(future.get());
+    server.stop();
+
+    std::size_t solved = 0;
+    for (const InferResponse &r : responses) {
+        ASSERT_EQ(r.status, RequestStatus::Ok);
+        EXPECT_TRUE(bitwiseEqual(r.output, responses[0].output));
+        if (!r.cacheHit)
+            solved++;
+    }
+    // One owner solved; every other submission either attached to the
+    // owner's pending entry at admission or was screened at dispatch.
+    EXPECT_EQ(solved, 1u);
+    EXPECT_EQ(server.solveCache()->singleFlightWaits(), n - 1);
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.admitted, n);
+    EXPECT_EQ(s.completed, n);
+    EXPECT_EQ(s.cacheHits, n - 1);
+}
+
+TEST(CachedServing, WarmStartStaysWithinToleranceAndCutsTrials)
+{
+    // ConstantInit restarts the stepsize search at a deliberately bad
+    // initial dt for every evaluation point, so a replayed schedule has
+    // a lot of rejected trials to save.
+    ServerOptions opts =
+        cachedServerOptions(1, 16, /*paused=*/false, /*exact_cap=*/64,
+                            /*warm_cap=*/64);
+    opts.ivp.tolerance = 1e-5;
+    opts.ivp.initialDt = 0.4;
+    InferenceServer server(
+        makeReferenceModel, opts,
+        [] { return std::make_unique<ConstantInitController>(); });
+
+    const Tensor seed_input = makeInput(12);
+    auto cold = server.submit(seed_input);
+    ASSERT_TRUE(cold.accepted);
+    InferResponse r1 = cold.result.get();
+    ASSERT_EQ(r1.status, RequestStatus::Ok);
+    EXPECT_FALSE(r1.warmStarted);
+    ASSERT_GT(r1.stats.evalPoints, 0u);
+
+    // Statistically similar but bytewise different input: misses the
+    // exact tier, hits the warm tier.
+    Tensor near(seed_input.shape());
+    near.copyFrom(seed_input);
+    near.data()[0] += 1e-4f;
+    auto warm = server.submit(near);
+    ASSERT_TRUE(warm.accepted);
+    InferResponse r2 = warm.result.get();
+    ASSERT_EQ(r2.status, RequestStatus::Ok);
+    EXPECT_FALSE(r2.cacheHit);
+    EXPECT_TRUE(r2.warmStarted);
+    ASSERT_GT(r2.stats.evalPoints, 0u);
+
+    // The replayed schedule must cut the per-point search cost.
+    const double cold_tpp = static_cast<double>(r1.stats.trials) /
+                            static_cast<double>(r1.stats.evalPoints);
+    const double warm_tpp = static_cast<double>(r2.stats.trials) /
+                            static_cast<double>(r2.stats.evalPoints);
+    EXPECT_LT(warm_tpp, cold_tpp);
+
+    // Correctness stays with the error test: the warm-started solve of
+    // `near` agrees with a cold solve of `near` to solver accuracy.
+    ConstantInitController controller;
+    auto model = makeReferenceModel();
+    const Tensor reference =
+        model->forward(near, server.tableau(), controller, opts.ivp)
+            .output;
+    double diff = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < reference.numel(); i++) {
+        const double d = static_cast<double>(r2.output.data()[i]) -
+                         static_cast<double>(reference.data()[i]);
+        diff += d * d;
+        norm += static_cast<double>(reference.data()[i]) *
+                static_cast<double>(reference.data()[i]);
+    }
+    EXPECT_LT(std::sqrt(diff), 1e-2 * (1.0 + std::sqrt(norm)));
+
+    server.stop();
+    EXPECT_GE(server.solveCache()->warmHits(), 1u);
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_GE(s.warmStarted, 1u);
+    EXPECT_GT(s.trialsPerPointCold, 0.0);
+    EXPECT_GT(s.trialsPerPointWarm, 0.0);
+    EXPECT_LT(s.trialsPerPointWarm, s.trialsPerPointCold);
+}
+
+// ---------------------------------------------------------------------
+// Chaos: faults must never populate either tier
+// ---------------------------------------------------------------------
+
+FaultSpec
+corruptSpec(std::uint64_t first_hit, std::uint64_t count)
+{
+    FaultSpec spec;
+    spec.site = "node.feval";
+    spec.kind = FaultKind::CorruptNaN;
+    spec.firstHit = first_hit;
+    spec.count = count;
+    return spec;
+}
+
+TEST(CachedServingChaos, FaultedSolvesNeverPopulateEitherTier)
+{
+    setLogLevel(LogLevel::Silent);
+    ServerOptions opts =
+        cachedServerOptions(1, 16, /*paused=*/false, /*exact_cap=*/64,
+                            /*warm_cap=*/64);
+    opts.ivp.maxTrialsPerPoint = 4; // poisoned points fail fast
+    InferenceServer server(makeReferenceModel, opts);
+    const Tensor input = makeInput(13);
+
+    {
+        // Persistent NaN corruption: every rung fails, responses are
+        // terminal failures.
+        FaultPlan plan;
+        plan.seed = 5;
+        plan.faults.push_back(corruptSpec(
+            0, std::numeric_limits<std::uint64_t>::max()));
+        ScopedFaultPlan scoped(plan);
+        for (int i = 0; i < 3; i++) {
+            auto sub = server.submit(input);
+            ASSERT_TRUE(sub.accepted);
+            InferResponse r = sub.result.get();
+            EXPECT_NE(r.status, RequestStatus::Ok);
+            EXPECT_FALSE(r.cacheHit);
+        }
+        EXPECT_EQ(server.solveCache()->inserts(), 0u);
+        EXPECT_EQ(server.solveCache()->exactSize(), 0u);
+        EXPECT_EQ(server.solveCache()->warmSize(), 0u);
+    }
+    {
+        // Transient corruption that heals through a rejected trial:
+        // the response is Ok, but its step sequence is not what a
+        // fresh solve would produce, so it must stay uncacheable too.
+        FaultPlan plan;
+        plan.seed = 6;
+        plan.faults.push_back(corruptSpec(1, 1));
+        ScopedFaultPlan scoped(plan);
+        auto sub = server.submit(input);
+        ASSERT_TRUE(sub.accepted);
+        InferResponse r = sub.result.get();
+        EXPECT_EQ(r.status, RequestStatus::Ok);
+        EXPECT_TRUE(r.output.isFinite());
+        EXPECT_FALSE(r.cacheHit);
+        EXPECT_EQ(server.solveCache()->inserts(), 0u);
+        EXPECT_EQ(server.solveCache()->warmSize(), 0u);
+    }
+    setLogLevel(LogLevel::Info);
+
+    // Disarmed, the same input solves clean, caches, and matches the
+    // reference bit for bit — the faults left no residue.
+    auto sub = server.submit(input);
+    ASSERT_TRUE(sub.accepted);
+    InferResponse r = sub.result.get();
+    ASSERT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_FALSE(r.cacheHit);
+    FixedFactorController controller;
+    auto model = makeReferenceModel();
+    const Tensor reference =
+        model->forward(input, server.tableau(), controller, opts.ivp)
+            .output;
+    EXPECT_TRUE(bitwiseEqual(r.output, reference));
+    server.stop();
+    EXPECT_EQ(server.solveCache()->exactSize(), 1u);
+    EXPECT_EQ(server.solveCache()->warmSize(), 1u);
+
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.completed + s.failed + s.expired + s.cancelled,
+              s.admitted);
+}
+
+TEST(CachedServingChaos, WatchdogFailedBatchDoesNotPoisonTheCache)
+{
+    setLogLevel(LogLevel::Silent);
+    ServerOptions opts =
+        cachedServerOptions(1, 16, /*paused=*/true, /*exact_cap=*/64,
+                            /*warm_cap=*/64);
+    opts.maxBatch = 4;
+    opts.batchWaitUs = 2000.0;
+    opts.degrade.watchdogMs = 40.0;
+    InferenceServer server(makeReferenceModel, opts);
+
+    std::vector<Tensor> inputs;
+    for (std::size_t i = 0; i < 4; i++)
+        inputs.push_back(makeInput(20 + i));
+
+    {
+        // Wedge the first batched dispatch long enough for the
+        // watchdog to fail all four samples.
+        FaultPlan plan;
+        FaultSpec stall;
+        stall.site = "worker.stall";
+        stall.kind = FaultKind::Stall;
+        stall.firstHit = 0;
+        stall.count = 1;
+        stall.stallMs = 300.0;
+        plan.faults.push_back(stall);
+        ScopedFaultPlan scoped(plan);
+
+        std::vector<std::future<InferResponse>> futures;
+        for (const Tensor &input : inputs) {
+            auto sub = server.submit(input);
+            ASSERT_TRUE(sub.accepted);
+            futures.push_back(std::move(sub.result));
+        }
+        server.resume();
+        for (auto &future : futures) {
+            InferResponse r = future.get();
+            EXPECT_EQ(r.status, RequestStatus::Failed);
+            EXPECT_TRUE(r.output.empty());
+        }
+    }
+
+    // Wait out the wedged worker (single worker: the probe completes
+    // only after it recovers), then confirm nothing the watchdog
+    // failed left a value behind: every resubmitted input is a cache
+    // *miss* that solves to the correct, finite, reference-exact
+    // output.
+    auto probe = server.submit(makeInput(30));
+    ASSERT_TRUE(probe.accepted);
+    EXPECT_EQ(probe.result.get().status, RequestStatus::Ok);
+
+    auto model = makeReferenceModel();
+    for (const Tensor &input : inputs) {
+        auto sub = server.submit(input);
+        ASSERT_TRUE(sub.accepted);
+        InferResponse r = sub.result.get();
+        ASSERT_EQ(r.status, RequestStatus::Ok);
+        EXPECT_FALSE(r.cacheHit);
+        FixedFactorController controller;
+        const Tensor reference =
+            model->forward(input, server.tableau(), controller,
+                           servingOptions())
+                .output;
+        EXPECT_TRUE(bitwiseEqual(r.output, reference));
+    }
+    server.stop();
+    setLogLevel(LogLevel::Info);
+
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.watchdogTrips, 1u);
+    EXPECT_EQ(s.failed, 4u);
+    EXPECT_EQ(s.completed, 5u);
+    EXPECT_EQ(s.completed + s.failed + s.expired + s.cancelled,
+              s.admitted);
+}
+
+TEST(CachedServing, ShutdownCancelsSingleFlightFollowers)
+{
+    // Followers attached to a pending entry must terminate through the
+    // accounting path even when the server never solves the owner.
+    InferenceServer server(makeReferenceModel,
+                           cachedServerOptions(1, 16, /*paused=*/true));
+    const Tensor input = makeInput(14);
+    std::vector<std::future<InferResponse>> futures;
+    for (std::size_t i = 0; i < 4; i++) {
+        auto sub = server.submit(input);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.result));
+    }
+    server.stop(/*drain=*/false);
+    for (auto &future : futures) {
+        const RequestStatus status = future.get().status;
+        EXPECT_TRUE(status == RequestStatus::Cancelled ||
+                    status == RequestStatus::Ok);
+    }
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.completed + s.failed + s.expired + s.cancelled,
+              s.admitted);
+}
+
+} // namespace
+} // namespace enode
