@@ -153,8 +153,11 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     if (solveCache_ != nullptr) {
         StreamHasher hasher;
         NodeModel &master = *workers_[0]->model;
+        // Variable-length fields go in length-prefixed (updateSized) so
+        // adjacent fields cannot alias — e.g. an empty param name must
+        // not let the following tensor rank read as name bytes.
         for (const ParamSlot &slot : master.paramSlots()) {
-            hasher.update(slot.name.data(), slot.name.size());
+            hasher.updateSized(slot.name.data(), slot.name.size());
             hashTensorInto(hasher, *slot.param);
         }
         hasher.updateDouble(master.layerTime());
@@ -165,9 +168,9 @@ InferenceServer::InferenceServer(ModelFactory make_model,
         hasher.update(options_.ivp.maxTrialsPerPoint);
         hasher.update(options_.ivp.maxEvalPoints);
         hasher.update(options_.ivp.quantizeFp16 ? 1u : 0u);
-        hasher.update(tableau_.name().data(), tableau_.name().size());
+        hasher.updateSized(tableau_.name().data(), tableau_.name().size());
         const std::string controller = workers_[0]->controller->name();
-        hasher.update(controller.data(), controller.size());
+        hasher.updateSized(controller.data(), controller.size());
         modelDigest_ = hasher.digest();
     }
 
@@ -277,15 +280,28 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
     }
 
     const Hash128 key = entry.request.cacheKey; // survives the push
+    // Announce ownership BEFORE the entry becomes visible to workers.
+    // In the reverse order a worker can pop the entry and terminate it
+    // uncacheably (lapsed deadline, failed solve) before registration
+    // runs; that terminal's retraction finds nothing, and the late
+    // registration then installs a pending entry with no solve behind
+    // it — every later identical request would attach to it and hang.
+    // Registering first closes that window: once the entry is queued,
+    // any terminal path can see (and retract) the registration. A
+    // `false` return means another identical request already owns the
+    // key — harmless; both solve, both publish.
+    const bool registered = key.valid() && solveCache_->registerPending(key);
     if (!queue_.tryPush(entry)) {
+        // The push was refused, so our registration has no solve behind
+        // it: retract it. Followers that attached inside the tiny
+        // registration window get the same backpressure verdict this
+        // request is getting (re-queued if room appeared, else
+        // cancelled).
+        if (registered)
+            redispatchFollowers(solveCache_->publishFailure(key));
         metrics_.recordRejected();
         return sub; // backpressure: accepted stays false
     }
-    // Announce ownership only after the entry is safely queued, so a
-    // pending cache entry always has a solve behind it. A raced
-    // identical owner is harmless: both solve, both publish.
-    if (key.valid())
-        solveCache_->registerPending(key);
     metrics_.recordAdmitted();
     sub.accepted = true;
     sub.id = id;
@@ -400,18 +416,27 @@ InferenceServer::deliverCacheHit(std::size_t worker_id, QueueEntry &entry,
                                  Tensor value)
 {
     const auto now = RuntimeClock::now();
-    TraceSpan span("request.cache_hit", "serve");
-    span.arg("id", static_cast<double>(entry.request.id));
     InferResponse response;
     response.id = entry.request.id;
-    response.status = RequestStatus::Ok;
-    response.cacheHit = true;
-    response.output = std::move(value);
     response.queueWaitMs = toMs(now - entry.enqueueTime);
     response.totalMs = response.queueWaitMs;
-    response.deadlineMet = now <= entry.request.deadline;
     response.workerId = worker_id;
     response.completionIndex = nextCompletionIndex_.fetch_add(1);
+    if (now > entry.request.deadline) {
+        // Same terminal status the request would have received from the
+        // queue: a follower (or queued hit) whose deadline lapsed while
+        // it waited is DeadlineExceeded, not Ok-but-late — the cached
+        // value does not buy back deadline enforcement.
+        response.status = RequestStatus::DeadlineExceeded;
+        response.deadlineMet = false;
+    } else {
+        TraceSpan span("request.cache_hit", "serve");
+        span.arg("id", static_cast<double>(entry.request.id));
+        response.status = RequestStatus::Ok;
+        response.cacheHit = true;
+        response.output = std::move(value);
+        response.deadlineMet = true;
+    }
     metrics_.recordCompletion(response);
     entry.promise.set_value(std::move(response));
 }

@@ -364,7 +364,9 @@ class InferenceServer
      * Answer `entry` with a copy of the cached `value` (exact-tier
      * hit or single-flight follower delivery): full Ok response with
      * cacheHit set, zero solver stats, routed through the single
-     * accounting path.
+     * accounting path. A lapsed deadline turns the response into
+     * DeadlineExceeded — the same terminal the request would have
+     * received from the queue.
      */
     void deliverCacheHit(std::size_t worker_id, QueueEntry &entry,
                          Tensor value);

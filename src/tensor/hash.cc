@@ -68,6 +68,13 @@ StreamHasher::update(const void *data, std::size_t bytes)
     }
 }
 
+void
+StreamHasher::updateSized(const void *data, std::size_t bytes)
+{
+    update(static_cast<std::uint64_t>(bytes));
+    update(data, bytes);
+}
+
 Hash128
 StreamHasher::digest() const
 {
@@ -118,12 +125,22 @@ coarseSignature(const Tensor &t, double quantum)
     const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
     const double rms =
         n > 0 ? std::sqrt(sumsq / static_cast<double>(n)) : 0.0;
-    const auto bucket = [quantum](double v) {
-        return static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(std::llround(v / quantum)));
+    // Non-finite moments (NaN/Inf elements) or moments past the int64
+    // bucket range make llround unspecified and raise FE_INVALID; such
+    // inputs get the "no signature" sentinel instead of a
+    // platform-dependent bucket. The negated comparison also rejects
+    // NaN.
+    constexpr double kMaxBucket = 9.2e18; // just under 2^63
+    const double mean_scaled = mean / quantum;
+    const double rms_scaled = rms / quantum;
+    if (!(std::fabs(mean_scaled) < kMaxBucket) ||
+        !(std::fabs(rms_scaled) < kMaxBucket))
+        return 0;
+    const auto bucket = [](double v) {
+        return static_cast<std::uint64_t>(std::llround(v));
     };
-    hasher.update(bucket(mean));
-    hasher.update(bucket(rms));
+    hasher.update(bucket(mean_scaled));
+    hasher.update(bucket(rms_scaled));
     return hasher.digest().lo;
 }
 

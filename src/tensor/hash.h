@@ -63,6 +63,15 @@ class StreamHasher
     /** Absorb a raw byte range. */
     void update(const void *data, std::size_t bytes);
 
+    /**
+     * Absorb a variable-length field with domain separation: the length
+     * is absorbed as a word before the bytes. Use this for adjacent
+     * variable-length fields in composite digests (names, strings) so
+     * an empty or short field cannot make its neighbour's bytes slide
+     * into its position and alias a different logical input.
+     */
+    void updateSized(const void *data, std::size_t bytes);
+
     /** Absorb one 64-bit word (length/shape/config mixing). */
     void update(std::uint64_t word);
 

@@ -131,6 +131,51 @@ TEST(TensorHash, CoarseSignatureBucketsNearbyInputs)
     EXPECT_NE(hashTensor(a), hashTensor(near));
 }
 
+TEST(TensorHash, CoarseSignatureScreensNonFiniteInputs)
+{
+    // llround on a non-finite (or int64-overflowing) moment is
+    // unspecified; such inputs must map to the "no signature" sentinel,
+    // not a platform-dependent bucket.
+    const double quantum = 0.25;
+    Tensor nan_input = makeInput(3);
+    nan_input.data()[1] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(coarseSignature(nan_input, quantum), 0u);
+
+    Tensor inf_input = makeInput(3);
+    inf_input.data()[0] = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(coarseSignature(inf_input, quantum), 0u);
+
+    Tensor huge(Shape{kDim});
+    for (std::size_t i = 0; i < huge.numel(); i++)
+        huge.data()[i] = 1e30f; // finite mean, bucket index > 2^63
+    EXPECT_EQ(coarseSignature(huge, quantum), 0u);
+
+    EXPECT_NE(coarseSignature(makeInput(3), quantum), 0u);
+}
+
+TEST(TensorHash, SizedUpdatesSeparateAdjacentVariableFields)
+{
+    // An empty variable-length field absorbs nothing on its own, so
+    // without the length prefix the neighbouring word would slide into
+    // its position and alias a different logical input.
+    StreamHasher a;
+    a.updateSized(nullptr, 0);
+    a.update(std::uint64_t{42});
+    StreamHasher b;
+    b.update(std::uint64_t{42});
+    b.updateSized(nullptr, 0);
+    EXPECT_NE(a.digest(), b.digest());
+
+    // Moving a byte across a field boundary changes the digest.
+    StreamHasher c;
+    c.updateSized("ab", 2);
+    c.updateSized("c", 1);
+    StreamHasher d;
+    d.updateSized("a", 1);
+    d.updateSized("bc", 2);
+    EXPECT_NE(c.digest(), d.digest());
+}
+
 // ---------------------------------------------------------------------
 // SolveCache storage semantics (no server)
 // ---------------------------------------------------------------------
@@ -743,6 +788,89 @@ TEST(CachedServing, ShutdownCancelsSingleFlightFollowers)
         EXPECT_TRUE(status == RequestStatus::Cancelled ||
                     status == RequestStatus::Ok);
     }
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.completed + s.failed + s.expired + s.cancelled,
+              s.admitted);
+}
+
+TEST(CachedServing, ExpiredOwnerDoesNotPoisonRepeatTraffic)
+{
+    // The owner's pending registration precedes the queue push, so a
+    // worker terminating the request uncacheably (here: a deadline that
+    // lapsed before dispatch) always finds — and retracts — the
+    // registration. The next identical request must then solve for
+    // itself instead of attaching to an orphaned pending entry and
+    // hanging forever.
+    InferenceServer server(makeReferenceModel, cachedServerOptions(1, 16));
+    const Tensor input = makeInput(20);
+
+    auto expired = server.submit(
+        input, /*stream=*/0,
+        RuntimeClock::now() - std::chrono::milliseconds(1));
+    ASSERT_TRUE(expired.accepted);
+    EXPECT_EQ(expired.result.get().status,
+              RequestStatus::DeadlineExceeded);
+
+    auto retry = server.submit(input);
+    ASSERT_TRUE(retry.accepted);
+    ASSERT_EQ(retry.result.wait_for(std::chrono::seconds(20)),
+              std::future_status::ready);
+    InferResponse r = retry.result.get();
+    EXPECT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_FALSE(r.cacheHit);
+    server.stop();
+}
+
+TEST(CachedServing, RefusedPushRetractsPendingRegistration)
+{
+    // Flip side of register-before-push: a refused push must retract
+    // the registration it just made, or the key would be poisoned
+    // exactly as in the race the ordering fixes.
+    InferenceServer server(makeReferenceModel,
+                           cachedServerOptions(1, /*capacity=*/1,
+                                               /*paused=*/true));
+    const Tensor filler = makeInput(21);
+    const Tensor victim = makeInput(22);
+
+    auto first = server.submit(filler);
+    ASSERT_TRUE(first.accepted);
+    auto refused = server.submit(victim); // queue full: push refused
+    EXPECT_FALSE(refused.accepted);
+
+    server.resume();
+    EXPECT_EQ(first.result.get().status, RequestStatus::Ok);
+
+    // The filler has been popped and completed, so the queue has room;
+    // the victim's key must behave as if never seen.
+    auto retry = server.submit(victim);
+    ASSERT_TRUE(retry.accepted);
+    ASSERT_EQ(retry.result.wait_for(std::chrono::seconds(20)),
+              std::future_status::ready);
+    EXPECT_EQ(retry.result.get().status, RequestStatus::Ok);
+    server.stop();
+}
+
+TEST(CachedServing, CacheHitPastDeadlineIsDeadlineExceeded)
+{
+    // A ready-value hit (or follower delivery) whose deadline already
+    // lapsed gets the same DeadlineExceeded terminal the queue would
+    // have given it — the cached value does not buy back deadline
+    // enforcement.
+    InferenceServer server(makeReferenceModel, cachedServerOptions(1, 16));
+    const Tensor input = makeInput(23);
+    auto prime = server.submit(input);
+    ASSERT_TRUE(prime.accepted);
+    ASSERT_EQ(prime.result.get().status, RequestStatus::Ok);
+
+    auto late = server.submit(
+        input, /*stream=*/0,
+        RuntimeClock::now() - std::chrono::milliseconds(1));
+    ASSERT_TRUE(late.accepted);
+    InferResponse r = late.result.get();
+    EXPECT_EQ(r.status, RequestStatus::DeadlineExceeded);
+    EXPECT_FALSE(r.deadlineMet);
+    EXPECT_FALSE(r.cacheHit);
+    server.stop();
     const MetricsSummary s = server.metrics().summary();
     EXPECT_EQ(s.completed + s.failed + s.expired + s.cancelled,
               s.admitted);
