@@ -17,6 +17,11 @@
  * pipeline step — and writes Chrome trace-event JSON you can load
  * directly in chrome://tracing or https://ui.perfetto.dev.
  *
+ * With `--soak` a fourth phase floods a single-worker server past its
+ * defended queue delay so the admission controller's brownout ladder
+ * engages — overload.enter/exit instants, shed requests, and relaxed
+ * low-priority solves all land in the exported trace.
+ *
  * With `--batch` the demo instead sweeps the micro-batching knob
  * (ServerOptions::maxBatch 1/2/4/8) against a single worker under a
  * fixed closed-loop load and writes the sweep to BENCH_serving.json —
@@ -192,6 +197,82 @@ runPipelineDemo()
                 step.pipelineOccupancy);
 }
 
+/**
+ * Phase 4 (`--soak`): overload and recovery under admission control.
+ *
+ * A staged flood against a paused single-worker server ages a backlog
+ * past the defended queue delay, so the brownout monitor climbs the
+ * ladder the moment the workers release — overload.enter lands in the
+ * trace, low-priority solves run relaxed, and estimate-based shedding
+ * turns away what cannot meet its deadline. A sparse healthy tail then
+ * walks the ladder back down (overload.exit).
+ */
+void
+runSoakDemo()
+{
+    auto factory = [] {
+        Rng rng(99);
+        return NodeModel::makeMlp(/*num_layers=*/2, /*dim=*/8,
+                                  /*hidden=*/32, /*f_depth=*/1, rng);
+    };
+
+    ServerOptions options;
+    options.numWorkers = 1;
+    options.queueCapacity = 256;
+    options.ivp.tolerance = 1e-4;
+    options.ivp.initialDt = 0.05;
+    options.startPaused = true;
+    options.overload.enabled = true;
+    options.overload.targetDelayMs = 0.5; // defend an aggressive SLO
+    options.overload.minDwellMs = 0.0;
+    options.overload.ewmaAlpha = 0.5;
+
+    InferenceServer server(factory, options);
+    std::printf("phase 4: staged flood against admission control "
+                "(defended queue delay %.1f ms)\n",
+                options.overload.targetDelayMs);
+
+    Rng rng(17);
+    std::vector<std::future<InferResponse>> floods;
+    for (int i = 0; i < 48; i++) {
+        auto sub = server.submit(
+            Tensor::randn(Shape{8}, rng, 0.5f), /*stream=*/0,
+            RuntimeClock::now() + std::chrono::milliseconds(200));
+        if (sub.accepted)
+            floods.push_back(std::move(sub.result));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.resume();
+    int ok = 0, shed = 0, expired = 0;
+    for (auto &f : floods) {
+        const InferResponse r = f.get();
+        ok += r.status == RequestStatus::Ok;
+        shed += r.status == RequestStatus::Shed;
+        expired += r.status == RequestStatus::DeadlineExceeded;
+    }
+
+    // Sparse healthy tail: idle-queue observations walk the ladder back
+    // to level 0 before shutdown.
+    const AdmissionController *adm = server.admission();
+    for (int i = 0; i < 64 && adm != nullptr && adm->level() > 0; i++) {
+        auto sub = server.submit(Tensor::randn(Shape{8}, rng, 0.5f),
+                                 /*stream=*/2);
+        if (sub.accepted)
+            sub.result.get();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    server.stop();
+
+    if (adm != nullptr)
+        std::printf("flood: %d ok, %d shed, %d expired; brownout "
+                    "transitions %llu, relaxed solves %llu, final level "
+                    "%d\n\n",
+                    ok, shed, expired,
+                    static_cast<unsigned long long>(adm->transitions()),
+                    static_cast<unsigned long long>(adm->relaxedSolves()),
+                    adm->level());
+}
+
 /** One point of the --batch sweep. */
 struct BatchPoint
 {
@@ -317,19 +398,22 @@ main(int argc, char **argv)
 
     const char *trace_path = nullptr;
     bool batch_mode = false;
+    bool soak_mode = false;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
             trace_path = argv[++i];
         else if (std::strcmp(argv[i], "--batch") == 0)
             batch_mode = true;
+        else if (std::strcmp(argv[i], "--soak") == 0)
+            soak_mode = true;
     }
 
     if (batch_mode)
         return runBatchSweep();
 
-    // One arming spans all three phases, so the exported trace shows
-    // the healthy burst, the degraded burst, and the pipeline step on
-    // one timeline. (A server with ServerOptions::traceEnabled arms
+    // One arming spans every phase, so the exported trace shows the
+    // healthy burst, the degraded burst, the pipeline step, and (with
+    // --soak) the overload flood on one timeline. (A server with ServerOptions::traceEnabled arms
     // and disarms the tracer itself — handy when it is the only traced
     // component, but re-arming would discard earlier phases here.)
     if (trace_path != nullptr) {
@@ -341,6 +425,8 @@ main(int argc, char **argv)
     const MetricsSummary s = runPriorityDemo(exposition);
     runDegradedBurst();
     runPipelineDemo();
+    if (soak_mode)
+        runSoakDemo();
 
     Table table("Serving metrics");
     table.setHeader({"metric", "value"});

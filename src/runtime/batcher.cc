@@ -24,9 +24,10 @@ expiredAt(const QueueEntry &entry, RuntimeClock::time_point now)
 } // namespace
 
 Batcher::Batcher(RequestQueue &queue, std::size_t maxBatch,
-                 double maxWaitUs, SolveCache *cache)
+                 double maxWaitUs, SolveCache *cache,
+                 const AdmissionController *admission)
     : queue_(queue), maxBatch_(maxBatch), maxWaitUs_(maxWaitUs),
-      cache_(cache)
+      cache_(cache), admission_(admission)
 {
     ENODE_ASSERT(maxBatch_ >= 1, "batcher needs maxBatch >= 1");
     ENODE_ASSERT(maxWaitUs_ >= 0.0, "negative collect window");
@@ -82,17 +83,28 @@ Batcher::collect(CollectedBatch &out)
     // goes first (it was dispatched by the queue before anything still
     // queued), otherwise block for the next queued request. Requests
     // already past their deadline are diverted to `expired` and the
-    // hunt continues — but never past queue closure.
+    // hunt continues — but never past queue closure, and never by
+    // blocking while casualties are in hand.
     QueueEntry seed;
     for (;;) {
         if (!takeStash(seed)) {
-            if (!queue_.pop(seed)) {
+            if (!out.expired.empty() || !out.cacheHits.empty()) {
+                // Diverted entries are waiting on their terminal
+                // responses. If the queue has nothing ready right now,
+                // ship them instead of parking in a blocking pop — a
+                // backlog of lapsed deadlines on a quiet queue would
+                // otherwise hang unanswered until the next arrival or
+                // shutdown. The next collect() resumes the blocking
+                // hunt.
+                if (queue_.popUntil(seed, RuntimeClock::now()) !=
+                    PopStatus::Ok)
+                    return true;
+            } else if (!queue_.pop(seed)) {
                 // Queue closed and drained — but another worker may
                 // have stashed an entry while this one blocked in pop.
                 // A final stash check keeps shutdown from stranding it.
                 if (!takeStash(seed))
-                    return !out.expired.empty() ||
-                           !out.cacheHits.empty();
+                    return false;
             }
         }
         if (expiredAt(seed, RuntimeClock::now())) {
@@ -112,10 +124,17 @@ Batcher::collect(CollectedBatch &out)
     out.entries.push_back(std::move(seed));
 
     if (maxBatch_ > 1) {
+        // Brownout level >= 2 shrinks the collect window: under load,
+        // draining queued work beats waiting for coalescing company.
+        // Sampled once per window so one batch sees one policy.
+        const double wait_us =
+            maxWaitUs_ *
+            (admission_ != nullptr ? admission_->collectWindowScale()
+                                   : 1.0);
         const auto window_close =
             out.firstPop +
             std::chrono::duration_cast<RuntimeClock::duration>(
-                std::chrono::duration<double, std::micro>(maxWaitUs_));
+                std::chrono::duration<double, std::micro>(wait_us));
         while (out.entries.size() < maxBatch_) {
             QueueEntry next;
             const PopStatus status = queue_.popUntil(next, window_close);

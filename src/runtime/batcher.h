@@ -23,13 +23,18 @@
  * while queued. The batcher applies the same screen at every pop *and*
  * once more when the window closes, so a request that expired while
  * the batch waited for company is failed (counted `expired`), never
- * solved. Expired entries ride back in CollectedBatch::expired.
+ * solved. Expired entries ride back in CollectedBatch::expired — and
+ * the seed hunt never *blocks* while holding them: once anything has
+ * been diverted, an empty queue ships the casualties immediately
+ * rather than delaying their terminal responses until the next
+ * arrival (or shutdown).
  */
 
 #include <deque>
 #include <mutex>
 #include <vector>
 
+#include "runtime/admission.h"
 #include "runtime/request_queue.h"
 #include "runtime/solve_cache.h"
 
@@ -82,9 +87,14 @@ class Batcher
      * @param cache Optional solve cache: keyed requests whose exact
      *        entry is ready at pop are diverted to
      *        CollectedBatch::cacheHits instead of occupying the batch.
+     * @param admission Optional overload controller: at brownout level
+     *        >= 2 the collect window is scaled down (latency drains
+     *        ahead of coalescing efficiency under load). Consulted once
+     *        per window open.
      */
     Batcher(RequestQueue &queue, std::size_t maxBatch, double maxWaitUs,
-            SolveCache *cache = nullptr);
+            SolveCache *cache = nullptr,
+            const AdmissionController *admission = nullptr);
 
     /**
      * Block for the next batch.
@@ -112,6 +122,7 @@ class Batcher
     const std::size_t maxBatch_;
     const double maxWaitUs_;
     SolveCache *const cache_;
+    const AdmissionController *const admission_;
 
     std::mutex stashMutex_;
     std::deque<QueueEntry> stash_;

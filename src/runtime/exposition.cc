@@ -23,6 +23,9 @@ isCounterKey(const std::string &key)
     // The batch family mixes counts (dispatched/requests/partial
     // failures, plus the size histogram above) with point-in-time
     // occupancy and wait-percentile gauges.
+    // The overload family mixes counters (sheds, relaxed solves,
+    // transitions) with level/score/residency gauges, so its counters
+    // are listed exactly rather than by prefix.
     static const char *kExact[] = {"batch.dispatched",
                                    "batch.requests",
                                    "batch.partial_failure",
@@ -31,7 +34,10 @@ isCounterKey(const std::string &key)
                                    "cache.miss",
                                    "cache.evict",
                                    "cache.insert",
-                                   "cache.single_flight_waits"};
+                                   "cache.single_flight_waits",
+                                   "overload.sheds",
+                                   "overload.relaxed_solves",
+                                   "overload.transitions"};
     for (const char *exact : kExact)
         if (key == exact)
             return true;

@@ -47,6 +47,8 @@ requestStatusName(RequestStatus status)
         return "deadline-exceeded";
       case RequestStatus::Failed:
         return "failed";
+      case RequestStatus::Shed:
+        return "shed";
     }
     ENODE_PANIC("unknown RequestStatus");
 }
@@ -69,10 +71,16 @@ InferenceServer::InferenceServer(ModelFactory make_model,
                  "batchWaitUs must be >= 0");
     if (options_.cache.enabled)
         solveCache_ = std::make_unique<SolveCache>(options_.cache);
+    // The controller exists before the batcher so the batcher can scale
+    // its collect window off the live brownout level.
+    if (options_.overload.enabled)
+        admission_ = std::make_unique<AdmissionController>(
+            options_.overload, options_.numWorkers);
     if (options_.maxBatch > 1)
         batcher_ = std::make_unique<Batcher>(queue_, options_.maxBatch,
                                              options_.batchWaitUs,
-                                             solveCache_.get());
+                                             solveCache_.get(),
+                                             admission_.get());
 
     // Intra-op width: clamp workers * width to the machine, then build
     // one shared tile pool for all workers. Each worker contributes
@@ -279,6 +287,27 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
         }
     }
 
+    if (admission_ != nullptr) {
+        // Deadline-aware admission: estimate this request's completion
+        // against its budget; an infeasible request (or a low-priority
+        // one under brownout level 3) is shed now — before it occupies
+        // a queue slot, a worker, or a batch seat. Cache hits and
+        // attached followers above bypass the check: their marginal
+        // cost is a tensor copy, not a solve.
+        const double budget_ms = toMs(deadline - entry.enqueueTime);
+        const AdmissionController::Verdict verdict = admission_->admit(
+            shapeKeyOf(entry.request.input), stream, budget_ms,
+            queue_.size());
+        if (verdict.shed) {
+            metrics_.recordAdmitted();
+            shedEntry(entry, verdict.estimateMs);
+            sub.accepted = true;
+            sub.id = id;
+            sub.result = std::move(future);
+            return sub;
+        }
+    }
+
     const Hash128 key = entry.request.cacheKey; // survives the push
     // Announce ownership BEFORE the entry becomes visible to workers.
     // In the reverse order a worker can pop the entry and terminate it
@@ -406,6 +435,8 @@ InferenceServer::metricsText() const
     text += prometheusText(queue_stats);
     if (solveCache_ != nullptr)
         text += prometheusText(solveCache_->snapshot());
+    if (admission_ != nullptr)
+        text += prometheusText(admission_->snapshot());
     if (publisher_ != nullptr)
         text += prometheusText(publisher_->snapshot());
     return text;
@@ -568,6 +599,16 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     serve_span.arg("stream", static_cast<double>(entry.request.stream));
     serve_span.arg("worker", static_cast<double>(worker_id));
 
+    // Every dequeue feeds the brownout monitor: observed queue delay
+    // plus the pool occupancy at this instant. The observing worker
+    // counts itself — it just took work, it is not idle capacity — or
+    // a single-worker pool could never reach the occupancy floor.
+    if (admission_ != nullptr)
+        admission_->observeQueueDelay(
+            queue_wait_ms,
+            std::min(1.0, static_cast<double>(activeWorkers() + 1) /
+                              static_cast<double>(workers_.size())));
+
     // A request that has already missed its deadline gets a structured
     // failure now instead of a full solve whose response could only
     // arrive late.
@@ -647,12 +688,25 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
         worker.warm->beginSolve(replay);
         rung0 = worker.warm.get();
     }
+    // Brownout level >= 1: low-priority streams solve at proactively
+    // relaxed tolerance — the voluntary analogue of the ladder's rung-1
+    // retry, taken before anything fails. The ladder rungs below stay
+    // on the configured tolerance: degradation policy is unchanged.
+    IvpOptions rung0_opts = options_.ivp;
+    const bool brownout_relaxed =
+        admission_ != nullptr &&
+        admission_->relaxTolerance(entry.request.stream);
+    if (brownout_relaxed) {
+        rung0_opts.tolerance *= options_.overload.brownoutToleranceFactor;
+        admission_->noteRelaxed();
+        serve_span.arg("brownout_relaxed", 1.0);
+    }
     NodeForwardResult fwd;
     {
         TraceSpan rung_span("request.solve", "serve");
         rung_span.arg("rung", 0.0);
         fwd = worker.model->forward(entry.request.input, tableau_,
-                                    *rung0, options_.ivp,
+                                    *rung0, rung0_opts,
                                     nullptr, &guard);
         rung_span.arg("status", static_cast<double>(fwd.status));
     }
@@ -700,6 +754,7 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     response.retries = retries;
     response.warmStarted =
         worker.warm != nullptr && worker.warm->replayedPoints() > 0;
+    response.brownoutRelaxed = brownout_relaxed;
     // The final screen: no response ever carries a non-finite value.
     if (fwd.status == SolveStatus::Ok && fwd.output.isFinite()) {
         response.status = RequestStatus::Ok;
@@ -722,6 +777,12 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     serve_span.arg("status", static_cast<double>(response.status));
     if (response.retries > 0 || response.degraded)
         serve_span.arg("rungs", response.degraded ? 2.0 : 1.0);
+
+    // Feed the admission cost model with the realized per-request
+    // service time, keyed by input shape.
+    if (admission_ != nullptr)
+        admission_->observeSolve(shapeKeyOf(entry.request.input),
+                                 response.solveMs, 1);
 
     activeWorkers_.fetch_sub(1, std::memory_order_relaxed);
 
@@ -749,9 +810,20 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     // solve can heal into an Ok response whose bytes a fresh solve
     // would not reproduce.
     if (solveCache_ != nullptr) {
+        // The cache.publish probe models a fault between the solve and
+        // the cache write: the solve succeeded, but the publish is
+        // lost, so followers must redispatch and solve for themselves.
+        // Probed only for keyed requests so hit counts match publish
+        // attempts. A brownout-relaxed solve is likewise never cached:
+        // the cache key embeds the configured tolerance, not the
+        // relaxed one this answer was computed at.
+        const bool publish_fault =
+            entry.request.cacheKey.valid() &&
+            FaultInjector::instance().shouldFail("cache.publish");
         const bool clean = deliver &&
                            response.status == RequestStatus::Ok &&
                            !response.degraded && response.retries == 0 &&
+                           !brownout_relaxed && !publish_fault &&
                            !FaultInjector::instance().armed();
         if (entry.request.cacheKey.valid()) {
             if (clean) {
@@ -775,6 +847,24 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
 }
 
 void
+InferenceServer::shedEntry(QueueEntry &entry, double estimateMs)
+{
+    InferResponse response;
+    response.id = entry.request.id;
+    response.status = RequestStatus::Shed;
+    response.deadlineMet = false;
+    response.totalMs = toMs(RuntimeClock::now() - entry.enqueueTime);
+    response.completionIndex = nextCompletionIndex_.fetch_add(1);
+    Tracer::instance().instant(
+        "request.shed", "overload",
+        {{"id", static_cast<double>(entry.request.id)},
+         {"stream", static_cast<double>(entry.request.stream)},
+         {"estimate_ms", estimateMs}});
+    metrics_.recordCompletion(response);
+    entry.promise.set_value(std::move(response));
+}
+
+void
 InferenceServer::expireEntry(std::size_t worker_id, QueueEntry &entry)
 {
     // Same structured failure the solo path gives a request whose
@@ -789,6 +879,14 @@ InferenceServer::expireEntry(std::size_t worker_id, QueueEntry &entry)
     response.deadlineMet = false;
     response.workerId = worker_id;
     response.completionIndex = nextCompletionIndex_.fetch_add(1);
+    // An expiry is the strongest queue-delay signal the brownout
+    // monitor can get: this request waited itself to death. The worker
+    // sweeping it counts as busy, as on the serve paths.
+    if (admission_ != nullptr)
+        admission_->observeQueueDelay(
+            response.queueWaitMs,
+            std::min(1.0, static_cast<double>(activeWorkers() + 1) /
+                              static_cast<double>(workers_.size())));
     metrics_.recordCompletion(response);
     entry.promise.set_value(std::move(response));
 }
@@ -867,10 +965,16 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
     std::vector<DeadlineGuard> guard_storage(n);
     std::vector<SolveGuard *> guards(n);
     std::vector<StepController *> controllers(n);
+    const double occupancy_now =
+        static_cast<double>(activeWorkers()) /
+        static_cast<double>(workers_.size());
     for (std::size_t i = 0; i < n; i++) {
         QueueEntry &entry = batch.entries[i];
         xs.push_back(entry.request.input);
         queue_wait_ms[i] = toMs(start - entry.enqueueTime);
+        // Every dequeue feeds the brownout monitor, batched or solo.
+        if (admission_ != nullptr)
+            admission_->observeQueueDelay(queue_wait_ms[i], occupancy_now);
         guard_storage[i].deadline = entry.request.deadline;
         guard_storage[i].maxFEvals = options_.degrade.maxFEvalsPerRequest;
         guard_storage[i].abortFlag = &flight.abort;
@@ -915,15 +1019,38 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
     // thread sleeps, and the worker must recover afterwards.
     FaultInjector::instance().maybeStall("worker.stall");
 
+    // A batched solve shares one IvpOptions across its samples, so the
+    // brownout tolerance relaxation applies only when *every* sample is
+    // a low-priority stream — a mixed batch solves at the configured
+    // tolerance rather than degrading a high-priority rider.
+    IvpOptions batch_opts = options_.ivp;
+    bool brownout_relaxed = admission_ != nullptr;
+    for (std::size_t i = 0; brownout_relaxed && i < n; i++)
+        brownout_relaxed =
+            admission_->relaxTolerance(batch.entries[i].request.stream);
+    if (brownout_relaxed) {
+        batch_opts.tolerance *= options_.overload.brownoutToleranceFactor;
+        for (std::size_t i = 0; i < n; i++)
+            admission_->noteRelaxed();
+    }
+
     BatchedForwardResult fwd;
     {
         TraceSpan solve_span("batch.solve", "serve");
         solve_span.arg("batch", static_cast<double>(n));
         solve_span.arg("worker", static_cast<double>(worker_id));
+        if (brownout_relaxed)
+            solve_span.arg("brownout_relaxed", 1.0);
         fwd = worker.model->forwardBatched(xs, tableau_, controllers,
-                                           options_.ivp, &guards);
+                                           batch_opts, &guards);
     }
     const double batch_solve_ms = toMs(RuntimeClock::now() - start);
+
+    // One observation covering the whole dispatch: the cost model
+    // divides by the batch size to recover per-request service time.
+    if (admission_ != nullptr)
+        admission_->observeSolve(shapeKeyOf(batch.entries[0].request.input),
+                                 batch_solve_ms, n);
 
     // Per-sample verdicts and, for the failures, the same degradation
     // ladder the solo path walks — one sample at a time, so a poisoned
@@ -985,6 +1112,7 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         response.batchSize = n;
         response.warmStarted = !worker.batchWarm.empty() &&
                                worker.batchWarm[i]->replayedPoints() > 0;
+        response.brownoutRelaxed = brownout_relaxed;
         // Same final screen as the solo path: no response ever carries
         // a non-finite value.
         if (status == SolveStatus::Ok && output.isFinite()) {
@@ -1022,10 +1150,14 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         // contaminate the cache for anyone — its followers simply
         // re-dispatch and solve for themselves.
         if (solveCache_ != nullptr) {
+            const bool publish_fault =
+                entry.request.cacheKey.valid() &&
+                FaultInjector::instance().shouldFail("cache.publish");
             const bool clean = deliver &&
                                response.status == RequestStatus::Ok &&
                                !response.degraded &&
                                response.retries == 0 &&
+                               !brownout_relaxed && !publish_fault &&
                                !FaultInjector::instance().armed();
             if (entry.request.cacheKey.valid()) {
                 if (clean) {

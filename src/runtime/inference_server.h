@@ -35,6 +35,7 @@
 #include "common/task_pool.h"
 #include "core/node_model.h"
 #include "ode/warm_start.h"
+#include "runtime/admission.h"
 #include "runtime/batcher.h"
 #include "runtime/metrics.h"
 #include "runtime/metrics_publisher.h"
@@ -165,6 +166,15 @@ struct ServerOptions
     CacheOptions cache;
 
     /**
+     * Overload control (runtime/admission.h): deadline-aware admission
+     * with RequestStatus::Shed, plus the brownout ladder (proactive
+     * tolerance relaxation, collect-window shrinking, low-priority
+     * shedding). Off by default; when off, admission stays the blind
+     * bounded-queue push.
+     */
+    OverloadOptions overload;
+
+    /**
      * Arm the process-wide span tracer (common/trace_span.h) for this
      * server's lifetime: request, ladder-rung, solver-trial and
      * pipeline spans are recorded into per-thread rings and stay
@@ -289,6 +299,9 @@ class InferenceServer
     /** The solve cache; null unless ServerOptions::cache.enabled. */
     const SolveCache *solveCache() const { return solveCache_.get(); }
 
+    /** Overload controller; null unless ServerOptions::overload.enabled. */
+    const AdmissionController *admission() const { return admission_.get(); }
+
     /** Digest of (weights, solver config) every cache key embeds;
      *  invalid when caching is off. Exposed for key-stability tests. */
     const Hash128 &modelDigest() const { return modelDigest_; }
@@ -396,6 +409,12 @@ class InferenceServer
     void serveBatch(std::size_t worker_id, CollectedBatch &batch);
     /** Fail a request whose deadline lapsed before it was solved. */
     void expireEntry(std::size_t worker_id, QueueEntry &entry);
+    /**
+     * Terminal RequestStatus::Shed response for a request refused by
+     * admission control: full accounting through recordCompletion, the
+     * promise fulfilled immediately, nothing ever queued.
+     */
+    void shedEntry(QueueEntry &entry, double estimateMs);
     /** Rung 2: fixed-step coarse integration of every layer. */
     NodeForwardResult fallbackForward(Worker &worker, const Tensor &input);
     void watchdogMain();
@@ -409,6 +428,8 @@ class InferenceServer
     std::unique_ptr<Batcher> batcher_;
     /** Two-tier cross-solve cache; null when cache.enabled is false. */
     std::unique_ptr<SolveCache> solveCache_;
+    /** Overload controller; null when overload.enabled is false. */
+    std::unique_ptr<AdmissionController> admission_;
     /** Folded into every request's cache key (see modelDigest()). */
     Hash128 modelDigest_;
     MetricsRegistry metrics_;

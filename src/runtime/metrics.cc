@@ -84,6 +84,8 @@ MetricsRegistry::recordCompletion(const InferResponse &response)
     switch (response.status) {
       case RequestStatus::Ok:
         completed_++;
+        if (response.brownoutRelaxed)
+            brownoutRelaxed_++;
         queueWaitMs_.add(response.queueWaitMs);
         solveMs_.add(response.solveMs);
         totalMs_.add(response.totalMs);
@@ -124,6 +126,11 @@ MetricsRegistry::recordCompletion(const InferResponse &response)
         // this is the only place cancellations are counted.
         cancelled_++;
         return;
+      case RequestStatus::Shed:
+        // Refused at submit by admission control: counted admitted (a
+        // decision was taken), terminal here, never queued or solved.
+        shed_++;
+        return;
     }
     ENODE_PANIC("unknown RequestStatus");
 }
@@ -140,6 +147,8 @@ MetricsRegistry::summary() const
     s.deadlineMisses = deadlineMisses_;
     s.expired = expired_;
     s.failed = failed_;
+    s.shed = shed_;
+    s.brownoutRelaxed = brownoutRelaxed_;
     s.degraded = degraded_;
     s.retries = retries_;
     s.watchdogTrips = watchdogTrips_;
@@ -194,6 +203,9 @@ MetricsRegistry::snapshot(const std::string &group_name) const
     group.set("requests.cancelled", static_cast<double>(s.cancelled));
     group.set("requests.expired", static_cast<double>(s.expired));
     group.set("requests.failed", static_cast<double>(s.failed));
+    group.set("requests.shed", static_cast<double>(s.shed));
+    group.set("requests.brownout_relaxed",
+              static_cast<double>(s.brownoutRelaxed));
     group.set("requests.deadline_misses",
               static_cast<double>(s.deadlineMisses));
     group.set("solve.non_finite", static_cast<double>(s.solveNonFinite));
@@ -254,6 +266,8 @@ MetricsRegistry::reset()
     deadlineMisses_ = 0;
     expired_ = 0;
     failed_ = 0;
+    shed_ = 0;
+    brownoutRelaxed_ = 0;
     degraded_ = 0;
     retries_ = 0;
     watchdogTrips_ = 0;

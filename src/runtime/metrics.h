@@ -36,6 +36,10 @@ struct MetricsSummary
     std::uint64_t expired = 0;
     /** Terminal failures (ladder exhausted or watchdog trip). */
     std::uint64_t failed = 0;
+    /** Refused by deadline-aware admission control at submit. */
+    std::uint64_t shed = 0;
+    /** Ok responses solved at brownout-relaxed tolerance. */
+    std::uint64_t brownoutRelaxed = 0;
     /** Ok responses produced by the degradation ladder. */
     std::uint64_t degraded = 0;
     /** Relaxed-tolerance retry attempts across all requests. */
@@ -116,7 +120,7 @@ class MetricsRegistry
      * classifies degraded/failed responses by their originating
      * SolveStatus, and feeds the latency series for Ok responses.
      * Invariant: admitted == completed + expired + failed + cancelled
-     * once the server has stopped.
+     * + shed once the server has stopped.
      */
     void recordCompletion(const InferResponse &response);
 
@@ -143,6 +147,8 @@ class MetricsRegistry
     std::uint64_t deadlineMisses_ = 0;
     std::uint64_t expired_ = 0;
     std::uint64_t failed_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t brownoutRelaxed_ = 0;
     std::uint64_t degraded_ = 0;
     std::uint64_t retries_ = 0;
     std::uint64_t watchdogTrips_ = 0;

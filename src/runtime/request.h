@@ -72,10 +72,19 @@ enum class RequestStatus
      *  recover (every rung failed, or the watchdog tripped). The
      *  output is empty — a failed request never carries a payload. */
     Failed,
+    /**
+     * Rejected by deadline-aware admission control: the cost model
+     * estimated the request could not complete by its deadline (or
+     * brownout level 3 shed its priority class), so it was refused at
+     * submit — before occupying a queue slot, a worker, or a batch
+     * seat. Counted admitted (the server took a decision on it), so
+     * admitted == completed + expired + failed + cancelled + shed.
+     */
+    Shed,
 };
 
 /** Number of RequestStatus values (for exhaustive test matrices). */
-constexpr std::size_t kNumRequestStatuses = 4;
+constexpr std::size_t kNumRequestStatuses = 5;
 
 /** Human-readable status name. */
 const char *requestStatusName(RequestStatus status);
@@ -149,6 +158,15 @@ struct InferResponse
      * solve, within solver tolerance of a cold solve.
      */
     bool warmStarted = false;
+
+    /**
+     * True when the rung-0 solve ran at brownout-relaxed tolerance
+     * (proactive degradation of a low-priority stream under load, see
+     * OverloadOptions). The response is still Ok and finite, but its
+     * accuracy is that of the relaxed tolerance — and it never
+     * populates the solve cache, whose keys embed the configured one.
+     */
+    bool brownoutRelaxed = false;
 };
 
 } // namespace enode

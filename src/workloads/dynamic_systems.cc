@@ -136,6 +136,32 @@ LotkaVolterraOde::invariant(const Tensor &state) const
            alpha_ * std::log(y);
 }
 
+VanDerPolOde::VanDerPolOde(double mu) : mu_(mu)
+{
+    ENODE_ASSERT(mu > 0.0, "van der pol needs mu > 0");
+}
+
+Tensor
+VanDerPolOde::eval(double /*t*/, const Tensor &h)
+{
+    countEval();
+    ENODE_ASSERT(h.numel() == stateDim, "van der pol state must be dim 2");
+    const double x = h.at(0), v = h.at(1);
+    Tensor dh(h.shape());
+    dh.at(0) = static_cast<float>(v);
+    dh.at(1) = static_cast<float>(mu_ * (1.0 - x * x) * v - x);
+    return dh;
+}
+
+Tensor
+VanDerPolOde::randomInitialState(Rng &rng) const
+{
+    Tensor state(Shape{stateDim});
+    state.at(0) = static_cast<float>(rng.uniform(-2.5, 2.5));
+    state.at(1) = static_cast<float>(rng.uniform(-2.5, 2.5));
+    return state;
+}
+
 TrajectoryDataset
 generateTrajectoriesImpl(OdeFunction &system,
                          const std::vector<Tensor> &initial_states,

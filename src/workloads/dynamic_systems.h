@@ -86,6 +86,34 @@ class LotkaVolterraOde : public OdeFunction
     double eta_;
 };
 
+/**
+ * Van der Pol oscillator; state dim = 2, stiffness parameter mu.
+ *
+ * The classic stiffness dial for adaptive solvers: mu <= 1 behaves like
+ * a mild nonlinear oscillator, while large mu creates relaxation
+ * oscillations whose fast transitions force an adaptive controller to
+ * shrink dt by orders of magnitude. The soak harness uses it as the
+ * expensive tail of a mixed workload — the requests an overloaded
+ * server most wants to shed or relax.
+ */
+class VanDerPolOde : public OdeFunction
+{
+  public:
+    explicit VanDerPolOde(double mu = 5.0);
+
+    Tensor eval(double t, const Tensor &h) override;
+
+    static constexpr std::size_t stateDim = 2;
+
+    /** Random state near the limit cycle basin. */
+    Tensor randomInitialState(Rng &rng) const;
+
+    double mu() const { return mu_; }
+
+  private:
+    double mu_;
+};
+
 /** One supervised pair: evolve x0 for time horizon -> target. */
 struct TrajectoryPair
 {

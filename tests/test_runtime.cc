@@ -659,6 +659,22 @@ TEST(FaultMatrix, EveryStatusReachableWithMatchingCounters)
         EXPECT_EQ(server.metrics().summary().cancelled, 1u);
         see(r);
     }
+    { // RequestStatus::Shed: admission control turns a request that is
+      // already past its deadline at submit away before it costs a
+      // worker anything. Shed requests count as admitted.
+        ServerOptions opts = serverOptions(1, 8);
+        opts.overload.enabled = true;
+        SingleShot s = serveSingle(opts, RuntimeClock::now() -
+                                             std::chrono::milliseconds(1));
+        EXPECT_EQ(s.response.status, RequestStatus::Shed);
+        EXPECT_FALSE(s.response.deadlineMet);
+        EXPECT_EQ(s.summary.shed, 1u);
+        EXPECT_EQ(s.summary.admitted,
+                  s.summary.completed + s.summary.expired +
+                      s.summary.failed + s.summary.cancelled +
+                      s.summary.shed);
+        see(s.response);
+    }
     setLogLevel(LogLevel::Info);
 
     for (std::size_t i = 0; i < kNumRequestStatuses; i++)

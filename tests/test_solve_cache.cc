@@ -693,6 +693,60 @@ TEST(CachedServingChaos, FaultedSolvesNeverPopulateEitherTier)
               s.admitted);
 }
 
+TEST(CachedServingChaos, PublishFaultRedispatchesSingleFlightFollowers)
+{
+    setLogLevel(LogLevel::Silent);
+    // One worker, both requests staged before any dispatch: the first
+    // registers as single-flight owner, the identical second attaches
+    // as its follower.
+    InferenceServer server(makeReferenceModel,
+                           cachedServerOptions(1, 16, /*paused=*/true));
+    const Tensor input = makeInput(21);
+
+    auto owner = server.submit(input);
+    auto follower = server.submit(input);
+    ASSERT_TRUE(owner.accepted);
+    ASSERT_TRUE(follower.accepted);
+
+    // A fault between the owner's solve and its cache publish: the
+    // solve succeeds, the publish is lost. The pending entry must be
+    // retracted and the follower redispatched to solve for itself —
+    // never parked forever on a publish that will not come.
+    FaultPlan plan;
+    plan.seed = 31;
+    FaultSpec spec;
+    spec.site = "cache.publish";
+    spec.kind = FaultKind::Reject;
+    spec.firstHit = 0;
+    spec.count = std::numeric_limits<std::uint64_t>::max();
+    plan.faults.push_back(spec);
+    ScopedFaultPlan scoped(plan);
+
+    server.resume();
+    InferResponse r_owner = owner.result.get();
+    InferResponse r_follower = follower.result.get();
+    setLogLevel(LogLevel::Info);
+
+    // Both solved for themselves, neither from the cache, both faults
+    // recorded at the probe.
+    EXPECT_EQ(r_owner.status, RequestStatus::Ok);
+    EXPECT_EQ(r_follower.status, RequestStatus::Ok);
+    EXPECT_FALSE(r_owner.cacheHit);
+    EXPECT_FALSE(r_follower.cacheHit);
+    EXPECT_TRUE(bitwiseEqual(r_owner.output, r_follower.output));
+    EXPECT_GT(r_follower.stats.fEvals, 0u) << "follower never redissolved";
+    EXPECT_GE(FaultInjector::instance().hits("cache.publish"), 2u);
+    EXPECT_EQ(server.solveCache()->inserts(), 0u);
+    EXPECT_EQ(server.solveCache()->exactSize(), 0u);
+
+    server.stop();
+    const MetricsSummary s = server.metrics().summary();
+    EXPECT_EQ(s.admitted, 2u);
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.admitted, s.completed + s.expired + s.failed +
+                              s.cancelled + s.shed);
+}
+
 TEST(CachedServingChaos, WatchdogFailedBatchDoesNotPoisonTheCache)
 {
     setLogLevel(LogLevel::Silent);

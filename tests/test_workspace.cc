@@ -45,12 +45,75 @@ countedAlloc(std::size_t size)
     return p;
 }
 
+/**
+ * A replacement operator-new family must be *complete*: libstdc++
+ * internals (e.g. stable_sort's temporary buffer) allocate through the
+ * nothrow and aligned forms, and under ASan a nothrow allocation served
+ * by the un-replaced default paired with our malloc-backed delete is an
+ * alloc-dealloc mismatch. Every form below funnels through malloc/free
+ * so allocation and deallocation always agree.
+ */
+static void *
+countedAllocNothrow(std::size_t size) noexcept
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    return std::malloc(size);
+}
+
+static void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = align;
+    void *p = std::aligned_alloc(align, (size + align - 1) / align * align);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
 void *operator new(std::size_t size) { return countedAlloc(size); }
 void *operator new[](std::size_t size) { return countedAlloc(size); }
+void *operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAllocNothrow(size);
+}
+void *operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAllocNothrow(size);
+}
+void *operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void *operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
 void operator delete(void *p) noexcept { std::free(p); }
 void operator delete[](void *p) noexcept { std::free(p); }
 void operator delete(void *p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace enode {
 namespace {
