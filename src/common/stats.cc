@@ -112,11 +112,53 @@ Histogram::percentile(double q) const
     return binLow(last_nonempty) + width;
 }
 
+namespace {
+
+/** splitmix64 step: deterministic stream for reservoir replacement. */
+std::uint64_t
+splitmixNext(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+SampleSeries::SampleSeries(std::size_t capacity)
+    : capacity_(capacity), rng_(0x5eed5e121e5u)
+{
+    ENODE_ASSERT(capacity_ >= 1, "SampleSeries capacity must be >= 1");
+}
+
 void
 SampleSeries::add(double sample)
 {
-    samples_.push_back(sample);
-    sorted_ = false;
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    count_++;
+    sum_ += sample;
+
+    if (samples_.size() < capacity_) {
+        samples_.push_back(sample);
+        sorted_ = false;
+        return;
+    }
+    // Algorithm R: keep each of the count_ samples seen so far in the
+    // reservoir with probability capacity / count_. The replacement
+    // index comes from a fixed-seed stream so runs are reproducible.
+    const std::uint64_t j = splitmixNext(rng_) % count_;
+    if (j < capacity_) {
+        samples_[static_cast<std::size_t>(j)] = sample;
+        sorted_ = false;
+    }
 }
 
 void
@@ -124,6 +166,11 @@ SampleSeries::reset()
 {
     samples_.clear();
     sorted_ = true;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    rng_ = 0x5eed5e121e5u;
 }
 
 void
@@ -138,30 +185,19 @@ SampleSeries::ensureSorted() const
 double
 SampleSeries::mean() const
 {
-    if (samples_.empty())
-        return 0.0;
-    double sum = 0.0;
-    for (double s : samples_)
-        sum += s;
-    return sum / static_cast<double>(samples_.size());
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
 double
 SampleSeries::min() const
 {
-    if (samples_.empty())
-        return 0.0;
-    ensureSorted();
-    return samples_.front();
+    return count_ ? min_ : 0.0;
 }
 
 double
 SampleSeries::max() const
 {
-    if (samples_.empty())
-        return 0.0;
-    ensureSorted();
-    return samples_.back();
+    return count_ ? max_ : 0.0;
 }
 
 double

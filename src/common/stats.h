@@ -90,36 +90,59 @@ class Histogram
 };
 
 /**
- * Exact-quantile sample series.
+ * Bounded-memory quantile sample series.
  *
- * Stores every sample, so percentiles are exact rather than binned —
- * the right tool for latency summaries (p50/p95/p99) where tail
- * resolution matters and sample counts are request-scale, not
- * event-scale. Not internally synchronized; the serving runtime guards
- * its series with the metrics-registry mutex.
+ * Below `capacity` samples every observation is stored, so percentiles
+ * are exact rather than binned — the right tool for latency summaries
+ * (p50/p95/p99) where tail resolution matters. Beyond the capacity the
+ * series switches to reservoir sampling (Vitter's Algorithm R with a
+ * fixed-seed splitmix64 stream, so runs are reproducible): storage
+ * stays capped while percentiles become estimates over a uniform
+ * sample of the whole stream. count(), mean(), min() and max() are
+ * maintained as running accumulators and stay exact at any count — a
+ * week-long soak or a persistent training service can feed a series
+ * forever without growing it. Not internally synchronized; the serving
+ * runtime guards its series with the metrics-registry mutex.
  */
 class SampleSeries
 {
   public:
-    SampleSeries() = default;
+    /** Default cap: exact percentiles for the first 64K samples. */
+    static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+    explicit SampleSeries(std::size_t capacity = kDefaultCapacity);
 
     void add(double sample);
     void reset();
 
-    std::uint64_t count() const { return samples_.size(); }
+    /** Total samples observed (exact; not bounded by the capacity). */
+    std::uint64_t count() const { return count_; }
     double mean() const;
     double min() const;
     double max() const;
 
+    /** Samples currently held; never exceeds the capacity. */
+    std::size_t stored() const { return samples_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
     /**
-     * Exact q-th percentile (q in [0, 100]) with linear interpolation
-     * between order statistics. Returns 0 when empty.
+     * q-th percentile (q in [0, 100]) with linear interpolation
+     * between order statistics. Exact while count() <= capacity();
+     * a reservoir estimate beyond. Returns 0 when empty.
      */
     double percentile(double q) const;
 
   private:
     void ensureSorted() const;
 
+    const std::size_t capacity_;
+    // Exact running accumulators, independent of the reservoir.
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    /** splitmix64 state for reservoir replacement (fixed seed). */
+    std::uint64_t rng_;
     // Sorted lazily on first quantile query after an insertion.
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;

@@ -1,5 +1,8 @@
 #include "core/aca_trainer.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace enode {
@@ -26,32 +29,42 @@ namespace {
  */
 Tensor
 adjointStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
-            const Tensor &h, double dt, const Tensor &abar, AcaStats &stats)
+            const Tensor &h, double dt, const Tensor &abar, AcaStats &stats,
+            AcaWorkspace &ws)
 {
     const std::size_t s = tableau.stages();
     const auto &a = tableau.a();
     const auto &b = tableau.b();
     const auto &c = tableau.c();
 
+    // Size the workspace once per tableau; subsequent steps reuse every
+    // buffer (the Tensor assignments below recycle storage through the
+    // thread-local pool instead of allocating).
+    if (ws.stages.size() < s) {
+        ws.stages.resize(s);
+        ws.stageInputs.resize(s);
+        ws.ybar.resize(s);
+    }
+    if (ws.ybarSet.size() < s)
+        ws.ybarSet.resize(s);
+    std::fill(ws.ybarSet.begin(), ws.ybarSet.end(), char{0});
+
     // 1) Local forward step: recover the training states (stage inputs).
     //    This is the "local forward step" of the ACA backward pass.
-    std::vector<Tensor> stages(s);
-    std::vector<Tensor> stage_inputs(s);
     for (std::size_t j = 0; j < s; j++) {
-        Tensor yj = h;
+        Tensor &yj = ws.stageInputs[j];
+        yj.copyFrom(h);
         for (std::size_t l = 0; l < j; l++) {
             if (a[j][l] != 0.0)
-                yj.axpy(static_cast<float>(dt * a[j][l]), stages[l]);
+                yj.axpy(static_cast<float>(dt * a[j][l]), ws.stages[l]);
         }
-        stages[j] = net.eval(t + c[j] * dt, yj);
-        stage_inputs[j] = std::move(yj);
+        ws.stages[j] = net.eval(t + c[j] * dt, yj);
         stats.localForwardEvals++;
     }
 
     // 2+3) Adjoint and parameter-gradient calculation, reverse stage
     //      order (the counter-clockwise loop around the ring, Fig. 7d).
-    std::vector<Tensor> ybar(s);
-    Tensor hbar = abar;
+    ws.hbar.copyFrom(abar);
     for (std::size_t j = s; j-- > 0;) {
         // Structural zero test on tableau coefficients only: the stage
         // contributes nothing if b_j = 0 and no later stage reads k_j.
@@ -61,37 +74,52 @@ adjointStep(EmbeddedNet &net, const ButcherTableau &tableau, double t,
         if (!contributes)
             continue;
 
-        Tensor kbar = abar * static_cast<float>(dt * b[j]);
+        ws.kbar.copyFrom(abar);
+        ws.kbar.scale(static_cast<float>(dt * b[j]));
         for (std::size_t m = j + 1; m < s; m++) {
-            if (a[m][j] != 0.0 && !ybar[m].empty())
-                kbar.axpy(static_cast<float>(dt * a[m][j]), ybar[m]);
+            // The ybarSet flag, not emptiness, gates the read: the
+            // persistent ws.ybar[m] may hold last step's adjoint.
+            if (a[m][j] != 0.0 && ws.ybarSet[m])
+                ws.kbar.axpy(static_cast<float>(dt * a[m][j]), ws.ybar[m]);
         }
 
         // Re-establish the layer caches at stage j, then pull the VJP.
         // The re-evaluation models reading the stored training states; it
         // is not counted as algorithmic forward work (the hardware reads
         // the states from the training state buffer instead).
-        net.eval(t + c[j] * dt, stage_inputs[j]);
-        ybar[j] = net.vjp(kbar);
+        net.eval(t + c[j] * dt, ws.stageInputs[j]);
+        ws.ybar[j] = net.vjp(ws.kbar);
+        ws.ybarSet[j] = 1;
         stats.adjointVjps++;
-        hbar += ybar[j];
+        ws.hbar += ws.ybar[j];
     }
-    return hbar;
+    // Hand the accumulated adjoint out by move; next step's copyFrom
+    // re-acquires a pooled buffer, so no heap traffic in steady state.
+    return std::move(ws.hbar);
+}
+
+AcaWorkspace &
+threadWorkspace()
+{
+    thread_local AcaWorkspace ws;
+    return ws;
 }
 
 } // namespace
 
 AcaBackwardResult
 acaBackwardLayer(EmbeddedNet &net, const ButcherTableau &tableau,
-                 const IvpResult &fwd, const Tensor &grad_output)
+                 const IvpResult &fwd, const Tensor &grad_output,
+                 AcaWorkspace *ws)
 {
+    AcaWorkspace &work = ws ? *ws : threadWorkspace();
     AcaBackwardResult result;
     Tensor abar = grad_output;
     // Checkpoints are ordered forward in time; walk them back (T -> 0).
     for (std::size_t i = fwd.checkpoints.size(); i-- > 0;) {
         const Checkpoint &ck = fwd.checkpoints[i];
         abar = adjointStep(net, tableau, ck.t, ck.state, ck.dt, abar,
-                           result.stats);
+                           result.stats, work);
         result.stats.backwardSteps++;
     }
     result.gradInput = std::move(abar);
@@ -100,7 +128,8 @@ acaBackwardLayer(EmbeddedNet &net, const ButcherTableau &tableau,
 
 AcaBackwardResult
 acaBackward(NodeModel &model, const ButcherTableau &tableau,
-            const NodeForwardResult &fwd, const Tensor &grad_output)
+            const NodeForwardResult &fwd, const Tensor &grad_output,
+            AcaWorkspace *ws)
 {
     ENODE_ASSERT(fwd.layers.size() == model.numLayers(),
                  "forward record does not match the model");
@@ -108,7 +137,7 @@ acaBackward(NodeModel &model, const ButcherTableau &tableau,
     Tensor abar = grad_output;
     for (std::size_t layer = model.numLayers(); layer-- > 0;) {
         auto layer_result = acaBackwardLayer(model.net(layer), tableau,
-                                             fwd.layers[layer], abar);
+                                             fwd.layers[layer], abar, ws);
         abar = std::move(layer_result.gradInput);
         total.stats.accumulate(layer_result.stats);
     }
@@ -125,6 +154,9 @@ classifierTrainStep(NodeClassifier &model, const Tensor &image,
     TrainStepResult out;
     auto fwd = model.forward(image, tableau, controller, opts, evaluator);
     out.forwardStats = fwd.node.totalStats;
+    out.forwardStatus = fwd.node.status;
+    if (out.forwardStatus != SolveStatus::Ok)
+        return out;
 
     auto loss = softmaxCrossEntropy(fwd.logits, label);
     out.loss = loss.value;
@@ -143,16 +175,20 @@ TrainStepResult
 regressionTrainStep(NodeModel &model, const Tensor &x0, const Tensor &target,
                     const ButcherTableau &tableau,
                     StepController &controller, const IvpOptions &opts,
-                    TrialEvaluator *evaluator)
+                    TrialEvaluator *evaluator, AcaWorkspace *ws,
+                    SolveGuard *guard)
 {
     TrainStepResult out;
-    auto fwd = model.forward(x0, tableau, controller, opts, evaluator);
+    auto fwd = model.forward(x0, tableau, controller, opts, evaluator, guard);
     out.forwardStats = fwd.totalStats;
+    out.forwardStatus = fwd.status;
+    if (out.forwardStatus != SolveStatus::Ok)
+        return out;
 
     auto loss = mseLoss(fwd.output, target);
     out.loss = loss.value;
 
-    auto aca = acaBackward(model, tableau, fwd, loss.grad);
+    auto aca = acaBackward(model, tableau, fwd, loss.grad, ws);
     out.backwardStats = aca.stats;
     return out;
 }

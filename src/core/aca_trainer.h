@@ -24,10 +24,38 @@
  */
 
 #include <cstdint>
+#include <vector>
 
 #include "core/node_model.h"
 
 namespace enode {
+
+/**
+ * Persistent buffers for the ACA backward hot path.
+ *
+ * One adjoint step re-creates stage states, stage inputs and stage
+ * adjoints; without reuse every checkpoint interval pays three
+ * vector-of-Tensor heap allocations plus fresh temporaries. The
+ * workspace keeps them alive across steps (and across training
+ * iterations), so after one warm-up pass the backward runs entirely on
+ * recycled Tensor-pool buffers — the same zero-steady-state-allocation
+ * discipline the forward solver adopted in PR 2.
+ *
+ * Not thread-safe; use one workspace per thread. Passing nullptr to the
+ * trainer entry points selects a thread-local instance, which is what
+ * the serving runtime's training tasks use.
+ */
+struct AcaWorkspace
+{
+    std::vector<Tensor> stages;      ///< k_j, recovered per local forward
+    std::vector<Tensor> stageInputs; ///< y_j, the recorded training states
+    std::vector<Tensor> ybar;        ///< per-stage adjoints
+    /** Explicit "ybar[j] was computed this step" flags; persistent
+     *  tensors would otherwise read stale values from the last step. */
+    std::vector<char> ybarSet;
+    Tensor kbar; ///< stage adjoint seed accumulator
+    Tensor hbar; ///< running dL/dh across the step
+};
 
 /** Accounting for one backward pass (complexity metering, Fig. 3). */
 struct AcaStats
@@ -60,11 +88,13 @@ struct AcaBackwardResult
  * @param tableau The integrator used in the forward pass.
  * @param fwd The layer's forward IvpResult (checkpoints + stepsizes).
  * @param grad_output a(T) = dL/dh(T), the adjoint seed (Eq. 4).
+ * @param ws Reusable buffers; nullptr selects a thread-local workspace.
  */
 AcaBackwardResult acaBackwardLayer(EmbeddedNet &net,
                                    const ButcherTableau &tableau,
                                    const IvpResult &fwd,
-                                   const Tensor &grad_output);
+                                   const Tensor &grad_output,
+                                   AcaWorkspace *ws = nullptr);
 
 /**
  * Backward pass over a full NodeModel: layers are processed last-first,
@@ -74,13 +104,17 @@ AcaBackwardResult acaBackwardLayer(EmbeddedNet &net,
  */
 AcaBackwardResult acaBackward(NodeModel &model, const ButcherTableau &tableau,
                               const NodeForwardResult &fwd,
-                              const Tensor &grad_output);
+                              const Tensor &grad_output,
+                              AcaWorkspace *ws = nullptr);
 
 /** One full training iteration of a NodeClassifier on a single image. */
 struct TrainStepResult
 {
     double loss = 0.0;
     bool correct = false;
+    /** Forward solve outcome; when non-Ok the backward pass was skipped
+     *  and no gradients were accumulated for this step. */
+    SolveStatus forwardStatus = SolveStatus::Ok;
     IvpStats forwardStats;
     AcaStats backwardStats;
 };
@@ -97,13 +131,21 @@ TrainStepResult classifierTrainStep(NodeClassifier &model,
                                     const IvpOptions &opts,
                                     TrialEvaluator *evaluator = nullptr);
 
-/** One regression training step: MSE between h(T) and a target state. */
+/**
+ * One regression training step: MSE between h(T) and a target state.
+ * The optional guard is threaded into the forward solve (the serving
+ * runtime's watchdog aborts wedged training tasks through it). When
+ * the forward comes back non-Ok the step reports forwardStatus and
+ * returns without touching the gradients.
+ */
 TrainStepResult regressionTrainStep(NodeModel &model, const Tensor &x0,
                                     const Tensor &target,
                                     const ButcherTableau &tableau,
                                     StepController &controller,
                                     const IvpOptions &opts,
-                                    TrialEvaluator *evaluator = nullptr);
+                                    TrialEvaluator *evaluator = nullptr,
+                                    AcaWorkspace *ws = nullptr,
+                                    SolveGuard *guard = nullptr);
 
 } // namespace enode
 

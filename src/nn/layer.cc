@@ -12,15 +12,9 @@ Layer::forwardBatched(const Tensor &xs, Tensor &out)
                  xs.shape().str());
     ENODE_ASSERT(&out != &xs, "forwardBatched output aliases input");
     const std::size_t n = xs.shape().dim(0);
-    std::vector<std::size_t> inner(xs.shape().dims().begin() + 1,
-                                   xs.shape().dims().end());
-    const Shape out_sample = outputShape(Shape{std::move(inner)});
-    std::vector<std::size_t> out_dims;
-    out_dims.reserve(out_sample.rank() + 1);
-    out_dims.push_back(n);
-    for (std::size_t d : out_sample.dims())
-        out_dims.push_back(d);
-    out.resize(Shape{std::move(out_dims)});
+    const Shape out_sample = outputShape(
+        Shape(xs.shape().dims().begin() + 1, xs.shape().dims().end()));
+    out.resize(out_sample.prepended(n));
     for (std::size_t i = 0; i < n; i++)
         out.setSample(i, forward(xs.sample(i)));
 }

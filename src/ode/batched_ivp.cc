@@ -163,12 +163,7 @@ solveIvpBatched(BatchedOdeFunction &f, const std::vector<const Tensor *> &y0,
 
             // Gather -> one shared evaluation -> scatter.
             const std::size_t m = eval_set.size();
-            std::vector<std::size_t> packed_dims;
-            packed_dims.reserve(state_shape.rank() + 1);
-            packed_dims.push_back(m);
-            for (std::size_t d : state_shape.dims())
-                packed_dims.push_back(d);
-            ws.packedIn.resize(Shape{packed_dims});
+            ws.packedIn.resize(state_shape.prepended(m));
             ws.packedTimes.resize(m);
             for (std::size_t idx = 0; idx < m; idx++) {
                 const std::size_t i = eval_set[idx];

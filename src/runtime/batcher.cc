@@ -47,7 +47,16 @@ Batcher::compatible(const QueueEntry &a, const QueueEntry &b)
     // shapes must match exactly. Stream and deadline stay per-request:
     // the queue already ordered dispatch, and the solver tracks each
     // sample's deadline through its own guard.
-    return a.request.input.shape() == b.request.input.shape();
+    //
+    // The model version must match too: a collect window can span a
+    // weight hot swap, and one batched solve runs on exactly one
+    // replica version — mixing admissions from both sides of the swap
+    // would silently serve the older requests with the newer weights
+    // (or vice versa) and break the cache-key/version correspondence.
+    // Training tasks never coalesce with anything.
+    return a.request.train == nullptr && b.request.train == nullptr &&
+           a.request.modelVersion == b.request.modelVersion &&
+           a.request.input.shape() == b.request.input.shape();
 }
 
 bool
@@ -122,6 +131,12 @@ Batcher::collect(CollectedBatch &out)
 
     out.firstPop = RuntimeClock::now();
     out.entries.push_back(std::move(seed));
+
+    // A training task always ships solo and immediately: it cannot
+    // share a batched solve, and holding a collect window open for it
+    // would only delay the inference requests queued behind it.
+    if (out.entries.front().request.train != nullptr)
+        return true;
 
     if (maxBatch_ > 1) {
         // Brownout level >= 2 shrinks the collect window: under load,

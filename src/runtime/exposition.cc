@@ -26,6 +26,9 @@ isCounterKey(const std::string &key)
     // The overload family mixes counters (sheds, relaxed solves,
     // transitions) with level/score/residency gauges, so its counters
     // are listed exactly rather than by prefix.
+    // Same story for the model-registry family (published/swap counts
+    // vs. the live-version and history-depth gauges) and the training
+    // family (task/step counts vs. the last-loss gauge).
     static const char *kExact[] = {"batch.dispatched",
                                    "batch.requests",
                                    "batch.partial_failure",
@@ -37,7 +40,14 @@ isCounterKey(const std::string &key)
                                    "cache.single_flight_waits",
                                    "overload.sheds",
                                    "overload.relaxed_solves",
-                                   "overload.transitions"};
+                                   "overload.transitions",
+                                   "model.published",
+                                   "model.swaps",
+                                   "train.tasks",
+                                   "train.task_failures",
+                                   "train.task_retries",
+                                   "train.steps",
+                                   "train.published"};
     for (const char *exact : kExact)
         if (key == exact)
             return true;

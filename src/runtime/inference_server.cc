@@ -9,6 +9,7 @@
 #include "common/trace_span.h"
 #include "ode/step_control.h"
 #include "runtime/exposition.h"
+#include "runtime/training_service.h"
 
 namespace enode {
 
@@ -58,10 +59,12 @@ InferenceServer::InferenceServer(ModelFactory make_model,
                                  ControllerFactory make_controller)
     : options_(options), tableau_(ButcherTableau::rk23()),
       queue_(options.queueCapacity, options.policy),
+      modelFactory_(std::move(make_model)),
+      controllerFactory_(std::move(make_controller)),
       paused_(options.startPaused)
 {
     ENODE_ASSERT(options_.numWorkers >= 1, "server needs >= 1 worker");
-    ENODE_ASSERT(static_cast<bool>(make_model), "null model factory");
+    ENODE_ASSERT(static_cast<bool>(modelFactory_), "null model factory");
     ENODE_ASSERT(options_.degrade.retryToleranceFactor >= 1.0,
                  "retryToleranceFactor must be >= 1");
     ENODE_ASSERT(options_.degrade.fallbackSteps >= 1,
@@ -109,12 +112,12 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     inflight_.reserve(options_.numWorkers);
     for (std::size_t i = 0; i < options_.numWorkers; i++) {
         auto worker = std::make_unique<Worker>();
-        worker->model = make_model();
+        worker->model = modelFactory_();
         ENODE_ASSERT(worker->model != nullptr,
                      "model factory returned null");
         worker->controller =
-            make_controller ? make_controller()
-                            : std::make_unique<FixedFactorController>();
+            controllerFactory_ ? controllerFactory_()
+                               : std::make_unique<FixedFactorController>();
         ENODE_ASSERT(worker->controller != nullptr,
                      "controller factory returned null");
         // Batched solves need one controller per sample so each state's
@@ -123,8 +126,8 @@ InferenceServer::InferenceServer(ModelFactory make_model,
             worker->batchControllers.reserve(options_.maxBatch);
             for (std::size_t b = 0; b < options_.maxBatch; b++) {
                 worker->batchControllers.push_back(
-                    make_controller
-                        ? make_controller()
+                    controllerFactory_
+                        ? controllerFactory_()
                         : std::make_unique<FixedFactorController>());
                 ENODE_ASSERT(worker->batchControllers.back() != nullptr,
                              "controller factory returned null");
@@ -154,20 +157,19 @@ InferenceServer::InferenceServer(ModelFactory make_model,
     for (std::size_t i = 1; i < workers_.size(); i++)
         workers_[i]->model->syncParametersFrom(*workers_[0]->model);
 
-    // Model-version digest every cache key embeds: the weights plus
-    // everything else a response's bytes depend on (solver options,
-    // tableau, controller policy, layer schedule). Two servers agree on
-    // a key only when a fresh solve would produce identical outputs.
+    // The construction weights become registry version 0; every worker
+    // replica starts there (Worker::replicaVersion's default). The
+    // training service publishes versions 1, 2, ... through publish().
+    registry_.seed(*workers_[0]->model);
+
+    // Solver-config digest every cache key embeds: everything a
+    // response's bytes depend on *except* the weights, which live in
+    // the registry snapshots (their digest is combined per version in
+    // digestFor). Two servers agree on a key only when a fresh solve
+    // would produce identical outputs.
     if (solveCache_ != nullptr) {
         StreamHasher hasher;
         NodeModel &master = *workers_[0]->model;
-        // Variable-length fields go in length-prefixed (updateSized) so
-        // adjacent fields cannot alias — e.g. an empty param name must
-        // not let the following tensor rank read as name bytes.
-        for (const ParamSlot &slot : master.paramSlots()) {
-            hasher.updateSized(slot.name.data(), slot.name.size());
-            hashTensorInto(hasher, *slot.param);
-        }
         hasher.updateDouble(master.layerTime());
         hasher.update(static_cast<std::uint64_t>(master.numLayers()));
         hasher.updateDouble(options_.ivp.tolerance);
@@ -176,10 +178,12 @@ InferenceServer::InferenceServer(ModelFactory make_model,
         hasher.update(options_.ivp.maxTrialsPerPoint);
         hasher.update(options_.ivp.maxEvalPoints);
         hasher.update(options_.ivp.quantizeFp16 ? 1u : 0u);
+        // Variable-length fields go in length-prefixed (updateSized) so
+        // adjacent fields cannot alias.
         hasher.updateSized(tableau_.name().data(), tableau_.name().size());
         const std::string controller = workers_[0]->controller->name();
         hasher.updateSized(controller.data(), controller.size());
-        modelDigest_ = hasher.digest();
+        configDigest_ = hasher.digest();
     }
 
     // Arm tracing before the first worker spawns so every worker's
@@ -237,6 +241,11 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
     entry.request.stream = stream;
     entry.request.deadline = deadline;
     entry.request.input = std::move(input);
+    // Admission-version stamp: the registry version this request is
+    // keyed against. Workers may serve it on a newer replica after a
+    // hot swap, but its cache identity — and the batcher's refusal to
+    // coalesce across versions — follows this stamp.
+    entry.request.modelVersion = registry_.latestVersion();
     entry.enqueueTime = RuntimeClock::now();
 
     const std::uint64_t id = entry.request.id;
@@ -246,21 +255,27 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
         // Stamp the cache identities onto the request, then try the
         // exact tier right here on the admission path: a ready value
         // answers without ever touching the queue, and an in-flight
-        // identical solve absorbs this request as a follower.
+        // identical solve absorbs this request as a follower. The
+        // digest is per registry version, so a weight hot swap moves
+        // new admissions into a fresh key space — a post-swap request
+        // can never hit a pre-swap entry.
+        const Hash128 version_digest =
+            digestFor(entry.request.modelVersion);
         if (options_.cache.exactCapacity > 0) {
             StreamHasher hasher;
-            hasher.update(modelDigest_.hi);
-            hasher.update(modelDigest_.lo);
+            hasher.update(version_digest.hi);
+            hasher.update(version_digest.lo);
             hashTensorInto(hasher, entry.request.input);
             entry.request.cacheKey = hasher.digest();
         }
         if (options_.cache.warmCapacity > 0) {
-            // Mixed with the model digest so two servers' signature
-            // spaces do not alias; 0 stays the "no signature" sentinel.
+            // Mixed with the version digest so two servers' (or two
+            // versions') signature spaces do not alias; 0 stays the
+            // "no signature" sentinel.
             entry.request.warmSig = mix64(
                 coarseSignature(entry.request.input,
                                 options_.cache.signatureQuantum) ^
-                modelDigest_.lo);
+                version_digest.lo);
         }
         if (entry.request.cacheKey.valid()) {
             Tensor hit;
@@ -338,6 +353,164 @@ InferenceServer::submit(Tensor input, std::uint32_t stream,
     return sub;
 }
 
+InferenceServer::Submission
+InferenceServer::submitTrainTask(TrainTask &task)
+{
+    Submission sub;
+    if (stopped_.load(std::memory_order_acquire))
+        return sub;
+    ENODE_ASSERT(task.weights != nullptr, "train task without weights");
+    ENODE_ASSERT(task.grads != nullptr, "train task without a grad slot");
+
+    QueueEntry entry;
+    entry.request.id = nextRequestId_.fetch_add(1);
+    entry.request.stream = task.stream;
+    // No deadline: under LaterStreamFirst a max() deadline loses every
+    // tie within the stream, so training dispatches only when no
+    // inference request of equal or higher priority is waiting.
+    entry.request.input = task.input; // copy: the task survives retries
+    entry.request.train = &task;
+    entry.request.modelVersion = task.weights->version;
+    entry.enqueueTime = RuntimeClock::now();
+
+    const std::uint64_t id = entry.request.id;
+    std::future<InferResponse> future = entry.promise.get_future();
+
+    // Deliberately no metrics, cache, or admission interaction: the
+    // inference terminal counters reconcile over inference admissions
+    // only, and gradient solves are never cacheable (they mutate
+    // gradient state, not just produce an output).
+    if (!queue_.tryPush(entry))
+        return sub; // backpressure: the service retries on its clock
+    sub.accepted = true;
+    sub.id = id;
+    sub.result = std::move(future);
+    return sub;
+}
+
+void
+InferenceServer::serveTrain(std::size_t worker_id, QueueEntry &entry)
+{
+    Worker &worker = *workers_[worker_id];
+    InFlight &flight = *inflight_[worker_id];
+    TrainTask &task = *entry.request.train;
+    const auto start = RuntimeClock::now();
+
+    TraceSpan span("train.task", "train");
+    span.arg("step", static_cast<double>(task.step));
+    span.arg("worker", static_cast<double>(worker_id));
+
+    trainTasks_.fetch_add(1, std::memory_order_relaxed);
+
+    // Lazy private training replica: inference-only servers never pay
+    // for it, and it keeps training scratch state (layer caches,
+    // checkpoint records) strictly apart from the serving replica.
+    if (worker.trainModel == nullptr) {
+        worker.trainModel = modelFactory_();
+        ENODE_ASSERT(worker.trainModel != nullptr,
+                     "model factory returned null");
+        worker.trainController =
+            controllerFactory_ ? controllerFactory_()
+                               : std::make_unique<FixedFactorController>();
+    }
+    // Sync to the step's snapshot: every task of a step trains the
+    // same bytes on every worker — the root of the bitwise
+    // worker-count-independence of the reduced gradient.
+    if (worker.trainStep != task.step) {
+        ModelRegistry::applyTo(*task.weights, *worker.trainModel);
+        worker.trainStep = task.step;
+    }
+    worker.trainModel->zeroGrad();
+
+    // Publish to the in-flight slot (train-flagged) so the watchdog
+    // aborts a wedged training solve exactly like an inference one —
+    // without feeding the inference metrics on takeover.
+    {
+        std::lock_guard<std::mutex> lock(flight.mutex);
+        flight.samples.clear();
+        flight.samples.emplace_back();
+        InFlight::Sample &sample = flight.samples.back();
+        sample.promise = std::move(entry.promise);
+        sample.id = entry.request.id;
+        sample.train = true;
+        flight.active = true;
+        flight.start = start;
+        flight.abort.store(false, std::memory_order_relaxed);
+    }
+
+    activeWorkers_.fetch_add(1, std::memory_order_relaxed);
+
+    // No deadline and no f-eval budget — training has all the time the
+    // scheduler gives it — but the watchdog's abort flag still guards
+    // against a wedged solve costing a worker.
+    DeadlineGuard guard;
+    guard.abortFlag = &flight.abort;
+
+    TrainStepResult result = regressionTrainStep(
+        *worker.trainModel, entry.request.input, task.target, tableau_,
+        *worker.trainController, task.ivp, nullptr, &worker.acaWs, &guard);
+
+    bool ok = result.forwardStatus == SolveStatus::Ok;
+    if (ok) {
+        // Harvest the gradients into the task's fixed slot. A
+        // non-finite gradient fails the task: the service's reduction
+        // must never ingest NaNs into the master weights.
+        const auto slots = worker.trainModel->paramSlots();
+        auto &grads = *task.grads;
+        ENODE_ASSERT(grads.size() == slots.size(),
+                     "train task grad slot count mismatch");
+        for (std::size_t s = 0; s < slots.size() && ok; s++) {
+            if (!slots[s].grad->isFinite())
+                ok = false;
+            else
+                grads[s].copyFrom(*slots[s].grad);
+        }
+        task.loss = result.loss;
+        task.forwardStats = result.forwardStats;
+        task.backwardStats = result.backwardStats;
+    }
+    task.forwardStatus = result.forwardStatus;
+
+    activeWorkers_.fetch_sub(1, std::memory_order_relaxed);
+
+    const auto end = RuntimeClock::now();
+    InferResponse response;
+    response.id = entry.request.id;
+    response.status = ok ? RequestStatus::Ok : RequestStatus::Failed;
+    response.solveStatus =
+        ok ? SolveStatus::Ok
+           : (result.forwardStatus != SolveStatus::Ok
+                  ? result.forwardStatus
+                  : SolveStatus::NonFinite);
+    response.queueWaitMs = toMs(start - entry.enqueueTime);
+    response.solveMs = toMs(end - start);
+    response.totalMs = toMs(end - entry.enqueueTime);
+    response.workerId = worker_id;
+    response.modelVersion = task.weights->version;
+    span.arg("status", static_cast<double>(response.status));
+
+    if (!ok)
+        trainTaskFailures_.fetch_add(1, std::memory_order_relaxed);
+
+    // Deliver through the slot: the watchdog may have taken this task
+    // over while it was wedged (its Failed response wins). Training
+    // terminals never touch recordCompletion — see Sample::train.
+    std::promise<InferResponse> to_deliver;
+    bool deliver = false;
+    {
+        std::lock_guard<std::mutex> lock(flight.mutex);
+        flight.active = false;
+        InFlight::Sample &sample = flight.samples.front();
+        if (!sample.delivered) {
+            sample.delivered = true;
+            to_deliver = std::move(sample.promise);
+            deliver = true;
+        }
+    }
+    if (deliver)
+        to_deliver.set_value(std::move(response));
+}
+
 void
 InferenceServer::resume()
 {
@@ -366,8 +539,13 @@ InferenceServer::stop(bool drain)
         response.status = RequestStatus::Cancelled;
         response.queueWaitMs = toMs(RuntimeClock::now() - entry.enqueueTime);
         response.totalMs = response.queueWaitMs;
-        response.completionIndex = nextCompletionIndex_.fetch_add(1);
-        metrics_.recordCompletion(response);
+        // Gradient tasks never passed recordAdmitted, so they must not
+        // reach recordCompletion either — the TrainingService sees the
+        // Cancelled status through its future and gives up the step.
+        if (entry.request.train == nullptr) {
+            response.completionIndex = nextCompletionIndex_.fetch_add(1);
+            metrics_.recordCompletion(response);
+        }
         entry.promise.set_value(std::move(response));
     };
 
@@ -439,7 +617,66 @@ InferenceServer::metricsText() const
         text += prometheusText(admission_->snapshot());
     if (publisher_ != nullptr)
         text += prometheusText(publisher_->snapshot());
+    text += prometheusText(registry_.snapshotStats());
+    StatGroup train_stats("train");
+    train_stats.set("train.tasks", static_cast<double>(trainTasks_.load(
+                                       std::memory_order_relaxed)));
+    train_stats.set("train.task_failures",
+                    static_cast<double>(trainTaskFailures_.load(
+                        std::memory_order_relaxed)));
+    text += prometheusText(train_stats);
     return text;
+}
+
+Hash128
+InferenceServer::digestFor(std::uint64_t version) const
+{
+    if (!configDigest_.valid())
+        return Hash128{}; // caching off: requests carry no key
+    {
+        std::lock_guard<std::mutex> lock(digestMutex_);
+        if (digestVersion_ == version)
+            return digestCache_;
+    }
+    auto snap = registry_.at(version);
+    if (snap == nullptr)
+        snap = registry_.latest(); // evicted: the live one is what serves
+    // Plain combination of the two digests; the version *number* is
+    // deliberately absent so republished identical bytes keep their
+    // cache identity.
+    Hash128 digest;
+    digest.hi = mix64(configDigest_.hi ^ snap->paramsDigest.hi);
+    digest.lo = mix64(configDigest_.lo ^ snap->paramsDigest.lo);
+    {
+        std::lock_guard<std::mutex> lock(digestMutex_);
+        digestVersion_ = version;
+        digestCache_ = digest;
+    }
+    return digest;
+}
+
+Hash128
+InferenceServer::modelDigest() const
+{
+    return digestFor(registry_.latestVersion());
+}
+
+void
+InferenceServer::maybeSwapReplica(std::size_t worker_id)
+{
+    Worker &worker = *workers_[worker_id];
+    const std::uint64_t live = registry_.latestVersion();
+    if (live == worker.replicaVersion)
+        return;
+    auto snap = registry_.at(live);
+    if (snap == nullptr)
+        snap = registry_.latest(); // `live` evicted by an even newer publish
+    TraceSpan span("model.swap", "serve");
+    span.arg("worker", static_cast<double>(worker_id));
+    span.arg("version", static_cast<double>(snap->version));
+    ModelRegistry::applyTo(*snap, *worker.model);
+    worker.replicaVersion = snap->version;
+    registry_.noteSwapApplied();
 }
 
 void
@@ -452,6 +689,9 @@ InferenceServer::deliverCacheHit(std::size_t worker_id, QueueEntry &entry,
     response.queueWaitMs = toMs(now - entry.enqueueTime);
     response.totalMs = response.queueWaitMs;
     response.workerId = worker_id;
+    // A cached value is the admission version's bytes by construction
+    // (the key embeds that version's digest).
+    response.modelVersion = entry.request.modelVersion;
     response.completionIndex = nextCompletionIndex_.fetch_add(1);
     if (now > entry.request.deadline) {
         // Same terminal status the request would have received from the
@@ -572,6 +812,14 @@ InferenceServer::fallbackForward(Worker &worker, const Tensor &input)
 void
 InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
 {
+    if (entry.request.train != nullptr) {
+        serveTrain(worker_id, entry);
+        return;
+    }
+    // Dispatch boundary: adopt the latest published weights before the
+    // solve starts (never mid-solve — the swap touches only this
+    // worker's private replica between requests).
+    maybeSwapReplica(worker_id);
     Worker &worker = *workers_[worker_id];
     InFlight &flight = *inflight_[worker_id];
     const auto start = RuntimeClock::now();
@@ -755,6 +1003,7 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
     response.warmStarted =
         worker.warm != nullptr && worker.warm->replayedPoints() > 0;
     response.brownoutRelaxed = brownout_relaxed;
+    response.modelVersion = worker.replicaVersion;
     // The final screen: no response ever carries a non-finite value.
     if (fwd.status == SolveStatus::Ok && fwd.output.isFinite()) {
         response.status = RequestStatus::Ok;
@@ -820,10 +1069,19 @@ InferenceServer::serveOne(std::size_t worker_id, QueueEntry &entry)
         const bool publish_fault =
             entry.request.cacheKey.valid() &&
             FaultInjector::instance().shouldFail("cache.publish");
+        // A hot swap between admission and dispatch means this solve
+        // ran on different weights than the ones the request's cache
+        // key (and warm signature) were derived from: publishing would
+        // poison the old version's key space with new-version bytes,
+        // so the pending entry is retracted and followers — which were
+        // promised old-version results — re-dispatch instead.
+        const bool version_match =
+            entry.request.modelVersion == worker.replicaVersion;
         const bool clean = deliver &&
                            response.status == RequestStatus::Ok &&
                            !response.degraded && response.retries == 0 &&
                            !brownout_relaxed && !publish_fault &&
+                           version_match &&
                            !FaultInjector::instance().armed();
         if (entry.request.cacheKey.valid()) {
             if (clean) {
@@ -894,6 +1152,7 @@ InferenceServer::expireEntry(std::size_t worker_id, QueueEntry &entry)
 void
 InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
 {
+    maybeSwapReplica(worker_id);
     Worker &worker = *workers_[worker_id];
     InFlight &flight = *inflight_[worker_id];
     for (auto &entry : batch.expired)
@@ -912,6 +1171,14 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
     }
     if (batch.entries.empty())
         return;
+
+    // Training tasks ship solo from the batcher (never coalesced, no
+    // collect window); route them past the inference batch machinery.
+    if (batch.entries.size() == 1 &&
+        batch.entries[0].request.train != nullptr) {
+        serveTrain(worker_id, batch.entries[0]);
+        return;
+    }
 
     const std::size_t n = batch.entries.size();
     ENODE_ASSERT(n <= worker.batchControllers.size(),
@@ -1113,6 +1380,7 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
         response.warmStarted = !worker.batchWarm.empty() &&
                                worker.batchWarm[i]->replayedPoints() > 0;
         response.brownoutRelaxed = brownout_relaxed;
+        response.modelVersion = worker.replicaVersion;
         // Same final screen as the solo path: no response ever carries
         // a non-finite value.
         if (status == SolveStatus::Ok && output.isFinite()) {
@@ -1153,11 +1421,17 @@ InferenceServer::serveBatch(std::size_t worker_id, CollectedBatch &batch)
             const bool publish_fault =
                 entry.request.cacheKey.valid() &&
                 FaultInjector::instance().shouldFail("cache.publish");
+            // Same version guard as the solo path: a solve that ran on
+            // swapped weights must not publish under an older version's
+            // cache key or warm signature.
+            const bool version_match =
+                entry.request.modelVersion == worker.replicaVersion;
             const bool clean = deliver &&
                                response.status == RequestStatus::Ok &&
                                !response.degraded &&
                                response.retries == 0 &&
                                !brownout_relaxed && !publish_fault &&
+                               version_match &&
                                !FaultInjector::instance().armed();
             if (entry.request.cacheKey.valid()) {
                 if (clean) {
@@ -1222,6 +1496,7 @@ InferenceServer::watchdogMain()
             {
                 std::promise<InferResponse> promise;
                 InferResponse response;
+                bool train = false;
             };
             std::vector<Failure> failures;
             std::size_t batch_size = 1;
@@ -1241,6 +1516,7 @@ InferenceServer::watchdogMain()
                         f.response.totalMs =
                             sample.queueWaitMs + f.response.solveMs;
                         f.response.deadlineMet = now <= sample.deadline;
+                        f.train = sample.train;
                         failures.push_back(std::move(f));
                     }
                     // Cooperative kill: the solve guards see this at
@@ -1266,14 +1542,19 @@ InferenceServer::watchdogMain()
                 f.response.solveStatus = SolveStatus::DeadlineExceeded;
                 f.response.workerId = i;
                 f.response.batchSize = batch_size;
-                f.response.completionIndex =
-                    nextCompletionIndex_.fetch_add(1);
                 Tracer::instance().instant(
                     "watchdog.trip", "serve",
                     {{"id", static_cast<double>(f.response.id)},
                      {"worker", static_cast<double>(i)},
                      {"solve_ms", f.response.solveMs}});
-                metrics_.recordCompletion(f.response);
+                // Training takeovers count the trip but stay out of the
+                // inference terminal accounting (never admitted there);
+                // the TrainingService retries off the Failed status.
+                if (!f.train) {
+                    f.response.completionIndex =
+                        nextCompletionIndex_.fetch_add(1);
+                    metrics_.recordCompletion(f.response);
+                }
                 f.promise.set_value(std::move(f.response));
             }
         }

@@ -33,12 +33,14 @@
 #include <vector>
 
 #include "common/task_pool.h"
+#include "core/aca_trainer.h"
 #include "core/node_model.h"
 #include "ode/warm_start.h"
 #include "runtime/admission.h"
 #include "runtime/batcher.h"
 #include "runtime/metrics.h"
 #include "runtime/metrics_publisher.h"
+#include "runtime/model_registry.h"
 #include "runtime/request_queue.h"
 #include "runtime/solve_cache.h"
 
@@ -259,6 +261,19 @@ class InferenceServer
         Tensor input, std::uint32_t stream = 0,
         RuntimeClock::time_point deadline = RuntimeClock::time_point::max());
 
+    /**
+     * Offer one gradient task of the training service. Training
+     * entries ride the same bounded queue and worker pool as inference
+     * (their stream tag and no-deadline stamp make them lose every
+     * priority tie under LaterStreamFirst), but bypass the inference
+     * metrics, cache, and admission layers entirely — the reconciled
+     * terminal counters stay an inference-only identity. The task must
+     * outlive its future; the worker writes gradients into the task's
+     * fixed slot and answers Ok/Failed through the future. Never
+     * blocks; accepted=false on a full queue (the service retries).
+     */
+    Submission submitTrainTask(TrainTask &task);
+
     /** Release workers gated by ServerOptions::startPaused. */
     void resume();
 
@@ -302,9 +317,20 @@ class InferenceServer
     /** Overload controller; null unless ServerOptions::overload.enabled. */
     const AdmissionController *admission() const { return admission_.get(); }
 
-    /** Digest of (weights, solver config) every cache key embeds;
-     *  invalid when caching is off. Exposed for key-stability tests. */
-    const Hash128 &modelDigest() const { return modelDigest_; }
+    /** Digest of (weights, solver config) every cache key embeds,
+     *  for the *live* registry version; invalid when caching is off.
+     *  Exposed for key-stability tests — after a weight hot swap the
+     *  value changes, which is exactly what keeps post-swap requests
+     *  from hitting pre-swap cache entries. */
+    Hash128 modelDigest() const;
+
+    /**
+     * The versioned weight store. The training service publishes new
+     * versions through it; workers hot-swap their private replicas to
+     * the latest version at dispatch boundaries (never mid-solve).
+     */
+    ModelRegistry &registry() { return registry_; }
+    const ModelRegistry &registry() const { return registry_; }
 
   private:
     struct Worker
@@ -330,6 +356,23 @@ class InferenceServer
          *  (per slot, reused across requests — no steady-state alloc). */
         DtSchedule warmScratch;
         std::vector<DtSchedule> batchWarmScratch;
+        /** Registry version the serving replica currently holds. */
+        std::uint64_t replicaVersion = 0;
+        /**
+         * Private training replica, built lazily on the first training
+         * task this worker serves (inference-only servers never pay
+         * for it). Separate from the serving replica so a training
+         * solve's scratch state (layer caches, checkpoints) can never
+         * perturb concurrent inference, and so the training weights —
+         * synced per step from the task's snapshot — are decoupled
+         * from whatever version the serving replica has swapped to.
+         */
+        std::unique_ptr<NodeModel> trainModel;
+        std::unique_ptr<StepController> trainController;
+        /** ACA backward buffers, persistent across training tasks. */
+        AcaWorkspace acaWs;
+        /** Step whose weights trainModel currently holds (~0 = none). */
+        std::uint64_t trainStep = ~std::uint64_t{0};
         std::thread thread;
     };
 
@@ -362,6 +405,15 @@ class InferenceServer
             RuntimeClock::time_point deadline =
                 RuntimeClock::time_point::max();
             double queueWaitMs = 0.0;
+            /**
+             * Training-task sample: the watchdog still protects it (a
+             * wedged training solve is failed and aborted like any
+             * other), but its terminal must NOT feed the inference
+             * metrics — training entries are never recordAdmitted, so
+             * counting their completions would break the reconciled
+             * admitted == completed + ... identity.
+             */
+            bool train = false;
         };
 
         std::mutex mutex;
@@ -373,6 +425,31 @@ class InferenceServer
 
     void workerMain(std::size_t worker_id);
     void serveOne(std::size_t worker_id, QueueEntry &entry);
+    /**
+     * Serve one gradient task: sync the worker's training replica to
+     * the task's weight snapshot, run forward + ACA backward, write
+     * the gradients into the task's fixed slot, answer Ok/Failed.
+     */
+    void serveTrain(std::size_t worker_id, QueueEntry &entry);
+    /**
+     * Dispatch-boundary hot swap: if the registry has published past
+     * the worker's replica version, overwrite the replica's weights
+     * with the latest snapshot. Called only between solves on the
+     * worker's own thread, so in-flight requests are never touched; a
+     * request admitted against an older version is still served (on
+     * the newer weights) but its solve can no longer publish into the
+     * cache, whose key embeds the admission-time version digest.
+     */
+    void maybeSwapReplica(std::size_t worker_id);
+    /**
+     * Cache-identity digest for a registry version: the solver-config
+     * digest combined with the snapshot's parameter digest. The
+     * version *number* is deliberately not mixed in — two versions
+     * with bitwise-identical weights produce identical outputs and
+     * should share cache entries. Cached per version under a mutex
+     * (workers and the admission path race on it).
+     */
+    Hash128 digestFor(std::uint64_t version) const;
     /**
      * Answer `entry` with a copy of the cached `value` (exact-tier
      * hit or single-flight follower delivery): full Ok response with
@@ -430,8 +507,21 @@ class InferenceServer
     std::unique_ptr<SolveCache> solveCache_;
     /** Overload controller; null when overload.enabled is false. */
     std::unique_ptr<AdmissionController> admission_;
-    /** Folded into every request's cache key (see modelDigest()). */
-    Hash128 modelDigest_;
+    /** Versioned weight snapshots (seeded with version 0 at build). */
+    ModelRegistry registry_;
+    /** Solver-config half of the cache digest (weights live in the
+     *  registry snapshots); valid only when caching is on. */
+    Hash128 configDigest_;
+    /** digestFor() memo: one entry, keyed by version. */
+    mutable std::mutex digestMutex_;
+    mutable std::uint64_t digestVersion_ = ~std::uint64_t{0};
+    mutable Hash128 digestCache_;
+    /** Factories kept for lazily building per-worker training replicas. */
+    ModelFactory modelFactory_;
+    ControllerFactory controllerFactory_;
+    /** Training-path counters (outside MetricsRegistry by design). */
+    std::atomic<std::uint64_t> trainTasks_{0};
+    std::atomic<std::uint64_t> trainTaskFailures_{0};
     MetricsRegistry metrics_;
     std::vector<std::unique_ptr<Worker>> workers_;
 

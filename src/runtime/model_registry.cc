@@ -1,0 +1,120 @@
+#include "runtime/model_registry.h"
+
+#include "common/logging.h"
+
+namespace enode {
+
+namespace {
+
+Hash128
+digestParams(const std::vector<std::pair<std::string, Tensor>> &params)
+{
+    StreamHasher hasher;
+    hasher.update(params.size());
+    for (const auto &kv : params) {
+        hasher.updateSized(kv.first.data(), kv.first.size());
+        hashTensorInto(hasher, kv.second);
+    }
+    return hasher.digest();
+}
+
+} // namespace
+
+ModelRegistry::ModelRegistry(std::size_t historyCapacity)
+    : historyCapacity_(historyCapacity)
+{
+    ENODE_ASSERT(historyCapacity_ >= 1,
+                 "ModelRegistry history capacity must be >= 1");
+}
+
+std::shared_ptr<const WeightSnapshot>
+ModelRegistry::capture(NodeModel &model, std::uint64_t version)
+{
+    auto snap = std::make_shared<WeightSnapshot>();
+    snap->version = version;
+    const auto slots = model.paramSlots();
+    snap->params.reserve(slots.size());
+    for (const auto &slot : slots) {
+        Tensor copy;
+        copy.copyFrom(*slot.param);
+        snap->params.emplace_back(slot.name, std::move(copy));
+    }
+    snap->paramsDigest = digestParams(snap->params);
+    return snap;
+}
+
+void
+ModelRegistry::seed(NodeModel &model)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ENODE_ASSERT(history_.empty(), "ModelRegistry already seeded");
+    history_.push_back(capture(model, 0));
+    latestVersion_.store(0, std::memory_order_release);
+}
+
+std::uint64_t
+ModelRegistry::publish(NodeModel &model)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ENODE_ASSERT(!history_.empty(),
+                 "ModelRegistry::publish before seed()");
+    const std::uint64_t version = history_.back()->version + 1;
+    history_.push_back(capture(model, version));
+    while (history_.size() > historyCapacity_)
+        history_.pop_front();
+    published_.fetch_add(1, std::memory_order_relaxed);
+    latestVersion_.store(version, std::memory_order_release);
+    return version;
+}
+
+std::shared_ptr<const WeightSnapshot>
+ModelRegistry::latest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ENODE_ASSERT(!history_.empty(), "ModelRegistry::latest before seed()");
+    return history_.back();
+}
+
+std::shared_ptr<const WeightSnapshot>
+ModelRegistry::at(std::uint64_t version) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &snap : history_)
+        if (snap->version == version)
+            return snap;
+    return nullptr;
+}
+
+void
+ModelRegistry::applyTo(const WeightSnapshot &snap, NodeModel &model)
+{
+    const auto slots = model.paramSlots();
+    ENODE_ASSERT(slots.size() == snap.params.size(),
+                 "snapshot/model slot count mismatch");
+    for (std::size_t i = 0; i < slots.size(); i++) {
+        const auto &kv = snap.params[i];
+        ENODE_ASSERT(slots[i].name == kv.first,
+                     "snapshot/model slot name mismatch at ", i, ": '",
+                     slots[i].name, "' vs '", kv.first, "'");
+        ENODE_ASSERT(slots[i].param->shape() == kv.second.shape(),
+                     "snapshot/model shape mismatch for slot '", kv.first,
+                     "'");
+        slots[i].param->copyFrom(kv.second);
+    }
+}
+
+StatGroup
+ModelRegistry::snapshotStats() const
+{
+    StatGroup stats("model");
+    stats.set("model.version", static_cast<double>(latestVersion()));
+    stats.set("model.published", static_cast<double>(published()));
+    stats.set("model.swaps", static_cast<double>(swapsApplied()));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.set("model.history", static_cast<double>(history_.size()));
+    }
+    return stats;
+}
+
+} // namespace enode

@@ -1,0 +1,126 @@
+#ifndef ENODE_RUNTIME_MODEL_REGISTRY_H
+#define ENODE_RUNTIME_MODEL_REGISTRY_H
+
+/**
+ * @file
+ * Versioned weight snapshots for online training and hot reload.
+ *
+ * The registry is the handoff point between the training service and
+ * the serving workers: the trainer publishes an immutable snapshot of
+ * the master weights, the registry stamps it with a monotonically
+ * increasing version, and each worker swaps the latest snapshot into
+ * its private NodeModel replica at its next dispatch boundary. The
+ * swap is purely thread-local — a worker only touches its own replica
+ * between solves — so in-flight inference is never corrupted: a solve
+ * that started on version v finishes on version v, and the next
+ * dispatch runs on the new weights.
+ *
+ * Version 0 is the server's construction weights (seeded by the
+ * server itself); every publish() bumps the version. Snapshots are
+ * shared_ptr-immutable, so readers never block the publisher and a
+ * worker mid-swap keeps its snapshot alive even if the bounded
+ * history evicts it concurrently.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/node_model.h"
+#include "tensor/hash.h"
+
+namespace enode {
+
+/** One immutable versioned copy of a model's parameters. */
+struct WeightSnapshot
+{
+    std::uint64_t version = 0;
+    /** (slot name, parameter value) in paramSlots() order. */
+    std::vector<std::pair<std::string, Tensor>> params;
+    /** Digest of the parameter names and bytes (not the version), so
+     *  two versions with identical weights share cache identities. */
+    Hash128 paramsDigest;
+};
+
+/** Thread-safe store of versioned weight snapshots. */
+class ModelRegistry
+{
+  public:
+    /** @param historyCapacity Snapshots retained (>= 1); older versions
+     *         are evicted but stay alive for any worker still holding
+     *         their shared_ptr. */
+    explicit ModelRegistry(std::size_t historyCapacity = 4);
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Install the construction weights as version 0. Called once by
+     * the owning server before any publish; does not count as a
+     * published update.
+     */
+    void seed(NodeModel &model);
+
+    /** Capture the model's parameters as the next version and make it
+     *  the live one. Returns the new version number. */
+    std::uint64_t publish(NodeModel &model);
+
+    /** The live snapshot (never null after seed()). */
+    std::shared_ptr<const WeightSnapshot> latest() const;
+
+    /** A specific version, or null if it was evicted / never existed. */
+    std::shared_ptr<const WeightSnapshot> at(std::uint64_t version) const;
+
+    /** The live version number; lock-free fast path for worker polls. */
+    std::uint64_t latestVersion() const
+    {
+        return latestVersion_.load(std::memory_order_acquire);
+    }
+
+    /** Overwrite the model's parameters with the snapshot's (matched
+     *  positionally by slot name and shape; mismatch is fatal). */
+    static void applyTo(const WeightSnapshot &snap, NodeModel &model);
+
+    /** Capture a model's parameters (no registry interaction). */
+    static std::shared_ptr<const WeightSnapshot>
+    capture(NodeModel &model, std::uint64_t version);
+
+    /** publish() calls since construction. */
+    std::uint64_t published() const
+    {
+        return published_.load(std::memory_order_relaxed);
+    }
+
+    /** Replica swaps workers reported via noteSwapApplied(). */
+    std::uint64_t swapsApplied() const
+    {
+        return swapsApplied_.load(std::memory_order_relaxed);
+    }
+
+    /** A worker finished swapping a replica to the live version. */
+    void noteSwapApplied()
+    {
+        swapsApplied_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** "model.*" gauges/counters for exposition. */
+    StatGroup snapshotStats() const;
+
+  private:
+    const std::size_t historyCapacity_;
+    mutable std::mutex mutex_;
+    std::deque<std::shared_ptr<const WeightSnapshot>> history_;
+    std::atomic<std::uint64_t> latestVersion_{0};
+    std::atomic<std::uint64_t> published_{0};
+    std::atomic<std::uint64_t> swapsApplied_{0};
+};
+
+} // namespace enode
+
+#endif // ENODE_RUNTIME_MODEL_REGISTRY_H

@@ -25,6 +25,9 @@ namespace enode {
 /** Clock used for all runtime timing (monotonic). */
 using RuntimeClock = std::chrono::steady_clock;
 
+/** One gradient task of the training service (training_service.h). */
+struct TrainTask;
+
 /** One inference request offered to the serving runtime. */
 struct InferRequest
 {
@@ -58,6 +61,28 @@ struct InferRequest
      * version). 0 means "no signature" (warm tier off).
      */
     std::uint64_t warmSig = 0;
+
+    /**
+     * Model-registry version the request was admitted against. Workers
+     * swap their replica to the latest published version at dispatch
+     * boundaries; this stamp is what makes hot swaps safe for the
+     * coalescing and caching layers — the batcher refuses to mix
+     * versions in one batched solve, and a solve may only publish into
+     * the cache when the replica that produced it still matches the
+     * version its cache key was derived from.
+     */
+    std::uint64_t modelVersion = 0;
+
+    /**
+     * Non-null for gradient tasks of the training service: the worker
+     * routes the entry to the training path (serveTrain) instead of an
+     * inference solve. The pointed-to task outlives the request (the
+     * TrainingService owns it for the whole step) and carries the
+     * weight snapshot, target, and the fixed gradient slot the worker
+     * writes into. Training entries bypass the inference metrics,
+     * cache and admission layers entirely.
+     */
+    TrainTask *train = nullptr;
 };
 
 /** Terminal state of a request. */
@@ -167,6 +192,9 @@ struct InferResponse
      * populates the solve cache, whose keys embed the configured one.
      */
     bool brownoutRelaxed = false;
+
+    /** Registry version of the weights this response was served with. */
+    std::uint64_t modelVersion = 0;
 };
 
 } // namespace enode

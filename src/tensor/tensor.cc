@@ -13,25 +13,32 @@
 
 namespace enode {
 
-Shape::Shape(std::initializer_list<std::size_t> dims) : dims_(dims)
+Shape::Shape(std::initializer_list<std::size_t> dims)
+    : Shape(dims.begin(), dims.end())
 {
-    for (auto d : dims_)
-        ENODE_ASSERT(d > 0, "zero extent in shape");
-    ENODE_ASSERT(dims_.size() <= 4, "rank > 4 unsupported");
 }
 
-Shape::Shape(std::vector<std::size_t> dims) : dims_(std::move(dims))
+Shape::Shape(const std::vector<std::size_t> &dims)
+    : Shape(dims.data(), dims.data() + dims.size())
 {
-    for (auto d : dims_)
-        ENODE_ASSERT(d > 0, "zero extent in shape");
-    ENODE_ASSERT(dims_.size() <= 4, "rank > 4 unsupported");
+}
+
+Shape::Shape(const std::size_t *begin, const std::size_t *end)
+{
+    ENODE_ASSERT(begin <= end, "inverted extent range");
+    const std::size_t n = static_cast<std::size_t>(end - begin);
+    ENODE_ASSERT(n <= kMaxRank, "rank > ", kMaxRank, " unsupported");
+    for (std::size_t i = 0; i < n; i++) {
+        ENODE_ASSERT(begin[i] > 0, "zero extent in shape");
+        dims_[i] = begin[i];
+    }
+    rank_ = n;
 }
 
 std::size_t
 Shape::dim(std::size_t i) const
 {
-    ENODE_ASSERT(i < dims_.size(), "shape dim ", i, " out of rank ",
-                 dims_.size());
+    ENODE_ASSERT(i < rank_, "shape dim ", i, " out of rank ", rank_);
     return dims_[i];
 }
 
@@ -39,9 +46,23 @@ std::size_t
 Shape::numel() const
 {
     std::size_t n = 1;
-    for (auto d : dims_)
-        n *= d;
+    for (std::size_t i = 0; i < rank_; i++)
+        n *= dims_[i];
     return n;
+}
+
+Shape
+Shape::prepended(std::size_t n) const
+{
+    ENODE_ASSERT(rank_ < kMaxRank, "prepended() on a rank-", kMaxRank,
+                 " shape");
+    Shape out;
+    out.dims_[0] = n;
+    for (std::size_t i = 0; i < rank_; i++)
+        out.dims_[i + 1] = dims_[i];
+    out.rank_ = rank_ + 1;
+    ENODE_ASSERT(n > 0, "zero extent in shape");
+    return out;
 }
 
 std::string
@@ -49,7 +70,7 @@ Shape::str() const
 {
     std::ostringstream oss;
     oss << "[";
-    for (std::size_t i = 0; i < dims_.size(); i++)
+    for (std::size_t i = 0; i < rank_; i++)
         oss << (i ? ", " : "") << dims_[i];
     oss << "]";
     return oss.str();
@@ -240,9 +261,8 @@ Tensor::sample(std::size_t n) const
     ENODE_ASSERT(shape_.rank() >= 2, "sample() needs rank >= 2, got ",
                  shape_.str());
     ENODE_ASSERT(n < shape_.dim(0), "sample index out of batch");
-    std::vector<std::size_t> inner(shape_.dims().begin() + 1,
-                                   shape_.dims().end());
-    const Shape sample_shape{std::move(inner)};
+    const Shape sample_shape(shape_.dims().begin() + 1,
+                             shape_.dims().end());
     const std::size_t stride = sample_shape.numel();
     Tensor out;
     out.resize(sample_shape);

@@ -15,6 +15,7 @@
  * operands.
  */
 
+#include <array>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
@@ -24,29 +25,81 @@ namespace enode {
 
 class Rng;
 
-/** Shape of a tensor: up to four extents, all positive. */
+/**
+ * Shape of a tensor: up to four extents, all positive.
+ *
+ * Extents live inline (no heap storage): temporary tensors are minted
+ * by the thousand per solve on the trainer and solver hot paths, and a
+ * heap-allocated dims vector per temporary would be the one allocation
+ * the pooled float storage cannot hide. With inline extents a
+ * pool-hit Tensor construction touches the heap zero times.
+ */
 class Shape
 {
   public:
+    static constexpr std::size_t kMaxRank = 4;
+
+    /** Iterable, comparable view of the inline extents. */
+    class DimsView
+    {
+      public:
+        DimsView(const std::size_t *data, std::size_t size)
+            : data_(data), size_(size)
+        {
+        }
+
+        const std::size_t *begin() const { return data_; }
+        const std::size_t *end() const { return data_ + size_; }
+        std::size_t size() const { return size_; }
+        std::size_t operator[](std::size_t i) const { return data_[i]; }
+
+        bool operator==(const DimsView &other) const
+        {
+            if (size_ != other.size_)
+                return false;
+            for (std::size_t i = 0; i < size_; i++)
+                if (data_[i] != other.data_[i])
+                    return false;
+            return true;
+        }
+        bool operator!=(const DimsView &other) const
+        {
+            return !(*this == other);
+        }
+
+      private:
+        const std::size_t *data_;
+        std::size_t size_;
+    };
+
     Shape() = default;
     Shape(std::initializer_list<std::size_t> dims);
-    explicit Shape(std::vector<std::size_t> dims);
+    explicit Shape(const std::vector<std::size_t> &dims);
+    /** From a contiguous extent range (e.g. a dims() sub-range). */
+    Shape(const std::size_t *begin, const std::size_t *end);
 
-    std::size_t rank() const { return dims_.size(); }
+    std::size_t rank() const { return rank_; }
     std::size_t dim(std::size_t i) const;
     /** Total element count (1 for a rank-0 shape). */
     std::size_t numel() const;
 
-    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    /** (n, d0, d1, ...) from (d0, d1, ...): batch-prepend an extent. */
+    Shape prepended(std::size_t n) const;
+
+    bool operator==(const Shape &other) const
+    {
+        return dims() == other.dims();
+    }
     bool operator!=(const Shape &other) const { return !(*this == other); }
 
     /** "[2, 8, 64, 64]" for diagnostics. */
     std::string str() const;
 
-    const std::vector<std::size_t> &dims() const { return dims_; }
+    DimsView dims() const { return DimsView(dims_.data(), rank_); }
 
   private:
-    std::vector<std::size_t> dims_;
+    std::array<std::size_t, kMaxRank> dims_{};
+    std::size_t rank_ = 0;
 };
 
 /**

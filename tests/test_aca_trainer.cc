@@ -9,7 +9,11 @@
  * for several integrators.
  */
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include <gtest/gtest.h>
 
@@ -19,6 +23,89 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "ode/step_control.h"
+#include "tensor/workspace.h"
+
+/**
+ * Process-wide allocation counter (same idiom as test_workspace.cc):
+ * the pool's miss counter only sees pool traffic, while the trainer's
+ * zero-alloc contract is stated against *all* heap traffic — including
+ * std::vector growth inside the backward workspace.
+ */
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+static void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+static void *
+countedAllocNothrow(std::size_t size) noexcept
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    return std::malloc(size);
+}
+
+static void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = align;
+    void *p = std::aligned_alloc(align, (size + align - 1) / align * align);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *operator new(std::size_t size) { return countedAlloc(size); }
+void *operator new[](std::size_t size) { return countedAlloc(size); }
+void *operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAllocNothrow(size);
+}
+void *operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAllocNothrow(size);
+}
+void *operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void *operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace enode {
 namespace {
@@ -230,6 +317,143 @@ TEST(AcaTrainer, TrainingReducesRegressionLoss)
     EXPECT_LT(last_loss, 0.2 * first_loss)
         << "training failed to reduce loss: " << first_loss << " -> "
         << last_loss;
+}
+
+TEST(AcaTrainer, WorkspaceBackwardMatchesDefaultPath)
+{
+    // The pooled-workspace backward is the same math as the implicit
+    // thread-local path: gradients must agree bitwise.
+    Rng rng(29);
+    auto model = NodeModel::makeMlp(1, 3, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+    FixedFactorController ctrl;
+    IvpOptions opts = fixedStepOptions();
+
+    model->zeroGrad();
+    auto fwd = model->forward(x0, ButcherTableau::rk23(), ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+    acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad);
+    std::vector<Tensor> reference;
+    for (auto &slot : model->paramSlots()) {
+        Tensor copy;
+        copy.copyFrom(*slot.grad);
+        reference.push_back(std::move(copy));
+    }
+
+    AcaWorkspace ws;
+    for (int repeat = 0; repeat < 3; repeat++) {
+        model->zeroGrad();
+        acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad, &ws);
+        const auto slots = model->paramSlots();
+        for (std::size_t s = 0; s < slots.size(); s++)
+            EXPECT_TRUE(
+                Tensor::allClose(*slots[s].grad, reference[s], 0.0, 0.0))
+                << "workspace backward diverged at slot " << s
+                << " repeat " << repeat;
+    }
+}
+
+TEST(AcaTrainer, BackwardSteadyStateAllocatesNothing)
+{
+    // The trainer hot path contract: once the workspace is sized, a
+    // backward pass touches neither the heap nor the pool's slow path
+    // — every stage tensor, stage input, and adjoint temporary comes
+    // from recycled storage.
+    Rng rng(31);
+    auto model = NodeModel::makeMlp(1, 4, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{4}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{4}, rng, 0.5f);
+    FixedFactorController ctrl;
+    IvpOptions opts = fixedStepOptions();
+
+    auto fwd = model->forward(x0, ButcherTableau::rk23(), ctrl, opts);
+    auto loss = mseLoss(fwd.output, target);
+
+    AcaWorkspace ws;
+    const auto backwardOnce = [&] {
+        model->zeroGrad();
+        acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad, &ws);
+    };
+    // Warm-ups size the workspace vectors and the pool's buffer bins.
+    backwardOnce();
+    backwardOnce();
+
+    auto &pool = Workspace::local();
+    pool.resetStats();
+    model->zeroGrad();
+    const std::uint64_t heap_before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad, &ws);
+    const std::uint64_t heap_delta =
+        g_heap_allocs.load(std::memory_order_relaxed) - heap_before;
+    EXPECT_EQ(pool.stats().misses, 0u)
+        << "steady-state backward missed the tensor pool";
+    EXPECT_EQ(heap_delta, 0u)
+        << "steady-state backward touched the heap";
+}
+
+TEST(AcaTrainer, BackwardAllocationsIndependentOfTrajectoryLength)
+{
+    // Longer trajectories mean more checkpoints and more adjoint steps
+    // — but per-call allocations must stay flat at zero once warm: the
+    // workspace holds per-*stage* scratch, not per-step history. The
+    // full train-step body (zeroGrad + backward) may carry a small
+    // fixed overhead (paramSlots vectors), but it must not scale with
+    // the number of steps.
+    Rng rng(37);
+    auto model = NodeModel::makeMlp(1, 4, 8, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{4}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{4}, rng, 0.5f);
+    FixedFactorController ctrl;
+
+    AcaWorkspace ws;
+    std::uint64_t per_call = ~std::uint64_t{0};
+    for (double dt : {0.25, 0.125, 0.0625}) {
+        IvpOptions opts = fixedStepOptions();
+        opts.initialDt = dt; // smaller dt -> more recorded checkpoints
+        auto fwd = model->forward(x0, ButcherTableau::rk23(), ctrl, opts);
+        auto loss = mseLoss(fwd.output, target);
+
+        model->zeroGrad();
+        acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad, &ws);
+        const std::uint64_t heap_before =
+            g_heap_allocs.load(std::memory_order_relaxed);
+        model->zeroGrad();
+        auto aca =
+            acaBackward(*model, ButcherTableau::rk23(), fwd, loss.grad, &ws);
+        const std::uint64_t heap_delta =
+            g_heap_allocs.load(std::memory_order_relaxed) - heap_before;
+        if (per_call == ~std::uint64_t{0})
+            per_call = heap_delta;
+        EXPECT_EQ(heap_delta, per_call)
+            << "warm backward allocations scale with trajectory length "
+               "at dt="
+            << dt << " (" << aca.stats.backwardSteps << " steps)";
+    }
+}
+
+TEST(AcaTrainer, TrainStepReportsForwardFailure)
+{
+    // A forward that cannot finish (zero f-eval budget) must surface
+    // through forwardStatus with the backward skipped — not feed the
+    // optimizer garbage gradients.
+    Rng rng(41);
+    auto model = NodeModel::makeMlp(1, 3, 6, 1, rng);
+    Tensor x0 = Tensor::randn(Shape{3}, rng, 0.5f);
+    Tensor target = Tensor::randn(Shape{3}, rng, 0.5f);
+    FixedFactorController ctrl;
+    IvpOptions opts = fixedStepOptions();
+    opts.maxEvalPoints = 1; // starve the forward
+
+    model->zeroGrad();
+    auto step = regressionTrainStep(*model, x0, target,
+                                    ButcherTableau::rk23(), ctrl, opts);
+    EXPECT_NE(step.forwardStatus, SolveStatus::Ok);
+    for (auto &slot : model->paramSlots())
+        for (std::size_t i = 0; i < slot.grad->numel(); i++)
+            EXPECT_EQ(slot.grad->at(i), 0.0f)
+                << "failed forward leaked gradients";
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 #include "ode/ivp.h"
 #include "ode/step_control.h"
 #include "runtime/inference_server.h"
+#include "runtime/training_service.h"
 
 namespace enode {
 namespace {
@@ -389,6 +390,102 @@ TEST(Batcher, IncompatibleShapeClosesBatchAndSeedsNext)
     ASSERT_TRUE(batcher.collect(batch));
     ASSERT_EQ(batch.entries.size(), 1u);
     EXPECT_EQ(batch.entries[0].request.id, 4u);
+}
+
+TEST(Batcher, ModelVersionBoundaryNeverCoalesces)
+{
+    // The 10.3 regression: requests admitted on either side of a
+    // weight publication carry different model versions, and batching
+    // them into one solve would serve half the batch with the wrong
+    // weights. A version change must close the open batch exactly like
+    // a shape change — no reordering, no loss.
+    RequestQueue queue(16, SelectPolicy::Fifo);
+    Batcher batcher(queue, /*maxBatch=*/4, /*maxWaitUs=*/2000.0);
+    auto push = [&](std::uint64_t id, std::uint64_t version) {
+        QueueEntry entry;
+        entry.request.id = id;
+        entry.request.modelVersion = version;
+        entry.request.input = Tensor(Shape{kDim});
+        entry.enqueueTime = RuntimeClock::now();
+        ASSERT_TRUE(queue.tryPush(entry));
+    };
+    push(0, 0); // pre-swap admissions
+    push(1, 0);
+    push(2, 1); // the publication lands here
+    push(3, 1);
+
+    CollectedBatch batch;
+    ASSERT_TRUE(batcher.collect(batch));
+    ASSERT_EQ(batch.entries.size(), 2u) << "batch crossed a swap boundary";
+    EXPECT_EQ(batch.entries[0].request.id, 0u);
+    EXPECT_EQ(batch.entries[1].request.id, 1u);
+    for (auto &entry : batch.entries)
+        EXPECT_EQ(entry.request.modelVersion, 0u);
+
+    ASSERT_TRUE(batcher.collect(batch));
+    ASSERT_EQ(batch.entries.size(), 2u);
+    EXPECT_EQ(batch.entries[0].request.id, 2u);
+    EXPECT_EQ(batch.entries[1].request.id, 3u);
+    for (auto &entry : batch.entries)
+        EXPECT_EQ(entry.request.modelVersion, 1u);
+}
+
+TEST(Batcher, TrainTasksShipSoloWithoutCollectWindow)
+{
+    // Gradient tasks never coalesce — with each other (each task
+    // carries its own gradient-slot pointer) or with inference (they
+    // run a different solve entirely) — and must not hold a collect
+    // window open: training is throughput work with no deadline to
+    // amortize.
+    RequestQueue queue(16, SelectPolicy::Fifo);
+    // A long window that would be felt if the train path waited it out.
+    Batcher batcher(queue, /*maxBatch=*/4, /*maxWaitUs=*/500000.0);
+
+    TrainTask task_a, task_b;
+    auto pushTrain = [&](std::uint64_t id, TrainTask *task) {
+        QueueEntry entry;
+        entry.request.id = id;
+        entry.request.train = task;
+        entry.request.input = Tensor(Shape{kDim});
+        entry.enqueueTime = RuntimeClock::now();
+        ASSERT_TRUE(queue.tryPush(entry));
+    };
+    auto pushInfer = [&](std::uint64_t id) {
+        QueueEntry entry;
+        entry.request.id = id;
+        entry.request.input = Tensor(Shape{kDim});
+        entry.enqueueTime = RuntimeClock::now();
+        ASSERT_TRUE(queue.tryPush(entry));
+    };
+    pushTrain(0, &task_a);
+    pushTrain(1, &task_b);
+    pushInfer(2);
+    pushInfer(3);
+    pushInfer(4);
+    pushInfer(5);
+
+    const auto before = RuntimeClock::now();
+    CollectedBatch batch;
+    ASSERT_TRUE(batcher.collect(batch));
+    ASSERT_EQ(batch.entries.size(), 1u) << "train tasks coalesced";
+    EXPECT_EQ(batch.entries[0].request.id, 0u);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(RuntimeClock::now() -
+                                                  before)
+            .count();
+    EXPECT_LT(elapsed_ms, 100.0)
+        << "train seed waited out the collect window";
+
+    ASSERT_TRUE(batcher.collect(batch));
+    ASSERT_EQ(batch.entries.size(), 1u);
+    EXPECT_EQ(batch.entries[0].request.id, 1u);
+
+    // The inference run behind them still coalesces normally (a full
+    // batch, so the window closes immediately).
+    ASSERT_TRUE(batcher.collect(batch));
+    ASSERT_EQ(batch.entries.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; i++)
+        EXPECT_EQ(batch.entries[i].request.id, i + 2);
 }
 
 TEST(Batcher, ConcurrentCollectorsWithMixedShapesLoseNothing)

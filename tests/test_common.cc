@@ -211,6 +211,106 @@ TEST(SampleSeries, ExactPercentiles)
     EXPECT_DOUBLE_EQ(single.percentile(50.0), 7.0);
 }
 
+TEST(SampleSeries, BelowCapacityMatchesUnboundedReference)
+{
+    // Property: while count() <= capacity() the bounded series is the
+    // *same distribution object* as an unbounded one — every quantile
+    // and every accumulator agrees exactly, for any insertion order.
+    const std::size_t cap = 512;
+    Rng rng(17);
+    for (int round = 0; round < 3; round++) {
+        SampleSeries bounded(cap);
+        SampleSeries reference; // default cap far above this stream
+        double sum = 0.0;
+        const std::size_t n = cap; // exactly at the cap: still exact
+        for (std::size_t i = 0; i < n; i++) {
+            const double x = rng.normal(0.0, 100.0);
+            bounded.add(x);
+            reference.add(x);
+            sum += x;
+        }
+        ASSERT_EQ(bounded.count(), n);
+        ASSERT_EQ(bounded.stored(), n);
+        EXPECT_DOUBLE_EQ(bounded.mean(), sum / static_cast<double>(n));
+        EXPECT_DOUBLE_EQ(bounded.min(), reference.min());
+        EXPECT_DOUBLE_EQ(bounded.max(), reference.max());
+        for (double q = 0.0; q <= 100.0; q += 2.5)
+            EXPECT_DOUBLE_EQ(bounded.percentile(q), reference.percentile(q))
+                << "q=" << q << " round=" << round;
+    }
+}
+
+TEST(SampleSeries, BoundedMemoryBeyondCapacity)
+{
+    // The 10.2 regression: the latency series grew one double per
+    // request forever. Past the cap, storage must stay put while the
+    // running accumulators stay exact.
+    const std::size_t cap = 256;
+    SampleSeries s(cap);
+    const std::size_t n = 20000;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; i++) {
+        const double x = static_cast<double>(i);
+        s.add(x);
+        sum += x;
+    }
+    EXPECT_EQ(s.stored(), cap);
+    EXPECT_EQ(s.capacity(), cap);
+    // Exact accumulators, untouched by the reservoir.
+    EXPECT_EQ(s.count(), n);
+    EXPECT_DOUBLE_EQ(s.mean(), sum / static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), static_cast<double>(n - 1));
+    // Percentiles degrade to estimates but must stay finite, in range,
+    // and monotone in q.
+    double prev = s.percentile(0.0);
+    EXPECT_GE(prev, 0.0);
+    for (double q = 5.0; q <= 100.0; q += 5.0) {
+        const double cur = s.percentile(q);
+        EXPECT_TRUE(std::isfinite(cur));
+        EXPECT_LE(cur, static_cast<double>(n - 1));
+        EXPECT_GE(cur, prev) << "percentile not monotone at q=" << q;
+        prev = cur;
+    }
+    // A uniform ramp's reservoir median lands near the true median.
+    EXPECT_NEAR(s.percentile(50.0), static_cast<double>(n) / 2.0,
+                static_cast<double>(n) * 0.15);
+}
+
+TEST(SampleSeries, ReservoirIsDeterministic)
+{
+    // Fixed-seed splitmix64 replacement: two series fed the same
+    // stream hold identical reservoirs — reproducible soak reports.
+    const std::size_t cap = 64;
+    SampleSeries a(cap), b(cap);
+    for (std::size_t i = 0; i < 5000; i++) {
+        const double x = std::sin(static_cast<double>(i));
+        a.add(x);
+        b.add(x);
+    }
+    ASSERT_EQ(a.stored(), b.stored());
+    for (double q = 0.0; q <= 100.0; q += 1.0)
+        EXPECT_DOUBLE_EQ(a.percentile(q), b.percentile(q)) << "q=" << q;
+}
+
+TEST(SampleSeries, ResetRestoresExactMode)
+{
+    const std::size_t cap = 32;
+    SampleSeries s(cap);
+    for (int i = 0; i < 1000; i++)
+        s.add(static_cast<double>(i));
+    ASSERT_EQ(s.stored(), cap);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.stored(), 0u);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+    // Exact again below the cap after the reset.
+    for (int i = 1; i <= 9; i++)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
 TEST(StatGroup, SetAddGetDump)
 {
     StatGroup stats("core0");
